@@ -1,0 +1,94 @@
+// Ablation (DESIGN.md): solver quality and the SLO-aware fallback.
+//   (a) greedy vs exact-DP solution value on serving-scale instances — the
+//       empirical gap behind the theoretical factor-2 bound;
+//   (b) a sweep of the violation handling: epsilon demotion (paper
+//       default), decay factors, and no fallback at all — quantifying the
+//       §6.6 attainment-vs-tail tradeoff.
+#include "bench/bench_util.h"
+#include "core/greedy_solver.h"
+
+using namespace aptserve;
+using namespace aptserve::bench;
+
+namespace {
+
+void SolverQuality() {
+  std::printf("=== Ablation (a): greedy vs exact solution value ===\n");
+  std::printf("%8s %10s %14s %14s %10s\n", "n", "capacity", "greedy",
+              "exact", "ratio");
+  Rng rng(1234);
+  for (int n : {10, 50, 100, 200}) {
+    QuantificationConfig qc;
+    qc.rho_seconds_per_token = 2.4e-5;
+    qc.num_requests_in_system = n;
+    QuantificationModel model(qc);
+    GreedySolver solver(&model);
+    std::vector<CandidateInfo> cands;
+    for (int i = 0; i < n; ++i) {
+      CandidateInfo c;
+      c.id = i;
+      c.pending_s = rng.Uniform(0.01, 8.0);
+      c.m_tokens = static_cast<int32_t>(rng.UniformInt(32, 1600));
+      c.m_blocks = 2 * ((c.m_tokens + 15) / 16);
+      cands.push_back(c);
+    }
+    const int32_t cap = 1526 / 2;  // force contention
+    const auto greedy = solver.Solve(cands, cap);
+    const auto exact = SolveExact(model, cands, cap);
+    std::printf("%8d %10d %14.3f %14.3f %10.4f\n", n, cap,
+                greedy.total_value, exact.total_value,
+                exact.total_value > 0 ? greedy.total_value / exact.total_value
+                                      : 1.0);
+  }
+  std::printf("(theory guarantees ratio >= 0.5; in practice the greedy is "
+              "near-optimal)\n\n");
+}
+
+void FallbackSweep() {
+  std::printf("=== Ablation (b): SLO-aware fallback policy "
+              "(ShareGPT @ 6 req/s, OPT-13B) ===\n");
+  std::printf("%12s %10s %12s %12s\n", "policy", "SLO(%)", "p99 TTFT(s)",
+              "max TTFT(s)");
+  struct Policy {
+    const char* name;
+    double decay;  // 0 => epsilon; 1.0 => fallback disabled
+  };
+  for (const Policy& p :
+       {Policy{"epsilon", 0.0}, Policy{"decay=0.2", 0.2},
+        Policy{"decay=0.4", 0.4}, Policy{"decay=0.7", 0.7},
+        Policy{"disabled", 1.0}}) {
+    RunSpec spec;
+    spec.rate = 6.0;
+    spec.num_requests = 500;
+    AptConfig c;
+    c.slo = spec.slo;
+    c.violation_decay = p.decay;
+    AptScheduler sched(c);
+    TraceConfig tc;
+    tc.profile = spec.profile;
+    tc.num_requests = spec.num_requests;
+    tc.rate_per_sec = spec.rate;
+    tc.seed = spec.seed;
+    auto trace = BuildTrace(tc);
+    if (!trace.ok()) return;
+    CostModel cm(spec.model, ClusterSpec::ForModel(spec.model));
+    Simulator sim(cm, SimulatorConfig{});
+    auto result = sim.Run(*trace, &sched, spec.slo);
+    if (!result.ok()) return;
+    const SloReport& rep = result->report;
+    std::printf("%12s %10.1f %12.2f %12.2f\n", p.name,
+                100 * rep.slo_attainment, rep.p99_ttft, rep.ttfts.Max());
+    std::fflush(stdout);
+  }
+  std::printf("(the paper's §6.6 tradeoff: aggressive demotion maximizes "
+              "attainment at the cost of a\nstarved tail; decay factors "
+              "trade a little attainment for much lighter tails)\n");
+}
+
+}  // namespace
+
+int main() {
+  SolverQuality();
+  FallbackSweep();
+  return 0;
+}

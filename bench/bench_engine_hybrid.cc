@@ -1,0 +1,104 @@
+// Engine microbenchmarks (paper §3.1 / Eq. 6 grounding): decode-step cost
+// of KV vs hidden cache on the real mini transformer, the measured rho
+// (extra seconds per cached token) and the linearity of the extra cost —
+// the executable analogue of the paper's ~30 s offline profiling pass.
+#include <benchmark/benchmark.h>
+
+#include "engine/inference_engine.h"
+#include "engine/rho_calibrator.h"
+
+namespace aptserve {
+namespace {
+
+void RunDecodeBench(benchmark::State& state, CacheType type) {
+  const ModelConfig cfg = ModelConfig::Small();
+  const int32_t ctx = static_cast<int32_t>(state.range(0));
+  InferenceEngine engine(cfg, 42, /*num_blocks=*/512, /*block_size=*/16);
+  std::vector<int32_t> prompt(ctx);
+  for (int32_t i = 0; i < ctx; ++i) prompt[i] = (i * 131) % cfg.vocab_size;
+  if (!engine.AddRequest(1, prompt, type).ok()) state.SkipWithError("add");
+  if (!engine.Prefill(1).ok()) state.SkipWithError("prefill");
+  // Let the context drift within [ctx, ctx + 64), resetting periodically so
+  // the measured cost stays representative of the nominal context length.
+  int32_t steps = 0;
+  for (auto _ : state) {
+    auto r = engine.DecodeStep(1);
+    if (!r.ok()) {
+      state.SkipWithError("decode");
+      break;
+    }
+    benchmark::DoNotOptimize(*r);
+    if (++steps == 64) {
+      state.PauseTiming();
+      steps = 0;
+      if (!engine.RemoveRequest(1).ok() ||
+          !engine.AddRequest(1, prompt, type).ok() ||
+          !engine.Prefill(1).ok()) {
+        state.SkipWithError("reset");
+        state.ResumeTiming();
+        break;
+      }
+      state.ResumeTiming();
+    }
+  }
+}
+
+void BM_DecodeKv(benchmark::State& state) {
+  RunDecodeBench(state, CacheType::kKV);
+}
+void BM_DecodeHidden(benchmark::State& state) {
+  RunDecodeBench(state, CacheType::kHidden);
+}
+
+BENCHMARK(BM_DecodeKv)->Arg(32)->Arg(128)->Arg(512)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_DecodeHidden)->Arg(32)->Arg(128)->Arg(512)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_PrefillKv(benchmark::State& state) {
+  const ModelConfig cfg = ModelConfig::Small();
+  const int32_t n = static_cast<int32_t>(state.range(0));
+  std::vector<int32_t> prompt(n);
+  for (int32_t i = 0; i < n; ++i) prompt[i] = (i * 67) % cfg.vocab_size;
+  InferenceEngine engine(cfg, 42, 512, 16);
+  RequestId id = 0;
+  for (auto _ : state) {
+    if (!engine.AddRequest(++id, prompt, CacheType::kKV).ok()) break;
+    auto r = engine.Prefill(id);
+    benchmark::DoNotOptimize(r.ok());
+    state.PauseTiming();
+    (void)engine.RemoveRequest(id);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_PrefillKv)->Arg(64)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace aptserve
+
+int main(int argc, char** argv) {
+  // Before the microbenchmarks, print the measured rho fit (Eq. 6).
+  auto calib = aptserve::CalibrateRho(aptserve::ModelConfig::Small(), 42,
+                                      {16, 32, 64, 128, 256}, 3);
+  if (calib.ok()) {
+    std::printf("=== Measured hidden-cache extra cost (mini engine, "
+                "Eq. 6 calibration) ===\n");
+    std::printf("%8s %14s %14s %14s\n", "context", "kv_ms", "hidden_ms",
+                "extra_ms");
+    for (const auto& p : calib->points) {
+      std::printf("%8d %14.3f %14.3f %14.3f\n", p.context_len,
+                  1e3 * p.kv_seconds, 1e3 * p.hidden_seconds,
+                  1e3 * (p.hidden_seconds - p.kv_seconds));
+    }
+    std::printf("fitted rho = %.3f us/token (R^2 = %.3f) — the paper models "
+                "this cost as linear\nin context length; R^2 near 1 "
+                "validates Eq. 6's linear approximation.\n\n",
+                1e6 * calib->rho_seconds_per_token, calib->r_squared);
+  } else {
+    std::fprintf(stderr, "rho calibration failed: %s\n",
+                 calib.status().ToString().c_str());
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

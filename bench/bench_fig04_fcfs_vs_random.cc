@@ -1,0 +1,72 @@
+// Figure 4 reproduction: (a) FCFS vs Random SLO attainment across rates;
+// (b)/(c) per-request TTFT and P99-TBT latency profiles at 3.4 req/s (the
+// paper's scatter plots show FCFS's clustered TTFT violations vs Random's
+// dispersed ones; here we print the distribution summaries).
+#include <algorithm>
+#include <filesystem>
+
+#include "bench/bench_util.h"
+#include "sim/report_writer.h"
+
+using namespace aptserve;
+using namespace aptserve::bench;
+
+namespace {
+
+void PerRequestDetail(const RunSpec& spec, const std::string& system) {
+  const SimulationResult result = RunOnceFull(spec, system);
+  const SloReport& rep = result.report;
+  std::printf("--- %s at %.1f req/s ---\n", system.c_str(), spec.rate);
+  std::printf("TTFT: mean=%.2fs p50=%.2fs p99=%.2fs  |  per-request P99 TBT:"
+              " p50=%.3fs p99=%.3fs  |  SLO=%.1f%%\n",
+              rep.mean_ttft, rep.ttfts.Quantile(0.5), rep.ttfts.P99(),
+              rep.p99_tbts.Quantile(0.5), rep.p99_tbts.P99(),
+              100 * rep.slo_attainment);
+  // The paper's Figures 4b/4c are per-request scatters over arrival order;
+  // export the raw rows for external plotting.
+  std::error_code ec;
+  std::filesystem::create_directories("bench_output", ec);
+  if (!ec) {
+    (void)WriteFile("bench_output/fig04_" + system + "_requests.csv",
+                    [&](std::ostream* out) {
+                      WriteRequestRecordsCsv(result.records, spec.slo, out);
+                    });
+  }
+
+  // Convoy metric: TTFT violations under FCFS cluster in consecutive runs
+  // (paper §3.2); report the longest violation run over arrival order.
+  std::vector<const RequestRecord*> rows;
+  for (const auto& [id, rec] : result.records) rows.push_back(&rec);
+  std::sort(rows.begin(), rows.end(),
+            [](const RequestRecord* a, const RequestRecord* b) {
+              return a->spec.id < b->spec.id;
+            });
+  int longest = 0, current = 0;
+  for (const RequestRecord* rec : rows) {
+    current = rec->MeetsTtft(spec.slo) ? 0 : current + 1;
+    longest = std::max(longest, current);
+  }
+  std::printf("longest consecutive TTFT-violation run: %d requests\n",
+              longest);
+}
+
+}  // namespace
+
+int main() {
+  RunSpec spec;
+  spec.num_requests = 500;
+
+  PrintRateSweep("Figure 4a: FCFS vs Random SLO attainment (%)"
+                 " (ShareGPT, OPT-13B)",
+                 spec, {1.0, 1.5, 2.0, 2.5, 3.0, 3.4, 4.0, 5.0},
+                 {"vLLM", "Random"});
+
+  std::printf("\n=== Figure 4b/4c: per-request latency profile at 3.4 "
+              "req/s ===\n");
+  spec.rate = 3.4;
+  PerRequestDetail(spec, "vLLM");
+  PerRequestDetail(spec, "Random");
+  std::printf("\nExpected shape (paper): Random >= FCFS at every rate; FCFS "
+              "shows much heavier TTFT tails (convoyed violations).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 8 reproduction (the paper's main result): effective throughput of
+// vLLM, Sarathi-Serve, DeepSpeed-FastGen and Apt-Serve on ShareGPT /
+// HumanEval / LongBench with OPT-13B / 30B / 66B, under the Table 3 SLOs.
+// Prints the attainment-vs-rate series for each subplot plus the effective
+// throughput at the 90% and 60% thresholds and Apt-Serve's speedups.
+#include "bench/bench_util.h"
+
+using namespace aptserve;
+using namespace aptserve::bench;
+
+namespace {
+
+struct Subplot {
+  DatasetProfile profile;
+  ModelSpec model;
+  SloSpec slo;
+  std::vector<double> rates;
+};
+
+// Table 3 SLOs. Rate grids scale down for the larger (slower per-GPU-dollar)
+// models, mirroring the paper's per-subplot x ranges.
+std::vector<Subplot> MakeSubplots() {
+  std::vector<Subplot> out;
+  const std::vector<double> sg13 = {1, 2, 3, 4, 5, 6, 8, 10};
+  const std::vector<double> sg_big = {0.5, 1, 1.5, 2, 3, 4, 5, 6};
+  const std::vector<double> he13 = {2, 4, 6, 8, 10, 12, 16, 20};
+  const std::vector<double> he_big = {1, 2, 4, 6, 8, 10, 12, 14};
+  const std::vector<double> lb13 = {0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0};
+  const std::vector<double> lb_big = {0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0,
+                                      2.5};
+  out.push_back({DatasetProfile::ShareGpt(), ModelSpec::Opt13B(),
+                 SloSpec{1.0, 1.0}, sg13});
+  out.push_back({DatasetProfile::ShareGpt(), ModelSpec::Opt30B(),
+                 SloSpec{1.5, 1.0}, sg_big});
+  out.push_back({DatasetProfile::ShareGpt(), ModelSpec::Opt66B(),
+                 SloSpec{2.0, 1.0}, sg_big});
+  out.push_back({DatasetProfile::HumanEval(), ModelSpec::Opt13B(),
+                 SloSpec{0.5, 0.5}, he13});
+  out.push_back({DatasetProfile::HumanEval(), ModelSpec::Opt30B(),
+                 SloSpec{1.0, 0.5}, he_big});
+  out.push_back({DatasetProfile::HumanEval(), ModelSpec::Opt66B(),
+                 SloSpec{1.5, 0.5}, he_big});
+  out.push_back({DatasetProfile::LongBench(), ModelSpec::Opt13B(),
+                 SloSpec{4.0, 1.0}, lb13});
+  out.push_back({DatasetProfile::LongBench(), ModelSpec::Opt30B(),
+                 SloSpec{4.5, 1.0}, lb_big});
+  out.push_back({DatasetProfile::LongBench(), ModelSpec::Opt66B(),
+                 SloSpec{5.0, 1.0}, lb_big});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<std::string> systems = {"vLLM", "Sarathi", "FastGen",
+                                            "Apt"};
+  for (const Subplot& sp : MakeSubplots()) {
+    RunSpec spec;
+    spec.profile = sp.profile;
+    spec.model = sp.model;
+    spec.slo = sp.slo;
+    spec.num_requests = 500;
+    const std::string title =
+        "Figure 8: " + sp.profile.name + " / " + sp.model.name;
+    PrintRateSweep(title.c_str(), spec, sp.rates, systems);
+
+    for (double threshold : {0.9, 0.6}) {
+      std::printf("effective throughput @%2.0f%%:", threshold * 100);
+      double apt = 0, vllm = 0;
+      for (const auto& s : systems) {
+        const double t = EffectiveThroughput(spec, s, sp.rates, threshold);
+        std::printf("  %s=%.2f", s.c_str(), t);
+        if (s == "Apt") apt = t;
+        if (s == "vLLM") vllm = t;
+      }
+      if (vllm > 0) std::printf("  | Apt/vLLM=%.1fx", apt / vllm);
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nExpected shape (paper): Apt-Serve sustains ~1.7-2.8x the "
+              "rate of the baselines at 90%%\nattainment and up to ~3-8.8x "
+              "at 60%%, with the largest gains on ShareGPT/LongBench.\n");
+  return 0;
+}

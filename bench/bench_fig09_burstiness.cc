@@ -1,0 +1,50 @@
+// Figure 9 reproduction: robustness to bursty arrivals. Gamma arrival
+// processes with CV in {1, 5, 10} at fixed mean rates (3.8 req/s ShareGPT,
+// 9.0 HumanEval, 1.5 LongBench on OPT-13B), comparing vLLM, Sarathi-Serve
+// and Apt-Serve.
+#include "bench/bench_util.h"
+
+using namespace aptserve;
+using namespace aptserve::bench;
+
+int main() {
+  struct Case {
+    DatasetProfile profile;
+    double rate;
+    SloSpec slo;
+  };
+  const std::vector<Case> cases = {
+      {DatasetProfile::ShareGpt(), 3.8, SloSpec{1.0, 1.0}},
+      {DatasetProfile::HumanEval(), 9.0, SloSpec{0.5, 0.5}},
+      {DatasetProfile::LongBench(), 1.5, SloSpec{4.0, 1.0}},
+  };
+  const std::vector<std::string> systems = {"vLLM", "Sarathi", "Apt"};
+
+  std::printf("=== Figure 9: SLO attainment (%%) under bursty arrivals "
+              "(OPT-13B) ===\n");
+  for (const Case& c : cases) {
+    std::printf("\n--- %s @ %.1f req/s ---\n", c.profile.name.c_str(),
+                c.rate);
+    std::printf("%6s", "CV");
+    for (const auto& s : systems) std::printf(" %12s", s.c_str());
+    std::printf("\n");
+    for (double cv : {1.0, 5.0, 10.0}) {
+      RunSpec spec;
+      spec.profile = c.profile;
+      spec.rate = c.rate;
+      spec.cv = cv;
+      spec.slo = c.slo;
+      spec.num_requests = 500;
+      std::printf("%6.0f", cv);
+      for (const auto& s : systems) {
+        std::printf(" %12.1f", 100 * RunOnce(spec, s).slo_attainment);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\nExpected shape (paper): attainment declines with CV for "
+              "all systems; Apt-Serve\ndegrades most gracefully, widening "
+              "the gap at high burstiness (up to ~7.5x).\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 10 reproduction: TTFT and per-request P99 TBT CDFs under FCFS,
+// Apt-Serve's scheduling, and Apt-Serve's scheduling* (decay factor 0.4) at
+// ShareGPT 6.0 / HumanEval 9.0 / LongBench 2.0 req/s on OPT-13B.
+#include <filesystem>
+
+#include "bench/bench_util.h"
+#include "sim/report_writer.h"
+
+using namespace aptserve;
+using namespace aptserve::bench;
+
+namespace {
+
+void PrintCdf(const char* label, const SampleSet& samples) {
+  std::printf("%s CDF (value_s:fraction):", label);
+  for (const auto& [v, f] : samples.Cdf(8)) std::printf(" %.2f:%.2f", v, f);
+  std::printf("\n");
+}
+
+/// Best-effort CSV export of the full CDFs for external plotting.
+void ExportCdf(const std::string& name, const SampleSet& ttfts,
+               const SampleSet& tbts) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_output", ec);
+  if (ec) return;
+  (void)WriteFile("bench_output/fig10_" + name + "_ttft_cdf.csv",
+                  [&](std::ostream* out) { WriteCdfCsv(ttfts, out); });
+  (void)WriteFile("bench_output/fig10_" + name + "_p99tbt_cdf.csv",
+                  [&](std::ostream* out) { WriteCdfCsv(tbts, out); });
+}
+
+}  // namespace
+
+int main() {
+  struct Case {
+    DatasetProfile profile;
+    double rate;
+    SloSpec slo;
+  };
+  const std::vector<Case> cases = {
+      {DatasetProfile::ShareGpt(), 6.0, SloSpec{1.0, 1.0}},
+      {DatasetProfile::HumanEval(), 9.0, SloSpec{0.5, 0.5}},
+      {DatasetProfile::LongBench(), 2.0, SloSpec{4.0, 1.0}},
+  };
+  const std::vector<std::string> systems = {"FCFS-hybrid", "Apt", "Apt*"};
+
+  std::printf("=== Figure 10: request latency distributions (OPT-13B) ===\n");
+  for (const Case& c : cases) {
+    std::printf("\n--- %s @ %.1f req/s ---\n", c.profile.name.c_str(),
+                c.rate);
+    for (const auto& s : systems) {
+      RunSpec spec;
+      spec.profile = c.profile;
+      spec.rate = c.rate;
+      spec.slo = c.slo;
+      spec.num_requests = 500;
+      const SloReport rep = RunOnce(spec, s);
+      std::printf("[%s] SLO=%.1f%% TTFT p50/p99=%.2f/%.2fs  "
+                  "P99TBT p50/p99=%.3f/%.3fs\n",
+                  s.c_str(), 100 * rep.slo_attainment,
+                  rep.ttfts.Quantile(0.5), rep.ttfts.P99(),
+                  rep.p99_tbts.Quantile(0.5), rep.p99_tbts.P99());
+      PrintCdf("  TTFT", rep.ttfts);
+      PrintCdf("  P99TBT", rep.p99_tbts);
+      ExportCdf(c.profile.name + "_" + s, rep.ttfts, rep.p99_tbts);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n(full CDFs exported to bench_output/fig10_*.csv)\n");
+  std::printf("\nExpected shape (paper): Apt's scheduling meets SLOs for "
+              ">90%% of requests but shows\na starved tail (~10%%); the "
+              "decay-0.4 variant (Apt*) trims that tail at a small\n"
+              "attainment cost; FCFS is far worse on both.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Table 7 + Figure 12 reproduction (ultra-long context, §6.7): sampled
+// trace statistics for WikiText / Arxiv / BookCorpus, then vLLM vs
+// Apt-Serve SLO attainment with LLaMA3-8B-Instruct262K and Yi-6B-200K on
+// 1 / 2 / 4 GPUs respectively (TTFT SLO 10 s, P99 TBT SLO 1 s).
+#include "bench/bench_util.h"
+
+using namespace aptserve;
+using namespace aptserve::bench;
+
+namespace {
+
+struct UltraCase {
+  DatasetProfile profile;
+  int32_t n_gpus;
+  int32_t max_total_len;
+  std::vector<double> rates;
+};
+
+SloReport RunUltra(const UltraCase& c, const ModelSpec& model, double rate,
+                   const std::string& system) {
+  TraceConfig tc;
+  tc.profile = c.profile;
+  tc.num_requests = 200;
+  tc.rate_per_sec = rate;
+  tc.seed = 404;
+  tc.max_total_len = c.max_total_len;
+  auto trace = BuildTrace(tc);
+  if (!trace.ok()) std::abort();
+  const SloSpec slo{10.0, 1.0};
+  auto sched = MakeScheduler(system, slo);
+  ClusterSpec cluster;
+  cluster.n_gpus = c.n_gpus;
+  CostModel cm(model, cluster);
+  SimulatorConfig sc;
+  sc.block_size = 32;  // larger blocks keep pool metadata manageable
+  Simulator sim(cm, sc);
+  auto result = sim.Run(*trace, sched.get(), slo);
+  if (!result.ok()) {
+    std::fprintf(stderr, "sim(%s/%s): %s\n", c.profile.name.c_str(),
+                 system.c_str(), result.status().ToString().c_str());
+    std::abort();
+  }
+  return result->report;
+}
+
+void PrintTable7Row(const DatasetProfile& profile, int32_t cap) {
+  TraceConfig tc;
+  tc.profile = profile;
+  tc.num_requests = 1000;
+  tc.rate_per_sec = 1.0;
+  tc.seed = 77;
+  tc.max_total_len = cap;
+  auto trace = BuildTrace(tc);
+  if (!trace.ok()) std::abort();
+  const TraceStats s = ComputeTraceStats(*trace);
+  std::printf("%-12s | in  max=%-6.0f med=%-6.0f mean=%-6.0f | out "
+              "max=%-5.0f med=%-5.0f mean=%-5.0f\n",
+              profile.name.c_str(), s.input_max, s.input_median,
+              s.input_mean, s.output_max, s.output_median, s.output_mean);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 7: ultra-long dataset statistics (sampled) ===\n");
+  PrintTable7Row(DatasetProfile::WikiText(), 3000);
+  PrintTable7Row(DatasetProfile::Arxiv(), 30000);
+  PrintTable7Row(DatasetProfile::BookCorpus(), 24100);
+  std::printf("(paper: WikiText 1840/871/914 in, 992/552/521 out; Arxiv "
+              "19600/6853/7812, 9754/226/420;\n BookCorpus 23706/14781/"
+              "16944, 299/221/185)\n");
+
+  const std::vector<UltraCase> cases = {
+      {DatasetProfile::WikiText(), 1, 3000, {0.5, 1.0, 1.5, 2.0, 3.0}},
+      {DatasetProfile::Arxiv(), 2, 30000, {0.1, 0.2, 0.3, 0.4, 0.6}},
+      {DatasetProfile::BookCorpus(), 4, 24100, {0.1, 0.25, 0.5, 0.75}},
+  };
+  for (const ModelSpec& model :
+       {ModelSpec::Llama3_8B_262K(), ModelSpec::Yi6B_200K()}) {
+    std::printf("\n=== Figure 12: %s (TTFT SLO 10s, P99 TBT SLO 1s) ===\n",
+                model.name.c_str());
+    for (const UltraCase& c : cases) {
+      std::printf("--- %s (%d GPU%s) ---\n", c.profile.name.c_str(),
+                  c.n_gpus, c.n_gpus > 1 ? "s" : "");
+      std::printf("%10s %12s %12s\n", "rate(r/s)", "vLLM", "Apt");
+      for (double rate : c.rates) {
+        const double v = 100 * RunUltra(c, model, rate, "vLLM").slo_attainment;
+        const double a = 100 * RunUltra(c, model, rate, "Apt").slo_attainment;
+        std::printf("%10.2f %12.1f %12.1f\n", rate, v, a);
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf("\nExpected shape (paper): Apt-Serve > vLLM, driven by TTFT; "
+              "TBT attainment is hard for\nboth at ultra-long context "
+              "(prefill/decode interference), especially BookCorpus.\n");
+  return 0;
+}

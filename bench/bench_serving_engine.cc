@@ -1,0 +1,75 @@
+// End-to-end on the REAL engine: serve a burst of requests on the mini
+// transformer under FCFS vs Apt-Serve with a deliberately small pool, so
+// the hybrid cache and value-based scheduling act on real memory and real
+// compute (measured rho; virtual timeline = measured compute seconds).
+#include <cstdio>
+
+#include "baselines/fcfs_scheduler.h"
+#include "core/apt_scheduler.h"
+#include "engine/serving_engine.h"
+#include "workload/arrival.h"
+
+using namespace aptserve;
+
+namespace {
+
+std::vector<Request> BurstTrace(int32_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Request> trace;
+  for (int32_t i = 0; i < n; ++i) {
+    Request r;
+    r.id = i;
+    r.prompt_len = static_cast<int32_t>(rng.UniformInt(24, 96));
+    r.output_len = static_cast<int32_t>(rng.UniformInt(8, 48));
+    r.arrival = 0.0;  // burst: everyone arrives at once
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  ServingEngineConfig cfg;
+  cfg.model = ModelConfig::Small();
+  cfg.model.max_seq_len = 256;
+  cfg.num_blocks = 160;  // tight pool: ~10 KV requests of ~64 tokens
+  cfg.block_size = 8;
+  cfg.slo = SloSpec{1e9, 1e9};  // timing varies by host; report latencies
+
+  auto trace = BurstTrace(24, 17);
+  std::printf("=== Real-engine serving: 24-request burst on the mini "
+              "transformer (tight pool) ===\n");
+  std::printf("%-12s %14s %14s %14s %12s %12s\n", "scheduler",
+              "compute(s)", "mean TTFT(s)", "p99 TTFT(s)", "preempts",
+              "conversions");
+  for (int k = 0; k < 2; ++k) {
+    ServingEngine serving(cfg);
+    FcfsScheduler fcfs;
+    AptConfig ac;
+    ac.slo = SloSpec{2.0, 2.0};  // drives the value model, not the report
+    AptScheduler apt(ac);
+    Scheduler* sched = k == 0 ? static_cast<Scheduler*>(&fcfs)
+                              : static_cast<Scheduler*>(&apt);
+    auto result = serving.Serve(trace, sched);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", sched->name().c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-12s %14.2f %14.2f %14.2f %12ld %12ld\n",
+                sched->name().c_str(), result->compute_seconds,
+                result->report.mean_ttft, result->report.p99_ttft,
+                result->preemptions, result->report.conversions);
+    if (k == 1) {
+      std::printf("measured rho = %.1f us/token (real Eq. 6 calibration "
+                  "fed to the scheduler)\n",
+                  1e6 * result->rho_seconds_per_token);
+    }
+    std::fflush(stdout);
+  }
+  std::printf("\nExpected shape: Apt-Serve admits more of the burst "
+              "concurrently (hidden cache)\nand orders admissions by value, "
+              "cutting mean/tail TTFT on identical hardware.\n");
+  return 0;
+}

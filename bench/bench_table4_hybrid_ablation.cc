@@ -1,0 +1,45 @@
+// Table 4 reproduction: Apt-Serve with KV-only cache vs hybrid cache
+// (adaptive scheduling retained in both), across request rates and arrival
+// burstiness on ShareGPT and LongBench with OPT-13B.
+#include "bench/bench_util.h"
+
+using namespace aptserve;
+using namespace aptserve::bench;
+
+int main() {
+  struct Grid {
+    DatasetProfile profile;
+    std::vector<double> rates;
+    SloSpec slo;
+  };
+  const std::vector<Grid> grids = {
+      {DatasetProfile::ShareGpt(), {3.0, 6.0}, SloSpec{1.0, 1.0}},
+      {DatasetProfile::LongBench(), {1.5, 3.0}, SloSpec{4.0, 1.0}},
+  };
+
+  std::printf("=== Table 4: SLO attainment (%%) of Apt-Serve, KV-only vs "
+              "hybrid cache (OPT-13B) ===\n");
+  std::printf("%-10s %6s %4s %12s %12s\n", "dataset", "rate", "CV",
+              "KV Cache", "Hybrid");
+  for (const Grid& g : grids) {
+    for (double rate : g.rates) {
+      for (double cv : {1.0, 5.0, 10.0}) {
+        RunSpec spec;
+        spec.profile = g.profile;
+        spec.rate = rate;
+        spec.cv = cv;
+        spec.slo = g.slo;
+        spec.num_requests = 500;
+        const double kv = 100 * RunOnce(spec, "Apt-KVonly").slo_attainment;
+        const double hybrid = 100 * RunOnce(spec, "Apt").slo_attainment;
+        std::printf("%-10s %6.1f %4.0f %12.1f %12.1f\n",
+                    g.profile.name.c_str(), rate, cv, kv, hybrid);
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf("\nExpected shape (paper): hybrid >= KV-only everywhere, with "
+              "the gap widening at\nhigher rates, burstier arrivals and "
+              "longer requests (LongBench).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Table 5 reproduction: Apt-Serve with FCFS scheduling vs its adaptive
+// scheduling (hybrid cache available in both), across rates and burstiness
+// on ShareGPT and LongBench with OPT-13B.
+#include "bench/bench_util.h"
+
+using namespace aptserve;
+using namespace aptserve::bench;
+
+int main() {
+  struct Grid {
+    DatasetProfile profile;
+    std::vector<double> rates;
+    SloSpec slo;
+  };
+  const std::vector<Grid> grids = {
+      {DatasetProfile::ShareGpt(), {3.0, 6.0}, SloSpec{1.0, 1.0}},
+      {DatasetProfile::LongBench(), {1.5, 3.0}, SloSpec{4.0, 1.0}},
+  };
+
+  std::printf("=== Table 5: SLO attainment (%%) of Apt-Serve, FCFS vs "
+              "adaptive scheduling (OPT-13B) ===\n");
+  std::printf("%-10s %6s %4s %12s %12s\n", "dataset", "rate", "CV", "FCFS",
+              "Adaptive");
+  for (const Grid& g : grids) {
+    for (double rate : g.rates) {
+      for (double cv : {1.0, 5.0, 10.0}) {
+        RunSpec spec;
+        spec.profile = g.profile;
+        spec.rate = rate;
+        spec.cv = cv;
+        spec.slo = g.slo;
+        spec.num_requests = 500;
+        // "FCFS" keeps the hybrid cache (rigid order, hidden fallback).
+        const double fcfs =
+            100 * RunOnce(spec, "FCFS-hybrid").slo_attainment;
+        const double adaptive = 100 * RunOnce(spec, "Apt").slo_attainment;
+        std::printf("%-10s %6.1f %4.0f %12.1f %12.1f\n",
+                    g.profile.name.c_str(), rate, cv, fcfs, adaptive);
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf("\nExpected shape (paper): FCFS collapses (often under 30%%) "
+              "while adaptive scheduling\nsustains high attainment on the "
+              "same hybrid cache.\n");
+  return 0;
+}

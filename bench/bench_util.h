@@ -1,0 +1,160 @@
+// Shared harness for the per-figure/table reproduction benches: scheduler
+// factory, single-run wrapper, rate sweeps, and paper-style table printing.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/fastgen_scheduler.h"
+#include "baselines/fcfs_scheduler.h"
+#include "baselines/random_scheduler.h"
+#include "baselines/sarathi_scheduler.h"
+#include "core/apt_sarathi_scheduler.h"
+#include "core/apt_scheduler.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+namespace aptserve {
+namespace bench {
+
+/// Named scheduler factory used by every bench.
+inline std::unique_ptr<Scheduler> MakeScheduler(const std::string& kind,
+                                                const SloSpec& slo) {
+  if (kind == "vLLM") return std::make_unique<FcfsScheduler>();
+  if (kind == "Random") return std::make_unique<RandomScheduler>();
+  if (kind == "Sarathi") return std::make_unique<SarathiScheduler>();
+  if (kind == "FastGen") return std::make_unique<FastGenScheduler>();
+  if (kind == "FCFS-hybrid") {
+    FcfsConfig c;
+    c.allow_hidden_fallback = true;
+    return std::make_unique<FcfsScheduler>(c);
+  }
+  if (kind == "Apt") {
+    AptConfig c;
+    c.slo = slo;
+    return std::make_unique<AptScheduler>(c);
+  }
+  if (kind == "Apt*") {
+    AptConfig c;
+    c.slo = slo;
+    c.violation_decay = 0.4;
+    return std::make_unique<AptScheduler>(c);
+  }
+  if (kind == "Apt-KVonly") {
+    AptConfig c;
+    c.slo = slo;
+    c.enable_hidden = false;
+    return std::make_unique<AptScheduler>(c);
+  }
+  if (kind == "Apt-S") {
+    AptSarathiConfig c;
+    c.slo = slo;
+    return std::make_unique<AptSarathiScheduler>(c);
+  }
+  std::fprintf(stderr, "unknown scheduler kind: %s\n", kind.c_str());
+  std::abort();
+}
+
+struct RunSpec {
+  DatasetProfile profile = DatasetProfile::ShareGpt();
+  ModelSpec model = ModelSpec::Opt13B();
+  double rate = 1.0;
+  double cv = 1.0;
+  int32_t num_requests = 500;
+  uint64_t seed = 2025;
+  SloSpec slo{1.0, 1.0};
+  int32_t max_total_len = 2048;
+};
+
+inline SloReport RunOnce(const RunSpec& spec, const std::string& scheduler) {
+  TraceConfig tc;
+  tc.profile = spec.profile;
+  tc.num_requests = spec.num_requests;
+  tc.rate_per_sec = spec.rate;
+  tc.cv = spec.cv;
+  tc.seed = spec.seed;
+  tc.max_total_len = spec.max_total_len;
+  auto trace = BuildTrace(tc);
+  if (!trace.ok()) {
+    std::fprintf(stderr, "trace: %s\n", trace.status().ToString().c_str());
+    std::abort();
+  }
+  auto sched = MakeScheduler(scheduler, spec.slo);
+  CostModel cm(spec.model, ClusterSpec::ForModel(spec.model));
+  Simulator sim(cm, SimulatorConfig{});
+  auto result = sim.Run(*trace, sched.get(), spec.slo);
+  if (!result.ok()) {
+    std::fprintf(stderr, "sim(%s): %s\n", scheduler.c_str(),
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return result->report;
+}
+
+/// Full simulation result (for benches that need more than the report).
+inline SimulationResult RunOnceFull(const RunSpec& spec,
+                                    const std::string& scheduler) {
+  TraceConfig tc;
+  tc.profile = spec.profile;
+  tc.num_requests = spec.num_requests;
+  tc.rate_per_sec = spec.rate;
+  tc.cv = spec.cv;
+  tc.seed = spec.seed;
+  tc.max_total_len = spec.max_total_len;
+  auto trace = BuildTrace(tc);
+  if (!trace.ok()) std::abort();
+  auto sched = MakeScheduler(scheduler, spec.slo);
+  CostModel cm(spec.model, ClusterSpec::ForModel(spec.model));
+  Simulator sim(cm, SimulatorConfig{});
+  auto result = sim.Run(*trace, sched.get(), spec.slo);
+  if (!result.ok()) {
+    std::fprintf(stderr, "sim(%s): %s\n", scheduler.c_str(),
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(*result);
+}
+
+/// Prints an SLO-attainment-vs-rate table, one row per rate, one column per
+/// system (the shape of the paper's line plots).
+inline void PrintRateSweep(const char* title, const RunSpec& base,
+                           const std::vector<double>& rates,
+                           const std::vector<std::string>& systems) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("dataset=%s model=%s SLO(TTFT=%.1fs, P99 TBT=%.1fs), n=%d\n",
+              base.profile.name.c_str(), base.model.name.c_str(),
+              base.slo.ttft_s, base.slo.tbt_p99_s, base.num_requests);
+  std::printf("%10s", "rate(r/s)");
+  for (const auto& s : systems) std::printf(" %12s", s.c_str());
+  std::printf("\n");
+  for (double rate : rates) {
+    RunSpec spec = base;
+    spec.rate = rate;
+    std::printf("%10.2f", rate);
+    for (const auto& s : systems) {
+      std::printf(" %12.1f", 100.0 * RunOnce(spec, s).slo_attainment);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+}
+
+/// Highest rate in `rates` whose attainment is >= threshold (the paper's
+/// "effective throughput" readout).
+inline double EffectiveThroughput(const RunSpec& base,
+                                  const std::string& system,
+                                  const std::vector<double>& rates,
+                                  double threshold) {
+  double best = 0.0;
+  for (double rate : rates) {
+    RunSpec spec = base;
+    spec.rate = rate;
+    if (RunOnce(spec, system).slo_attainment >= threshold) best = rate;
+  }
+  return best;
+}
+
+}  // namespace bench
+}  // namespace aptserve

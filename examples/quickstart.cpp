@@ -1,0 +1,84 @@
+// Quickstart: the two halves of the library in ~80 lines.
+//
+//   1. The *inference engine* — a real (CPU, fp32) decoder-only transformer
+//      with the paper's hybrid cache: generate with KV cache, generate with
+//      hidden cache, observe identical tokens at half the cache memory.
+//   2. The *serving simulator* — serve a small ShareGPT-like trace under
+//      vLLM-style FCFS and under Apt-Serve, and compare SLO attainment.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+
+#include "baselines/fcfs_scheduler.h"
+#include "core/apt_scheduler.h"
+#include "engine/inference_engine.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+using namespace aptserve;
+
+int main() {
+  // ---- Part 1: hybrid cache on the real mini transformer ----
+  const ModelConfig cfg = ModelConfig::Small();
+  std::vector<int32_t> prompt = {11, 42, 7, 99, 23, 5, 81, 64};
+
+  InferenceEngine kv_engine(cfg, /*seed=*/2025, /*num_blocks=*/256,
+                            /*block_size=*/16);
+  InferenceEngine hidden_engine(cfg, 2025, 256, 16);
+  (void)kv_engine.AddRequest(1, prompt, CacheType::kKV);
+  (void)hidden_engine.AddRequest(1, prompt, CacheType::kHidden);
+
+  auto kv_out = kv_engine.Generate(1, /*max_new_tokens=*/16);
+  auto hidden_out = hidden_engine.Generate(1, 16);
+  if (!kv_out.ok() || !hidden_out.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+  std::printf("KV-cache tokens    :");
+  for (int32_t t : *kv_out) std::printf(" %d", t);
+  std::printf("\nhidden-cache tokens:");
+  for (int32_t t : *hidden_out) std::printf(" %d", t);
+  std::printf("\nidentical: %s\n", *kv_out == *hidden_out ? "yes" : "NO");
+  std::printf("cache blocks used — KV: %d, hidden: %d (half the memory, "
+              "same tokens)\n\n",
+              kv_engine.pool().num_allocated(),
+              hidden_engine.pool().num_allocated());
+
+  // ---- Part 2: serving simulation, FCFS vs Apt-Serve ----
+  TraceConfig tc;
+  tc.profile = DatasetProfile::ShareGpt();
+  tc.num_requests = 300;
+  tc.rate_per_sec = 5.0;  // well past vLLM's knee
+  tc.seed = 1;
+  auto trace = BuildTrace(tc);
+  if (!trace.ok()) return 1;
+
+  const SloSpec slo{1.0, 1.0};  // TTFT 1s, per-request P99 TBT 1s
+  const ModelSpec model = ModelSpec::Opt13B();
+  CostModel cost(model, ClusterSpec::ForModel(model));
+
+  FcfsScheduler fcfs;
+  AptConfig ac;
+  ac.slo = slo;
+  AptScheduler apt(ac);
+
+  for (Scheduler* sched : {static_cast<Scheduler*>(&fcfs),
+                           static_cast<Scheduler*>(&apt)}) {
+    Simulator sim(cost, SimulatorConfig{});
+    auto result = sim.Run(*trace, sched, slo);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s: %s\n", sched->name().c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const SloReport& rep = result->report;
+    std::printf("[%-18s] SLO=%5.1f%%  TTFT=%5.1f%%  TBT=%5.1f%%  "
+                "mean TTFT=%.2fs  preemptions=%ld\n",
+                sched->name().c_str(), 100 * rep.slo_attainment,
+                100 * rep.ttft_attainment, 100 * rep.tbt_attainment,
+                rep.mean_ttft, rep.preemptions);
+  }
+  std::printf("\nApt-Serve's hybrid cache + adaptive scheduling sustains the "
+              "rate that collapses FCFS.\n");
+  return 0;
+}

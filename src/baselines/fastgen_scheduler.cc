@@ -1,0 +1,56 @@
+#include "baselines/fastgen_scheduler.h"
+
+#include <algorithm>
+
+namespace aptserve {
+
+BatchPlan FastGenScheduler::PlanIteration(const SchedulerInput& input) {
+  BatchPlan plan;
+  int32_t budget = config_.token_budget;
+  int32_t free_blocks = input.pool->num_free();
+
+  for (const SimRequest* r : input.running) {
+    if (static_cast<int32_t>(plan.items.size()) >= config_.max_batch) break;
+    if (budget <= 0) break;
+    plan.items.push_back({r->spec.id, r->cache_type, 0});
+    --budget;
+    free_blocks -= input.assigner->BlocksToGrow(r->spec.id,
+                                                r->cached_tokens + 1);
+  }
+  free_blocks = std::max(free_blocks, 0);
+
+  // Dynamic SplitFuse: take whole remaining prompts while they fit in the
+  // budget; split only the final prompt to land exactly on the budget.
+  for (const SimRequest* w : input.waiting) {
+    if (static_cast<int32_t>(plan.items.size()) >= config_.max_batch) break;
+    if (budget <= 0) break;
+    const int32_t remaining = w->PrefillTarget() - w->prefill_progress;
+    const int32_t chunk = std::min(budget, remaining);
+    if (chunk <= 0) continue;
+    int32_t need;
+    if (input.assigner->Has(w->spec.id)) {
+      need = input.assigner->BlocksToGrow(w->spec.id,
+                                          w->prefill_progress + chunk);
+    } else {
+      need = input.assigner->BlocksNeeded(CacheType::kKV, chunk);
+    }
+    if (need > free_blocks) break;
+    plan.items.push_back({w->spec.id, CacheType::kKV, chunk});
+    free_blocks -= need;
+    budget -= chunk;
+  }
+
+  // Same deadlock breaker as Sarathi: free memory held by stalled partial
+  // prefills when nothing else can run.
+  if (plan.items.empty()) {
+    for (auto it = input.waiting.rbegin(); it != input.waiting.rend(); ++it) {
+      if (input.assigner->Has((*it)->spec.id)) {
+        plan.preempt.push_back({(*it)->spec.id, (*it)->cache_type});
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace aptserve

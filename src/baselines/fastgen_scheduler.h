@@ -1,0 +1,30 @@
+// FastGenScheduler: the DeepSpeed-FastGen baseline (paper §6.2). Like
+// Sarathi-Serve it coalesces prefill chunks with decodes under a token
+// budget, but uses Dynamic SplitFuse-style composition: prompts are split
+// only when they exceed the remaining budget, which the paper describes as
+// "differing in the token composition strategy under the same token
+// budget".
+#pragma once
+
+#include "sim/scheduler.h"
+
+namespace aptserve {
+
+struct FastGenConfig {
+  int32_t token_budget = 512;
+  int32_t max_batch = 256;
+};
+
+class FastGenScheduler : public Scheduler {
+ public:
+  explicit FastGenScheduler(const FastGenConfig& config = {})
+      : config_(config) {}
+
+  BatchPlan PlanIteration(const SchedulerInput& input) override;
+  std::string name() const override { return "DeepSpeed-FastGen"; }
+
+ private:
+  FastGenConfig config_;
+};
+
+}  // namespace aptserve

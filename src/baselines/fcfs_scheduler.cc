@@ -1,0 +1,50 @@
+#include "baselines/fcfs_scheduler.h"
+
+namespace aptserve {
+
+BatchPlan FcfsScheduler::PlanIteration(const SchedulerInput& input) {
+  BatchPlan plan;
+  // Try to compose a prefill iteration first (vLLM prioritizes prefills to
+  // grow the decode batch).
+  int32_t free_blocks = input.pool->num_free();
+  int64_t prefill_tokens = 0;
+  for (const SimRequest* w : input.waiting) {
+    if (static_cast<int32_t>(plan.items.size()) >= config_.max_batch) break;
+    const int32_t target = w->PrefillTarget();
+    if (prefill_tokens + target > config_.max_prefill_tokens &&
+        !plan.items.empty()) {
+      break;
+    }
+    const int32_t need_kv =
+        input.assigner->BlocksNeeded(CacheType::kKV, target);
+    if (need_kv <= free_blocks) {
+      plan.items.push_back({w->spec.id, CacheType::kKV, target});
+      free_blocks -= need_kv;
+      prefill_tokens += target;
+      continue;
+    }
+    if (config_.allow_hidden_fallback) {
+      const int32_t need_hidden =
+          input.assigner->BlocksNeeded(CacheType::kHidden, target);
+      if (need_hidden <= free_blocks) {
+        plan.items.push_back({w->spec.id, CacheType::kHidden, target});
+        free_blocks -= need_hidden;
+        prefill_tokens += target;
+        continue;
+      }
+    }
+    // Strict FCFS: the head of the queue blocks everyone behind it.
+    break;
+  }
+  if (!plan.items.empty()) return plan;
+
+  // Decode iteration over every running request, oldest first so that the
+  // simulator's OOM preemption hits the youngest.
+  for (const SimRequest* r : input.running) {
+    if (static_cast<int32_t>(plan.items.size()) >= config_.max_batch) break;
+    plan.items.push_back({r->spec.id, r->cache_type, 0});
+  }
+  return plan;
+}
+
+}  // namespace aptserve

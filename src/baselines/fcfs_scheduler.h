@@ -1,0 +1,36 @@
+// FcfsScheduler: the vLLM-style baseline (paper §6.2). Prefill-prioritized
+// iteration-level batching with strict First-Come-First-Serve admission:
+// whenever the head of the waiting queue fits in free cache memory, run a
+// prefill iteration admitting waiting requests in arrival order until the
+// first one that does not fit (head-of-line blocking, the rigidity §3.2
+// analyzes); otherwise run a decode iteration over every running request.
+// All requests use KV cache, unless `allow_hidden_fallback` is set (the
+// Table 5 "FCFS on hybrid cache" variant), in which case a request that
+// does not fit as KV is admitted with hidden cache when that fits.
+#pragma once
+
+#include "sim/scheduler.h"
+
+namespace aptserve {
+
+struct FcfsConfig {
+  /// Max prompt tokens batched into one prefill iteration (vLLM's
+  /// max_num_batched_tokens).
+  int32_t max_prefill_tokens = 2048;
+  int32_t max_batch = 256;
+  /// Admit with hidden cache when KV does not fit (rigid-order hybrid).
+  bool allow_hidden_fallback = false;
+};
+
+class FcfsScheduler : public Scheduler {
+ public:
+  explicit FcfsScheduler(const FcfsConfig& config = {}) : config_(config) {}
+
+  BatchPlan PlanIteration(const SchedulerInput& input) override;
+  std::string name() const override { return "FCFS(vLLM)"; }
+
+ private:
+  FcfsConfig config_;
+};
+
+}  // namespace aptserve

@@ -1,0 +1,36 @@
+#include "baselines/random_scheduler.h"
+
+#include <algorithm>
+
+namespace aptserve {
+
+BatchPlan RandomScheduler::PlanIteration(const SchedulerInput& input) {
+  BatchPlan plan;
+  std::vector<const SimRequest*> shuffled(input.waiting);
+  std::shuffle(shuffled.begin(), shuffled.end(), rng_.generator());
+
+  int32_t free_blocks = input.pool->num_free();
+  int64_t prefill_tokens = 0;
+  for (const SimRequest* w : shuffled) {
+    if (static_cast<int32_t>(plan.items.size()) >= config_.max_batch) break;
+    const int32_t target = w->PrefillTarget();
+    if (prefill_tokens + target > config_.max_prefill_tokens &&
+        !plan.items.empty()) {
+      break;
+    }
+    const int32_t need = input.assigner->BlocksNeeded(CacheType::kKV, target);
+    if (need > free_blocks) continue;  // skip, do not block
+    plan.items.push_back({w->spec.id, CacheType::kKV, target});
+    free_blocks -= need;
+    prefill_tokens += target;
+  }
+  if (!plan.items.empty()) return plan;
+
+  for (const SimRequest* r : input.running) {
+    if (static_cast<int32_t>(plan.items.size()) >= config_.max_batch) break;
+    plan.items.push_back({r->spec.id, r->cache_type, 0});
+  }
+  return plan;
+}
+
+}  // namespace aptserve

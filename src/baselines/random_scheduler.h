@@ -1,0 +1,32 @@
+// RandomScheduler: the random policy of paper §3.2 (Figure 4). Identical to
+// the FCFS baseline except waiting requests are considered in a random
+// order, and a request that does not fit is skipped rather than blocking
+// the queue. The paper uses this policy to demonstrate that FCFS's rigid
+// batch composition is the bottleneck, not admission order per se.
+#pragma once
+
+#include "common/rng.h"
+#include "sim/scheduler.h"
+
+namespace aptserve {
+
+struct RandomSchedulerConfig {
+  int32_t max_prefill_tokens = 2048;
+  int32_t max_batch = 256;
+  uint64_t seed = 7;
+};
+
+class RandomScheduler : public Scheduler {
+ public:
+  explicit RandomScheduler(const RandomSchedulerConfig& config = {})
+      : config_(config), rng_(config.seed) {}
+
+  BatchPlan PlanIteration(const SchedulerInput& input) override;
+  std::string name() const override { return "Random"; }
+
+ private:
+  RandomSchedulerConfig config_;
+  Rng rng_;
+};
+
+}  // namespace aptserve

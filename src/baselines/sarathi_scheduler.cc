@@ -1,0 +1,61 @@
+#include "baselines/sarathi_scheduler.h"
+
+#include <algorithm>
+
+namespace aptserve {
+
+BatchPlan SarathiScheduler::PlanIteration(const SchedulerInput& input) {
+  BatchPlan plan;
+  int32_t budget = config_.token_budget;
+  int32_t free_blocks = input.pool->num_free();
+
+  // All running decodes ride along every iteration (no generation stalls).
+  for (const SimRequest* r : input.running) {
+    if (static_cast<int32_t>(plan.items.size()) >= config_.max_batch) break;
+    if (budget <= 0) break;
+    plan.items.push_back({r->spec.id, r->cache_type, 0});
+    --budget;
+    // Reserve the block a decode step may need to grow its cache, so the
+    // coalesced prefill chunks below cannot starve ongoing decodes.
+    const int32_t grow =
+        input.assigner->BlocksToGrow(r->spec.id, r->cached_tokens + 1);
+    free_blocks -= grow;
+  }
+  free_blocks = std::max(free_blocks, 0);
+
+  // Fill the rest of the budget with fixed-size prefill chunks, FCFS.
+  for (const SimRequest* w : input.waiting) {
+    if (static_cast<int32_t>(plan.items.size()) >= config_.max_batch) break;
+    if (budget <= 0) break;
+    const int32_t remaining = w->PrefillTarget() - w->prefill_progress;
+    const int32_t chunk = std::min({config_.chunk_size, budget, remaining});
+    if (chunk <= 0) continue;
+    // Memory needed to extend this request's cache by `chunk` tokens.
+    int32_t need;
+    if (input.assigner->Has(w->spec.id)) {
+      need = input.assigner->BlocksToGrow(w->spec.id,
+                                          w->prefill_progress + chunk);
+    } else {
+      need = input.assigner->BlocksNeeded(CacheType::kKV, chunk);
+    }
+    if (need > free_blocks) break;  // FCFS: stop at the first non-fit
+    plan.items.push_back({w->spec.id, CacheType::kKV, chunk});
+    free_blocks -= need;
+    budget -= chunk;
+  }
+
+  // Deadlock breaker: nothing runnable but partially-prefilled waiting
+  // requests hold pool memory — evict the youngest of them (recompute
+  // preemption) so the head of the queue can make progress next iteration.
+  if (plan.items.empty()) {
+    for (auto it = input.waiting.rbegin(); it != input.waiting.rend(); ++it) {
+      if (input.assigner->Has((*it)->spec.id)) {
+        plan.preempt.push_back({(*it)->spec.id, (*it)->cache_type});
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace aptserve

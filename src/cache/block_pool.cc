@@ -1,0 +1,69 @@
+#include "cache/block_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aptserve {
+
+BlockPool::BlockPool(int32_t num_blocks, int32_t block_size)
+    : num_blocks_(num_blocks), block_size_(block_size),
+      allocated_(num_blocks, false) {
+  APT_CHECK_MSG(num_blocks >= 0, "negative pool size");
+  APT_CHECK_MSG(block_size > 0, "block size must be positive");
+  free_list_.reserve(num_blocks);
+  // Push in reverse so blocks are handed out in ascending id order, which
+  // makes tests deterministic and debugging output readable.
+  for (int32_t i = num_blocks - 1; i >= 0; --i) free_list_.push_back(i);
+}
+
+StatusOr<BlockId> BlockPool::Allocate() {
+  if (free_list_.empty()) {
+    return Status::OutOfMemory("block pool exhausted");
+  }
+  const BlockId id = free_list_.back();
+  free_list_.pop_back();
+  allocated_[id] = true;
+  ++total_allocations_;
+  peak_allocated_ = std::max(peak_allocated_, num_allocated());
+  return id;
+}
+
+Status BlockPool::AllocateMany(int32_t n, std::vector<BlockId>* out) {
+  APT_CHECK(out != nullptr);
+  if (n < 0) return Status::InvalidArgument("negative block count");
+  if (n > num_free()) {
+    return Status::OutOfMemory("pool has " + std::to_string(num_free()) +
+                               " free blocks, need " + std::to_string(n));
+  }
+  out->reserve(out->size() + n);
+  for (int32_t i = 0; i < n; ++i) {
+    auto r = Allocate();
+    APT_CHECK(r.ok());  // Guaranteed by the capacity check above.
+    out->push_back(*r);
+  }
+  return Status::OK();
+}
+
+Status BlockPool::Free(BlockId id) {
+  if (id < 0 || id >= num_blocks_) {
+    return Status::InvalidArgument("block id out of range: " +
+                                   std::to_string(id));
+  }
+  if (!allocated_[id]) {
+    return Status::InvalidArgument("double free of block " +
+                                   std::to_string(id));
+  }
+  allocated_[id] = false;
+  free_list_.push_back(id);
+  return Status::OK();
+}
+
+void BlockPool::FreeMany(const std::vector<BlockId>& ids) {
+  for (BlockId id : ids) {
+    Status s = Free(id);
+    APT_CHECK_MSG(s.ok(), s.ToString());
+  }
+}
+
+}  // namespace aptserve

@@ -1,0 +1,67 @@
+// BlockPool: the unified block-wise memory pool of paper §4.3. The pool is a
+// flat array of fixed-size blocks; each block can hold K, V or hidden
+// vectors for `block_size` token positions (across all layers), so KV and
+// hidden caches space-share freely with no pre-partitioning.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_types.h"
+#include "common/status.h"
+
+namespace aptserve {
+
+/// Fixed-size block allocator with O(1) allocate/free via a free list.
+///
+/// The pool only tracks ownership; actual payload storage (for the real
+/// inference engine) lives in BlockStorage, keyed by BlockId. The serving
+/// simulator uses the pool alone, since it only needs memory accounting.
+class BlockPool {
+ public:
+  /// `num_blocks` blocks, each covering `block_size` token positions.
+  BlockPool(int32_t num_blocks, int32_t block_size);
+
+  /// Allocates one block; OutOfMemory when the pool is exhausted.
+  StatusOr<BlockId> Allocate();
+
+  /// Allocates `n` blocks all-or-nothing; on failure the pool is unchanged.
+  Status AllocateMany(int32_t n, std::vector<BlockId>* out);
+
+  /// Returns a block to the free list. InvalidArgument on double free or an
+  /// out-of-range id.
+  Status Free(BlockId id);
+
+  /// Frees every block in `ids` (asserts each free succeeds).
+  void FreeMany(const std::vector<BlockId>& ids);
+
+  int32_t num_blocks() const { return num_blocks_; }
+  int32_t block_size() const { return block_size_; }
+  int32_t num_free() const { return static_cast<int32_t>(free_list_.size()); }
+  int32_t num_allocated() const { return num_blocks_ - num_free(); }
+
+  /// Fraction of blocks currently allocated, in [0, 1].
+  double utilization() const {
+    return num_blocks_ == 0
+               ? 0.0
+               : static_cast<double>(num_allocated()) / num_blocks_;
+  }
+
+  /// High-water mark of allocated blocks since construction.
+  int32_t peak_allocated() const { return peak_allocated_; }
+  int64_t total_allocations() const { return total_allocations_; }
+
+  bool IsAllocated(BlockId id) const {
+    return id >= 0 && id < num_blocks_ && allocated_[id];
+  }
+
+ private:
+  int32_t num_blocks_;
+  int32_t block_size_;
+  std::vector<BlockId> free_list_;
+  std::vector<bool> allocated_;
+  int32_t peak_allocated_ = 0;
+  int64_t total_allocations_ = 0;
+};
+
+}  // namespace aptserve

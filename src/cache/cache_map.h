@@ -1,0 +1,82 @@
+// CacheMap: per-request mapping from token positions to physical cache
+// blocks (paper §4.3 "cache map c_i"). A KV-cached request owns two block
+// lists (K and V); a hidden-cached request owns one. Blocks need not be
+// contiguous in the pool; positions within one block are contiguous.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_types.h"
+#include "common/logging.h"
+
+namespace aptserve {
+
+/// Physical location of one token position's cached vector.
+struct BlockSlot {
+  BlockId block = kInvalidBlock;
+  int32_t offset = 0;  ///< token slot within the block, in [0, block_size).
+};
+
+class CacheMap {
+ public:
+  CacheMap() = default;
+  CacheMap(CacheType type, int32_t block_size)
+      : type_(type), block_size_(block_size) {}
+
+  CacheType type() const { return type_; }
+  int32_t block_size() const { return block_size_; }
+
+  /// Number of token positions currently cached.
+  int32_t num_tokens() const { return num_tokens_; }
+
+  /// Number of token positions the owned blocks can hold.
+  int32_t capacity() const {
+    return static_cast<int32_t>(PrimaryBlocks().size()) * block_size_;
+  }
+
+  /// Components this map uses: {K, V} for kKV, {Hidden} for kHidden.
+  std::vector<CacheComponent> Components() const;
+
+  /// Appends `blocks` as the next blocks of `component`. The caller (the
+  /// hybrid cache assigner) owns allocation; the map only records layout.
+  void AppendBlocks(CacheComponent component,
+                    const std::vector<BlockId>& blocks);
+
+  /// Marks `n` more token positions as filled. Requires capacity.
+  void AdvanceTokens(int32_t n);
+
+  /// Location of token position `pos` for `component`.
+  BlockSlot Slot(CacheComponent component, int32_t pos) const;
+
+  const std::vector<BlockId>& blocks(CacheComponent component) const {
+    return blocks_[static_cast<size_t>(component)];
+  }
+
+  /// All blocks across components (for release).
+  std::vector<BlockId> AllBlocks() const;
+
+  /// Total number of blocks owned.
+  int32_t TotalBlocks() const {
+    int32_t n = 0;
+    for (const auto& v : blocks_) n += static_cast<int32_t>(v.size());
+    return n;
+  }
+
+ private:
+  /// The component whose block list defines token capacity (K for KV,
+  /// Hidden for hidden). K and V lists are kept in lockstep.
+  const std::vector<BlockId>& PrimaryBlocks() const {
+    return type_ == CacheType::kKV
+               ? blocks_[static_cast<size_t>(CacheComponent::kKey)]
+               : blocks_[static_cast<size_t>(CacheComponent::kHidden)];
+  }
+
+  CacheType type_ = CacheType::kKV;
+  int32_t block_size_ = 1;
+  int32_t num_tokens_ = 0;
+  std::array<std::vector<BlockId>, 3> blocks_;
+};
+
+}  // namespace aptserve

@@ -1,0 +1,30 @@
+// Core vocabulary of the hybrid cache scheme (paper §3.1 / §4.3).
+#pragma once
+
+#include <cstdint>
+
+namespace aptserve {
+
+/// Which reusable computation result is cached for a request.
+///  - kKV: key and value vectors per layer (2 vectors per token) — O(1)
+///    extra work per decode step, 2x memory.
+///  - kHidden: layer-input hidden state vectors (1 vector per token) — K/V
+///    are re-projected on the fly each decode step (O(n) extra linear work),
+///    half the memory.
+enum class CacheType : uint8_t { kKV = 0, kHidden = 1 };
+
+inline const char* CacheTypeName(CacheType t) {
+  return t == CacheType::kKV ? "KV" : "Hidden";
+}
+
+/// The vector species stored in one cache block. In the unified memory pool
+/// (paper §4.3) every block holds exactly one component for a fixed number
+/// of token positions across all layers; K, V and hidden vectors share the
+/// same per-token footprint, so any block can hold any component.
+enum class CacheComponent : uint8_t { kKey = 0, kValue = 1, kHidden = 2 };
+
+/// Index of a fixed-size block in the unified pool.
+using BlockId = int32_t;
+inline constexpr BlockId kInvalidBlock = -1;
+
+}  // namespace aptserve

@@ -1,0 +1,112 @@
+#include "cache/hybrid_assigner.h"
+
+#include "common/logging.h"
+
+namespace aptserve {
+
+namespace {
+int32_t CeilDiv(int32_t a, int32_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+HybridCacheAssigner::HybridCacheAssigner(BlockPool* pool) : pool_(pool) {
+  APT_CHECK(pool != nullptr);
+}
+
+int32_t HybridCacheAssigner::BlocksNeeded(CacheType type,
+                                          int32_t num_tokens) const {
+  if (num_tokens <= 0) return 0;
+  const int32_t per_component = CeilDiv(num_tokens, pool_->block_size());
+  return type == CacheType::kKV ? 2 * per_component : per_component;
+}
+
+int32_t HybridCacheAssigner::BlocksToGrow(RequestId id,
+                                          int32_t num_tokens) const {
+  auto it = maps_.find(id);
+  if (it == maps_.end()) return BlocksNeeded(CacheType::kKV, num_tokens);
+  const CacheMap& map = it->second;
+  const int32_t have = map.capacity();
+  if (num_tokens <= have) return 0;
+  const int32_t extra = CeilDiv(num_tokens - have, pool_->block_size());
+  return map.type() == CacheType::kKV ? 2 * extra : extra;
+}
+
+Status HybridCacheAssigner::AllocateFor(CacheMap* map,
+                                        int32_t new_blocks_per_component) {
+  if (new_blocks_per_component <= 0) return Status::OK();
+  const auto components = map->Components();
+  const int32_t total =
+      new_blocks_per_component * static_cast<int32_t>(components.size());
+  std::vector<BlockId> blocks;
+  APT_RETURN_NOT_OK(pool_->AllocateMany(total, &blocks));
+  size_t cursor = 0;
+  for (CacheComponent c : components) {
+    std::vector<BlockId> slice(blocks.begin() + cursor,
+                               blocks.begin() + cursor +
+                                   new_blocks_per_component);
+    map->AppendBlocks(c, slice);
+    cursor += new_blocks_per_component;
+  }
+  return Status::OK();
+}
+
+Status HybridCacheAssigner::CreateFilled(RequestId id, CacheType type,
+                                         int32_t num_tokens) {
+  if (num_tokens <= 0) {
+    return Status::InvalidArgument("cache must hold at least one token");
+  }
+  if (Has(id)) {
+    return Status::AlreadyExists("request " + std::to_string(id) +
+                                 " already has a cache");
+  }
+  CacheMap map(type, pool_->block_size());
+  const int32_t per_component = CeilDiv(num_tokens, pool_->block_size());
+  APT_RETURN_NOT_OK(AllocateFor(&map, per_component));
+  map.AdvanceTokens(num_tokens);
+  maps_.emplace(id, std::move(map));
+  return Status::OK();
+}
+
+Status HybridCacheAssigner::Append(RequestId id, int32_t extra_tokens) {
+  auto it = maps_.find(id);
+  if (it == maps_.end()) {
+    return Status::NotFound("request " + std::to_string(id) + " has no cache");
+  }
+  if (extra_tokens < 0) return Status::InvalidArgument("negative growth");
+  CacheMap& map = it->second;
+  const int32_t target = map.num_tokens() + extra_tokens;
+  if (target > map.capacity()) {
+    const int32_t extra_blocks =
+        CeilDiv(target - map.capacity(), pool_->block_size());
+    APT_RETURN_NOT_OK(AllocateFor(&map, extra_blocks));
+  }
+  map.AdvanceTokens(extra_tokens);
+  return Status::OK();
+}
+
+Status HybridCacheAssigner::Release(RequestId id) {
+  auto it = maps_.find(id);
+  if (it == maps_.end()) {
+    return Status::NotFound("request " + std::to_string(id) + " has no cache");
+  }
+  pool_->FreeMany(it->second.AllBlocks());
+  maps_.erase(it);
+  return Status::OK();
+}
+
+Status HybridCacheAssigner::DiscardForConversion(RequestId id) {
+  APT_RETURN_NOT_OK(Release(id));
+  ++num_conversions_;
+  return Status::OK();
+}
+
+const CacheMap* HybridCacheAssigner::Find(RequestId id) const {
+  auto it = maps_.find(id);
+  return it == maps_.end() ? nullptr : &it->second;
+}
+
+CacheMap* HybridCacheAssigner::FindMutable(RequestId id) {
+  auto it = maps_.find(id);
+  return it == maps_.end() ? nullptr : &it->second;
+}
+
+}  // namespace aptserve

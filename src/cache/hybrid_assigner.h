@@ -1,0 +1,66 @@
+// HybridCacheAssigner: owns the per-request cache maps over the unified
+// block pool (paper §4.3). It grants/extends/releases cache for scheduled
+// requests and implements cache-type switches, which per §5 discard the old
+// cache (the request must then re-run a prefill to rebuild it in the new
+// type).
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/block_pool.h"
+#include "cache/cache_map.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace aptserve {
+
+class HybridCacheAssigner {
+ public:
+  /// The assigner borrows the pool; the pool must outlive it.
+  explicit HybridCacheAssigner(BlockPool* pool);
+
+  /// Blocks required to cache `num_tokens` tokens with the given type:
+  /// 2*ceil(t/B) for KV, ceil(t/B) for hidden.
+  int32_t BlocksNeeded(CacheType type, int32_t num_tokens) const;
+
+  /// Additional blocks needed to grow request `id`'s existing cache to
+  /// `num_tokens` total tokens. 0 when already within capacity.
+  int32_t BlocksToGrow(RequestId id, int32_t num_tokens) const;
+
+  /// Creates a cache of `type` for request `id` able to hold `num_tokens`
+  /// tokens and marks all of them filled (a completed prefill).
+  /// AlreadyExists if the request already has a cache; OutOfMemory if blocks
+  /// are unavailable (the pool is left unchanged).
+  Status CreateFilled(RequestId id, CacheType type, int32_t num_tokens);
+
+  /// Extends request `id`'s cache by `extra_tokens` filled positions,
+  /// allocating blocks on demand (decode growth, one token per iteration in
+  /// steady state). OutOfMemory leaves the existing cache intact.
+  Status Append(RequestId id, int32_t extra_tokens);
+
+  /// Releases all blocks of request `id` (finish or preemption).
+  Status Release(RequestId id);
+
+  /// Discards request `id`'s cache so it can be rebuilt with `new_type`
+  /// by a subsequent prefill (paper §5: a type switch recomputes the cache).
+  /// Equivalent to Release; provided as a named operation for clarity and
+  /// stats.
+  Status DiscardForConversion(RequestId id);
+
+  bool Has(RequestId id) const { return maps_.count(id) > 0; }
+  const CacheMap* Find(RequestId id) const;
+  CacheMap* FindMutable(RequestId id);
+
+  BlockPool* pool() const { return pool_; }
+  int64_t num_conversions() const { return num_conversions_; }
+  size_t num_requests() const { return maps_.size(); }
+
+ private:
+  Status AllocateFor(CacheMap* map, int32_t new_blocks_per_component);
+
+  BlockPool* pool_;
+  std::unordered_map<RequestId, CacheMap> maps_;
+  int64_t num_conversions_ = 0;
+};
+
+}  // namespace aptserve

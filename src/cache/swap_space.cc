@@ -1,0 +1,53 @@
+#include "cache/swap_space.h"
+
+namespace aptserve {
+
+Status SwapSpace::SwapOut(RequestId id, CacheType type, int32_t tokens,
+                          int32_t blocks) {
+  if (blocks <= 0 || tokens <= 0) {
+    return Status::InvalidArgument("swap entry must hold data");
+  }
+  if (entries_.count(id)) {
+    return Status::AlreadyExists("request " + std::to_string(id) +
+                                 " already swapped");
+  }
+  if (used_ + blocks > capacity_) {
+    return Status::OutOfMemory("swap space full: " + std::to_string(used_) +
+                               "/" + std::to_string(capacity_) + " blocks");
+  }
+  entries_[id] = Entry{type, tokens, blocks};
+  used_ += blocks;
+  ++total_swap_outs_;
+  return Status::OK();
+}
+
+StatusOr<SwapSpace::Entry> SwapSpace::SwapIn(RequestId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::NotFound("request " + std::to_string(id) +
+                            " is not swapped");
+  }
+  Entry e = it->second;
+  used_ -= e.blocks;
+  entries_.erase(it);
+  ++total_swap_ins_;
+  return e;
+}
+
+Status SwapSpace::Drop(RequestId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::NotFound("request " + std::to_string(id) +
+                            " is not swapped");
+  }
+  used_ -= it->second.blocks;
+  entries_.erase(it);
+  return Status::OK();
+}
+
+const SwapSpace::Entry* SwapSpace::Find(RequestId id) const {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace aptserve

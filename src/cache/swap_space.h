@@ -1,0 +1,61 @@
+// SwapSpace: host-memory staging area for preempted requests' caches.
+// vLLM offers two preemption modes: *recompute* (discard the cache and
+// re-prefill later — the mode the paper's experiments use) and *swap*
+// (copy the cache to CPU memory over PCIe and copy it back on resume).
+// This models the swap side: capacity accounting in blocks plus per-request
+// swapped-cache bookkeeping. Payload movement is costed by the simulator's
+// cost model (PCIe bandwidth); the real engine path keeps payloads in
+// BlockStorage, so only accounting lives here.
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/cache_types.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace aptserve {
+
+class SwapSpace {
+ public:
+  /// `capacity_blocks` of host memory, in units of GPU cache blocks.
+  explicit SwapSpace(int32_t capacity_blocks)
+      : capacity_(capacity_blocks) {}
+
+  struct Entry {
+    CacheType type = CacheType::kKV;
+    int32_t tokens = 0;
+    int32_t blocks = 0;
+  };
+
+  /// Records request `id`'s cache (`blocks` blocks holding `tokens` tokens
+  /// of `type`) as swapped out. OutOfMemory when host capacity is
+  /// exhausted; AlreadyExists if the request is already swapped.
+  Status SwapOut(RequestId id, CacheType type, int32_t tokens,
+                 int32_t blocks);
+
+  /// Removes and returns the entry for `id` (the caller re-allocates GPU
+  /// blocks and restores the cache). NotFound when not swapped.
+  StatusOr<Entry> SwapIn(RequestId id);
+
+  /// Drops a swapped entry without restoring it (request aborted, or a
+  /// cache-type conversion invalidated the swapped copy).
+  Status Drop(RequestId id);
+
+  bool Contains(RequestId id) const { return entries_.count(id) > 0; }
+  const Entry* Find(RequestId id) const;
+  int32_t used_blocks() const { return used_; }
+  int32_t capacity_blocks() const { return capacity_; }
+  int32_t free_blocks() const { return capacity_ - used_; }
+  int64_t total_swap_outs() const { return total_swap_outs_; }
+  int64_t total_swap_ins() const { return total_swap_ins_; }
+
+ private:
+  int32_t capacity_;
+  int32_t used_ = 0;
+  std::unordered_map<RequestId, Entry> entries_;
+  int64_t total_swap_outs_ = 0;
+  int64_t total_swap_ins_ = 0;
+};
+
+}  // namespace aptserve

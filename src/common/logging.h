@@ -1,0 +1,63 @@
+// Minimal leveled logging with a compile-out-able check macro, in the style
+// of the Arrow/RocksDB utility headers.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace aptserve {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped. Defaults to kWarning
+/// so tests and benches stay quiet unless something is wrong.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void FatalCheckFailure(const char* file, int line,
+                                    const char* expr, const std::string& msg);
+
+}  // namespace internal
+}  // namespace aptserve
+
+#define APT_LOG(level)                                                      \
+  ::aptserve::internal::LogMessage(::aptserve::LogLevel::k##level, __FILE__, \
+                                   __LINE__)
+
+/// Invariant check, active in all build types. Use for programmer errors
+/// where continuing would corrupt state (allocator double-free, index
+/// out of range in the block pool, ...).
+#define APT_CHECK(expr)                                                        \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::aptserve::internal::FatalCheckFailure(__FILE__, __LINE__, #expr, "");  \
+    }                                                                          \
+  } while (0)
+
+#define APT_CHECK_MSG(expr, msg)                                               \
+  do {                                                                         \
+    if (!(expr)) {                                                             \
+      ::aptserve::internal::FatalCheckFailure(__FILE__, __LINE__, #expr, msg); \
+    }                                                                          \
+  } while (0)

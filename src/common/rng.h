@@ -1,0 +1,61 @@
+// Deterministic seeded RNG used throughout the library so that traces,
+// model weights and simulations are reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace aptserve {
+
+/// A thin wrapper over std::mt19937_64 with the distributions the library
+/// needs. Every component that draws randomness takes an explicit seed;
+/// nothing reads global entropy.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform in [0, 1).
+  double Uniform() { return unit_(gen_); }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(gen_);
+  }
+
+  /// Standard normal draw.
+  double Normal() { return normal_(gen_); }
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate) {
+    std::exponential_distribution<double> d(rate);
+    return d(gen_);
+  }
+
+  /// Gamma with the given shape and scale.
+  double Gamma(double shape, double scale) {
+    std::gamma_distribution<double> d(shape, scale);
+    return d(gen_);
+  }
+
+  /// Log-normal parameterized by the underlying normal's mu/sigma.
+  double LogNormal(double mu, double sigma) {
+    std::lognormal_distribution<double> d(mu, sigma);
+    return d(gen_);
+  }
+
+  std::mt19937_64& generator() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace aptserve

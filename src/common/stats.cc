@@ -1,0 +1,121 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace aptserve {
+
+void RunningStat::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void SampleSet::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double SampleSet::Mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double SampleSet::Min() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.front();
+}
+
+double SampleSet::Max() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+std::vector<std::pair<double, double>> SampleSet::Cdf(size_t max_points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || max_points == 0) return out;
+  EnsureSorted();
+  const size_t n = samples_.size();
+  const size_t step = std::max<size_t>(1, n / max_points);
+  for (size_t i = 0; i < n; i += step) {
+    out.emplace_back(samples_[i],
+                     static_cast<double>(i + 1) / static_cast<double>(n));
+  }
+  if (out.back().first != samples_.back()) {
+    out.emplace_back(samples_.back(), 1.0);
+  } else {
+    out.back().second = 1.0;
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  APT_CHECK_MSG(hi > lo && buckets > 0, "histogram range/buckets invalid");
+}
+
+void Histogram::Add(double x) {
+  size_t idx;
+  if (x < lo_) {
+    idx = 0;
+  } else if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+std::string Histogram::ToAscii(size_t max_width) const {
+  std::ostringstream os;
+  size_t peak = 0;
+  for (size_t c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty)\n";
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const size_t bar = std::max<size_t>(1, counts_[i] * max_width / peak);
+    os << "[" << BucketLow(i) << ", " << BucketHigh(i) << ") "
+       << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aptserve

@@ -1,0 +1,91 @@
+// Small statistics helpers: streaming mean/variance, exact percentiles over
+// collected samples, fixed-bucket histograms and CDF extraction. Used by the
+// simulator metrics and the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aptserve {
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Collects samples and answers exact quantile queries (sorts lazily).
+class SampleSet {
+ public:
+  void Add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  void Reserve(size_t n) { samples_.reserve(n); }
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// q in [0,1]; linear interpolation between closest ranks. Returns 0 when
+  /// empty.
+  double Quantile(double q) const;
+  double Median() const { return Quantile(0.5); }
+  double P99() const { return Quantile(0.99); }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Returns (value, cumulative fraction) pairs suitable for plotting a CDF,
+  /// downsampled to at most `max_points` points.
+  std::vector<std::pair<double, double>> Cdf(size_t max_points = 200) const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Fixed-width bucket histogram over [lo, hi); out-of-range values clamp to
+/// the edge buckets.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  size_t count() const { return total_; }
+  const std::vector<size_t>& buckets() const { return counts_; }
+  double BucketLow(size_t i) const { return lo_ + i * width_; }
+  double BucketHigh(size_t i) const { return lo_ + (i + 1) * width_; }
+
+  /// Renders a compact ASCII sketch, one line per non-empty bucket.
+  std::string ToAscii(size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  size_t total_ = 0;
+  std::vector<size_t> counts_;
+};
+
+}  // namespace aptserve

@@ -1,0 +1,16 @@
+// Shared primitive identifiers.
+#pragma once
+
+#include <cstdint>
+
+namespace aptserve {
+
+/// Identifies one serving request across the scheduler, cache and engine.
+using RequestId = int64_t;
+inline constexpr RequestId kInvalidRequestId = -1;
+
+/// Simulation / wall-clock time in seconds.
+using TimePoint = double;
+using Duration = double;
+
+}  // namespace aptserve

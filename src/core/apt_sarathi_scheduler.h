@@ -1,0 +1,33 @@
+// AptSarathiScheduler ("Apt-Serve-S", paper §6.7): Apt-Serve's hybrid cache
+// and value-based request composition layered on Sarathi-Serve's chunked
+// prefill + prefill/decode coalesced batching. The iteration-type decision
+// disappears (every iteration is mixed); the scheduling problem reduces to
+// choosing the request composition and cache types under the token budget
+// and the memory constraint.
+#pragma once
+
+#include "core/greedy_solver.h"
+#include "sim/scheduler.h"
+
+namespace aptserve {
+
+struct AptSarathiConfig {
+  SloSpec slo;
+  double violation_decay = 0.0;
+  int32_t token_budget = 512;
+  int32_t max_batch = 256;
+};
+
+class AptSarathiScheduler : public Scheduler {
+ public:
+  explicit AptSarathiScheduler(const AptSarathiConfig& config)
+      : config_(config) {}
+
+  BatchPlan PlanIteration(const SchedulerInput& input) override;
+  std::string name() const override { return "Apt-Serve-S"; }
+
+ private:
+  AptSarathiConfig config_;
+};
+
+}  // namespace aptserve

@@ -1,0 +1,187 @@
+#include "core/greedy_solver.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aptserve {
+
+namespace {
+
+struct MarginalStep {
+  size_t cand = 0;
+  /// Step kinds: 0 = direct KV (0 -> m), 1 = hidden (0 -> m/2),
+  /// 2 = upgrade hidden -> KV (m/2 -> m; requires kind 1 taken first).
+  int kind = 0;
+  double gain = 0.0;
+  int32_t delta_blocks = 0;
+  double theta = 0.0;  ///< gain per block.
+};
+
+}  // namespace
+
+GreedySolution GreedySolver::Solve(
+    const std::vector<CandidateInfo>& candidates,
+    int32_t capacity_blocks) const {
+  GreedySolution sol;
+  sol.decisions.assign(candidates.size(), ScheduleDecision{});
+  if (candidates.empty() || capacity_blocks <= 0) return sol;
+
+  std::vector<MarginalStep> steps;
+  steps.reserve(candidates.size() * 2);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const CandidateInfo& c = candidates[i];
+    APT_CHECK_MSG(c.m_blocks >= 0, "negative memory requirement");
+    if (c.m_blocks == 0) continue;  // nothing to allocate; skip defensively
+    const double p = model_->EffectivePending(c);
+    if (p <= 0.0) continue;
+    const int32_t half = std::max(1, c.m_blocks / 2);
+    if (c.type_fixed) {
+      const bool hidden = c.current_type == CacheType::kHidden;
+      const double gain = model_->Value(c, hidden);
+      if (gain <= 0.0) continue;
+      const int32_t w = hidden ? half : c.m_blocks;
+      steps.push_back({i, hidden ? 1 : 0, gain, w, gain / w});
+      continue;
+    }
+    if (model_->HiddenProfitable(c)) {
+      const double v_hidden = model_->Value(c, /*hidden=*/true);
+      MarginalStep a{i, 1, v_hidden, half, v_hidden / half};
+      const double upgrade_gain = p - v_hidden;  // N*rho*m
+      MarginalStep b{i, 2, upgrade_gain, c.m_blocks - half,
+                     upgrade_gain / std::max(1, c.m_blocks - half)};
+      steps.push_back(a);
+      steps.push_back(b);
+    } else {
+      MarginalStep s{i, 0, p, c.m_blocks, p / c.m_blocks};
+      steps.push_back(s);
+    }
+  }
+
+  std::sort(steps.begin(), steps.end(),
+            [](const MarginalStep& a, const MarginalStep& b) {
+              if (a.theta != b.theta) return a.theta > b.theta;
+              return a.cand < b.cand;  // deterministic tie-break
+            });
+
+  // Greedy pass by density.
+  std::vector<int> taken_kind(candidates.size(), -1);
+  int32_t remaining = capacity_blocks;
+  double greedy_value = 0.0;
+  for (const MarginalStep& s : steps) {
+    if (s.delta_blocks > remaining) continue;
+    if (s.kind == 2) {
+      // Upgrade requires the hidden step already taken.
+      if (taken_kind[s.cand] != 1) continue;
+      taken_kind[s.cand] = 0;  // now a full-KV schedule
+    } else {
+      if (taken_kind[s.cand] != -1) continue;
+      taken_kind[s.cand] = s.kind;
+    }
+    remaining -= s.delta_blocks;
+    greedy_value += s.gain;
+  }
+
+  // Factor-2 guard: the best single feasible schedule may beat the greedy
+  // fill when a high-value item was blocked by earlier fractional picks.
+  double best_single = 0.0;
+  size_t best_idx = candidates.size();
+  bool best_hidden = false;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const CandidateInfo& c = candidates[i];
+    if (c.m_blocks == 0) continue;
+    const double p = model_->EffectivePending(c);
+    if (p <= 0.0) continue;
+    const int32_t half = std::max(1, c.m_blocks / 2);
+    const bool kv_allowed =
+        !c.type_fixed || c.current_type == CacheType::kKV;
+    const bool hidden_allowed =
+        !c.type_fixed || c.current_type == CacheType::kHidden;
+    if (kv_allowed && c.m_blocks <= capacity_blocks && p > best_single) {
+      best_single = p;
+      best_idx = i;
+      best_hidden = false;
+    }
+    const double vh = model_->Value(c, /*hidden=*/true);
+    if (hidden_allowed && half <= capacity_blocks && vh > best_single) {
+      best_single = vh;
+      best_idx = i;
+      best_hidden = true;
+    }
+  }
+
+  if (best_single > greedy_value && best_idx < candidates.size()) {
+    sol.decisions[best_idx].selected = true;
+    sol.decisions[best_idx].use_hidden = best_hidden;
+    sol.total_value = best_single;
+    sol.used_blocks = best_hidden
+                          ? std::max(1, candidates[best_idx].m_blocks / 2)
+                          : candidates[best_idx].m_blocks;
+    return sol;
+  }
+
+  sol.total_value = greedy_value;
+  sol.used_blocks = capacity_blocks - remaining;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (taken_kind[i] == -1) continue;
+    sol.decisions[i].selected = true;
+    sol.decisions[i].use_hidden = (taken_kind[i] == 1);
+  }
+  return sol;
+}
+
+GreedySolution SolveExact(const QuantificationModel& model,
+                          const std::vector<CandidateInfo>& candidates,
+                          int32_t capacity_blocks) {
+  GreedySolution sol;
+  sol.decisions.assign(candidates.size(), ScheduleDecision{});
+  if (candidates.empty() || capacity_blocks <= 0) return sol;
+
+  const size_t n = candidates.size();
+  const int32_t cap = capacity_blocks;
+  // dp[i][w]: best value using candidates [0, i) within weight w.
+  // choice[i][w]: 0 skip, 1 hidden, 2 kv.
+  std::vector<std::vector<double>> dp(n + 1,
+                                      std::vector<double>(cap + 1, 0.0));
+  std::vector<std::vector<int8_t>> choice(
+      n + 1, std::vector<int8_t>(cap + 1, 0));
+  for (size_t i = 1; i <= n; ++i) {
+    const CandidateInfo& c = candidates[i - 1];
+    const double p = model.EffectivePending(c);
+    const double vh = model.Value(c, /*hidden=*/true);
+    const int32_t wk = c.m_blocks;
+    const int32_t wh = std::max(1, c.m_blocks / 2);
+    for (int32_t w = 0; w <= cap; ++w) {
+      double best = dp[i - 1][w];
+      int8_t ch = 0;
+      if (c.m_blocks > 0 && p > 0.0) {
+        if (wh <= w && vh > 0.0 && dp[i - 1][w - wh] + vh > best) {
+          best = dp[i - 1][w - wh] + vh;
+          ch = 1;
+        }
+        if (wk <= w && dp[i - 1][w - wk] + p > best) {
+          best = dp[i - 1][w - wk] + p;
+          ch = 2;
+        }
+      }
+      dp[i][w] = best;
+      choice[i][w] = ch;
+    }
+  }
+  sol.total_value = dp[n][cap];
+  int32_t w = cap;
+  for (size_t i = n; i >= 1; --i) {
+    const int8_t ch = choice[i][w];
+    if (ch == 0) continue;
+    const CandidateInfo& c = candidates[i - 1];
+    sol.decisions[i - 1].selected = true;
+    sol.decisions[i - 1].use_hidden = (ch == 1);
+    const int32_t used =
+        ch == 1 ? std::max(1, c.m_blocks / 2) : c.m_blocks;
+    sol.used_blocks += used;
+    w -= used;
+  }
+  return sol;
+}
+
+}  // namespace aptserve

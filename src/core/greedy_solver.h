@@ -1,0 +1,54 @@
+// GreedySolver: the 2-approximation for the hybrid-cache-based scheduling
+// problem (paper Definition 1 and §5). Each candidate request contributes
+// marginal steps:
+//   - hidden profitable (p >= 2*N*rho*m): step A 0 -> m/2 with gain
+//     p - N*rho*m (hidden schedule), then step B m/2 -> m with gain
+//     N*rho*m (upgrade to KV);
+//   - otherwise: one direct step 0 -> m with gain p (KV schedule).
+// Steps are consumed in decreasing marginal-gain density theta; the final
+// answer is the better of the greedy fill and the best single feasible
+// schedule, the classic density-greedy guard that yields the factor-2
+// approximation bound (verified empirically against the exact DP solver in
+// the property tests).
+#pragma once
+
+#include <vector>
+
+#include "core/quantification.h"
+
+namespace aptserve {
+
+/// Per-candidate decision (alpha_i, beta_i) of Definition 1.
+struct ScheduleDecision {
+  bool selected = false;     ///< alpha_i
+  bool use_hidden = false;   ///< beta_i
+};
+
+struct GreedySolution {
+  std::vector<ScheduleDecision> decisions;  ///< parallel to the input.
+  double total_value = 0.0;
+  int32_t used_blocks = 0;
+};
+
+class GreedySolver {
+ public:
+  explicit GreedySolver(const QuantificationModel* model) : model_(model) {}
+
+  /// Solves Definition 1 over `candidates` with memory budget
+  /// `capacity_blocks`. m_blocks must be even (KV blocks come in K+V pairs).
+  GreedySolution Solve(const std::vector<CandidateInfo>& candidates,
+                       int32_t capacity_blocks) const;
+
+ private:
+  const QuantificationModel* model_;
+};
+
+/// Exact solver via dynamic programming over the block budget: each
+/// candidate picks one of {skip, hidden (w = m/2, v = p - N*rho*m),
+/// KV (w = m, v = p)}. Exponentially safer reference for small instances;
+/// used by tests to validate the greedy's 2-approximation bound.
+GreedySolution SolveExact(const QuantificationModel& model,
+                          const std::vector<CandidateInfo>& candidates,
+                          int32_t capacity_blocks);
+
+}  // namespace aptserve

@@ -1,0 +1,46 @@
+#include "core/length_predictor.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aptserve {
+
+OutputLengthPredictor::OutputLengthPredictor(int32_t max_prompt_len,
+                                             int32_t buckets)
+    : max_prompt_len_(max_prompt_len), bucket_samples_(buckets) {
+  APT_CHECK(max_prompt_len > 0 && buckets > 0);
+}
+
+int32_t OutputLengthPredictor::BucketOf(int32_t prompt_len) const {
+  const int32_t n = static_cast<int32_t>(bucket_samples_.size());
+  const int32_t idx =
+      static_cast<int32_t>(static_cast<int64_t>(std::max(prompt_len, 0)) * n /
+                           max_prompt_len_);
+  return std::clamp(idx, 0, n - 1);
+}
+
+void OutputLengthPredictor::Observe(int32_t prompt_len, int32_t output_len) {
+  bucket_samples_[BucketOf(prompt_len)].Add(output_len);
+  global_.Add(output_len);
+  ++total_;
+}
+
+double OutputLengthPredictor::PredictMean(int32_t prompt_len,
+                                          double default_len) const {
+  const SampleSet& bucket = bucket_samples_[BucketOf(prompt_len)];
+  // Require a handful of observations before trusting a bucket.
+  if (bucket.count() >= 5) return bucket.Mean();
+  if (global_.count() >= 5) return global_.Mean();
+  return default_len;
+}
+
+double OutputLengthPredictor::PredictQuantile(int32_t prompt_len, double q,
+                                              double default_len) const {
+  const SampleSet& bucket = bucket_samples_[BucketOf(prompt_len)];
+  if (bucket.count() >= 10) return bucket.Quantile(q);
+  if (global_.count() >= 10) return global_.Quantile(q);
+  return default_len;
+}
+
+}  // namespace aptserve

@@ -1,0 +1,46 @@
+// OutputLengthPredictor: the paper's §7 points at S^3 [34] and
+// learning-to-rank [27] as prediction-based extensions that could feed the
+// scheduler expected output lengths. This implements the simplest useful
+// member of that family — an online quantile/mean estimator over completed
+// requests, bucketed by prompt length — and a predictive variant of the
+// Apt scheduler that uses it to account for *future* memory growth in m_i
+// (the base scheduler only sees memory used "so far").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace aptserve {
+
+class OutputLengthPredictor {
+ public:
+  /// `buckets` prompt-length buckets spanning [0, max_prompt_len).
+  explicit OutputLengthPredictor(int32_t max_prompt_len = 2048,
+                                 int32_t buckets = 8);
+
+  /// Records a completed request's observed output length.
+  void Observe(int32_t prompt_len, int32_t output_len);
+
+  /// Predicted output length for a prompt of the given length: the bucket
+  /// mean, falling back to the global mean, falling back to `default_len`.
+  double PredictMean(int32_t prompt_len, double default_len = 128.0) const;
+
+  /// Conservative prediction: the bucket's q-quantile (memory planning
+  /// wants an upper-ish estimate). Falls back like PredictMean.
+  double PredictQuantile(int32_t prompt_len, double q,
+                         double default_len = 128.0) const;
+
+  int64_t observations() const { return total_; }
+
+ private:
+  int32_t BucketOf(int32_t prompt_len) const;
+
+  int32_t max_prompt_len_;
+  std::vector<SampleSet> bucket_samples_;
+  SampleSet global_;
+  int64_t total_ = 0;
+};
+
+}  // namespace aptserve

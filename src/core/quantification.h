@@ -1,0 +1,93 @@
+// QuantificationModel: paper §4.2. Turns tracked runtime information
+// (pending time p_i, max memory requirement m_i) into the scheduling value
+//   g_i = p_i - beta_i * (|W| + |R|) * rho * m_i          (Eq. 5-6)
+// with the SLO-aware fallback: requests that have already violated their
+// SLO get demoted (value replaced by a near-zero constant, or multiplied by
+// a decay factor in the Apt-Serve* variant of §6.6).
+#pragma once
+
+#include <cstdint>
+
+#include "cache/cache_types.h"
+#include "common/types.h"
+#include "sim/metrics.h"
+
+namespace aptserve {
+
+/// One candidate request's tracked runtime information at an iteration.
+struct CandidateInfo {
+  RequestId id = kInvalidRequestId;
+  /// Pending time p_i in seconds (time since arrival if no token yet, else
+  /// time since the last emitted token).
+  double pending_s = 0.0;
+  /// Maximum memory requirement m_i in pool blocks — the KV-cache size of
+  /// the request's current sequence (hidden = half of this).
+  int32_t m_blocks = 0;
+  /// Sequence length in tokens (the linear cost model t_i = rho * len).
+  int32_t m_tokens = 0;
+  /// Whether the request has already violated its latency SLO.
+  bool slo_violated = false;
+  /// Cache type currently held (running requests) or requested (waiting).
+  CacheType current_type = CacheType::kKV;
+  /// When true the solver may only schedule the request with current_type
+  /// (used for decode iterations, where a type switch would require a
+  /// discard-and-re-prefill and is therefore not an in-place option):
+  /// weight is the current type's footprint, beta is fixed.
+  bool type_fixed = false;
+};
+
+struct QuantificationConfig {
+  /// rho: extra iteration seconds per cached token of hidden-cache usage
+  /// (Eq. 6), from CostModel::RhoSecondsPerToken() or the engine's
+  /// RhoCalibrator.
+  double rho_seconds_per_token = 0.0;
+  /// |W| + |R|: the penalty scaling factor of Eq. 5 (hidden-cache slowdown
+  /// is perceived by every request in the system).
+  int32_t num_requests_in_system = 1;
+  /// 0 => demote violated requests to `epsilon` (the paper's default);
+  /// in (0,1] => multiply their value by this factor (Apt-Serve*, §6.6).
+  double violation_decay = 0.0;
+  double epsilon = 1e-6;
+};
+
+class QuantificationModel {
+ public:
+  explicit QuantificationModel(const QuantificationConfig& config)
+      : config_(config) {}
+
+  /// Effective pending value after the SLO-aware fallback.
+  double EffectivePending(const CandidateInfo& c) const {
+    if (!c.slo_violated) return c.pending_s;
+    if (config_.violation_decay > 0.0) {
+      return c.pending_s * config_.violation_decay;
+    }
+    return config_.epsilon;
+  }
+
+  /// Scheduling value g_i for the given hidden-cache decision (Eq. 5).
+  double Value(const CandidateInfo& c, bool hidden) const {
+    const double p = EffectivePending(c);
+    if (!hidden) return p;
+    return p - HiddenPenalty(c);
+  }
+
+  /// The Eq. 5 penalty term beta*(|W|+|R|)*rho*m_i.
+  double HiddenPenalty(const CandidateInfo& c) const {
+    return static_cast<double>(config_.num_requests_in_system) *
+           config_.rho_seconds_per_token * static_cast<double>(c.m_tokens);
+  }
+
+  /// Paper §5: hidden-cache usage is avoided for request i when the
+  /// marginal gain of the half-memory step is below that of the direct
+  /// full-memory KV step, which reduces to p_i < 2*(|W|+|R|)*rho*m_i.
+  bool HiddenProfitable(const CandidateInfo& c) const {
+    return EffectivePending(c) >= 2.0 * HiddenPenalty(c);
+  }
+
+  const QuantificationConfig& config() const { return config_; }
+
+ private:
+  QuantificationConfig config_;
+};
+
+}  // namespace aptserve

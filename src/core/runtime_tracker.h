@@ -1,0 +1,42 @@
+// Runtime information tracking (paper §4.2): converts the simulator's
+// per-request state into the candidate tuples (p_i, m_i, violated) that the
+// quantification model consumes each iteration.
+#pragma once
+
+#include <algorithm>
+
+#include "cache/hybrid_assigner.h"
+#include "core/quantification.h"
+#include "sim/metrics.h"
+#include "sim/sim_request.h"
+
+namespace aptserve {
+
+/// Builds the tracked runtime info for one candidate request at `now`.
+/// m_i is always the KV-cache footprint of the request's current sequence
+/// (plus one token of decode growth for running requests), per §4.2.
+inline CandidateInfo BuildCandidate(const SimRequest& sr, TimePoint now,
+                                    const HybridCacheAssigner& assigner,
+                                    const SloSpec& slo) {
+  CandidateInfo c;
+  c.id = sr.spec.id;
+  // Floor the pending time at a small positive value: a request that
+  // received a token at exactly `now` has p_i == 0, but evicting it would
+  // be absurd — in a real system wall-clock always advances between the
+  // token and the next scheduling pass. The floor keeps every candidate
+  // selectable while preserving the value ordering.
+  c.pending_s = std::max(sr.PendingTime(now), 1e-4);
+  const bool running = sr.phase == RequestPhase::kRunning;
+  const int32_t tokens =
+      running ? sr.cached_tokens + 1 : sr.PrefillTarget();
+  c.m_tokens = tokens;
+  c.m_blocks = assigner.BlocksNeeded(CacheType::kKV, tokens);
+  c.current_type = sr.cache_type;
+  // SLO-aware fallback trigger: a request still waiting for its first token
+  // is judged against the TTFT SLO; one mid-decode against the TBT SLO.
+  const double bound = sr.has_first_token ? slo.tbt_p99_s : slo.ttft_s;
+  c.slo_violated = c.pending_s > bound;
+  return c;
+}
+
+}  // namespace aptserve

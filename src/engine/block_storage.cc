@@ -1,0 +1,55 @@
+#include "engine/block_storage.h"
+
+#include <cstring>
+
+namespace aptserve {
+
+BlockStorage::BlockStorage(int32_t num_blocks, int32_t block_size,
+                           int32_t n_layers, int32_t dim)
+    : num_blocks_(num_blocks), block_size_(block_size), n_layers_(n_layers),
+      dim_(dim) {
+  APT_CHECK(num_blocks >= 0 && block_size > 0 && n_layers > 0 && dim > 0);
+  data_.assign(static_cast<int64_t>(num_blocks) * block_size * n_layers * dim,
+               0.0f);
+}
+
+float* BlockStorage::Slot(BlockId block, int32_t layer, int32_t slot) {
+  return data_.data() + Offset(block, layer, slot);
+}
+
+const float* BlockStorage::Slot(BlockId block, int32_t layer,
+                                int32_t slot) const {
+  return data_.data() + Offset(block, layer, slot);
+}
+
+void BlockStorage::WriteVector(const CacheMap& map, CacheComponent component,
+                               int32_t layer, int32_t pos, const float* vec) {
+  const BlockSlot s = map.Slot(component, pos);
+  std::memcpy(Slot(s.block, layer, s.offset), vec, sizeof(float) * dim_);
+}
+
+void BlockStorage::Gather(const CacheMap& map, CacheComponent component,
+                          int32_t layer, int32_t n, float* out) const {
+  // Walk block by block so each memcpy covers a full contiguous run of
+  // slots, the same access pattern the paper's fused kernel parallelizes.
+  const auto& blocks = map.blocks(component);
+  int32_t pos = 0;
+  size_t bi = 0;
+  while (pos < n) {
+    APT_CHECK_MSG(bi < blocks.size(), "gather past allocated blocks");
+    const int32_t run = std::min(block_size_, n - pos);
+    std::memcpy(out + static_cast<int64_t>(pos) * dim_,
+                Slot(blocks[bi], layer, 0),
+                sizeof(float) * static_cast<int64_t>(run) * dim_);
+    pos += run;
+    ++bi;
+  }
+}
+
+void BlockStorage::ReadVector(const CacheMap& map, CacheComponent component,
+                              int32_t layer, int32_t pos, float* out) const {
+  const BlockSlot s = map.Slot(component, pos);
+  std::memcpy(out, Slot(s.block, layer, s.offset), sizeof(float) * dim_);
+}
+
+}  // namespace aptserve

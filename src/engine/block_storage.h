@@ -1,0 +1,65 @@
+// BlockStorage: the payload arena behind the unified block pool. Each block
+// holds `block_size` token slots × `n_layers` × `dim` fp32 values, i.e. one
+// cache component (K, V or hidden) for a span of token positions across all
+// layers — exactly the block granularity of paper §4.3.
+//
+// Gather/Scatter are the CPU analogue of the paper's fused CUDA kernel for
+// block-wise cache I/O: they stream fragmented blocks into contiguous
+// buffers for attention (and back), hiding the physical fragmentation from
+// the compute kernels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_map.h"
+#include "cache/cache_types.h"
+#include "common/logging.h"
+
+namespace aptserve {
+
+class BlockStorage {
+ public:
+  BlockStorage(int32_t num_blocks, int32_t block_size, int32_t n_layers,
+               int32_t dim);
+
+  int32_t dim() const { return dim_; }
+  int32_t n_layers() const { return n_layers_; }
+  int32_t block_size() const { return block_size_; }
+
+  /// Mutable pointer to the `dim`-float vector at (block, layer, slot).
+  float* Slot(BlockId block, int32_t layer, int32_t slot);
+  const float* Slot(BlockId block, int32_t layer, int32_t slot) const;
+
+  /// Writes `vec` (dim floats) as the cached vector for token position `pos`
+  /// of `component` at `layer`, resolving the physical block via `map`.
+  void WriteVector(const CacheMap& map, CacheComponent component,
+                   int32_t layer, int32_t pos, const float* vec);
+
+  /// Copies cached vectors for positions [0, n) of `component` at `layer`
+  /// into `out` (n*dim floats, contiguous rows). Blocked gather.
+  void Gather(const CacheMap& map, CacheComponent component, int32_t layer,
+              int32_t n, float* out) const;
+
+  /// Reads a single cached vector into `out` (dim floats).
+  void ReadVector(const CacheMap& map, CacheComponent component, int32_t layer,
+                  int32_t pos, float* out) const;
+
+ private:
+  int64_t Offset(BlockId block, int32_t layer, int32_t slot) const {
+    APT_CHECK(block >= 0 && block < num_blocks_);
+    APT_CHECK(layer >= 0 && layer < n_layers_);
+    APT_CHECK(slot >= 0 && slot < block_size_);
+    return ((static_cast<int64_t>(block) * n_layers_ + layer) * block_size_ +
+            slot) *
+           dim_;
+  }
+
+  int32_t num_blocks_;
+  int32_t block_size_;
+  int32_t n_layers_;
+  int32_t dim_;
+  std::vector<float> data_;
+};
+
+}  // namespace aptserve

@@ -1,0 +1,266 @@
+#include "engine/inference_engine.h"
+
+#include <algorithm>
+
+#include "engine/ops.h"
+
+namespace aptserve {
+
+InferenceEngine::InferenceEngine(const ModelConfig& config, uint64_t seed,
+                                 int32_t num_blocks, int32_t block_size)
+    : model_(ModelWeights::Random(config, seed)),
+      pool_(num_blocks, block_size),
+      storage_(num_blocks, block_size, config.n_layers, config.d_model),
+      assigner_(&pool_) {}
+
+void InferenceEngine::SetSampling(const SamplingParams& params,
+                                  uint64_t sample_seed) {
+  sampling_ = params;
+  sample_rng_ = Rng(sample_seed);
+}
+
+StatusOr<int32_t> InferenceEngine::SampleNext(
+    const std::vector<float>& logits) {
+  return SampleToken(logits, sampling_, &sample_rng_);
+}
+
+Status InferenceEngine::AddRequest(RequestId id, std::vector<int32_t> prompt,
+                                   CacheType cache_type) {
+  if (requests_.count(id)) {
+    return Status::AlreadyExists("request " + std::to_string(id) +
+                                 " already registered");
+  }
+  if (prompt.empty()) return Status::InvalidArgument("empty prompt");
+  for (int32_t t : prompt) {
+    if (t < 0 || t >= model_.config().vocab_size) {
+      return Status::InvalidArgument("prompt token out of vocabulary");
+    }
+  }
+  GenerationState gs;
+  gs.prompt_len = static_cast<int32_t>(prompt.size());
+  gs.tokens = std::move(prompt);
+  gs.cache_type = cache_type;
+  requests_.emplace(id, std::move(gs));
+  return Status::OK();
+}
+
+StatusOr<std::optional<int32_t>> InferenceEngine::PrefillChunk(
+    RequestId id, int32_t max_tokens) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return Status::NotFound("unknown request");
+  GenerationState& gs = it->second;
+  if (swapped_.count(id)) {
+    return Status::FailedPrecondition(
+        "request is swapped out; SwapIn() before continuing");
+  }
+  if (gs.in_decode) {
+    return Status::FailedPrecondition("request already prefilled");
+  }
+  if (max_tokens <= 0) {
+    return Status::InvalidArgument("chunk must be positive");
+  }
+  const int32_t target = gs.PrefillTarget();
+  if (target > model_.config().max_seq_len) {
+    return Status::InvalidArgument("sequence exceeds max_seq_len");
+  }
+  const int32_t upto = std::min(target, gs.cached_tokens + max_tokens);
+  const int32_t new_tokens = upto - gs.cached_tokens;
+  APT_CHECK(new_tokens > 0);
+
+  // Allocate blocks for the chunk; on failure nothing changes (a fresh
+  // request's partial allocation is rolled back by CreateFilled itself).
+  const bool fresh = !assigner_.Has(id);
+  if (fresh) {
+    APT_RETURN_NOT_OK(assigner_.CreateFilled(id, gs.cache_type, upto));
+  } else {
+    APT_RETURN_NOT_OK(assigner_.Append(id, new_tokens));
+  }
+  const CacheMap* map = assigner_.Find(id);
+  std::vector<float> logits;
+  std::vector<int32_t> chunk_tokens(gs.tokens.begin(),
+                                    gs.tokens.begin() + upto);
+  Status st = model_.PrefillCached(chunk_tokens, gs.cached_tokens, *map,
+                                   &storage_, &logits);
+  if (!st.ok()) {
+    if (fresh) (void)assigner_.Release(id);
+    return st;
+  }
+  gs.cached_tokens = upto;
+  if (upto < target) return std::optional<int32_t>{};  // more chunks needed
+
+  gs.in_decode = true;
+  APT_ASSIGN_OR_RETURN(const int32_t next, SampleNext(logits));
+  gs.tokens.push_back(next);
+  return std::optional<int32_t>{next};
+}
+
+StatusOr<int32_t> InferenceEngine::Prefill(RequestId id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return Status::NotFound("unknown request");
+  const int32_t remaining =
+      it->second.PrefillTarget() - it->second.cached_tokens;
+  if (remaining <= 0 && it->second.in_decode) {
+    return Status::FailedPrecondition("request already prefilled");
+  }
+  APT_ASSIGN_OR_RETURN(std::optional<int32_t> token,
+                       PrefillChunk(id, std::max(remaining, 1)));
+  APT_CHECK_MSG(token.has_value(), "full prefill must complete the pass");
+  return *token;
+}
+
+StatusOr<int32_t> InferenceEngine::DecodeStep(RequestId id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return Status::NotFound("unknown request");
+  GenerationState& gs = it->second;
+  if (!gs.in_decode) {
+    return Status::FailedPrecondition("request needs a prefill first");
+  }
+  const int32_t pos = gs.cached_tokens;
+  APT_CHECK(pos < static_cast<int32_t>(gs.tokens.size()));
+  if (pos >= model_.config().max_seq_len) {
+    return Status::InvalidArgument("sequence reached max_seq_len");
+  }
+  APT_RETURN_NOT_OK(assigner_.Append(id, 1));
+  const CacheMap* map = assigner_.Find(id);
+  std::vector<float> logits;
+  APT_RETURN_NOT_OK(
+      model_.CachedStep(gs.tokens[pos], pos, *map, &storage_, &logits));
+  gs.cached_tokens = pos + 1;
+  APT_ASSIGN_OR_RETURN(const int32_t next, SampleNext(logits));
+  gs.tokens.push_back(next);
+  return next;
+}
+
+Status InferenceEngine::ConvertCacheType(RequestId id, CacheType new_type) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return Status::NotFound("unknown request");
+  GenerationState& gs = it->second;
+  if (gs.cache_type == new_type) return Status::OK();
+  gs.cache_type = new_type;
+  if (assigner_.Has(id)) {
+    // Paper §5: a type switch discards the cache; the next Prefill() rebuilds
+    // it from the prompt plus all generated tokens so far (footnote 2).
+    APT_RETURN_NOT_OK(assigner_.DiscardForConversion(id));
+  }
+  // A host-side swap copy holds the old type; it is invalidated too.
+  swapped_.erase(id);
+  gs.cached_tokens = 0;
+  gs.in_decode = false;
+  return Status::OK();
+}
+
+Status InferenceEngine::Preempt(RequestId id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return Status::NotFound("unknown request");
+  GenerationState& gs = it->second;
+  if (assigner_.Has(id)) {
+    APT_RETURN_NOT_OK(assigner_.Release(id));
+  }
+  swapped_.erase(id);  // recompute preemption discards any swap copy
+  gs.cached_tokens = 0;
+  gs.in_decode = false;
+  return Status::OK();
+}
+
+Status InferenceEngine::SwapOut(RequestId id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return Status::NotFound("unknown request");
+  if (swapped_.count(id)) {
+    return Status::AlreadyExists("request already swapped out");
+  }
+  GenerationState& gs = it->second;
+  const CacheMap* map = assigner_.Find(id);
+  if (map == nullptr || gs.cached_tokens == 0) {
+    return Status::FailedPrecondition("request holds no cache to swap");
+  }
+  const int32_t d = model_.config().d_model;
+  const int32_t layers = model_.config().n_layers;
+  SwappedCache host;
+  host.type = gs.cache_type;
+  host.tokens = gs.cached_tokens;
+  host.was_in_decode = gs.in_decode;
+  const auto components = map->Components();
+  host.data.resize(static_cast<int64_t>(components.size()) * layers *
+                   host.tokens * d);
+  int64_t cursor = 0;
+  for (CacheComponent c : components) {
+    for (int32_t l = 0; l < layers; ++l) {
+      storage_.Gather(*map, c, l, host.tokens, host.data.data() + cursor);
+      cursor += static_cast<int64_t>(host.tokens) * d;
+    }
+  }
+  APT_RETURN_NOT_OK(assigner_.Release(id));
+  gs.cached_tokens = 0;
+  gs.in_decode = false;
+  swapped_.emplace(id, std::move(host));
+  return Status::OK();
+}
+
+Status InferenceEngine::SwapIn(RequestId id) {
+  auto req_it = requests_.find(id);
+  if (req_it == requests_.end()) return Status::NotFound("unknown request");
+  auto swap_it = swapped_.find(id);
+  if (swap_it == swapped_.end()) {
+    return Status::FailedPrecondition("request is not swapped out");
+  }
+  const SwappedCache& host = swap_it->second;
+  APT_RETURN_NOT_OK(assigner_.CreateFilled(id, host.type, host.tokens));
+  const CacheMap* map = assigner_.Find(id);
+  const int32_t d = model_.config().d_model;
+  const int32_t layers = model_.config().n_layers;
+  int64_t cursor = 0;
+  for (CacheComponent c : map->Components()) {
+    for (int32_t l = 0; l < layers; ++l) {
+      for (int32_t pos = 0; pos < host.tokens; ++pos) {
+        storage_.WriteVector(*map, c, l, pos,
+                             host.data.data() + cursor +
+                                 static_cast<int64_t>(pos) * d);
+      }
+      cursor += static_cast<int64_t>(host.tokens) * d;
+    }
+  }
+  GenerationState& gs = req_it->second;
+  gs.cache_type = host.type;
+  gs.cached_tokens = host.tokens;
+  gs.in_decode = host.was_in_decode;
+  swapped_.erase(swap_it);
+  return Status::OK();
+}
+
+Status InferenceEngine::RemoveRequest(RequestId id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return Status::NotFound("unknown request");
+  if (assigner_.Has(id)) APT_RETURN_NOT_OK(assigner_.Release(id));
+  swapped_.erase(id);
+  requests_.erase(it);
+  return Status::OK();
+}
+
+StatusOr<std::vector<int32_t>> InferenceEngine::Generate(
+    RequestId id, int32_t max_new_tokens, int32_t eos_token) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return Status::NotFound("unknown request");
+  int32_t produced = 0;
+  if (!it->second.in_decode) {
+    APT_ASSIGN_OR_RETURN(int32_t first, Prefill(id));
+    ++produced;
+    if (first == eos_token) return it->second.tokens;
+  }
+  while (produced < max_new_tokens) {
+    if (static_cast<int32_t>(it->second.tokens.size()) >=
+        model_.config().max_seq_len) {
+      break;
+    }
+    APT_ASSIGN_OR_RETURN(int32_t next, DecodeStep(id));
+    ++produced;
+    if (next == eos_token) break;
+  }
+  return it->second.tokens;
+}
+
+const GenerationState* InferenceEngine::Find(RequestId id) const {
+  auto it = requests_.find(id);
+  return it == requests_.end() ? nullptr : &it->second;
+}
+
+}  // namespace aptserve

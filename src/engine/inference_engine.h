@@ -1,0 +1,135 @@
+// InferenceEngine: multi-request generation over the unified block pool.
+// This is the executable core of the paper's inference engine (Figure 5,
+// right half): per-request hybrid cache, block allocation through the
+// assigner, full and chunked prefill passes, decode iterations, cache-type
+// conversion via discard + re-prefill (paper §5), and preemption/resume.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/block_pool.h"
+#include "cache/hybrid_assigner.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "engine/block_storage.h"
+#include "engine/sampling.h"
+#include "engine/transformer.h"
+
+namespace aptserve {
+
+/// Per-request generation state tracked by the engine.
+struct GenerationState {
+  std::vector<int32_t> tokens;  ///< prompt followed by generated tokens.
+  int32_t prompt_len = 0;
+  CacheType cache_type = CacheType::kKV;
+  /// Number of leading positions of `tokens` whose cache entries exist.
+  int32_t cached_tokens = 0;
+  /// True once the current prefill pass completed and the request is in the
+  /// decode phase (cleared by preemption/conversion).
+  bool in_decode = false;
+  int32_t generated() const {
+    return static_cast<int32_t>(tokens.size()) - prompt_len;
+  }
+  /// Positions the current prefill pass must cover (prompt plus any tokens
+  /// generated before a preemption — paper footnote 2).
+  int32_t PrefillTarget() const {
+    return static_cast<int32_t>(tokens.size());
+  }
+};
+
+class InferenceEngine {
+ public:
+  /// Builds a model with seeded random weights and a unified pool of
+  /// `num_blocks` blocks of `block_size` token positions each.
+  InferenceEngine(const ModelConfig& config, uint64_t seed, int32_t num_blocks,
+                  int32_t block_size);
+
+  /// Sets the sampling strategy for generated tokens (default: greedy).
+  void SetSampling(const SamplingParams& params, uint64_t sample_seed = 1);
+
+  /// Registers a request with its prompt; no compute or memory yet.
+  Status AddRequest(RequestId id, std::vector<int32_t> prompt,
+                    CacheType cache_type);
+
+  /// Runs (the remainder of) the prefill phase in one batched pass:
+  /// allocates cache for all un-cached tokens, processes them, samples the
+  /// next token (appended to the request) and returns it. Also used to
+  /// resume preempted/converted requests, in which case the pass covers the
+  /// prompt plus previously generated tokens.
+  StatusOr<int32_t> Prefill(RequestId id);
+
+  /// Chunked prefill (Sarathi-style): processes up to `max_tokens` pending
+  /// prefill positions. Returns the sampled first token when the pass
+  /// completes, std::nullopt when more chunks remain.
+  StatusOr<std::optional<int32_t>> PrefillChunk(RequestId id,
+                                                int32_t max_tokens);
+
+  /// Runs one decode iteration for the request: extends the cache by one
+  /// position, processes the latest token, appends and returns the next.
+  StatusOr<int32_t> DecodeStep(RequestId id);
+
+  /// Switches the request's cache type: discards the existing cache; the
+  /// caller must run Prefill() again to rebuild it (mirrors the paper's
+  /// recompute-on-switch policy). No-op Status::OK if already `new_type`.
+  Status ConvertCacheType(RequestId id, CacheType new_type);
+
+  /// Releases the request's cache but keeps its token state so it can be
+  /// resumed later with Prefill() (scheduler preemption).
+  Status Preempt(RequestId id);
+
+  /// Swap-based preemption (vLLM's alternative to recompute): copies the
+  /// request's cached vectors to a host-side staging buffer and frees its
+  /// GPU blocks. The request cannot decode until SwapIn().
+  Status SwapOut(RequestId id);
+
+  /// Restores a swapped-out request's cache to GPU blocks bit-identically;
+  /// generation resumes exactly where it stopped (no recompute).
+  /// OutOfMemory when the pool lacks blocks (the swap copy is kept).
+  Status SwapIn(RequestId id);
+
+  bool IsSwappedOut(RequestId id) const { return swapped_.count(id) > 0; }
+
+  /// Drops the request and frees its cache.
+  Status RemoveRequest(RequestId id);
+
+  /// Convenience: generate up to `max_new_tokens` tokens (prefill if needed
+  /// then decode steps), stopping early on `eos_token` (pass -1 to disable).
+  /// Returns the full token sequence.
+  StatusOr<std::vector<int32_t>> Generate(RequestId id, int32_t max_new_tokens,
+                                          int32_t eos_token = -1);
+
+  const GenerationState* Find(RequestId id) const;
+  const TransformerModel& model() const { return model_; }
+  BlockPool& pool() { return pool_; }
+  HybridCacheAssigner& assigner() { return assigner_; }
+  BlockStorage& storage() { return storage_; }
+
+ private:
+  StatusOr<int32_t> SampleNext(const std::vector<float>& logits);
+
+  /// Host-side copy of a swapped-out request's cache.
+  struct SwappedCache {
+    CacheType type = CacheType::kKV;
+    int32_t tokens = 0;
+    bool was_in_decode = false;
+    /// Layout: [component][layer][pos][d_model], components in the order
+    /// CacheMap::Components() returns for `type`.
+    std::vector<float> data;
+  };
+
+  TransformerModel model_;
+  BlockPool pool_;
+  BlockStorage storage_;
+  HybridCacheAssigner assigner_;
+  std::unordered_map<RequestId, GenerationState> requests_;
+  std::unordered_map<RequestId, SwappedCache> swapped_;
+  SamplingParams sampling_;
+  Rng sample_rng_{1};
+};
+
+}  // namespace aptserve

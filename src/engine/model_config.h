@@ -1,0 +1,62 @@
+// Architecture hyperparameters for the mini decoder-only transformer.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace aptserve {
+
+/// Decoder-only transformer configuration (paper §2.1). The engine is a
+/// laptop-scale stand-in for OPT-class models; the *structure* (pre-LN
+/// attention + FFN blocks, per-layer K/V or hidden caching) matches the
+/// paper's Figure 3 exactly.
+struct ModelConfig {
+  int32_t vocab_size = 256;
+  int32_t d_model = 64;
+  int32_t n_heads = 4;
+  int32_t n_layers = 4;
+  int32_t d_ff = 256;
+  int32_t max_seq_len = 512;
+  /// Use ReLU (OPT-style) rather than GELU in the FFN.
+  bool use_relu = true;
+
+  int32_t head_dim() const { return d_model / n_heads; }
+
+  Status Validate() const {
+    if (vocab_size <= 0 || d_model <= 0 || n_heads <= 0 || n_layers <= 0 ||
+        d_ff <= 0 || max_seq_len <= 0) {
+      return Status::InvalidArgument("model dimensions must be positive");
+    }
+    if (d_model % n_heads != 0) {
+      return Status::InvalidArgument("d_model must be divisible by n_heads");
+    }
+    return Status::OK();
+  }
+
+  /// A tiny config for fast unit tests.
+  static ModelConfig Tiny() {
+    ModelConfig c;
+    c.vocab_size = 64;
+    c.d_model = 32;
+    c.n_heads = 2;
+    c.n_layers = 2;
+    c.d_ff = 64;
+    c.max_seq_len = 128;
+    return c;
+  }
+
+  /// A slightly larger config for calibration benchmarks.
+  static ModelConfig Small() {
+    ModelConfig c;
+    c.vocab_size = 512;
+    c.d_model = 128;
+    c.n_heads = 4;
+    c.n_layers = 6;
+    c.d_ff = 512;
+    c.max_seq_len = 1024;
+    return c;
+  }
+};
+
+}  // namespace aptserve

@@ -1,0 +1,95 @@
+#include "engine/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aptserve {
+namespace ops {
+
+void MatVec(const float* w, const float* x, float* y, int32_t rows,
+            int32_t cols) {
+  for (int32_t r = 0; r < rows; ++r) {
+    const float* row = w + static_cast<int64_t>(r) * cols;
+    float acc = 0.0f;
+    for (int32_t c = 0; c < cols; ++c) acc += row[c] * x[c];
+    y[r] = acc;
+  }
+}
+
+void MatVecTransposed(const float* w, const float* x, float* y, int32_t rows,
+                      int32_t cols) {
+  for (int32_t c = 0; c < cols; ++c) y[c] = 0.0f;
+  for (int32_t r = 0; r < rows; ++r) {
+    const float* row = w + static_cast<int64_t>(r) * cols;
+    const float xr = x[r];
+    for (int32_t c = 0; c < cols; ++c) y[c] += row[c] * xr;
+  }
+}
+
+void AddInPlace(float* x, const float* y, int32_t n) {
+  for (int32_t i = 0; i < n; ++i) x[i] += y[i];
+}
+
+void ScaleInPlace(float* x, float s, int32_t n) {
+  for (int32_t i = 0; i < n; ++i) x[i] *= s;
+}
+
+float Dot(const float* a, const float* b, int32_t n) {
+  float acc = 0.0f;
+  for (int32_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void Softmax(float* x, int32_t n) {
+  if (n <= 0) return;
+  float mx = x[0];
+  for (int32_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+  float sum = 0.0f;
+  for (int32_t i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - mx);
+    sum += x[i];
+  }
+  const float inv = 1.0f / sum;
+  for (int32_t i = 0; i < n; ++i) x[i] *= inv;
+}
+
+void LayerNorm(const float* x, const float* gain, const float* bias,
+               float* out, int32_t n) {
+  constexpr float kEps = 1e-5f;
+  float mean = 0.0f;
+  for (int32_t i = 0; i < n; ++i) mean += x[i];
+  mean /= static_cast<float>(n);
+  float var = 0.0f;
+  for (int32_t i = 0; i < n; ++i) {
+    const float d = x[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<float>(n);
+  const float inv = 1.0f / std::sqrt(var + kEps);
+  for (int32_t i = 0; i < n; ++i) {
+    out[i] = (x[i] - mean) * inv * gain[i] + bias[i];
+  }
+}
+
+void Gelu(float* x, int32_t n) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  for (int32_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    x[i] = 0.5f * v * (1.0f + std::tanh(kC * (v + 0.044715f * v * v * v)));
+  }
+}
+
+void Relu(float* x, int32_t n) {
+  for (int32_t i = 0; i < n; ++i) x[i] = std::max(0.0f, x[i]);
+}
+
+int32_t ArgMax(const float* x, int32_t n) {
+  int32_t best = 0;
+  for (int32_t i = 1; i < n; ++i) {
+    if (x[i] > x[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace ops
+}  // namespace aptserve

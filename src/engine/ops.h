@@ -1,0 +1,46 @@
+// Dense kernels for the mini transformer. All functions operate on raw fp32
+// spans; shapes are passed explicitly and validated by callers. Matrices are
+// row-major.
+#pragma once
+
+#include <cstdint>
+
+namespace aptserve {
+namespace ops {
+
+/// y = W x, where W is [rows, cols] row-major and x has `cols` elements.
+void MatVec(const float* w, const float* x, float* y, int32_t rows,
+            int32_t cols);
+
+/// y = W^T x, where W is [rows, cols] row-major and x has `rows` elements;
+/// y gets `cols` elements. Used for the tied output projection (E^T h).
+void MatVecTransposed(const float* w, const float* x, float* y, int32_t rows,
+                      int32_t cols);
+
+/// x += y elementwise.
+void AddInPlace(float* x, const float* y, int32_t n);
+
+/// x *= s elementwise.
+void ScaleInPlace(float* x, float s, int32_t n);
+
+float Dot(const float* a, const float* b, int32_t n);
+
+/// In-place numerically-stable softmax over n elements.
+void Softmax(float* x, int32_t n);
+
+/// out = LayerNorm(x) * gain + bias, eps = 1e-5.
+void LayerNorm(const float* x, const float* gain, const float* bias,
+               float* out, int32_t n);
+
+/// In-place tanh-approximation GELU.
+void Gelu(float* x, int32_t n);
+
+/// In-place ReLU (the paper's Eq. 4 uses a generic activation; OPT uses
+/// ReLU).
+void Relu(float* x, int32_t n);
+
+/// Index of the maximum element (first on ties).
+int32_t ArgMax(const float* x, int32_t n);
+
+}  // namespace ops
+}  // namespace aptserve

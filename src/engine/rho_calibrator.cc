@@ -1,0 +1,101 @@
+#include "engine/rho_calibrator.h"
+
+#include <chrono>
+
+#include "common/rng.h"
+#include "engine/inference_engine.h"
+
+namespace aptserve {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Time one decode step at context length `ctx` with the given cache type.
+StatusOr<double> TimeDecodeStep(InferenceEngine* engine, RequestId id,
+                                CacheType type, int32_t ctx, Rng* rng,
+                                int32_t reps) {
+  std::vector<int32_t> prompt(ctx);
+  for (int32_t& t : prompt) {
+    t = static_cast<int32_t>(
+        rng->UniformInt(0, engine->model().config().vocab_size - 1));
+  }
+  APT_RETURN_NOT_OK(engine->AddRequest(id, prompt, type));
+  auto first = engine->Prefill(id);
+  if (!first.ok()) return first.status();
+  double total = 0.0;
+  for (int32_t r = 0; r < reps; ++r) {
+    const double t0 = NowSeconds();
+    auto next = engine->DecodeStep(id);
+    const double t1 = NowSeconds();
+    if (!next.ok()) return next.status();
+    total += t1 - t0;
+  }
+  APT_RETURN_NOT_OK(engine->RemoveRequest(id));
+  return total / reps;
+}
+
+}  // namespace
+
+StatusOr<RhoCalibrationResult> CalibrateRho(
+    const ModelConfig& config, uint64_t seed,
+    const std::vector<int32_t>& context_lens, int32_t reps) {
+  if (context_lens.empty()) {
+    return Status::InvalidArgument("need at least one context length");
+  }
+  int32_t max_ctx = 0;
+  for (int32_t c : context_lens) {
+    if (c < 1) return Status::InvalidArgument("context length must be >= 1");
+    max_ctx = std::max(max_ctx, c);
+  }
+  if (max_ctx + reps + 1 > config.max_seq_len) {
+    return Status::InvalidArgument("context lengths exceed max_seq_len");
+  }
+  const int32_t block_size = 16;
+  const int32_t blocks_needed =
+      2 * ((max_ctx + reps + block_size) / block_size + 1);
+  InferenceEngine engine(config, seed, blocks_needed, block_size);
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+
+  RhoCalibrationResult result;
+  RequestId next_id = 1;
+  for (int32_t ctx : context_lens) {
+    APT_ASSIGN_OR_RETURN(
+        double kv_s, TimeDecodeStep(&engine, next_id++, CacheType::kKV, ctx,
+                                    &rng, reps));
+    APT_ASSIGN_OR_RETURN(
+        double hid_s, TimeDecodeStep(&engine, next_id++, CacheType::kHidden,
+                                     ctx, &rng, reps));
+    result.points.push_back({ctx, kv_s, hid_s});
+  }
+
+  // Least-squares fit through the origin: extra(n) ~= rho * n.
+  double sxy = 0.0, sxx = 0.0;
+  for (const auto& p : result.points) {
+    const double extra = std::max(0.0, p.hidden_seconds - p.kv_seconds);
+    sxy += static_cast<double>(p.context_len) * extra;
+    sxx += static_cast<double>(p.context_len) * p.context_len;
+  }
+  result.rho_seconds_per_token = sxx > 0 ? sxy / sxx : 0.0;
+
+  // R^2 against the through-origin fit.
+  double ss_res = 0.0, ss_tot = 0.0, mean = 0.0;
+  for (const auto& p : result.points) {
+    mean += std::max(0.0, p.hidden_seconds - p.kv_seconds);
+  }
+  mean /= static_cast<double>(result.points.size());
+  for (const auto& p : result.points) {
+    const double extra = std::max(0.0, p.hidden_seconds - p.kv_seconds);
+    const double fit = result.rho_seconds_per_token * p.context_len;
+    ss_res += (extra - fit) * (extra - fit);
+    ss_tot += (extra - mean) * (extra - mean);
+  }
+  result.r_squared = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return result;
+}
+
+}  // namespace aptserve

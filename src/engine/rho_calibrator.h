@@ -1,0 +1,38 @@
+// RhoCalibrator: measures the extra per-token cost of hidden-cache decoding
+// relative to KV-cache decoding and fits the linear model t_i = rho * m_i of
+// paper Eq. 6. The paper runs this as a ~30 s offline pass before serving;
+// here it runs on the mini engine and feeds the scheduler's quantification
+// model with a measured (not assumed) rho.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/model_config.h"
+
+namespace aptserve {
+
+struct RhoCalibrationResult {
+  /// Fitted slope: extra seconds of decode latency per cached token when a
+  /// request uses hidden cache instead of KV cache.
+  double rho_seconds_per_token = 0.0;
+  /// R^2 of the through-origin linear fit (Eq. 6 claims the extra cost is
+  /// well approximated as linear in sequence length).
+  double r_squared = 0.0;
+  /// Raw measurements: (context_length, kv_seconds, hidden_seconds).
+  struct Point {
+    int32_t context_len;
+    double kv_seconds;
+    double hidden_seconds;
+  };
+  std::vector<Point> points;
+};
+
+/// Runs decode steps at each context length in `context_lens` with both
+/// cache types (averaging `reps` timed repetitions) and fits rho.
+StatusOr<RhoCalibrationResult> CalibrateRho(
+    const ModelConfig& config, uint64_t seed,
+    const std::vector<int32_t>& context_lens, int32_t reps = 3);
+
+}  // namespace aptserve

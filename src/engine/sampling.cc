@@ -1,0 +1,103 @@
+#include "engine/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "engine/ops.h"
+
+namespace aptserve {
+
+namespace {
+
+/// Softmax with temperature over the given (index, logit) pairs, in place.
+void SoftmaxWithTemperature(std::vector<std::pair<int32_t, float>>* entries,
+                            double temperature) {
+  float mx = entries->front().second;
+  for (const auto& [i, v] : *entries) mx = std::max(mx, v);
+  double sum = 0.0;
+  for (auto& [i, v] : *entries) {
+    v = static_cast<float>(std::exp((v - mx) / temperature));
+    sum += v;
+  }
+  for (auto& [i, v] : *entries) v = static_cast<float>(v / sum);
+}
+
+int32_t DrawFrom(const std::vector<std::pair<int32_t, float>>& probs,
+                 Rng* rng) {
+  double u = rng->Uniform();
+  for (const auto& [idx, p] : probs) {
+    u -= p;
+    if (u <= 0) return idx;
+  }
+  return probs.back().first;  // numerical slack
+}
+
+}  // namespace
+
+StatusOr<int32_t> SampleToken(const std::vector<float>& logits,
+                              const SamplingParams& params, Rng* rng) {
+  if (logits.empty()) return Status::InvalidArgument("empty logits");
+  if (params.kind == SamplingParams::Kind::kGreedy) {
+    return ops::ArgMax(logits.data(), static_cast<int32_t>(logits.size()));
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("stochastic sampling needs an Rng");
+  }
+  if (params.temperature <= 0) {
+    return Status::InvalidArgument("temperature must be > 0");
+  }
+
+  std::vector<std::pair<int32_t, float>> entries;
+  entries.reserve(logits.size());
+  for (int32_t i = 0; i < static_cast<int32_t>(logits.size()); ++i) {
+    entries.emplace_back(i, logits[i]);
+  }
+
+  switch (params.kind) {
+    case SamplingParams::Kind::kTemperature:
+      SoftmaxWithTemperature(&entries, params.temperature);
+      return DrawFrom(entries, rng);
+    case SamplingParams::Kind::kTopK: {
+      if (params.top_k < 1) {
+        return Status::InvalidArgument("top_k must be >= 1");
+      }
+      const size_t k =
+          std::min<size_t>(params.top_k, entries.size());
+      std::partial_sort(entries.begin(), entries.begin() + k, entries.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.second > b.second;
+                        });
+      entries.resize(k);
+      SoftmaxWithTemperature(&entries, params.temperature);
+      return DrawFrom(entries, rng);
+    }
+    case SamplingParams::Kind::kTopP: {
+      if (params.top_p <= 0 || params.top_p > 1) {
+        return Status::InvalidArgument("top_p must be in (0, 1]");
+      }
+      std::sort(entries.begin(), entries.end(),
+                [](const auto& a, const auto& b) {
+                  return a.second > b.second;
+                });
+      SoftmaxWithTemperature(&entries, params.temperature);
+      double mass = 0.0;
+      size_t keep = 0;
+      while (keep < entries.size() && mass < params.top_p) {
+        mass += entries[keep].second;
+        ++keep;
+      }
+      entries.resize(std::max<size_t>(keep, 1));
+      // Renormalize the kept mass.
+      double sum = 0;
+      for (const auto& [i, p] : entries) sum += p;
+      for (auto& [i, p] : entries) p = static_cast<float>(p / sum);
+      return DrawFrom(entries, rng);
+    }
+    case SamplingParams::Kind::kGreedy:
+      break;  // handled above
+  }
+  return Status::Internal("unreachable sampling kind");
+}
+
+}  // namespace aptserve

@@ -1,0 +1,52 @@
+// Token sampling strategies for the inference engine: greedy (argmax),
+// temperature, top-k and top-p (nucleus). All draws are deterministic given
+// the caller's seeded Rng.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace aptserve {
+
+struct SamplingParams {
+  enum class Kind { kGreedy, kTemperature, kTopK, kTopP };
+  Kind kind = Kind::kGreedy;
+  /// Softmax temperature for the stochastic kinds; must be > 0.
+  double temperature = 1.0;
+  /// Number of highest-probability tokens kept (kTopK).
+  int32_t top_k = 40;
+  /// Cumulative probability mass kept (kTopP), in (0, 1].
+  double top_p = 0.9;
+
+  static SamplingParams Greedy() { return SamplingParams{}; }
+  static SamplingParams Temperature(double t) {
+    SamplingParams p;
+    p.kind = Kind::kTemperature;
+    p.temperature = t;
+    return p;
+  }
+  static SamplingParams TopK(int32_t k, double t = 1.0) {
+    SamplingParams p;
+    p.kind = Kind::kTopK;
+    p.top_k = k;
+    p.temperature = t;
+    return p;
+  }
+  static SamplingParams TopP(double top_p, double t = 1.0) {
+    SamplingParams p;
+    p.kind = Kind::kTopP;
+    p.top_p = top_p;
+    p.temperature = t;
+    return p;
+  }
+};
+
+/// Draws the next token from `logits` under `params`. `rng` may be null for
+/// kGreedy and must be non-null otherwise.
+StatusOr<int32_t> SampleToken(const std::vector<float>& logits,
+                              const SamplingParams& params, Rng* rng);
+
+}  // namespace aptserve

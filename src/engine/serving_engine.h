@@ -1,0 +1,69 @@
+// ServingEngine: end-to-end serving on the *real* mini transformer. Where
+// the Simulator advances a virtual clock with an analytic cost model, this
+// drives the actual InferenceEngine — real prefills, real decode steps,
+// real hybrid-cache memory — under any Scheduler, timing each iteration
+// with the wall clock and scoring TTFT/TBT SLO attainment against trace
+// arrival times on the resulting virtual timeline.
+//
+// This closes the loop of the paper's Figure 5 at laptop scale: the
+// scheduler's rho comes from a real calibration pass (Eq. 6) rather than an
+// analytic estimate, cache-type decisions move real float blocks, and
+// preemptions recompute real prefills.
+//
+// Caveat (documented in DESIGN.md): a CPU executes batch items serially, so
+// absolute latencies are not GPU-like; the iteration-level batching
+// semantics, memory behaviour and scheduler decision points are identical.
+#pragma once
+
+#include <vector>
+
+#include "engine/inference_engine.h"
+#include "engine/rho_calibrator.h"
+#include "sim/metrics.h"
+#include "sim/scheduler.h"
+#include "workload/request.h"
+
+namespace aptserve {
+
+struct ServingEngineConfig {
+  ModelConfig model = ModelConfig::Tiny();
+  uint64_t weight_seed = 42;
+  uint64_t prompt_seed = 7;
+  int32_t num_blocks = 256;
+  int32_t block_size = 8;
+  SloSpec slo{1.0, 1.0};
+  SamplingParams sampling;  ///< greedy by default (deterministic output).
+  /// Calibrate rho on the engine before serving (the paper's ~30 s offline
+  /// pass); when false an analytic fallback is used.
+  bool calibrate_rho = true;
+  int64_t max_iterations = 2'000'000;
+};
+
+struct ServingEngineResult {
+  SloReport report;
+  /// Total measured compute seconds (the virtual timeline's length).
+  double compute_seconds = 0.0;
+  int64_t tokens_generated = 0;
+  double rho_seconds_per_token = 0.0;
+  int64_t preemptions = 0;
+};
+
+class ServingEngine {
+ public:
+  explicit ServingEngine(const ServingEngineConfig& config);
+
+  /// Serves `trace` to completion under `scheduler`. Request prompts are
+  /// synthesized (seeded) with the trace's prompt lengths; a request
+  /// finishes after `output_len` generated tokens. Every request must
+  /// satisfy total_len + 1 <= model.max_seq_len.
+  StatusOr<ServingEngineResult> Serve(const std::vector<Request>& trace,
+                                      Scheduler* scheduler);
+
+  InferenceEngine& engine() { return engine_; }
+
+ private:
+  ServingEngineConfig config_;
+  InferenceEngine engine_;
+};
+
+}  // namespace aptserve

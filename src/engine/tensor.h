@@ -1,0 +1,71 @@
+// A minimal dense fp32 tensor. The inference engine's hot loops operate on
+// raw float spans (see ops.h); Tensor provides shape-checked storage and is
+// the unit of data exchanged across public engine APIs and tests.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace aptserve {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  explicit Tensor(std::vector<int32_t> shape) : shape_(std::move(shape)) {
+    data_.assign(NumElements(), 0.0f);
+  }
+
+  Tensor(std::vector<int32_t> shape, std::vector<float> data)
+      : shape_(std::move(shape)), data_(std::move(data)) {
+    APT_CHECK_MSG(static_cast<int64_t>(data_.size()) == NumElements(),
+                  "tensor data size does not match shape");
+  }
+
+  const std::vector<int32_t>& shape() const { return shape_; }
+  int32_t dim(size_t i) const {
+    APT_CHECK(i < shape_.size());
+    return shape_[i];
+  }
+  size_t rank() const { return shape_.size(); }
+
+  int64_t NumElements() const {
+    int64_t n = 1;
+    for (int32_t d : shape_) n *= d;
+    return n;
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(int64_t i) {
+    APT_CHECK(i >= 0 && i < NumElements());
+    return data_[i];
+  }
+  float at(int64_t i) const {
+    APT_CHECK(i >= 0 && i < NumElements());
+    return data_[i];
+  }
+
+  /// Pointer to row `r` of a rank-2 tensor.
+  float* Row(int32_t r) {
+    APT_CHECK(rank() == 2 && r >= 0 && r < shape_[0]);
+    return data_.data() + static_cast<int64_t>(r) * shape_[1];
+  }
+  const float* Row(int32_t r) const {
+    APT_CHECK(rank() == 2 && r >= 0 && r < shape_[0]);
+    return data_.data() + static_cast<int64_t>(r) * shape_[1];
+  }
+
+  void Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::vector<int32_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace aptserve

@@ -1,0 +1,292 @@
+#include "engine/transformer.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "engine/ops.h"
+
+namespace aptserve {
+
+TransformerModel::TransformerModel(ModelWeights weights)
+    : weights_(std::move(weights)) {
+  Status st = weights_.config.Validate();
+  APT_CHECK_MSG(st.ok(), st.ToString());
+}
+
+void TransformerModel::Activation(float* x, int32_t n) const {
+  if (weights_.config.use_relu) {
+    ops::Relu(x, n);
+  } else {
+    ops::Gelu(x, n);
+  }
+}
+
+void TransformerModel::Attention(const float* q, const float* keys,
+                                 const float* values, int32_t n_ctx,
+                                 float* out) const {
+  const ModelConfig& cfg = weights_.config;
+  const int32_t hd = cfg.head_dim();
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+  std::vector<float> scores(n_ctx);
+  for (int32_t h = 0; h < cfg.n_heads; ++h) {
+    const int32_t off = h * hd;
+    for (int32_t j = 0; j < n_ctx; ++j) {
+      scores[j] =
+          ops::Dot(q + off, keys + static_cast<int64_t>(j) * cfg.d_model + off,
+                   hd) *
+          scale;
+    }
+    ops::Softmax(scores.data(), n_ctx);
+    float* o = out + off;
+    std::fill(o, o + hd, 0.0f);
+    for (int32_t j = 0; j < n_ctx; ++j) {
+      const float* v = values + static_cast<int64_t>(j) * cfg.d_model + off;
+      const float a = scores[j];
+      for (int32_t k = 0; k < hd; ++k) o[k] += a * v[k];
+    }
+  }
+}
+
+StatusOr<std::vector<float>> TransformerModel::ForwardFull(
+    const std::vector<int32_t>& tokens) const {
+  const ModelConfig& cfg = weights_.config;
+  const int32_t n = static_cast<int32_t>(tokens.size());
+  if (n == 0) return Status::InvalidArgument("empty token sequence");
+  if (n > cfg.max_seq_len) {
+    return Status::InvalidArgument("sequence exceeds max_seq_len");
+  }
+  const int32_t d = cfg.d_model;
+
+  // X holds the current layer's inputs for all positions.
+  Tensor x({n, d});
+  for (int32_t i = 0; i < n; ++i) {
+    const int32_t t = tokens[i];
+    if (t < 0 || t >= cfg.vocab_size) {
+      return Status::InvalidArgument("token id out of vocabulary");
+    }
+    std::memcpy(x.Row(i), weights_.token_embedding.Row(t), sizeof(float) * d);
+    ops::AddInPlace(x.Row(i), weights_.position_embedding.Row(i), d);
+  }
+
+  std::vector<float> ln(d), q(d), attn(d), proj(d), ff(cfg.d_ff), ffo(d);
+  Tensor keys({n, d}), values({n, d});
+  for (const LayerWeights& lw : weights_.layers) {
+    // Pass 1: K/V for every position from the layer input.
+    for (int32_t i = 0; i < n; ++i) {
+      ops::LayerNorm(x.Row(i), lw.ln1_gain.data(), lw.ln1_bias.data(),
+                     ln.data(), d);
+      ops::MatVec(lw.wk.data(), ln.data(), keys.Row(i), d, d);
+      ops::MatVec(lw.wv.data(), ln.data(), values.Row(i), d, d);
+    }
+    // Pass 2: causal attention + FFN per position.
+    for (int32_t i = 0; i < n; ++i) {
+      ops::LayerNorm(x.Row(i), lw.ln1_gain.data(), lw.ln1_bias.data(),
+                     ln.data(), d);
+      ops::MatVec(lw.wq.data(), ln.data(), q.data(), d, d);
+      Attention(q.data(), keys.data(), values.data(), i + 1, attn.data());
+      ops::MatVec(lw.wo.data(), attn.data(), proj.data(), d, d);
+      ops::AddInPlace(x.Row(i), proj.data(), d);
+
+      ops::LayerNorm(x.Row(i), lw.ln2_gain.data(), lw.ln2_bias.data(),
+                     ln.data(), d);
+      ops::MatVec(lw.w1.data(), ln.data(), ff.data(), cfg.d_ff, d);
+      Activation(ff.data(), cfg.d_ff);
+      ops::MatVec(lw.w2.data(), ff.data(), ffo.data(), d, cfg.d_ff);
+      ops::AddInPlace(x.Row(i), ffo.data(), d);
+    }
+  }
+
+  ops::LayerNorm(x.Row(n - 1), weights_.final_ln_gain.data(),
+                 weights_.final_ln_bias.data(), ln.data(), d);
+  std::vector<float> logits(cfg.vocab_size);
+  ops::MatVec(weights_.token_embedding.data(), ln.data(), logits.data(),
+              cfg.vocab_size, d);
+  return logits;
+}
+
+Status TransformerModel::CachedStep(int32_t token, int32_t pos,
+                                    const CacheMap& map, BlockStorage* storage,
+                                    std::vector<float>* logits) const {
+  const ModelConfig& cfg = weights_.config;
+  const int32_t d = cfg.d_model;
+  if (token < 0 || token >= cfg.vocab_size) {
+    return Status::InvalidArgument("token id out of vocabulary");
+  }
+  if (pos < 0 || pos >= cfg.max_seq_len) {
+    return Status::InvalidArgument("position exceeds max_seq_len");
+  }
+  if (map.num_tokens() <= pos) {
+    return Status::FailedPrecondition(
+        "cache map does not cover the current position; allocate first");
+  }
+  APT_CHECK(storage != nullptr && logits != nullptr);
+
+  const int32_t n_ctx = pos + 1;
+  std::vector<float> x(d), ln(d), q(d), k(d), v(d), attn(d), proj(d);
+  std::vector<float> ff(cfg.d_ff), ffo(d);
+  // Contiguous K/V covering [0, n_ctx) — gathered (KV path) or recomputed
+  // (hidden path) each layer.
+  std::vector<float> keys(static_cast<int64_t>(n_ctx) * d);
+  std::vector<float> values(static_cast<int64_t>(n_ctx) * d);
+  std::vector<float> past_x(d);
+
+  std::memcpy(x.data(), weights_.token_embedding.Row(token),
+              sizeof(float) * d);
+  ops::AddInPlace(x.data(), weights_.position_embedding.Row(pos), d);
+
+  for (int32_t l = 0; l < cfg.n_layers; ++l) {
+    const LayerWeights& lw = weights_.layers[l];
+    ops::LayerNorm(x.data(), lw.ln1_gain.data(), lw.ln1_bias.data(), ln.data(),
+                   d);
+    ops::MatVec(lw.wq.data(), ln.data(), q.data(), d, d);
+    ops::MatVec(lw.wk.data(), ln.data(), k.data(), d, d);
+    ops::MatVec(lw.wv.data(), ln.data(), v.data(), d, d);
+
+    if (map.type() == CacheType::kKV) {
+      // Figure 3a: past K/V come straight from cache.
+      if (pos > 0) {
+        storage->Gather(map, CacheComponent::kKey, l, pos, keys.data());
+        storage->Gather(map, CacheComponent::kValue, l, pos, values.data());
+      }
+      storage->WriteVector(map, CacheComponent::kKey, l, pos, k.data());
+      storage->WriteVector(map, CacheComponent::kValue, l, pos, v.data());
+    } else {
+      // Figure 3b: past layer inputs come from the hidden cache; K/V are
+      // re-projected on the fly (the extra linear-complexity work).
+      storage->WriteVector(map, CacheComponent::kHidden, l, pos, x.data());
+      for (int32_t j = 0; j < pos; ++j) {
+        storage->ReadVector(map, CacheComponent::kHidden, l, j, past_x.data());
+        ops::LayerNorm(past_x.data(), lw.ln1_gain.data(), lw.ln1_bias.data(),
+                       ln.data(), d);
+        ops::MatVec(lw.wk.data(), ln.data(),
+                    keys.data() + static_cast<int64_t>(j) * d, d, d);
+        ops::MatVec(lw.wv.data(), ln.data(),
+                    values.data() + static_cast<int64_t>(j) * d, d, d);
+      }
+    }
+    std::memcpy(keys.data() + static_cast<int64_t>(pos) * d, k.data(),
+                sizeof(float) * d);
+    std::memcpy(values.data() + static_cast<int64_t>(pos) * d, v.data(),
+                sizeof(float) * d);
+
+    Attention(q.data(), keys.data(), values.data(), n_ctx, attn.data());
+    ops::MatVec(lw.wo.data(), attn.data(), proj.data(), d, d);
+    ops::AddInPlace(x.data(), proj.data(), d);
+
+    ops::LayerNorm(x.data(), lw.ln2_gain.data(), lw.ln2_bias.data(), ln.data(),
+                   d);
+    ops::MatVec(lw.w1.data(), ln.data(), ff.data(), cfg.d_ff, d);
+    Activation(ff.data(), cfg.d_ff);
+    ops::MatVec(lw.w2.data(), ff.data(), ffo.data(), d, cfg.d_ff);
+    ops::AddInPlace(x.data(), ffo.data(), d);
+  }
+
+  ops::LayerNorm(x.data(), weights_.final_ln_gain.data(),
+                 weights_.final_ln_bias.data(), ln.data(), d);
+  logits->assign(cfg.vocab_size, 0.0f);
+  ops::MatVec(weights_.token_embedding.data(), ln.data(), logits->data(),
+              cfg.vocab_size, d);
+  return Status::OK();
+}
+
+Status TransformerModel::PrefillCached(const std::vector<int32_t>& tokens,
+                                       int32_t start_pos, const CacheMap& map,
+                                       BlockStorage* storage,
+                                       std::vector<float>* logits) const {
+  const ModelConfig& cfg = weights_.config;
+  const int32_t d = cfg.d_model;
+  const int32_t n = static_cast<int32_t>(tokens.size());
+  if (n == 0) return Status::InvalidArgument("empty token sequence");
+  if (n > cfg.max_seq_len) {
+    return Status::InvalidArgument("sequence exceeds max_seq_len");
+  }
+  if (start_pos < 0 || start_pos >= n) {
+    return Status::InvalidArgument("start_pos out of range");
+  }
+  if (map.num_tokens() < n) {
+    return Status::FailedPrecondition(
+        "cache map does not cover the chunk; allocate first");
+  }
+  APT_CHECK(storage != nullptr && logits != nullptr);
+  const int32_t c = n - start_pos;  // new positions this pass
+
+  // Layer inputs for the new positions.
+  Tensor x({c, d});
+  for (int32_t i = 0; i < c; ++i) {
+    const int32_t t = tokens[start_pos + i];
+    if (t < 0 || t >= cfg.vocab_size) {
+      return Status::InvalidArgument("token id out of vocabulary");
+    }
+    std::memcpy(x.Row(i), weights_.token_embedding.Row(t), sizeof(float) * d);
+    ops::AddInPlace(x.Row(i), weights_.position_embedding.Row(start_pos + i),
+                    d);
+  }
+
+  std::vector<float> ln(d), q(d), attn(d), proj(d), ff(cfg.d_ff), ffo(d);
+  std::vector<float> past_x(d);
+  Tensor keys({n, d}), values({n, d});
+  for (int32_t l = 0; l < cfg.n_layers; ++l) {
+    const LayerWeights& lw = weights_.layers[l];
+    // K/V for the already-cached prefix: one gather (KV) or one
+    // re-projection sweep (hidden) per layer for the whole chunk.
+    if (start_pos > 0) {
+      if (map.type() == CacheType::kKV) {
+        storage->Gather(map, CacheComponent::kKey, l, start_pos, keys.data());
+        storage->Gather(map, CacheComponent::kValue, l, start_pos,
+                        values.data());
+      } else {
+        for (int32_t j = 0; j < start_pos; ++j) {
+          storage->ReadVector(map, CacheComponent::kHidden, l, j,
+                              past_x.data());
+          ops::LayerNorm(past_x.data(), lw.ln1_gain.data(),
+                         lw.ln1_bias.data(), ln.data(), d);
+          ops::MatVec(lw.wk.data(), ln.data(), keys.Row(j), d, d);
+          ops::MatVec(lw.wv.data(), ln.data(), values.Row(j), d, d);
+        }
+      }
+    }
+    // K/V for the new positions from the (pre-attention) layer inputs, and
+    // this layer's cache writes.
+    for (int32_t i = 0; i < c; ++i) {
+      const int32_t pos = start_pos + i;
+      ops::LayerNorm(x.Row(i), lw.ln1_gain.data(), lw.ln1_bias.data(),
+                     ln.data(), d);
+      ops::MatVec(lw.wk.data(), ln.data(), keys.Row(pos), d, d);
+      ops::MatVec(lw.wv.data(), ln.data(), values.Row(pos), d, d);
+      if (map.type() == CacheType::kKV) {
+        storage->WriteVector(map, CacheComponent::kKey, l, pos,
+                             keys.Row(pos));
+        storage->WriteVector(map, CacheComponent::kValue, l, pos,
+                             values.Row(pos));
+      } else {
+        storage->WriteVector(map, CacheComponent::kHidden, l, pos, x.Row(i));
+      }
+    }
+    // Causal attention + FFN for each new position.
+    for (int32_t i = 0; i < c; ++i) {
+      const int32_t pos = start_pos + i;
+      ops::LayerNorm(x.Row(i), lw.ln1_gain.data(), lw.ln1_bias.data(),
+                     ln.data(), d);
+      ops::MatVec(lw.wq.data(), ln.data(), q.data(), d, d);
+      Attention(q.data(), keys.data(), values.data(), pos + 1, attn.data());
+      ops::MatVec(lw.wo.data(), attn.data(), proj.data(), d, d);
+      ops::AddInPlace(x.Row(i), proj.data(), d);
+
+      ops::LayerNorm(x.Row(i), lw.ln2_gain.data(), lw.ln2_bias.data(),
+                     ln.data(), d);
+      ops::MatVec(lw.w1.data(), ln.data(), ff.data(), cfg.d_ff, d);
+      Activation(ff.data(), cfg.d_ff);
+      ops::MatVec(lw.w2.data(), ff.data(), ffo.data(), d, cfg.d_ff);
+      ops::AddInPlace(x.Row(i), ffo.data(), d);
+    }
+  }
+
+  ops::LayerNorm(x.Row(c - 1), weights_.final_ln_gain.data(),
+                 weights_.final_ln_bias.data(), ln.data(), d);
+  logits->assign(cfg.vocab_size, 0.0f);
+  ops::MatVec(weights_.token_embedding.data(), ln.data(), logits->data(),
+              cfg.vocab_size, d);
+  return Status::OK();
+}
+
+}  // namespace aptserve

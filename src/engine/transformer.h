@@ -1,0 +1,68 @@
+// TransformerModel: the decoder-only transformer of paper §2.1 with three
+// inference paths:
+//   1. ForwardFull      — no cache, recompute everything (reference oracle);
+//   2. CachedStep (KV)  — Figure 3a: read cached K/V, O(1) projections;
+//   3. CachedStep (Hid) — Figure 3b: read cached layer inputs x_j^l, rebuild
+//      K/V with on-the-fly projections (the extra O(n) linear work whose
+//      cost the scheduler models as rho * m_i).
+// All three produce identical logits for the same token history — the
+// correctness invariant behind the hybrid cache (tested extensively).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_map.h"
+#include "common/status.h"
+#include "engine/block_storage.h"
+#include "engine/model_weights.h"
+
+namespace aptserve {
+
+class TransformerModel {
+ public:
+  explicit TransformerModel(ModelWeights weights);
+
+  const ModelConfig& config() const { return weights_.config; }
+  const ModelWeights& weights() const { return weights_; }
+
+  /// Reference path: processes `tokens` from scratch with no cache and
+  /// returns the next-token logits ([vocab]) at the last position.
+  StatusOr<std::vector<float>> ForwardFull(
+      const std::vector<int32_t>& tokens) const;
+
+  /// Processes the token at 0-based position `pos` for a request whose
+  /// previous `pos` positions are already cached in `map`/`storage`, writes
+  /// this position's cache entries, and returns the logits at `pos`.
+  ///
+  /// The map must already cover position `pos` (the hybrid cache assigner
+  /// allocates blocks before the engine runs). Used for both prefill (loop
+  /// over prompt positions) and decode (one position per iteration).
+  Status CachedStep(int32_t token, int32_t pos, const CacheMap& map,
+                    BlockStorage* storage, std::vector<float>* logits) const;
+
+  /// Batched (chunked) prefill: processes positions [start_pos,
+  /// tokens.size()) in one pass, assuming [0, start_pos) are already cached
+  /// in `map`, writing each new position's cache entries, and returning the
+  /// logits at the final position. Equivalent to looping CachedStep but
+  /// amortizes the per-position cache gathering (one gather / hidden
+  /// re-projection per layer instead of one per position) — the engine
+  /// analogue of a fused prefill kernel, and the substrate for chunked
+  /// prefill (Sarathi-style schedulers schedule start_pos > 0 chunks).
+  Status PrefillCached(const std::vector<int32_t>& tokens, int32_t start_pos,
+                       const CacheMap& map, BlockStorage* storage,
+                       std::vector<float>* logits) const;
+
+ private:
+  /// Computes multi-head causal attention for the current position given
+  /// contiguous K/V buffers covering positions [0, n_ctx). q has d_model
+  /// floats; out receives d_model floats (pre-Wo).
+  void Attention(const float* q, const float* keys, const float* values,
+                 int32_t n_ctx, float* out) const;
+
+  void Activation(float* x, int32_t n) const;
+
+  ModelWeights weights_;
+};
+
+}  // namespace aptserve

@@ -1,0 +1,74 @@
+// GPU / cluster hardware description (paper §6.2: A100-40GB, NVLink,
+// tensor parallelism for the larger models per Table 2).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/status.h"
+#include "sim/model_spec.h"
+
+namespace aptserve {
+
+struct GpuSpec {
+  double mem_bytes = 40e9;        ///< A100 40GB HBM2e.
+  double peak_flops = 312e12;     ///< fp16 tensor-core peak.
+  double mem_bandwidth = 1.555e12;  ///< bytes/s HBM bandwidth.
+  /// Effective host<->device bandwidth for KV swap traffic (PCIe 4.0 x16
+  /// achieves ~25 GB/s in practice).
+  double pcie_bandwidth = 25e9;
+
+  static GpuSpec A100_40G() { return GpuSpec{}; }
+};
+
+struct ClusterSpec {
+  GpuSpec gpu = GpuSpec::A100_40G();
+  int32_t n_gpus = 1;
+  /// Fraction of GPU memory usable (vLLM's gpu_memory_utilization default).
+  double mem_utilization = 0.9;
+  /// Achieved fraction of peak FLOPs for large fused kernels. Calibrated so
+  /// simulated vLLM's effective throughput knee on ShareGPT/OPT-13B lands
+  /// near the paper's ~2.6 req/s (Figure 2a).
+  double compute_efficiency = 0.55;
+  /// Achieved fraction of peak bandwidth for cache/weight streaming.
+  double memory_efficiency = 0.75;
+  /// Per-layer-shard scaling penalty of tensor parallelism (NCCL all-reduce
+  /// etc.): effective speedup = n_gpus * tp_efficiency^log2(n_gpus).
+  double tp_efficiency = 0.92;
+
+  double EffectiveFlops() const {
+    return gpu.peak_flops * compute_efficiency * TpScale();
+  }
+  double EffectiveBandwidth() const {
+    return gpu.mem_bandwidth * memory_efficiency * TpScale();
+  }
+  double TpScale() const {
+    return n_gpus * std::pow(tp_efficiency, std::log2(double(n_gpus)));
+  }
+
+  /// Bytes of pooled cache memory after loading weights (paper Table 2).
+  StatusOr<double> CacheBytes(const ModelSpec& model) const {
+    const double usable = gpu.mem_bytes * n_gpus * mem_utilization;
+    const double cache = usable - model.WeightBytes();
+    if (cache <= 0) {
+      return Status::InvalidArgument(model.name +
+                                     " does not fit on this cluster");
+    }
+    return cache;
+  }
+
+  /// Table 2 hardware pairings.
+  static ClusterSpec ForModel(const ModelSpec& model) {
+    ClusterSpec c;
+    if (model.n_params > 40'000'000'000LL) {
+      c.n_gpus = 4;
+    } else if (model.n_params > 15'000'000'000LL) {
+      c.n_gpus = 2;
+    } else {
+      c.n_gpus = 1;
+    }
+    return c;
+  }
+};
+
+}  // namespace aptserve

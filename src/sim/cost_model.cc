@@ -1,0 +1,49 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+
+namespace aptserve {
+
+double CostModel::IterationSeconds(const BatchWorkload& w) const {
+  if (w.Empty()) return overhead_;
+
+  const int64_t processed = w.prefill_tokens + w.decode_reqs;
+  const int64_t attended = w.prefill_attend_tokens +
+                           w.decode_kv_context_tokens +
+                           w.decode_hidden_context_tokens;
+
+  // Compute: full forward for every processed token, attention context
+  // terms, plus the hidden-cache K/V re-projection (the paper's extra
+  // linear-complexity cost, Figure 3b).
+  double flops = model_.FlopsPerToken() * static_cast<double>(processed);
+  flops += model_.AttentionFlopsPerContextToken() *
+           static_cast<double>(attended);
+  flops += model_.HiddenRecomputeFlopsPerToken() *
+           static_cast<double>(w.decode_hidden_context_tokens);
+  const double compute_s = flops / cluster_.EffectiveFlops();
+
+  // Memory: one pass over the weights, plus cache streaming. Hidden-cache
+  // requests read half the bytes per context token.
+  double bytes = model_.WeightBytes();
+  bytes += model_.KvBytesPerToken() *
+           static_cast<double>(w.decode_kv_context_tokens);
+  bytes += model_.HiddenBytesPerToken() *
+           static_cast<double>(w.decode_hidden_context_tokens);
+  // Prefill writes its cache once per token (component bytes ~ KV).
+  bytes += model_.KvBytesPerToken() * static_cast<double>(w.prefill_tokens);
+  const double memory_s = bytes / cluster_.EffectiveBandwidth();
+
+  // PCIe swap traffic does not overlap usefully with the iteration's
+  // compute in practice (blocking cudaMemcpy in vLLM's swap path), so it
+  // adds serially.
+  const double swap_s = w.swap_bytes / cluster_.gpu.pcie_bandwidth;
+
+  return std::max(compute_s, memory_s) + swap_s + overhead_;
+}
+
+double CostModel::RhoSecondsPerToken() const {
+  if (rho_override_ >= 0.0) return rho_override_;
+  return model_.HiddenRecomputeFlopsPerToken() / cluster_.EffectiveFlops();
+}
+
+}  // namespace aptserve

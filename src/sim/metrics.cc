@@ -1,0 +1,95 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aptserve {
+
+double RequestRecord::P99Tbt() const {
+  if (tbt_samples.empty()) return 0.0;
+  SampleSet s;
+  for (double v : tbt_samples) s.Add(v);
+  return s.P99();
+}
+
+void MetricsCollector::RegisterRequest(const Request& spec) {
+  RequestRecord rec;
+  rec.spec = spec;
+  records_[spec.id] = std::move(rec);
+}
+
+void MetricsCollector::OnToken(RequestId id, TimePoint now) {
+  auto it = records_.find(id);
+  APT_CHECK_MSG(it != records_.end(), "token for unregistered request");
+  RequestRecord& rec = it->second;
+  auto last = last_token_.find(id);
+  if (rec.ttft < 0) {
+    rec.ttft = now - rec.spec.arrival;
+  } else {
+    APT_CHECK(last != last_token_.end());
+    rec.tbt_samples.push_back(now - last->second);
+  }
+  last_token_[id] = now;
+}
+
+void MetricsCollector::OnFinish(RequestId id, TimePoint now) {
+  auto it = records_.find(id);
+  APT_CHECK_MSG(it != records_.end(), "finish for unregistered request");
+  it->second.finish_time = now;
+}
+
+void MetricsCollector::OnIteration(double seconds, int32_t batch_size,
+                                   bool at_batch_limit) {
+  total_time_ += seconds;
+  if (at_batch_limit) batch_limit_time_ += seconds;
+  ++iterations_;
+  batch_size_weighted_ += static_cast<double>(batch_size);
+}
+
+SloReport MetricsCollector::Report(const SloSpec& slo) const {
+  SloReport r;
+  if (records_.empty()) return r;
+  int64_t meets_both = 0, meets_ttft = 0, meets_tbt = 0;
+  SampleSet ttft_mean_acc;
+  for (const auto& [id, rec] : records_) {
+    (void)id;
+    if (rec.MeetsSlo(slo)) ++meets_both;
+    if (rec.MeetsTtft(slo)) ++meets_ttft;
+    if (rec.MeetsTbt(slo)) ++meets_tbt;
+    if (rec.ttft >= 0) {
+      r.ttfts.Add(rec.ttft);
+      ttft_mean_acc.Add(rec.ttft);
+    }
+    if (!rec.tbt_samples.empty()) r.p99_tbts.Add(rec.P99Tbt());
+  }
+  const double n = static_cast<double>(records_.size());
+  r.slo_attainment = meets_both / n;
+  r.ttft_attainment = meets_ttft / n;
+  r.tbt_attainment = meets_tbt / n;
+  r.total_serving_time = total_time_;
+  r.batch_limit_time_ratio =
+      total_time_ > 0 ? batch_limit_time_ / total_time_ : 0.0;
+  r.iterations = iterations_;
+  r.mean_batch_size =
+      iterations_ > 0 ? batch_size_weighted_ / iterations_ : 0.0;
+  r.preemptions = preemptions_;
+  r.conversions = conversions_;
+  r.mean_ttft = ttft_mean_acc.Mean();
+  r.p99_ttft = ttft_mean_acc.P99();
+  r.jain_fairness_ttft = JainFairnessIndex(r.ttfts.samples());
+  return r;
+}
+
+double JainFairnessIndex(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all-zero: perfectly equal
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace aptserve

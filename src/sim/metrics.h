@@ -1,0 +1,99 @@
+// Serving metrics: per-request TTFT / TBT records, SLO attainment, and the
+// system-level "time at batch-size limit" ratio of paper Figure 2.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "workload/request.h"
+
+namespace aptserve {
+
+/// Latency Service-Level Objectives (paper Table 3): TTFT bound and the
+/// bound on each request's 99th-percentile TBT.
+struct SloSpec {
+  double ttft_s = 1.0;
+  double tbt_p99_s = 1.0;
+};
+
+struct RequestRecord {
+  Request spec;
+  double ttft = -1.0;                ///< seconds; -1 if no token emitted.
+  std::vector<double> tbt_samples;   ///< gaps between consecutive tokens.
+  TimePoint finish_time = -1.0;
+
+  double P99Tbt() const;
+  bool MeetsTtft(const SloSpec& slo) const {
+    return ttft >= 0 && ttft <= slo.ttft_s;
+  }
+  bool MeetsTbt(const SloSpec& slo) const {
+    // Requests with a single output token have no TBT; vacuously met.
+    return tbt_samples.empty() || P99Tbt() <= slo.tbt_p99_s;
+  }
+  bool MeetsSlo(const SloSpec& slo) const {
+    return MeetsTtft(slo) && MeetsTbt(slo);
+  }
+};
+
+/// Aggregate report produced after a simulation run.
+struct SloReport {
+  double slo_attainment = 0.0;    ///< fraction meeting both SLOs.
+  double ttft_attainment = 0.0;
+  double tbt_attainment = 0.0;
+  double batch_limit_time_ratio = 0.0;  ///< Figure 2's right axis.
+  double total_serving_time = 0.0;
+  int64_t iterations = 0;
+  double mean_batch_size = 0.0;
+  int64_t preemptions = 0;
+  int64_t conversions = 0;
+  SampleSet ttfts;
+  SampleSet p99_tbts;
+  double mean_ttft = 0.0;
+  double p99_ttft = 0.0;
+  /// Jain's fairness index over per-request TTFTs, in (0, 1]: 1 when every
+  /// request waited equally, 1/n when one request absorbed all the delay.
+  /// Quantifies the §6.6 starvation observation as a single number.
+  double jain_fairness_ttft = 0.0;
+};
+
+/// Jain's fairness index (sum x)^2 / (n * sum x^2); 0 for empty input.
+double JainFairnessIndex(const std::vector<double>& values);
+
+class MetricsCollector {
+ public:
+  void RegisterRequest(const Request& spec);
+
+  /// Records a token for `id` at time `now`. The first token sets TTFT;
+  /// later tokens append a TBT sample measured from the previous token.
+  void OnToken(RequestId id, TimePoint now);
+
+  void OnFinish(RequestId id, TimePoint now);
+
+  /// Accounts one iteration of duration `seconds` executing `batch_size`
+  /// scheduled items; `at_batch_limit` marks iterations during which the
+  /// batch could not grow further under the memory constraint.
+  void OnIteration(double seconds, int32_t batch_size, bool at_batch_limit);
+
+  void OnPreemption() { ++preemptions_; }
+  void OnConversion() { ++conversions_; }
+
+  SloReport Report(const SloSpec& slo) const;
+  const std::unordered_map<RequestId, RequestRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::unordered_map<RequestId, RequestRecord> records_;
+  std::unordered_map<RequestId, TimePoint> last_token_;
+  double total_time_ = 0.0;
+  double batch_limit_time_ = 0.0;
+  int64_t iterations_ = 0;
+  double batch_size_weighted_ = 0.0;
+  int64_t preemptions_ = 0;
+  int64_t conversions_ = 0;
+};
+
+}  // namespace aptserve

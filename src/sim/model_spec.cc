@@ -1,0 +1,74 @@
+#include "sim/model_spec.h"
+
+namespace aptserve {
+
+ModelSpec ModelSpec::Opt13B() {
+  ModelSpec s;
+  s.name = "OPT-13B";
+  s.n_params = 13'000'000'000LL;
+  s.n_layers = 40;
+  s.d_model = 5120;
+  s.n_heads = 40;
+  s.d_ff = 20480;
+  s.max_seq_len = 2048;
+  return s;
+}
+
+ModelSpec ModelSpec::Opt30B() {
+  ModelSpec s;
+  s.name = "OPT-30B";
+  s.n_params = 30'000'000'000LL;
+  s.n_layers = 48;
+  s.d_model = 7168;
+  s.n_heads = 56;
+  s.d_ff = 28672;
+  s.max_seq_len = 2048;
+  return s;
+}
+
+ModelSpec ModelSpec::Opt66B() {
+  ModelSpec s;
+  s.name = "OPT-66B";
+  s.n_params = 66'000'000'000LL;
+  s.n_layers = 64;
+  s.d_model = 9216;
+  s.n_heads = 72;
+  s.d_ff = 36864;
+  s.max_seq_len = 2048;
+  return s;
+}
+
+ModelSpec ModelSpec::Llama3_8B_262K() {
+  ModelSpec s;
+  s.name = "LLaMA3-8B-Instruct262K";
+  s.n_params = 8'000'000'000LL;
+  s.n_layers = 32;
+  s.d_model = 4096;
+  s.n_heads = 32;
+  s.d_ff = 14336;
+  s.max_seq_len = 262'144;
+  return s;
+}
+
+ModelSpec ModelSpec::Yi6B_200K() {
+  ModelSpec s;
+  s.name = "Yi-6B-200K";
+  s.n_params = 6'000'000'000LL;
+  s.n_layers = 32;
+  s.d_model = 4096;
+  s.n_heads = 32;
+  s.d_ff = 11008;
+  s.max_seq_len = 200'000;
+  return s;
+}
+
+StatusOr<ModelSpec> ModelSpec::ByName(const std::string& name) {
+  if (name == "OPT-13B") return Opt13B();
+  if (name == "OPT-30B") return Opt30B();
+  if (name == "OPT-66B") return Opt66B();
+  if (name == "LLaMA3-8B-Instruct262K") return Llama3_8B_262K();
+  if (name == "Yi-6B-200K") return Yi6B_200K();
+  return Status::NotFound("unknown model spec: " + name);
+}
+
+}  // namespace aptserve

@@ -1,0 +1,66 @@
+// Analytic descriptions of the LLMs the paper serves. These drive the cost
+// model and memory accounting of the serving simulator (the mini engine in
+// src/engine/ is a separate, executable model).
+//
+// NOTE on cache accounting: the paper's hybrid scheme assumes KV cache is
+// exactly twice the hidden cache per token (2 vectors vs 1 of dimension
+// d_model per layer), which holds for the multi-head-attention OPT family.
+// We keep that 2:1 accounting for all specs, matching the paper's unified
+// block pool where every block holds one component of equal footprint.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace aptserve {
+
+struct ModelSpec {
+  std::string name;
+  int64_t n_params = 0;
+  int32_t n_layers = 0;
+  int32_t d_model = 0;
+  int32_t n_heads = 0;
+  int32_t d_ff = 0;
+  int32_t max_seq_len = 2048;
+  double bytes_per_value = 2.0;  ///< fp16 weights and cache.
+
+  /// Bytes of weights resident in GPU memory.
+  double WeightBytes() const { return n_params * bytes_per_value; }
+
+  /// Hidden-cache bytes per token: one d_model vector per layer.
+  double HiddenBytesPerToken() const {
+    return static_cast<double>(n_layers) * d_model * bytes_per_value;
+  }
+
+  /// KV-cache bytes per token: K and V vectors per layer (2x hidden).
+  double KvBytesPerToken() const { return 2.0 * HiddenBytesPerToken(); }
+
+  /// FLOPs to process one token through the full model (2 * params rule of
+  /// thumb for matmul-dominated transformers), excluding attention context
+  /// terms which the cost model adds separately.
+  double FlopsPerToken() const { return 2.0 * static_cast<double>(n_params); }
+
+  /// Extra FLOPs per *cached token* per decode step when a request uses
+  /// hidden cache: re-projecting K and V at every layer (two d x d matvecs
+  /// per layer; paper Figure 3b's yellow path).
+  double HiddenRecomputeFlopsPerToken() const {
+    return 4.0 * static_cast<double>(d_model) * d_model * n_layers;
+  }
+
+  /// Attention FLOPs per processed token per token of attended context
+  /// (QK^T dot products plus the value-weighted sum, over all layers).
+  double AttentionFlopsPerContextToken() const {
+    return 4.0 * static_cast<double>(d_model) * n_layers;
+  }
+
+  static ModelSpec Opt13B();
+  static ModelSpec Opt30B();
+  static ModelSpec Opt66B();
+  static ModelSpec Llama3_8B_262K();
+  static ModelSpec Yi6B_200K();
+  static StatusOr<ModelSpec> ByName(const std::string& name);
+};
+
+}  // namespace aptserve

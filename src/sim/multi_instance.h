@@ -1,0 +1,76 @@
+// Multi-instance serving (the paper's §8 future work: "generalize
+// Apt-Serve's designs to the multi-instance scenario"). A dispatcher
+// assigns each arriving request to one of N independent serving instances
+// (each with its own GPU pool, scheduler and iteration loop); instances
+// then run to completion and the reports are merged.
+//
+// The dispatcher sees only what a real front-end would: arrival times and
+// prompt lengths. Load estimates use a sliding window of recently assigned
+// prompt tokens as the backlog proxy (Llumnix-style least-loaded routing
+// without cross-instance migration).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace aptserve {
+
+enum class DispatchPolicy {
+  kRoundRobin,
+  /// Assign to the instance with the least prompt tokens dispatched within
+  /// the trailing window (a backlog proxy).
+  kLeastLoaded,
+  /// Pick two instances uniformly at random, assign to the less loaded —
+  /// the classic power-of-two-choices balancer.
+  kPowerOfTwo,
+};
+
+const char* DispatchPolicyName(DispatchPolicy p);
+
+struct MultiInstanceConfig {
+  int32_t n_instances = 2;
+  DispatchPolicy policy = DispatchPolicy::kLeastLoaded;
+  /// Sliding window (seconds) over which dispatched prompt tokens count as
+  /// backlog.
+  double load_window_s = 30.0;
+  uint64_t dispatch_seed = 99;
+  SimulatorConfig sim;
+};
+
+struct MultiInstanceResult {
+  SloReport combined;
+  std::vector<SloReport> per_instance;
+  std::vector<int32_t> requests_per_instance;
+};
+
+/// Creates one scheduler per instance (each instance needs its own
+/// stateful scheduler object).
+using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
+
+class MultiInstanceSimulator {
+ public:
+  MultiInstanceSimulator(const CostModel& cost_model,
+                         const MultiInstanceConfig& config);
+
+  StatusOr<MultiInstanceResult> Run(const std::vector<Request>& trace,
+                                    const SchedulerFactory& make_scheduler,
+                                    const SloSpec& slo);
+
+  /// Exposed for tests: the dispatch assignment for a trace.
+  std::vector<int32_t> Dispatch(const std::vector<Request>& trace) const;
+
+ private:
+  CostModel cost_model_;
+  MultiInstanceConfig config_;
+};
+
+/// Merges per-instance reports into a fleet-level report: attainment is
+/// request-weighted, latency sample sets are unioned, serving time is the
+/// parallel maximum, counters are summed.
+SloReport MergeReports(const std::vector<SloReport>& reports,
+                       const std::vector<int32_t>& request_counts);
+
+}  // namespace aptserve

@@ -1,0 +1,57 @@
+#include "sim/report_writer.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace aptserve {
+
+void WriteRequestRecordsCsv(
+    const std::unordered_map<RequestId, RequestRecord>& records,
+    const SloSpec& slo, std::ostream* out) {
+  out->precision(12);
+  *out << "id,arrival,prompt_len,output_len,ttft,p99_tbt,finish,"
+          "meets_ttft,meets_tbt\n";
+  std::vector<const RequestRecord*> rows;
+  rows.reserve(records.size());
+  for (const auto& [id, rec] : records) rows.push_back(&rec);
+  std::sort(rows.begin(), rows.end(),
+            [](const RequestRecord* a, const RequestRecord* b) {
+              return a->spec.id < b->spec.id;
+            });
+  for (const RequestRecord* rec : rows) {
+    *out << rec->spec.id << ',' << rec->spec.arrival << ','
+         << rec->spec.prompt_len << ',' << rec->spec.output_len << ','
+         << rec->ttft << ',' << rec->P99Tbt() << ',' << rec->finish_time
+         << ',' << (rec->MeetsTtft(slo) ? 1 : 0) << ','
+         << (rec->MeetsTbt(slo) ? 1 : 0) << '\n';
+  }
+}
+
+void WriteSweepCsv(const std::vector<SweepRow>& rows, std::ostream* out) {
+  *out << "system,rate,slo_attainment,ttft_attainment,tbt_attainment\n";
+  for (const SweepRow& r : rows) {
+    *out << r.system << ',' << r.rate << ',' << r.slo_attainment << ','
+         << r.ttft_attainment << ',' << r.tbt_attainment << '\n';
+  }
+}
+
+void WriteCdfCsv(const SampleSet& samples, std::ostream* out,
+                 size_t max_points) {
+  *out << "value,cum_fraction\n";
+  for (const auto& [v, f] : samples.Cdf(max_points)) {
+    *out << v << ',' << f << '\n';
+  }
+}
+
+Status WriteFile(const std::string& path,
+                 const std::function<void(std::ostream*)>& content_writer) {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  content_writer(&f);
+  if (!f.good()) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+}  // namespace aptserve

@@ -1,0 +1,45 @@
+// CSV export of simulation results, so the bench binaries' tables can be
+// re-plotted with external tooling (the paper's figures are line plots /
+// scatters over exactly this data).
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/metrics.h"
+
+namespace aptserve {
+
+/// One row of a rate-sweep series: (system, rate) -> attainments.
+struct SweepRow {
+  std::string system;
+  double rate = 0.0;
+  double slo_attainment = 0.0;
+  double ttft_attainment = 0.0;
+  double tbt_attainment = 0.0;
+};
+
+/// Writes per-request records as CSV:
+/// id,arrival,prompt_len,output_len,ttft,p99_tbt,finish,meets_ttft,
+/// meets_tbt. Rows are sorted by request id (arrival order).
+void WriteRequestRecordsCsv(
+    const std::unordered_map<RequestId, RequestRecord>& records,
+    const SloSpec& slo, std::ostream* out);
+
+/// Writes sweep rows as CSV: system,rate,slo,ttft,tbt.
+void WriteSweepCsv(const std::vector<SweepRow>& rows, std::ostream* out);
+
+/// Writes a (value, cum_fraction) CDF as CSV.
+void WriteCdfCsv(const SampleSet& samples, std::ostream* out,
+                 size_t max_points = 200);
+
+/// Convenience: writes `content_writer`'s output to `path`, creating the
+/// file. Returns an error when the file cannot be opened.
+Status WriteFile(const std::string& path,
+                 const std::function<void(std::ostream*)>& content_writer);
+
+}  // namespace aptserve

@@ -1,0 +1,66 @@
+// The iteration-level scheduling interface. At the start of every inference
+// iteration the simulator asks the scheduler for a batch plan: which
+// requests run (prefill chunk or decode step), which get preempted, and
+// which cache type each scheduled/requeued request uses. This is the seam
+// where vLLM-style FCFS, Sarathi-style coalescing and Apt-Serve's adaptive
+// policy plug in.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cache/block_pool.h"
+#include "cache/cache_types.h"
+#include "cache/hybrid_assigner.h"
+#include "common/types.h"
+#include "sim/cost_model.h"
+#include "sim/sim_request.h"
+
+namespace aptserve {
+
+/// Read-only view handed to the scheduler each iteration.
+struct SchedulerInput {
+  TimePoint now = 0.0;
+  /// Waiting queue W_e in arrival order (includes preempted requests).
+  std::vector<const SimRequest*> waiting;
+  /// Running queue R_e in arrival order.
+  std::vector<const SimRequest*> running;
+  const BlockPool* pool = nullptr;
+  const HybridCacheAssigner* assigner = nullptr;
+  const CostModel* cost_model = nullptr;
+};
+
+/// One scheduled request in the upcoming iteration.
+struct ScheduledItem {
+  RequestId id = kInvalidRequestId;
+  /// Cache type the request runs with. For decode items this must match the
+  /// request's current type (type switches go through `preempt` with a new
+  /// resume type, per the paper's discard-and-recompute rule).
+  CacheType cache_type = CacheType::kKV;
+  /// 0 => decode step; >0 => prefill this many new prompt/context tokens
+  /// (chunked prefill schedulers pass partial counts).
+  int32_t prefill_chunk = 0;
+};
+
+/// A running request to evict before executing the batch. Its cache is
+/// freed and it re-enters the waiting queue; `resume_cache_type` is the
+/// type its future re-prefill will use (differing from the current type
+/// makes this a cache-type conversion).
+struct PreemptionItem {
+  RequestId id = kInvalidRequestId;
+  CacheType resume_cache_type = CacheType::kKV;
+};
+
+struct BatchPlan {
+  std::vector<ScheduledItem> items;
+  std::vector<PreemptionItem> preempt;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual BatchPlan PlanIteration(const SchedulerInput& input) = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace aptserve

@@ -1,0 +1,28 @@
+#include "workload/arrival.h"
+
+namespace aptserve {
+
+StatusOr<std::vector<TimePoint>> PoissonArrivals(double rate_per_sec,
+                                                 int32_t n, Rng* rng) {
+  return GammaArrivals(rate_per_sec, 1.0, n, rng);
+}
+
+StatusOr<std::vector<TimePoint>> GammaArrivals(double rate_per_sec, double cv,
+                                               int32_t n, Rng* rng) {
+  if (rate_per_sec <= 0) return Status::InvalidArgument("rate must be > 0");
+  if (cv <= 0) return Status::InvalidArgument("cv must be > 0");
+  if (n < 0) return Status::InvalidArgument("negative request count");
+  // Gamma(shape k, scale s): mean = k*s, CV = 1/sqrt(k).
+  const double shape = 1.0 / (cv * cv);
+  const double scale = 1.0 / (rate_per_sec * shape);
+  std::vector<TimePoint> out;
+  out.reserve(n);
+  TimePoint t = 0.0;
+  for (int32_t i = 0; i < n; ++i) {
+    t += rng->Gamma(shape, scale);
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace aptserve

@@ -1,0 +1,25 @@
+// Request arrival processes (paper §6.2: Poisson for the main experiments,
+// §6.4: Gamma inter-arrivals with a coefficient-of-variation knob for
+// burstiness).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace aptserve {
+
+/// Generates `n` arrival timestamps with exponential inter-arrival gaps of
+/// mean 1/rate (a Poisson process).
+StatusOr<std::vector<TimePoint>> PoissonArrivals(double rate_per_sec,
+                                                 int32_t n, Rng* rng);
+
+/// Generates `n` arrival timestamps with Gamma-distributed inter-arrival
+/// gaps: mean 1/rate, coefficient of variation `cv`. cv = 1 reduces to a
+/// Poisson process; larger cv means burstier arrivals (paper Figure 9).
+StatusOr<std::vector<TimePoint>> GammaArrivals(double rate_per_sec, double cv,
+                                               int32_t n, Rng* rng);
+
+}  // namespace aptserve

@@ -1,0 +1,24 @@
+// The immutable description of one serving request in a trace.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace aptserve {
+
+struct Request {
+  RequestId id = kInvalidRequestId;
+  /// Number of prompt tokens (known to the scheduler on arrival).
+  int32_t prompt_len = 0;
+  /// Number of output tokens until EOS. Ground truth used by the simulator
+  /// to decide when the request finishes; schedulers never read it (the
+  /// paper stresses output lengths are unpredictable).
+  int32_t output_len = 0;
+  /// Arrival time in seconds from the start of the trace.
+  TimePoint arrival = 0.0;
+
+  int32_t total_len() const { return prompt_len + output_len; }
+};
+
+}  // namespace aptserve

@@ -1,0 +1,54 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "workload/arrival.h"
+
+namespace aptserve {
+
+StatusOr<std::vector<Request>> BuildTrace(const TraceConfig& config) {
+  if (config.num_requests < 0) {
+    return Status::InvalidArgument("negative request count");
+  }
+  if (config.max_total_len < 2) {
+    return Status::InvalidArgument("max_total_len too small");
+  }
+  Rng rng(config.seed);
+  APT_ASSIGN_OR_RETURN(
+      std::vector<TimePoint> arrivals,
+      GammaArrivals(config.rate_per_sec, config.cv, config.num_requests,
+                    &rng));
+  std::vector<Request> trace;
+  trace.reserve(config.num_requests);
+  for (int32_t i = 0; i < config.num_requests; ++i) {
+    Request r;
+    r.id = i;
+    r.arrival = arrivals[i];
+    r.prompt_len = std::min(config.profile.input.Sample(&rng),
+                            config.max_total_len - 1);
+    r.output_len = std::max(
+        1, std::min(config.profile.output.Sample(&rng),
+                    config.max_total_len - r.prompt_len));
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+TraceStats ComputeTraceStats(const std::vector<Request>& trace) {
+  SampleSet in, out;
+  for (const Request& r : trace) {
+    in.Add(r.prompt_len);
+    out.Add(r.output_len);
+  }
+  TraceStats s;
+  s.input_mean = in.Mean();
+  s.input_median = in.Median();
+  s.input_max = in.Max();
+  s.output_mean = out.Mean();
+  s.output_median = out.Median();
+  s.output_max = out.Max();
+  return s;
+}
+
+}  // namespace aptserve

@@ -1,0 +1,36 @@
+// Serving trace construction: sample request lengths from a dataset profile
+// and attach synthetic arrival timestamps (paper §6.2 samples 1000 requests
+// per dataset and generates Poisson arrivals; §6.4 uses Gamma arrivals).
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "workload/length_sampler.h"
+#include "workload/request.h"
+
+namespace aptserve {
+
+struct TraceConfig {
+  DatasetProfile profile;
+  int32_t num_requests = 1000;
+  double rate_per_sec = 1.0;
+  /// Coefficient of variation of inter-arrival gaps; 1.0 = Poisson.
+  double cv = 1.0;
+  uint64_t seed = 42;
+  /// Cap on prompt_len + output_len (model context window); output is
+  /// truncated to fit, mirroring the paper's footnote 5 length limiting.
+  int32_t max_total_len = 2048;
+};
+
+/// Builds a trace sorted by arrival time with ids 0..n-1.
+StatusOr<std::vector<Request>> BuildTrace(const TraceConfig& config);
+
+/// Summary statistics of a trace (used by the Figure 7 / Table 7 benches).
+struct TraceStats {
+  double input_mean = 0, input_median = 0, input_max = 0;
+  double output_mean = 0, output_median = 0, output_max = 0;
+};
+TraceStats ComputeTraceStats(const std::vector<Request>& trace);
+
+}  // namespace aptserve

@@ -1,0 +1,90 @@
+#include "workload/trace_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace aptserve {
+
+namespace {
+constexpr char kHeader[] = "id,arrival,prompt_len,output_len";
+}
+
+void WriteTraceCsv(const std::vector<Request>& trace, std::ostream* out) {
+  // Full round-trip precision for arrival timestamps.
+  out->precision(17);
+  *out << kHeader << '\n';
+  for (const Request& r : trace) {
+    *out << r.id << ',' << r.arrival << ',' << r.prompt_len << ','
+         << r.output_len << '\n';
+  }
+}
+
+StatusOr<std::vector<Request>> ReadTraceCsv(std::istream* in) {
+  std::string line;
+  if (!std::getline(*in, line) || line != kHeader) {
+    return Status::InvalidArgument("missing or malformed trace CSV header");
+  }
+  std::vector<Request> trace;
+  int line_no = 1;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string field;
+    Request r;
+    try {
+      if (!std::getline(row, field, ',')) throw std::invalid_argument("id");
+      r.id = std::stoll(field);
+      if (!std::getline(row, field, ',')) {
+        throw std::invalid_argument("arrival");
+      }
+      r.arrival = std::stod(field);
+      if (!std::getline(row, field, ',')) {
+        throw std::invalid_argument("prompt");
+      }
+      r.prompt_len = std::stoi(field);
+      if (!std::getline(row, field, ',')) {
+        throw std::invalid_argument("output");
+      }
+      r.output_len = std::stoi(field);
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("trace CSV parse error at line " +
+                                     std::to_string(line_no));
+    }
+    if (std::getline(row, field, ',')) {
+      return Status::InvalidArgument("too many fields at line " +
+                                     std::to_string(line_no));
+    }
+    if (r.prompt_len <= 0 || r.output_len <= 0 || r.arrival < 0) {
+      return Status::InvalidArgument("invalid request values at line " +
+                                     std::to_string(line_no));
+    }
+    trace.push_back(r);
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const Request& a, const Request& b) {
+              return a.arrival < b.arrival;
+            });
+  return trace;
+}
+
+Status SaveTrace(const std::vector<Request>& trace, const std::string& path) {
+  std::ofstream f(path);
+  if (!f.is_open()) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  WriteTraceCsv(trace, &f);
+  if (!f.good()) return Status::Internal("write to " + path + " failed");
+  return Status::OK();
+}
+
+StatusOr<std::vector<Request>> LoadTrace(const std::string& path) {
+  std::ifstream f(path);
+  if (!f.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return ReadTraceCsv(&f);
+}
+
+}  // namespace aptserve

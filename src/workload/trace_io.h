@@ -1,0 +1,28 @@
+// Trace persistence: save and reload serving traces as CSV so experiments
+// can be replayed bit-identically across machines and against external
+// systems (the paper's methodology fixes "identical request arrival
+// sequences" when comparing policies, §3.2).
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/request.h"
+
+namespace aptserve {
+
+/// Writes `trace` as CSV with header `id,arrival,prompt_len,output_len`.
+void WriteTraceCsv(const std::vector<Request>& trace, std::ostream* out);
+
+/// Parses a trace written by WriteTraceCsv. Validates the header, field
+/// counts, and value ranges; returns the requests sorted by arrival.
+StatusOr<std::vector<Request>> ReadTraceCsv(std::istream* in);
+
+/// File-path conveniences.
+Status SaveTrace(const std::vector<Request>& trace, const std::string& path);
+StatusOr<std::vector<Request>> LoadTrace(const std::string& path);
+
+}  // namespace aptserve

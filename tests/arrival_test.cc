@@ -1,0 +1,68 @@
+#include "workload/arrival.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace aptserve {
+namespace {
+
+TEST(ArrivalTest, PoissonMeanRate) {
+  Rng rng(1);
+  auto arr = PoissonArrivals(4.0, 20000, &rng);
+  ASSERT_TRUE(arr.ok());
+  ASSERT_EQ(arr->size(), 20000u);
+  // Empirical rate = n / span.
+  EXPECT_NEAR(20000.0 / arr->back(), 4.0, 0.1);
+}
+
+TEST(ArrivalTest, ArrivalsAreSortedAndPositive) {
+  Rng rng(2);
+  auto arr = GammaArrivals(2.0, 5.0, 1000, &rng);
+  ASSERT_TRUE(arr.ok());
+  EXPECT_GT((*arr)[0], 0.0);
+  for (size_t i = 1; i < arr->size(); ++i) {
+    EXPECT_GE((*arr)[i], (*arr)[i - 1]);
+  }
+}
+
+TEST(ArrivalTest, GammaCvControlsBurstiness) {
+  Rng rng(3);
+  auto gaps_cv = [&](double cv) {
+    auto arr = GammaArrivals(2.0, cv, 30000, &rng);
+    EXPECT_TRUE(arr.ok());
+    RunningStat s;
+    double prev = 0;
+    for (double t : *arr) {
+      s.Add(t - prev);
+      prev = t;
+    }
+    return s.stddev() / s.mean();
+  };
+  EXPECT_NEAR(gaps_cv(1.0), 1.0, 0.05);
+  EXPECT_NEAR(gaps_cv(5.0), 5.0, 0.35);
+  EXPECT_NEAR(gaps_cv(10.0), 10.0, 1.0);
+}
+
+TEST(ArrivalTest, Cv1MatchesPoissonStatistics) {
+  Rng a(7), b(7);
+  auto p = PoissonArrivals(3.0, 1000, &a);
+  auto g = GammaArrivals(3.0, 1.0, 1000, &b);
+  ASSERT_TRUE(p.ok() && g.ok());
+  // Identical seeds and equivalent processes produce identical streams
+  // (Poisson delegates to Gamma with cv = 1).
+  EXPECT_EQ(*p, *g);
+}
+
+TEST(ArrivalTest, InputValidation) {
+  Rng rng(1);
+  EXPECT_TRUE(PoissonArrivals(0.0, 10, &rng).status().IsInvalidArgument());
+  EXPECT_TRUE(GammaArrivals(1.0, 0.0, 10, &rng).status().IsInvalidArgument());
+  EXPECT_TRUE(GammaArrivals(1.0, 1.0, -1, &rng).status().IsInvalidArgument());
+  auto empty = GammaArrivals(1.0, 1.0, 0, &rng);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+}
+
+}  // namespace
+}  // namespace aptserve

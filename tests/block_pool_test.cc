@@ -1,0 +1,141 @@
+#include "cache/block_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace aptserve {
+namespace {
+
+TEST(BlockPoolTest, InitialState) {
+  BlockPool pool(8, 16);
+  EXPECT_EQ(pool.num_blocks(), 8);
+  EXPECT_EQ(pool.block_size(), 16);
+  EXPECT_EQ(pool.num_free(), 8);
+  EXPECT_EQ(pool.num_allocated(), 0);
+  EXPECT_DOUBLE_EQ(pool.utilization(), 0.0);
+}
+
+TEST(BlockPoolTest, AllocateAscendingAndUnique) {
+  BlockPool pool(4, 16);
+  std::set<BlockId> seen;
+  for (int i = 0; i < 4; ++i) {
+    auto b = pool.Allocate();
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*b, i);  // deterministic ascending order
+    EXPECT_TRUE(seen.insert(*b).second);
+    EXPECT_TRUE(pool.IsAllocated(*b));
+  }
+  EXPECT_EQ(pool.num_free(), 0);
+  EXPECT_TRUE(pool.Allocate().status().IsOutOfMemory());
+}
+
+TEST(BlockPoolTest, FreeAndReuse) {
+  BlockPool pool(2, 4);
+  auto a = pool.Allocate();
+  auto b = pool.Allocate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(pool.Free(*a).ok());
+  EXPECT_FALSE(pool.IsAllocated(*a));
+  auto c = pool.Allocate();
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(*c, *a);  // LIFO reuse
+}
+
+TEST(BlockPoolTest, DoubleFreeRejected) {
+  BlockPool pool(2, 4);
+  auto a = pool.Allocate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(pool.Free(*a).ok());
+  EXPECT_TRUE(pool.Free(*a).IsInvalidArgument());
+}
+
+TEST(BlockPoolTest, FreeOutOfRangeRejected) {
+  BlockPool pool(2, 4);
+  EXPECT_TRUE(pool.Free(-1).IsInvalidArgument());
+  EXPECT_TRUE(pool.Free(2).IsInvalidArgument());
+}
+
+TEST(BlockPoolTest, AllocateManyAllOrNothing) {
+  BlockPool pool(5, 4);
+  std::vector<BlockId> out;
+  ASSERT_TRUE(pool.AllocateMany(3, &out).ok());
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(pool.num_free(), 2);
+  std::vector<BlockId> out2;
+  Status s = pool.AllocateMany(3, &out2);
+  EXPECT_TRUE(s.IsOutOfMemory());
+  EXPECT_TRUE(out2.empty());
+  EXPECT_EQ(pool.num_free(), 2);  // unchanged on failure
+}
+
+TEST(BlockPoolTest, AllocateManyAppendsToExisting) {
+  BlockPool pool(4, 4);
+  std::vector<BlockId> out = {99};
+  ASSERT_TRUE(pool.AllocateMany(2, &out).ok());
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0], 99);
+}
+
+TEST(BlockPoolTest, NegativeCountRejected) {
+  BlockPool pool(4, 4);
+  std::vector<BlockId> out;
+  EXPECT_TRUE(pool.AllocateMany(-1, &out).IsInvalidArgument());
+}
+
+TEST(BlockPoolTest, PeakAndTotalsTracked) {
+  BlockPool pool(4, 4);
+  std::vector<BlockId> out;
+  ASSERT_TRUE(pool.AllocateMany(3, &out).ok());
+  pool.FreeMany(out);
+  EXPECT_EQ(pool.peak_allocated(), 3);
+  EXPECT_EQ(pool.total_allocations(), 3);
+  EXPECT_EQ(pool.num_free(), 4);
+  auto b = pool.Allocate();
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(pool.peak_allocated(), 3);  // peak unchanged
+  EXPECT_EQ(pool.total_allocations(), 4);
+}
+
+TEST(BlockPoolTest, UtilizationFraction) {
+  BlockPool pool(4, 4);
+  std::vector<BlockId> out;
+  ASSERT_TRUE(pool.AllocateMany(2, &out).ok());
+  EXPECT_DOUBLE_EQ(pool.utilization(), 0.5);
+}
+
+TEST(BlockPoolTest, ZeroBlockPool) {
+  BlockPool pool(0, 4);
+  EXPECT_EQ(pool.num_free(), 0);
+  EXPECT_TRUE(pool.Allocate().status().IsOutOfMemory());
+  EXPECT_DOUBLE_EQ(pool.utilization(), 0.0);
+}
+
+// Stress: interleaved allocate/free cycles keep the free-list consistent.
+TEST(BlockPoolTest, StressInterleavedAllocFree) {
+  BlockPool pool(64, 8);
+  std::vector<BlockId> held;
+  uint64_t x = 88172645463325252ULL;  // xorshift
+  auto next = [&]() {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+  };
+  for (int step = 0; step < 10000; ++step) {
+    if (held.empty() || (next() % 2 == 0 && pool.num_free() > 0)) {
+      auto b = pool.Allocate();
+      ASSERT_TRUE(b.ok());
+      held.push_back(*b);
+    } else {
+      const size_t i = next() % held.size();
+      ASSERT_TRUE(pool.Free(held[i]).ok());
+      held.erase(held.begin() + i);
+    }
+    ASSERT_EQ(pool.num_allocated(), static_cast<int32_t>(held.size()));
+  }
+}
+
+}  // namespace
+}  // namespace aptserve

@@ -1,0 +1,90 @@
+#include "engine/block_storage.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace aptserve {
+namespace {
+
+TEST(BlockStorageTest, WriteReadRoundTrip) {
+  BlockStorage storage(4, 2, 3, 5);  // 4 blocks, size 2, 3 layers, dim 5
+  CacheMap map(CacheType::kHidden, 2);
+  map.AppendBlocks(CacheComponent::kHidden, {1, 3});
+  map.AdvanceTokens(4);
+
+  std::vector<float> vec = {1, 2, 3, 4, 5};
+  storage.WriteVector(map, CacheComponent::kHidden, 2, 3, vec.data());
+  std::vector<float> out(5, 0);
+  storage.ReadVector(map, CacheComponent::kHidden, 2, 3, out.data());
+  EXPECT_EQ(out, vec);
+}
+
+TEST(BlockStorageTest, LayersAreIndependent) {
+  BlockStorage storage(2, 2, 2, 3);
+  CacheMap map(CacheType::kHidden, 2);
+  map.AppendBlocks(CacheComponent::kHidden, {0});
+  map.AdvanceTokens(1);
+  std::vector<float> a = {1, 1, 1}, b = {2, 2, 2};
+  storage.WriteVector(map, CacheComponent::kHidden, 0, 0, a.data());
+  storage.WriteVector(map, CacheComponent::kHidden, 1, 0, b.data());
+  std::vector<float> out(3);
+  storage.ReadVector(map, CacheComponent::kHidden, 0, 0, out.data());
+  EXPECT_EQ(out, a);
+  storage.ReadVector(map, CacheComponent::kHidden, 1, 0, out.data());
+  EXPECT_EQ(out, b);
+}
+
+// Gather must reassemble fragmented, non-contiguous blocks in token order —
+// the core of the paper's fused block-wise cache I/O kernel.
+TEST(BlockStorageTest, GatherAcrossFragmentedBlocks) {
+  const int32_t dim = 2;
+  BlockStorage storage(8, 2, 1, dim);
+  CacheMap map(CacheType::kHidden, 2);
+  // Deliberately scattered, out-of-order physical blocks.
+  map.AppendBlocks(CacheComponent::kHidden, {5, 0, 7});
+  map.AdvanceTokens(6);
+  for (int32_t pos = 0; pos < 6; ++pos) {
+    std::vector<float> v = {static_cast<float>(pos), static_cast<float>(-pos)};
+    storage.WriteVector(map, CacheComponent::kHidden, 0, pos, v.data());
+  }
+  std::vector<float> out(6 * dim, -99);
+  storage.Gather(map, CacheComponent::kHidden, 0, 6, out.data());
+  for (int32_t pos = 0; pos < 6; ++pos) {
+    EXPECT_FLOAT_EQ(out[pos * dim], pos);
+    EXPECT_FLOAT_EQ(out[pos * dim + 1], -pos);
+  }
+}
+
+TEST(BlockStorageTest, GatherPartialPrefix) {
+  BlockStorage storage(4, 4, 1, 1);
+  CacheMap map(CacheType::kHidden, 4);
+  map.AppendBlocks(CacheComponent::kHidden, {2, 1});
+  map.AdvanceTokens(7);
+  for (int32_t pos = 0; pos < 7; ++pos) {
+    float v = pos * 10.0f;
+    storage.WriteVector(map, CacheComponent::kHidden, 0, pos, &v);
+  }
+  std::vector<float> out(5, 0);
+  storage.Gather(map, CacheComponent::kHidden, 0, 5, out.data());
+  for (int32_t pos = 0; pos < 5; ++pos) EXPECT_FLOAT_EQ(out[pos], pos * 10.0f);
+}
+
+TEST(BlockStorageTest, KvComponentsShareBlocksDisjointly) {
+  BlockStorage storage(4, 2, 1, 2);
+  CacheMap map(CacheType::kKV, 2);
+  map.AppendBlocks(CacheComponent::kKey, {0});
+  map.AppendBlocks(CacheComponent::kValue, {1});
+  map.AdvanceTokens(2);
+  std::vector<float> k = {1, 2}, v = {3, 4};
+  storage.WriteVector(map, CacheComponent::kKey, 0, 0, k.data());
+  storage.WriteVector(map, CacheComponent::kValue, 0, 0, v.data());
+  std::vector<float> out(2);
+  storage.ReadVector(map, CacheComponent::kKey, 0, 0, out.data());
+  EXPECT_EQ(out, k);
+  storage.ReadVector(map, CacheComponent::kValue, 0, 0, out.data());
+  EXPECT_EQ(out, v);
+}
+
+}  // namespace
+}  // namespace aptserve

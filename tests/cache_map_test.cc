@@ -1,0 +1,74 @@
+#include "cache/cache_map.h"
+
+#include <gtest/gtest.h>
+
+namespace aptserve {
+namespace {
+
+TEST(CacheMapTest, KvComponents) {
+  CacheMap map(CacheType::kKV, 4);
+  auto comps = map.Components();
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_EQ(comps[0], CacheComponent::kKey);
+  EXPECT_EQ(comps[1], CacheComponent::kValue);
+}
+
+TEST(CacheMapTest, HiddenComponents) {
+  CacheMap map(CacheType::kHidden, 4);
+  auto comps = map.Components();
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0], CacheComponent::kHidden);
+}
+
+TEST(CacheMapTest, SlotResolution) {
+  CacheMap map(CacheType::kKV, 4);
+  map.AppendBlocks(CacheComponent::kKey, {10, 20});
+  map.AppendBlocks(CacheComponent::kValue, {11, 21});
+  EXPECT_EQ(map.capacity(), 8);
+  map.AdvanceTokens(6);
+  EXPECT_EQ(map.num_tokens(), 6);
+
+  BlockSlot s = map.Slot(CacheComponent::kKey, 0);
+  EXPECT_EQ(s.block, 10);
+  EXPECT_EQ(s.offset, 0);
+  s = map.Slot(CacheComponent::kKey, 5);
+  EXPECT_EQ(s.block, 20);
+  EXPECT_EQ(s.offset, 1);
+  s = map.Slot(CacheComponent::kValue, 3);
+  EXPECT_EQ(s.block, 11);
+  EXPECT_EQ(s.offset, 3);
+}
+
+TEST(CacheMapTest, HiddenSlotResolution) {
+  CacheMap map(CacheType::kHidden, 3);
+  map.AppendBlocks(CacheComponent::kHidden, {7});
+  map.AdvanceTokens(2);
+  BlockSlot s = map.Slot(CacheComponent::kHidden, 1);
+  EXPECT_EQ(s.block, 7);
+  EXPECT_EQ(s.offset, 1);
+}
+
+TEST(CacheMapTest, AllBlocksAndTotals) {
+  CacheMap map(CacheType::kKV, 4);
+  map.AppendBlocks(CacheComponent::kKey, {1, 2});
+  map.AppendBlocks(CacheComponent::kValue, {3, 4});
+  EXPECT_EQ(map.TotalBlocks(), 4);
+  auto all = map.AllBlocks();
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(CacheMapDeathTest, AdvancePastCapacityAborts) {
+  CacheMap map(CacheType::kHidden, 4);
+  map.AppendBlocks(CacheComponent::kHidden, {0});
+  EXPECT_DEATH(map.AdvanceTokens(5), "capacity");
+}
+
+TEST(CacheMapDeathTest, SlotOutOfRangeAborts) {
+  CacheMap map(CacheType::kHidden, 4);
+  map.AppendBlocks(CacheComponent::kHidden, {0});
+  map.AdvanceTokens(2);
+  EXPECT_DEATH(map.Slot(CacheComponent::kHidden, 2), "out of range");
+}
+
+}  // namespace
+}  // namespace aptserve

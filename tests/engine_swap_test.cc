@@ -1,0 +1,103 @@
+// Engine-side swap: the cached vectors physically round-trip through the
+// host staging buffer and generation resumes bit-identically — the payload
+// counterpart of the simulator's swap-preemption accounting.
+#include <gtest/gtest.h>
+
+#include "engine/inference_engine.h"
+
+namespace aptserve {
+namespace {
+
+ModelConfig Cfg() { return ModelConfig::Tiny(); }
+
+std::vector<int32_t> Prompt(int32_t n) {
+  std::vector<int32_t> p(n);
+  for (int32_t i = 0; i < n; ++i) p[i] = (5 + i * 11) % Cfg().vocab_size;
+  return p;
+}
+
+class EngineSwapTest : public ::testing::TestWithParam<CacheType> {};
+
+TEST_P(EngineSwapTest, SwapRoundTripPreservesGeneration) {
+  // Reference: uninterrupted generation.
+  InferenceEngine ref(Cfg(), 11, 128, 4);
+  ASSERT_TRUE(ref.AddRequest(1, Prompt(10), GetParam()).ok());
+  auto expected = ref.Generate(1, 12);
+  ASSERT_TRUE(expected.ok());
+
+  // Same run with a swap-out/in after 6 tokens.
+  InferenceEngine eng(Cfg(), 11, 128, 4);
+  ASSERT_TRUE(eng.AddRequest(1, Prompt(10), GetParam()).ok());
+  ASSERT_TRUE(eng.Generate(1, 6).ok());
+  ASSERT_TRUE(eng.SwapOut(1).ok());
+  EXPECT_TRUE(eng.IsSwappedOut(1));
+  EXPECT_EQ(eng.pool().num_allocated(), 0);  // GPU blocks freed
+  // Decoding and prefilling are rejected while swapped.
+  EXPECT_TRUE(eng.DecodeStep(1).status().IsFailedPrecondition());
+  EXPECT_TRUE(eng.Prefill(1).status().IsFailedPrecondition());
+  ASSERT_TRUE(eng.SwapIn(1).ok());
+  EXPECT_FALSE(eng.IsSwappedOut(1));
+  ASSERT_TRUE(eng.Generate(1, 6).ok());
+  EXPECT_EQ(eng.Find(1)->tokens, *expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Types, EngineSwapTest,
+                         ::testing::Values(CacheType::kKV,
+                                           CacheType::kHidden),
+                         [](const auto& info) {
+                           return std::string(CacheTypeName(info.param));
+                         });
+
+TEST(EngineSwapTest, SwapFreesGpuForOtherRequests) {
+  // Pool fits one 16-token KV cache (8 blocks of size 4).
+  InferenceEngine eng(Cfg(), 11, 8, 4);
+  ASSERT_TRUE(eng.AddRequest(1, Prompt(14), CacheType::kKV).ok());
+  ASSERT_TRUE(eng.Prefill(1).ok());
+  ASSERT_TRUE(eng.AddRequest(2, Prompt(14), CacheType::kKV).ok());
+  EXPECT_TRUE(eng.Prefill(2).status().IsOutOfMemory());
+  ASSERT_TRUE(eng.SwapOut(1).ok());
+  EXPECT_TRUE(eng.Prefill(2).ok());  // fits now
+  // Swap-in fails while request 2 holds the pool, then succeeds after.
+  EXPECT_TRUE(eng.SwapIn(1).IsOutOfMemory());
+  EXPECT_TRUE(eng.IsSwappedOut(1));  // copy retained on failure
+  ASSERT_TRUE(eng.RemoveRequest(2).ok());
+  EXPECT_TRUE(eng.SwapIn(1).ok());
+  EXPECT_TRUE(eng.DecodeStep(1).ok());
+}
+
+TEST(EngineSwapTest, ApiErrors) {
+  InferenceEngine eng(Cfg(), 11, 64, 4);
+  EXPECT_TRUE(eng.SwapOut(9).IsNotFound());
+  EXPECT_TRUE(eng.SwapIn(9).IsNotFound());
+  ASSERT_TRUE(eng.AddRequest(1, Prompt(6), CacheType::kKV).ok());
+  EXPECT_TRUE(eng.SwapOut(1).IsFailedPrecondition());  // no cache yet
+  EXPECT_TRUE(eng.SwapIn(1).IsFailedPrecondition());   // not swapped
+  ASSERT_TRUE(eng.Prefill(1).ok());
+  ASSERT_TRUE(eng.SwapOut(1).ok());
+  EXPECT_TRUE(eng.SwapOut(1).IsAlreadyExists());
+}
+
+TEST(EngineSwapTest, ConversionInvalidatesSwapCopy) {
+  InferenceEngine eng(Cfg(), 11, 64, 4);
+  ASSERT_TRUE(eng.AddRequest(1, Prompt(6), CacheType::kKV).ok());
+  ASSERT_TRUE(eng.Prefill(1).ok());
+  ASSERT_TRUE(eng.SwapOut(1).ok());
+  ASSERT_TRUE(eng.ConvertCacheType(1, CacheType::kHidden).ok());
+  EXPECT_FALSE(eng.IsSwappedOut(1));
+  EXPECT_TRUE(eng.SwapIn(1).IsFailedPrecondition());
+  // The request recovers via a normal prefill in the new type.
+  EXPECT_TRUE(eng.Prefill(1).ok());
+}
+
+TEST(EngineSwapTest, PreemptDiscardsSwapCopy) {
+  InferenceEngine eng(Cfg(), 11, 64, 4);
+  ASSERT_TRUE(eng.AddRequest(1, Prompt(6), CacheType::kHidden).ok());
+  ASSERT_TRUE(eng.Prefill(1).ok());
+  ASSERT_TRUE(eng.SwapOut(1).ok());
+  ASSERT_TRUE(eng.Preempt(1).ok());
+  EXPECT_FALSE(eng.IsSwappedOut(1));
+  EXPECT_TRUE(eng.Prefill(1).ok());
+}
+
+}  // namespace
+}  // namespace aptserve

@@ -1,0 +1,135 @@
+#include "baselines/fcfs_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/random_scheduler.h"
+#include "tests/scheduler_test_util.h"
+
+namespace aptserve {
+namespace {
+
+using testutil::FindItem;
+using testutil::HasItem;
+using testutil::SchedulerFixture;
+
+TEST(FcfsSchedulerTest, PrefillPrioritizedInArrivalOrder) {
+  SchedulerFixture fx;
+  fx.AddWaiting(1, 32, 10, 0.0);
+  fx.AddWaiting(2, 32, 10, 0.1);
+  FcfsScheduler sched;
+  auto plan = sched.PlanIteration(fx.Input(1.0));
+  ASSERT_EQ(plan.items.size(), 2u);
+  EXPECT_EQ(plan.items[0].id, 1);
+  EXPECT_EQ(plan.items[1].id, 2);
+  EXPECT_EQ(plan.items[0].prefill_chunk, 32);
+  EXPECT_EQ(plan.items[0].cache_type, CacheType::kKV);
+  EXPECT_TRUE(plan.preempt.empty());
+}
+
+TEST(FcfsSchedulerTest, DecodeWhenNoWaiting) {
+  SchedulerFixture fx;
+  fx.AddRunning(1, 32, 10, 2, CacheType::kKV, 0.5);
+  fx.AddRunning(2, 32, 10, 2, CacheType::kKV, 0.5);
+  FcfsScheduler sched;
+  auto plan = sched.PlanIteration(fx.Input(1.0));
+  ASSERT_EQ(plan.items.size(), 2u);
+  EXPECT_EQ(plan.items[0].prefill_chunk, 0);
+}
+
+TEST(FcfsSchedulerTest, HeadOfLineBlocking) {
+  SchedulerFixture fx(/*pool_blocks=*/8, /*block_size=*/16);
+  // Head needs 2*ceil(100/16) = 14 blocks > 8; the small request behind it
+  // would fit but strict FCFS blocks it.
+  fx.AddWaiting(1, 100, 10, 0.0);
+  fx.AddWaiting(2, 16, 10, 0.1);
+  fx.AddRunning(3, 8, 10, 2, CacheType::kKV, 0.5);
+  FcfsScheduler sched;
+  auto plan = sched.PlanIteration(fx.Input(1.0));
+  // Falls through to a decode iteration.
+  ASSERT_EQ(plan.items.size(), 1u);
+  EXPECT_EQ(plan.items[0].id, 3);
+  EXPECT_EQ(plan.items[0].prefill_chunk, 0);
+}
+
+TEST(FcfsSchedulerTest, RespectsTokenBudget) {
+  SchedulerFixture fx(4096, 16);
+  FcfsConfig cfg;
+  cfg.max_prefill_tokens = 100;
+  fx.AddWaiting(1, 80, 10, 0.0);
+  fx.AddWaiting(2, 80, 10, 0.1);
+  FcfsScheduler sched(cfg);
+  auto plan = sched.PlanIteration(fx.Input(1.0));
+  ASSERT_EQ(plan.items.size(), 1u);
+  EXPECT_EQ(plan.items[0].id, 1);
+}
+
+TEST(FcfsSchedulerTest, OversizedFirstPrefillStillAdmitted) {
+  // A single prompt larger than max_prefill_tokens must still be admitted
+  // alone (the budget caps batching, not individual prompts).
+  SchedulerFixture fx(4096, 16);
+  FcfsConfig cfg;
+  cfg.max_prefill_tokens = 100;
+  fx.AddWaiting(1, 500, 10, 0.0);
+  FcfsScheduler sched(cfg);
+  auto plan = sched.PlanIteration(fx.Input(1.0));
+  ASSERT_EQ(plan.items.size(), 1u);
+  EXPECT_EQ(plan.items[0].prefill_chunk, 500);
+}
+
+TEST(FcfsSchedulerTest, HiddenFallbackAdmitsWhenKvDoesNotFit) {
+  SchedulerFixture fx(/*pool_blocks=*/8, /*block_size=*/16);
+  fx.AddWaiting(1, 100, 10, 0.0);  // KV needs 14 > 8, hidden needs 7 <= 8
+  FcfsConfig cfg;
+  cfg.allow_hidden_fallback = true;
+  FcfsScheduler sched(cfg);
+  auto plan = sched.PlanIteration(fx.Input(1.0));
+  ASSERT_EQ(plan.items.size(), 1u);
+  EXPECT_EQ(plan.items[0].cache_type, CacheType::kHidden);
+}
+
+TEST(FcfsSchedulerTest, MaxBatchCap) {
+  SchedulerFixture fx(4096, 16);
+  FcfsConfig cfg;
+  cfg.max_batch = 3;
+  cfg.max_prefill_tokens = 1 << 20;
+  for (int i = 0; i < 6; ++i) fx.AddWaiting(i, 8, 4, i * 0.01);
+  FcfsScheduler sched(cfg);
+  auto plan = sched.PlanIteration(fx.Input(1.0));
+  EXPECT_EQ(plan.items.size(), 3u);
+}
+
+TEST(FcfsSchedulerTest, EmptyInputYieldsEmptyPlan) {
+  SchedulerFixture fx;
+  FcfsScheduler sched;
+  auto plan = sched.PlanIteration(fx.Input(0.0));
+  EXPECT_TRUE(plan.items.empty());
+  EXPECT_TRUE(plan.preempt.empty());
+}
+
+TEST(RandomSchedulerTest, SkipsNonFittingInsteadOfBlocking) {
+  SchedulerFixture fx(/*pool_blocks=*/8, /*block_size=*/16);
+  fx.AddWaiting(1, 100, 10, 0.0);  // doesn't fit as KV
+  fx.AddWaiting(2, 16, 10, 0.1);   // fits (4 blocks)
+  RandomScheduler sched;
+  auto plan = sched.PlanIteration(fx.Input(1.0));
+  ASSERT_EQ(plan.items.size(), 1u);
+  EXPECT_EQ(plan.items[0].id, 2);
+}
+
+TEST(RandomSchedulerTest, OrderVariesAcrossIterations) {
+  SchedulerFixture fx(4096, 16);
+  for (int i = 0; i < 12; ++i) fx.AddWaiting(i, 8, 4, i * 0.01);
+  RandomScheduler sched;
+  // Collect first-admitted ids over repeated plans; a shuffling scheduler
+  // must produce more than one distinct head.
+  std::set<RequestId> heads;
+  for (int rep = 0; rep < 20; ++rep) {
+    auto plan = sched.PlanIteration(fx.Input(1.0));
+    ASSERT_FALSE(plan.items.empty());
+    heads.insert(plan.items[0].id);
+  }
+  EXPECT_GT(heads.size(), 1u);
+}
+
+}  // namespace
+}  // namespace aptserve

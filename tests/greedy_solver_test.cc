@@ -1,0 +1,240 @@
+// Unit and property tests for the greedy solution of the hybrid-cache-based
+// scheduling problem (paper Definition 1, §5): feasibility, the marginal-
+// gain schedule structure, and the empirical 2-approximation bound against
+// the exact DP oracle over randomized instances.
+#include "core/greedy_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace aptserve {
+namespace {
+
+QuantificationModel MakeModel(double rho = 1e-5, int32_t n_sys = 50,
+                              double decay = 0.0) {
+  QuantificationConfig qc;
+  qc.rho_seconds_per_token = rho;
+  qc.num_requests_in_system = n_sys;
+  qc.violation_decay = decay;
+  return QuantificationModel(qc);
+}
+
+CandidateInfo Cand(RequestId id, double pending, int32_t blocks,
+                   int32_t tokens, bool violated = false) {
+  CandidateInfo c;
+  c.id = id;
+  c.pending_s = pending;
+  c.m_blocks = blocks;
+  c.m_tokens = tokens;
+  c.slo_violated = violated;
+  return c;
+}
+
+double SolutionWeight(const std::vector<CandidateInfo>& cands,
+                      const GreedySolution& sol) {
+  double w = 0;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (!sol.decisions[i].selected) continue;
+    w += sol.decisions[i].use_hidden ? std::max(1, cands[i].m_blocks / 2)
+                                     : cands[i].m_blocks;
+  }
+  return w;
+}
+
+double SolutionValue(const QuantificationModel& m,
+                     const std::vector<CandidateInfo>& cands,
+                     const GreedySolution& sol) {
+  double v = 0;
+  for (size_t i = 0; i < cands.size(); ++i) {
+    if (!sol.decisions[i].selected) continue;
+    v += m.Value(cands[i], sol.decisions[i].use_hidden);
+  }
+  return v;
+}
+
+TEST(GreedySolverTest, EmptyInput) {
+  auto m = MakeModel();
+  GreedySolver solver(&m);
+  auto sol = solver.Solve({}, 100);
+  EXPECT_EQ(sol.total_value, 0.0);
+  EXPECT_TRUE(sol.decisions.empty());
+}
+
+TEST(GreedySolverTest, ZeroCapacitySelectsNothing) {
+  auto m = MakeModel();
+  GreedySolver solver(&m);
+  auto sol = solver.Solve({Cand(1, 1.0, 4, 50)}, 0);
+  EXPECT_FALSE(sol.decisions[0].selected);
+}
+
+TEST(GreedySolverTest, EverythingFitsSelectsAllAsKv) {
+  // With ample capacity the greedy takes both marginal steps for every
+  // candidate: everyone scheduled with full KV cache (no hidden penalty).
+  auto m = MakeModel(/*rho=*/1e-5, /*n_sys=*/10);
+  GreedySolver solver(&m);
+  std::vector<CandidateInfo> cands = {
+      Cand(1, 5.0, 10, 80), Cand(2, 3.0, 20, 160), Cand(3, 8.0, 6, 48)};
+  auto sol = solver.Solve(cands, 1000);
+  for (const auto& d : sol.decisions) {
+    EXPECT_TRUE(d.selected);
+    EXPECT_FALSE(d.use_hidden);
+  }
+  EXPECT_DOUBLE_EQ(sol.total_value, 16.0);
+}
+
+TEST(GreedySolverTest, TightCapacityAssignsHidden) {
+  // Two requests of 10 blocks each, capacity 10: hidden fits both at half
+  // memory; with large pendings that beats one full KV schedule.
+  auto m = MakeModel(/*rho=*/1e-6, /*n_sys=*/10);
+  GreedySolver solver(&m);
+  std::vector<CandidateInfo> cands = {Cand(1, 10.0, 10, 80),
+                                      Cand(2, 9.0, 10, 80)};
+  auto sol = solver.Solve(cands, 10);
+  EXPECT_TRUE(sol.decisions[0].selected);
+  EXPECT_TRUE(sol.decisions[1].selected);
+  EXPECT_TRUE(sol.decisions[0].use_hidden);
+  EXPECT_TRUE(sol.decisions[1].use_hidden);
+}
+
+TEST(GreedySolverTest, UnprofitableHiddenUsesDirectKvStep) {
+  // Huge penalty: hidden never profitable, degenerates to 0-1 knapsack.
+  auto m = MakeModel(/*rho=*/1.0, /*n_sys=*/100);
+  GreedySolver solver(&m);
+  std::vector<CandidateInfo> cands = {Cand(1, 2.0, 6, 50),
+                                      Cand(2, 1.0, 6, 50)};
+  auto sol = solver.Solve(cands, 6);
+  EXPECT_TRUE(sol.decisions[0].selected);
+  EXPECT_FALSE(sol.decisions[0].use_hidden);
+  EXPECT_FALSE(sol.decisions[1].selected);
+}
+
+TEST(GreedySolverTest, RespectsCapacity) {
+  auto m = MakeModel();
+  GreedySolver solver(&m);
+  Rng rng(5);
+  std::vector<CandidateInfo> cands;
+  for (int i = 0; i < 40; ++i) {
+    cands.push_back(Cand(i, rng.Uniform(0.1, 10.0),
+                         2 * static_cast<int32_t>(rng.UniformInt(1, 30)),
+                         static_cast<int32_t>(rng.UniformInt(10, 500))));
+  }
+  for (int32_t cap : {10, 50, 100, 400}) {
+    auto sol = solver.Solve(cands, cap);
+    EXPECT_LE(SolutionWeight(cands, sol), cap);
+    EXPECT_NEAR(SolutionValue(m, cands, sol), sol.total_value, 1e-9);
+  }
+}
+
+TEST(GreedySolverTest, ViolatedRequestsDemoted) {
+  auto m = MakeModel();
+  GreedySolver solver(&m);
+  // The violated request has huge pending but near-zero effective value, so
+  // the healthy one wins the single slot.
+  std::vector<CandidateInfo> cands = {
+      Cand(1, 100.0, 6, 50, /*violated=*/true), Cand(2, 0.5, 6, 50)};
+  auto sol = solver.Solve(cands, 6);
+  EXPECT_FALSE(sol.decisions[0].selected);
+  EXPECT_TRUE(sol.decisions[1].selected);
+}
+
+TEST(GreedySolverTest, BestSingleGuardBeatsFragmentedGreedy) {
+  // Classic knapsack adversary: many small low-value items fill capacity
+  // before one big high-value item is considered; the guard must return the
+  // big item alone.
+  auto m = MakeModel(/*rho=*/1.0, /*n_sys=*/1000);  // hidden unprofitable
+  GreedySolver solver(&m);
+  std::vector<CandidateInfo> cands;
+  // Small items: density 1.0/2 = 0.5 each.
+  for (int i = 0; i < 5; ++i) cands.push_back(Cand(i, 1.0, 2, 1));
+  // Big item: value 100, weight 10, density 10 — but if greedy had taken
+  // the small ones first it could not fit. (Density order actually places
+  // it first; craft the adversary instead with capacity 10 and a big item
+  // of density slightly below the small ones.)
+  cands.push_back(Cand(99, 4.9, 10, 1));  // density 0.49
+  auto sol = solver.Solve(cands, 10);
+  // Greedy by density takes the 5 small items (value 5, weight 10); the
+  // single big item (value 4.9) loses. Exact = 5. Either way we must be
+  // within factor 2 of exact and feasible.
+  auto exact = SolveExact(m, cands, 10);
+  EXPECT_LE(SolutionWeight(cands, sol), 10);
+  EXPECT_GE(2 * sol.total_value + 1e-9, exact.total_value);
+}
+
+TEST(ExactSolverTest, MatchesBruteForceIntuition) {
+  auto m = MakeModel(/*rho=*/1e-6, /*n_sys=*/10);
+  // Capacity 10; KV(A)=v 10/w 10; hidden(A)=~10/5; KV(B)=6/6, hidden(B)~6/3.
+  // Best: hidden A + hidden B = ~16 within weight 8.
+  std::vector<CandidateInfo> cands = {Cand(1, 10.0, 10, 10),
+                                      Cand(2, 6.0, 6, 10)};
+  auto sol = SolveExact(m, cands, 10);
+  EXPECT_TRUE(sol.decisions[0].selected);
+  EXPECT_TRUE(sol.decisions[1].selected);
+  EXPECT_TRUE(sol.decisions[0].use_hidden);
+  EXPECT_TRUE(sol.decisions[1].use_hidden);
+  EXPECT_NEAR(sol.total_value, 16.0, 0.01);
+}
+
+// ---- Property sweep: greedy is a 2-approximation of the exact optimum ----
+
+class ApproxRatioTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ApproxRatioTest, GreedyWithinFactorTwoOfExact) {
+  Rng rng(GetParam());
+  for (int inst = 0; inst < 30; ++inst) {
+    const int n = 1 + static_cast<int>(rng.UniformInt(0, 14));
+    const double rho = rng.Uniform(1e-7, 1e-4);
+    const int n_sys = 1 + static_cast<int>(rng.UniformInt(0, 200));
+    auto m = MakeModel(rho, n_sys);
+    GreedySolver solver(&m);
+    std::vector<CandidateInfo> cands;
+    for (int i = 0; i < n; ++i) {
+      cands.push_back(Cand(i, rng.Uniform(0.001, 20.0),
+                           2 * static_cast<int32_t>(rng.UniformInt(1, 20)),
+                           static_cast<int32_t>(rng.UniformInt(1, 2000)),
+                           rng.Uniform() < 0.2));
+    }
+    const int32_t cap = static_cast<int32_t>(rng.UniformInt(1, 300));
+    auto greedy = solver.Solve(cands, cap);
+    auto exact = SolveExact(m, cands, cap);
+    EXPECT_LE(SolutionWeight(cands, greedy), cap);
+    EXPECT_LE(SolutionWeight(cands, exact), cap);
+    EXPECT_LE(greedy.total_value, exact.total_value + 1e-9)
+        << "greedy cannot beat the optimum";
+    EXPECT_GE(2.0 * greedy.total_value + 1e-9, exact.total_value)
+        << "2-approximation violated: greedy=" << greedy.total_value
+        << " exact=" << exact.total_value << " cap=" << cap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApproxRatioTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// In practice greedy is usually near-optimal; check the average gap too.
+TEST(ApproxRatioTest, AverageGapIsSmall) {
+  Rng rng(777);
+  double ratio_sum = 0;
+  int count = 0;
+  for (int inst = 0; inst < 100; ++inst) {
+    auto m = MakeModel(rng.Uniform(1e-7, 1e-4),
+                       1 + static_cast<int>(rng.UniformInt(0, 100)));
+    GreedySolver solver(&m);
+    std::vector<CandidateInfo> cands;
+    for (int i = 0; i < 12; ++i) {
+      cands.push_back(Cand(i, rng.Uniform(0.01, 10.0),
+                           2 * static_cast<int32_t>(rng.UniformInt(1, 15)),
+                           static_cast<int32_t>(rng.UniformInt(1, 1000))));
+    }
+    const int32_t cap = static_cast<int32_t>(rng.UniformInt(10, 200));
+    auto greedy = solver.Solve(cands, cap);
+    auto exact = SolveExact(m, cands, cap);
+    if (exact.total_value > 0) {
+      ratio_sum += greedy.total_value / exact.total_value;
+      ++count;
+    }
+  }
+  EXPECT_GT(ratio_sum / count, 0.9);
+}
+
+}  // namespace
+}  // namespace aptserve

@@ -1,0 +1,171 @@
+#include "engine/inference_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace aptserve {
+namespace {
+
+ModelConfig Cfg() { return ModelConfig::Tiny(); }
+
+std::vector<int32_t> Prompt(int32_t n, int32_t base = 3) {
+  std::vector<int32_t> p(n);
+  for (int32_t i = 0; i < n; ++i) p[i] = (base + i * 7) % Cfg().vocab_size;
+  return p;
+}
+
+TEST(InferenceEngineTest, PrefillThenDecode) {
+  InferenceEngine engine(Cfg(), 42, 64, 4);
+  ASSERT_TRUE(engine.AddRequest(1, Prompt(8), CacheType::kKV).ok());
+  auto first = engine.Prefill(1);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const GenerationState* gs = engine.Find(1);
+  ASSERT_NE(gs, nullptr);
+  EXPECT_EQ(gs->cached_tokens, 8);
+  EXPECT_EQ(gs->tokens.size(), 9u);
+  EXPECT_EQ(gs->generated(), 1);
+  auto next = engine.DecodeStep(1);
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(gs->cached_tokens, 9);
+  EXPECT_EQ(gs->generated(), 2);
+}
+
+TEST(InferenceEngineTest, KvAndHiddenGenerateIdenticalTokens) {
+  InferenceEngine e1(Cfg(), 42, 64, 4);
+  InferenceEngine e2(Cfg(), 42, 64, 4);
+  ASSERT_TRUE(e1.AddRequest(1, Prompt(10), CacheType::kKV).ok());
+  ASSERT_TRUE(e2.AddRequest(1, Prompt(10), CacheType::kHidden).ok());
+  auto t1 = e1.Generate(1, 15);
+  auto t2 = e2.Generate(1, 15);
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  EXPECT_EQ(*t1, *t2);
+}
+
+TEST(InferenceEngineTest, ConversionPreservesGeneration) {
+  // Reference: generate 12 tokens with KV throughout.
+  InferenceEngine ref(Cfg(), 7, 128, 4);
+  ASSERT_TRUE(ref.AddRequest(1, Prompt(6), CacheType::kKV).ok());
+  auto expected = ref.Generate(1, 12);
+  ASSERT_TRUE(expected.ok());
+
+  // Same run, but convert KV -> hidden after 4 tokens and hidden -> KV
+  // after 8 (each conversion discards the cache and re-prefills).
+  InferenceEngine eng(Cfg(), 7, 128, 4);
+  ASSERT_TRUE(eng.AddRequest(1, Prompt(6), CacheType::kKV).ok());
+  ASSERT_TRUE(eng.Generate(1, 4).ok());
+  ASSERT_TRUE(eng.ConvertCacheType(1, CacheType::kHidden).ok());
+  EXPECT_EQ(eng.Find(1)->cached_tokens, 0);  // cache discarded
+  ASSERT_TRUE(eng.Generate(1, 4).ok());      // resume-prefill + decodes
+  ASSERT_TRUE(eng.ConvertCacheType(1, CacheType::kKV).ok());
+  ASSERT_TRUE(eng.Generate(1, 4).ok());
+  EXPECT_EQ(eng.Find(1)->tokens, *expected);
+}
+
+TEST(InferenceEngineTest, ConversionToSameTypeIsNoOp) {
+  InferenceEngine eng(Cfg(), 7, 64, 4);
+  ASSERT_TRUE(eng.AddRequest(1, Prompt(6), CacheType::kKV).ok());
+  ASSERT_TRUE(eng.Prefill(1).ok());
+  const int32_t cached = eng.Find(1)->cached_tokens;
+  ASSERT_TRUE(eng.ConvertCacheType(1, CacheType::kKV).ok());
+  EXPECT_EQ(eng.Find(1)->cached_tokens, cached);
+}
+
+TEST(InferenceEngineTest, HiddenCacheHalvesBlockUsage) {
+  InferenceEngine kv(Cfg(), 42, 64, 4);
+  InferenceEngine hid(Cfg(), 42, 64, 4);
+  ASSERT_TRUE(kv.AddRequest(1, Prompt(16), CacheType::kKV).ok());
+  ASSERT_TRUE(hid.AddRequest(1, Prompt(16), CacheType::kHidden).ok());
+  ASSERT_TRUE(kv.Prefill(1).ok());
+  ASSERT_TRUE(hid.Prefill(1).ok());
+  EXPECT_EQ(kv.pool().num_allocated(), 8);   // 2 * ceil(16/4)
+  EXPECT_EQ(hid.pool().num_allocated(), 4);  // ceil(16/4)
+}
+
+TEST(InferenceEngineTest, PreemptionAndResumeIsDeterministic) {
+  InferenceEngine ref(Cfg(), 9, 128, 4);
+  ASSERT_TRUE(ref.AddRequest(1, Prompt(5), CacheType::kKV).ok());
+  auto expected = ref.Generate(1, 10);
+  ASSERT_TRUE(expected.ok());
+
+  InferenceEngine eng(Cfg(), 9, 128, 4);
+  ASSERT_TRUE(eng.AddRequest(1, Prompt(5), CacheType::kKV).ok());
+  ASSERT_TRUE(eng.Generate(1, 5).ok());
+  ASSERT_TRUE(eng.Preempt(1).ok());
+  EXPECT_EQ(eng.pool().num_allocated(), 0);
+  ASSERT_TRUE(eng.Generate(1, 5).ok());
+  EXPECT_EQ(eng.Find(1)->tokens, *expected);
+}
+
+TEST(InferenceEngineTest, GenerateStopsAtEos) {
+  InferenceEngine eng(Cfg(), 42, 64, 4);
+  ASSERT_TRUE(eng.AddRequest(1, Prompt(4), CacheType::kKV).ok());
+  // Find what the model generates, then re-run with that token as EOS.
+  auto all = eng.Generate(1, 6);
+  ASSERT_TRUE(all.ok());
+  const int32_t eos = (*all)[4];  // first generated token
+  InferenceEngine eng2(Cfg(), 42, 64, 4);
+  ASSERT_TRUE(eng2.AddRequest(1, Prompt(4), CacheType::kKV).ok());
+  auto out = eng2.Generate(1, 6, eos);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 5u);  // prompt + the EOS token
+}
+
+TEST(InferenceEngineTest, ApiErrors) {
+  InferenceEngine eng(Cfg(), 42, 64, 4);
+  EXPECT_TRUE(eng.Prefill(1).status().IsNotFound());
+  EXPECT_TRUE(eng.DecodeStep(1).status().IsNotFound());
+  EXPECT_TRUE(eng.RemoveRequest(1).IsNotFound());
+  EXPECT_TRUE(eng.AddRequest(1, {}, CacheType::kKV).IsInvalidArgument());
+  EXPECT_TRUE(
+      eng.AddRequest(1, {Cfg().vocab_size + 1}, CacheType::kKV)
+          .IsInvalidArgument());
+  ASSERT_TRUE(eng.AddRequest(1, Prompt(4), CacheType::kKV).ok());
+  EXPECT_TRUE(eng.AddRequest(1, Prompt(4), CacheType::kKV).IsAlreadyExists());
+  EXPECT_TRUE(eng.DecodeStep(1).status().IsFailedPrecondition());
+  ASSERT_TRUE(eng.Prefill(1).ok());
+  EXPECT_TRUE(eng.Prefill(1).status().IsFailedPrecondition());
+}
+
+TEST(InferenceEngineTest, OutOfMemoryPrefillRollsBack) {
+  InferenceEngine eng(Cfg(), 42, /*num_blocks=*/4, /*block_size=*/4);
+  // 16-token KV prefill needs 8 blocks > 4 available.
+  ASSERT_TRUE(eng.AddRequest(1, Prompt(16), CacheType::kKV).ok());
+  auto r = eng.Prefill(1);
+  EXPECT_TRUE(r.status().IsOutOfMemory());
+  EXPECT_EQ(eng.pool().num_allocated(), 0);
+  // Hidden fits (4 blocks).
+  ASSERT_TRUE(eng.ConvertCacheType(1, CacheType::kHidden).ok());
+  EXPECT_TRUE(eng.Prefill(1).ok());
+}
+
+TEST(InferenceEngineTest, RemoveFreesBlocks) {
+  InferenceEngine eng(Cfg(), 42, 64, 4);
+  ASSERT_TRUE(eng.AddRequest(1, Prompt(8), CacheType::kKV).ok());
+  ASSERT_TRUE(eng.Prefill(1).ok());
+  EXPECT_GT(eng.pool().num_allocated(), 0);
+  ASSERT_TRUE(eng.RemoveRequest(1).ok());
+  EXPECT_EQ(eng.pool().num_allocated(), 0);
+  EXPECT_EQ(eng.Find(1), nullptr);
+}
+
+TEST(InferenceEngineTest, ManyConcurrentRequestsShareThePool) {
+  InferenceEngine eng(Cfg(), 42, 128, 4);
+  for (RequestId id = 0; id < 6; ++id) {
+    const CacheType t = id % 2 ? CacheType::kHidden : CacheType::kKV;
+    ASSERT_TRUE(eng.AddRequest(id, Prompt(6, 2 + id), t).ok());
+    ASSERT_TRUE(eng.Prefill(id).ok());
+  }
+  // Interleave decode steps round-robin (iteration-level batching).
+  for (int step = 0; step < 8; ++step) {
+    for (RequestId id = 0; id < 6; ++id) {
+      ASSERT_TRUE(eng.DecodeStep(id).ok());
+    }
+  }
+  for (RequestId id = 0; id < 6; ++id) {
+    EXPECT_EQ(eng.Find(id)->generated(), 9);
+    ASSERT_TRUE(eng.RemoveRequest(id).ok());
+  }
+  EXPECT_EQ(eng.pool().num_allocated(), 0);
+}
+
+}  // namespace
+}  // namespace aptserve

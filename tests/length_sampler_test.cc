@@ -1,0 +1,158 @@
+#include "workload/length_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace aptserve {
+namespace {
+
+SampleSet Draw(const LengthDistribution& d, int n, uint64_t seed = 1) {
+  Rng rng(seed);
+  SampleSet s;
+  for (int i = 0; i < n; ++i) s.Add(d.Sample(&rng));
+  return s;
+}
+
+TEST(LengthDistributionTest, LogNormalMatchesMedianAndMean) {
+  auto d = LengthDistribution::LogNormalByMedianMean(200, 300, 1, 100000);
+  auto s = Draw(d, 50000);
+  EXPECT_NEAR(s.Median(), 200, 12);
+  EXPECT_NEAR(s.Mean(), 300, 20);
+}
+
+TEST(LengthDistributionTest, RespectsBounds) {
+  auto d = LengthDistribution::LogNormalByMedianMean(200, 400, 50, 500);
+  auto s = Draw(d, 20000);
+  EXPECT_GE(s.Min(), 50);
+  EXPECT_LE(s.Max(), 500);
+}
+
+TEST(LengthDistributionTest, NormalMatchesMoments) {
+  auto d = LengthDistribution::NormalByMeanStd(100, 10, 1, 1000);
+  auto s = Draw(d, 20000);
+  EXPECT_NEAR(s.Mean(), 100, 2);
+  EXPECT_NEAR(s.Median(), 100, 2);
+}
+
+TEST(LengthDistributionTest, ReflectedIsLeftSkewed) {
+  // mean < median requires a left-skewed shape.
+  auto d = LengthDistribution::ReflectedByMedianMean(221, 185, 305, 8, 299);
+  auto s = Draw(d, 50000);
+  EXPECT_LT(s.Mean(), s.Median());
+  EXPECT_NEAR(s.Median(), 221, 12);
+  EXPECT_NEAR(s.Mean(), 185, 15);
+  EXPECT_LE(s.Max(), 299);
+}
+
+TEST(LengthDistributionTest, DegenerateMedianEqualsMean) {
+  // mean <= median falls back to a small sigma rather than NaN.
+  auto d = LengthDistribution::LogNormalByMedianMean(100, 100, 1, 1000);
+  auto s = Draw(d, 5000);
+  EXPECT_NEAR(s.Median(), 100, 10);
+}
+
+struct ProfileCase {
+  const char* name;
+  bool ultra_long;
+};
+
+class DatasetProfileTest : public ::testing::TestWithParam<ProfileCase> {};
+
+TEST_P(DatasetProfileTest, ByNameRoundTrip) {
+  auto p = DatasetProfile::ByName(GetParam().name);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->name, GetParam().name);
+}
+
+TEST_P(DatasetProfileTest, SamplesArePositiveAndBounded) {
+  auto p = DatasetProfile::ByName(GetParam().name);
+  ASSERT_TRUE(p.ok());
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_GE(p->input.Sample(&rng), 1);
+    EXPECT_GE(p->output.Sample(&rng), 1);
+    EXPECT_LE(p->input.Sample(&rng), p->input.max_len);
+    EXPECT_LE(p->output.Sample(&rng), p->output.max_len);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, DatasetProfileTest,
+    ::testing::Values(ProfileCase{"ShareGPT", false},
+                      ProfileCase{"HumanEval", false},
+                      ProfileCase{"LongBench", false},
+                      ProfileCase{"WikiText", true},
+                      ProfileCase{"Arxiv", true},
+                      ProfileCase{"BookCorpus", true}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(DatasetProfileTest, UnknownNameRejected) {
+  EXPECT_TRUE(DatasetProfile::ByName("Wikipedia").status().IsNotFound());
+}
+
+// Figure 7's qualitative ordering: LongBench has much longer inputs than
+// ShareGPT; HumanEval has the shortest outputs; ShareGPT the longest.
+TEST(DatasetProfileTest, Figure7QualitativeOrdering) {
+  Rng rng(5);
+  auto mean = [&](const LengthDistribution& d) {
+    SampleSet s;
+    for (int i = 0; i < 20000; ++i) s.Add(d.Sample(&rng));
+    return s.Mean();
+  };
+  const double sg_in = mean(DatasetProfile::ShareGpt().input);
+  const double lb_in = mean(DatasetProfile::LongBench().input);
+  const double he_out = mean(DatasetProfile::HumanEval().output);
+  const double sg_out = mean(DatasetProfile::ShareGpt().output);
+  const double lb_out = mean(DatasetProfile::LongBench().output);
+  EXPECT_GT(lb_in, 4 * sg_in);
+  EXPECT_LT(he_out, lb_out);
+  EXPECT_LT(lb_out, sg_out);
+}
+
+// Table 7's reported statistics for the ultra-long datasets.
+TEST(DatasetProfileTest, Table7WikiTextStats) {
+  Rng rng(11);
+  SampleSet in, out;
+  auto p = DatasetProfile::WikiText();
+  for (int i = 0; i < 50000; ++i) {
+    in.Add(p.input.Sample(&rng));
+    out.Add(p.output.Sample(&rng));
+  }
+  EXPECT_NEAR(in.Median(), 871, 60);
+  EXPECT_NEAR(in.Mean(), 914, 60);
+  EXPECT_LE(in.Max(), 1840);
+  EXPECT_NEAR(out.Median(), 552, 40);
+  EXPECT_NEAR(out.Mean(), 521, 40);
+}
+
+TEST(DatasetProfileTest, Table7ArxivStats) {
+  Rng rng(11);
+  SampleSet in, out;
+  auto p = DatasetProfile::Arxiv();
+  for (int i = 0; i < 50000; ++i) {
+    in.Add(p.input.Sample(&rng));
+    out.Add(p.output.Sample(&rng));
+  }
+  EXPECT_NEAR(in.Median(), 6853, 400);
+  EXPECT_LE(in.Max(), 19600);
+  EXPECT_NEAR(out.Median(), 226, 30);
+  EXPECT_GT(out.Mean(), out.Median());  // heavy right tail
+}
+
+TEST(DatasetProfileTest, Table7BookCorpusStats) {
+  Rng rng(11);
+  SampleSet in, out;
+  auto p = DatasetProfile::BookCorpus();
+  for (int i = 0; i < 50000; ++i) {
+    in.Add(p.input.Sample(&rng));
+    out.Add(p.output.Sample(&rng));
+  }
+  EXPECT_NEAR(in.Median(), 14781, 900);
+  EXPECT_LE(in.Max(), 23706);
+  EXPECT_LT(out.Mean(), out.Median());  // left-skewed outputs
+  EXPECT_LE(out.Max(), 299);
+}
+
+}  // namespace
+}  // namespace aptserve

@@ -1,0 +1,144 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace aptserve {
+namespace {
+
+Request Req(RequestId id, TimePoint arrival) {
+  Request r;
+  r.id = id;
+  r.prompt_len = 10;
+  r.output_len = 5;
+  r.arrival = arrival;
+  return r;
+}
+
+TEST(RequestRecordTest, SloChecks) {
+  SloSpec slo{1.0, 0.5};
+  RequestRecord rec;
+  rec.spec = Req(0, 0.0);
+  rec.ttft = 0.8;
+  rec.tbt_samples = {0.1, 0.2, 0.3};
+  EXPECT_TRUE(rec.MeetsTtft(slo));
+  EXPECT_TRUE(rec.MeetsTbt(slo));
+  EXPECT_TRUE(rec.MeetsSlo(slo));
+  rec.ttft = 1.2;
+  EXPECT_FALSE(rec.MeetsTtft(slo));
+  EXPECT_FALSE(rec.MeetsSlo(slo));
+}
+
+TEST(RequestRecordTest, P99TbtIsTailSensitive) {
+  RequestRecord rec;
+  for (int i = 0; i < 49; ++i) rec.tbt_samples.push_back(0.05);
+  rec.tbt_samples.push_back(5.0);  // one stall
+  EXPECT_GT(rec.P99Tbt(), 0.05);
+  SloSpec slo{1.0, 1.0};
+  EXPECT_FALSE(rec.MeetsTbt(slo));
+}
+
+TEST(RequestRecordTest, NoTbtSamplesVacuouslyMet) {
+  RequestRecord rec;
+  rec.ttft = 0.2;
+  EXPECT_TRUE(rec.MeetsTbt(SloSpec{1.0, 0.001}));
+}
+
+TEST(RequestRecordTest, NoFirstTokenFailsTtft) {
+  RequestRecord rec;  // ttft = -1
+  EXPECT_FALSE(rec.MeetsTtft(SloSpec{100.0, 1.0}));
+}
+
+TEST(MetricsCollectorTest, TokenTimelineProducesTtftAndTbt) {
+  MetricsCollector mc;
+  mc.RegisterRequest(Req(1, 10.0));
+  mc.OnToken(1, 10.5);  // TTFT = 0.5
+  mc.OnToken(1, 10.7);  // TBT = 0.2
+  mc.OnToken(1, 11.7);  // TBT = 1.0
+  mc.OnFinish(1, 11.7);
+  const auto& rec = mc.records().at(1);
+  EXPECT_DOUBLE_EQ(rec.ttft, 0.5);
+  ASSERT_EQ(rec.tbt_samples.size(), 2u);
+  EXPECT_NEAR(rec.tbt_samples[0], 0.2, 1e-12);
+  EXPECT_NEAR(rec.tbt_samples[1], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rec.finish_time, 11.7);
+}
+
+TEST(MetricsCollectorTest, ReportAggregates) {
+  SloSpec slo{1.0, 1.0};
+  MetricsCollector mc;
+  // Request 1 meets both; request 2 misses TTFT; request 3 misses TBT.
+  mc.RegisterRequest(Req(1, 0.0));
+  mc.OnToken(1, 0.5);
+  mc.OnToken(1, 0.6);
+  mc.RegisterRequest(Req(2, 0.0));
+  mc.OnToken(2, 3.0);
+  mc.OnToken(2, 3.1);
+  mc.RegisterRequest(Req(3, 0.0));
+  mc.OnToken(3, 0.5);
+  mc.OnToken(3, 4.0);
+  auto rep = mc.Report(slo);
+  EXPECT_NEAR(rep.slo_attainment, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(rep.ttft_attainment, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(rep.tbt_attainment, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(rep.ttfts.count(), 3u);
+}
+
+TEST(MetricsCollectorTest, BatchLimitRatio) {
+  MetricsCollector mc;
+  mc.RegisterRequest(Req(1, 0.0));
+  mc.OnToken(1, 1.0);
+  mc.OnIteration(2.0, 4, false);
+  mc.OnIteration(1.0, 8, true);
+  mc.OnIteration(1.0, 8, true);
+  auto rep = mc.Report(SloSpec{});
+  EXPECT_DOUBLE_EQ(rep.batch_limit_time_ratio, 0.5);
+  EXPECT_DOUBLE_EQ(rep.total_serving_time, 4.0);
+  EXPECT_EQ(rep.iterations, 3);
+  EXPECT_NEAR(rep.mean_batch_size, (4 + 8 + 8) / 3.0, 1e-12);
+}
+
+TEST(MetricsCollectorTest, PreemptionAndConversionCounts) {
+  MetricsCollector mc;
+  mc.RegisterRequest(Req(1, 0.0));
+  mc.OnToken(1, 0.1);
+  mc.OnPreemption();
+  mc.OnPreemption();
+  mc.OnConversion();
+  auto rep = mc.Report(SloSpec{});
+  EXPECT_EQ(rep.preemptions, 2);
+  EXPECT_EQ(rep.conversions, 1);
+}
+
+TEST(MetricsCollectorTest, EmptyReport) {
+  MetricsCollector mc;
+  auto rep = mc.Report(SloSpec{});
+  EXPECT_EQ(rep.slo_attainment, 0.0);
+  EXPECT_EQ(rep.iterations, 0);
+}
+
+
+TEST(JainFairnessTest, EqualValuesAreOne) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({2.0, 2.0, 2.0}), 1.0);
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({0.0, 0.0}), 1.0);
+}
+
+TEST(JainFairnessTest, SingleHogApproachesOneOverN) {
+  EXPECT_NEAR(JainFairnessIndex({100.0, 0.0, 0.0, 0.0}), 0.25, 1e-12);
+}
+
+TEST(JainFairnessTest, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(JainFairnessIndex({}), 0.0);
+}
+
+TEST(JainFairnessTest, ReportedInSloReport) {
+  MetricsCollector mc;
+  mc.RegisterRequest(Req(1, 0.0));
+  mc.RegisterRequest(Req(2, 0.0));
+  mc.OnToken(1, 1.0);   // TTFT 1
+  mc.OnToken(2, 1.0);   // TTFT 1
+  auto rep = mc.Report(SloSpec{});
+  EXPECT_DOUBLE_EQ(rep.jain_fairness_ttft, 1.0);
+}
+
+}  // namespace
+}  // namespace aptserve

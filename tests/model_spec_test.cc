@@ -1,0 +1,80 @@
+#include "sim/model_spec.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/cluster_spec.h"
+
+namespace aptserve {
+namespace {
+
+TEST(ModelSpecTest, Opt13BCacheFootprint) {
+  const ModelSpec m = ModelSpec::Opt13B();
+  // hidden/token = L * d * 2B = 40 * 5120 * 2 = 409,600 bytes.
+  EXPECT_DOUBLE_EQ(m.HiddenBytesPerToken(), 409600.0);
+  // KV is exactly double (the paper's 2:1 hybrid accounting).
+  EXPECT_DOUBLE_EQ(m.KvBytesPerToken(), 819200.0);
+  EXPECT_DOUBLE_EQ(m.WeightBytes(), 26e9);
+}
+
+TEST(ModelSpecTest, KvAlwaysTwiceHidden) {
+  for (const auto& m :
+       {ModelSpec::Opt13B(), ModelSpec::Opt30B(), ModelSpec::Opt66B(),
+        ModelSpec::Llama3_8B_262K(), ModelSpec::Yi6B_200K()}) {
+    EXPECT_DOUBLE_EQ(m.KvBytesPerToken(), 2.0 * m.HiddenBytesPerToken())
+        << m.name;
+    EXPECT_GT(m.FlopsPerToken(), 0) << m.name;
+    EXPECT_GT(m.HiddenRecomputeFlopsPerToken(), 0) << m.name;
+  }
+}
+
+TEST(ModelSpecTest, ByNameRoundTrip) {
+  for (const char* name :
+       {"OPT-13B", "OPT-30B", "OPT-66B", "LLaMA3-8B-Instruct262K",
+        "Yi-6B-200K"}) {
+    auto m = ModelSpec::ByName(name);
+    ASSERT_TRUE(m.ok()) << name;
+    EXPECT_EQ(m->name, name);
+  }
+  EXPECT_TRUE(ModelSpec::ByName("GPT-5").status().IsNotFound());
+}
+
+TEST(ModelSpecTest, RecomputeFlopsMatchTwoProjections) {
+  const ModelSpec m = ModelSpec::Opt13B();
+  // K and V projections: 2 matvecs of d x d, 2 FLOPs per MAC, per layer.
+  EXPECT_DOUBLE_EQ(m.HiddenRecomputeFlopsPerToken(),
+                   4.0 * 5120 * 5120 * 40);
+}
+
+TEST(ClusterSpecTest, Table2Pairings) {
+  EXPECT_EQ(ClusterSpec::ForModel(ModelSpec::Opt13B()).n_gpus, 1);
+  EXPECT_EQ(ClusterSpec::ForModel(ModelSpec::Opt30B()).n_gpus, 2);
+  EXPECT_EQ(ClusterSpec::ForModel(ModelSpec::Opt66B()).n_gpus, 4);
+  EXPECT_EQ(ClusterSpec::ForModel(ModelSpec::Llama3_8B_262K()).n_gpus, 1);
+}
+
+TEST(ClusterSpecTest, CacheBytesSubtractsWeights) {
+  const ModelSpec m = ModelSpec::Opt13B();
+  ClusterSpec c = ClusterSpec::ForModel(m);
+  auto bytes = c.CacheBytes(m);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_NEAR(*bytes, 40e9 * 0.9 - 26e9, 1e6);
+}
+
+TEST(ClusterSpecTest, ModelTooBigRejected) {
+  ClusterSpec c;
+  c.n_gpus = 1;  // 66B (132GB) cannot fit on one 40GB GPU
+  EXPECT_FALSE(c.CacheBytes(ModelSpec::Opt66B()).ok());
+}
+
+TEST(ClusterSpecTest, TensorParallelScaling) {
+  ClusterSpec one, four;
+  one.n_gpus = 1;
+  four.n_gpus = 4;
+  EXPECT_DOUBLE_EQ(one.TpScale(), 1.0);
+  EXPECT_GT(four.TpScale(), 3.0);  // sub-linear but substantial
+  EXPECT_LT(four.TpScale(), 4.0);
+  EXPECT_GT(four.EffectiveFlops(), 3.0 * one.EffectiveFlops());
+}
+
+}  // namespace
+}  // namespace aptserve

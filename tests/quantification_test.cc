@@ -1,0 +1,76 @@
+#include "core/quantification.h"
+
+#include <gtest/gtest.h>
+
+namespace aptserve {
+namespace {
+
+CandidateInfo Cand(double pending, int32_t blocks, int32_t tokens,
+                   bool violated = false) {
+  CandidateInfo c;
+  c.id = 1;
+  c.pending_s = pending;
+  c.m_blocks = blocks;
+  c.m_tokens = tokens;
+  c.slo_violated = violated;
+  return c;
+}
+
+TEST(QuantificationTest, ValueMatchesEq5) {
+  QuantificationConfig qc;
+  qc.rho_seconds_per_token = 1e-5;
+  qc.num_requests_in_system = 100;
+  QuantificationModel m(qc);
+  CandidateInfo c = Cand(2.0, 10, 500);
+  // g(kv) = p; g(hidden) = p - N * rho * m_tokens = 2.0 - 100*1e-5*500.
+  EXPECT_DOUBLE_EQ(m.Value(c, false), 2.0);
+  EXPECT_DOUBLE_EQ(m.Value(c, true), 2.0 - 0.5);
+  EXPECT_DOUBLE_EQ(m.HiddenPenalty(c), 0.5);
+}
+
+TEST(QuantificationTest, HiddenProfitabilityThreshold) {
+  QuantificationConfig qc;
+  qc.rho_seconds_per_token = 1e-5;
+  qc.num_requests_in_system = 100;
+  QuantificationModel m(qc);
+  // Threshold: p >= 2 * N * rho * tokens = 2 * 0.5 = 1.0.
+  EXPECT_TRUE(m.HiddenProfitable(Cand(1.0, 10, 500)));
+  EXPECT_TRUE(m.HiddenProfitable(Cand(5.0, 10, 500)));
+  EXPECT_FALSE(m.HiddenProfitable(Cand(0.99, 10, 500)));
+}
+
+TEST(QuantificationTest, SloFallbackDemotesToEpsilon) {
+  QuantificationConfig qc;
+  qc.epsilon = 1e-6;
+  QuantificationModel m(qc);
+  CandidateInfo c = Cand(10.0, 4, 100, /*violated=*/true);
+  EXPECT_DOUBLE_EQ(m.EffectivePending(c), 1e-6);
+  EXPECT_DOUBLE_EQ(m.Value(c, false), 1e-6);
+}
+
+TEST(QuantificationTest, DecayVariantScalesInsteadOfFlooring) {
+  QuantificationConfig qc;
+  qc.violation_decay = 0.4;  // the Apt-Serve* configuration of §6.6
+  QuantificationModel m(qc);
+  CandidateInfo c = Cand(10.0, 4, 100, /*violated=*/true);
+  EXPECT_DOUBLE_EQ(m.EffectivePending(c), 4.0);
+}
+
+TEST(QuantificationTest, NonViolatedUnaffectedByFallback) {
+  QuantificationConfig qc;
+  qc.violation_decay = 0.4;
+  QuantificationModel m(qc);
+  EXPECT_DOUBLE_EQ(m.EffectivePending(Cand(10.0, 4, 100, false)), 10.0);
+}
+
+TEST(QuantificationTest, ZeroRhoMakesHiddenFree) {
+  QuantificationConfig qc;
+  qc.rho_seconds_per_token = 0.0;
+  QuantificationModel m(qc);
+  CandidateInfo c = Cand(3.0, 10, 500);
+  EXPECT_DOUBLE_EQ(m.Value(c, true), 3.0);
+  EXPECT_TRUE(m.HiddenProfitable(c));
+}
+
+}  // namespace
+}  // namespace aptserve

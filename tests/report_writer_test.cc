@@ -1,0 +1,118 @@
+#include "sim/report_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "baselines/fcfs_scheduler.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+namespace aptserve {
+namespace {
+
+TEST(ReportWriterTest, RequestRecordsCsvShape) {
+  std::unordered_map<RequestId, RequestRecord> records;
+  RequestRecord a;
+  a.spec = Request{2, 10, 5, 1.0};
+  a.ttft = 0.5;
+  a.tbt_samples = {0.1, 0.2};
+  a.finish_time = 2.0;
+  RequestRecord b;
+  b.spec = Request{1, 20, 3, 0.5};
+  b.ttft = 2.0;  // violates a 1s TTFT SLO
+  b.finish_time = 3.0;
+  records[2] = a;
+  records[1] = b;
+
+  std::ostringstream out;
+  WriteRequestRecordsCsv(records, SloSpec{1.0, 1.0}, &out);
+  const std::string csv = out.str();
+  // Header plus two rows, sorted by id.
+  EXPECT_NE(csv.find("id,arrival"), std::string::npos);
+  const size_t row1 = csv.find("\n1,");
+  const size_t row2 = csv.find("\n2,");
+  ASSERT_NE(row1, std::string::npos);
+  ASSERT_NE(row2, std::string::npos);
+  EXPECT_LT(row1, row2);
+  // SLO flags present: request 1 misses TTFT (",0,"), request 2 meets.
+  EXPECT_NE(csv.find(",0,1\n"), std::string::npos);
+  EXPECT_NE(csv.find(",1,1\n"), std::string::npos);
+}
+
+TEST(ReportWriterTest, SweepCsv) {
+  std::ostringstream out;
+  WriteSweepCsv({{"vLLM", 2.0, 0.9, 0.92, 1.0}, {"Apt", 2.0, 0.99, 0.99, 1.0}},
+                &out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("vLLM,2,0.9,0.92,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("Apt,2,0.99,0.99,1\n"), std::string::npos);
+}
+
+TEST(ReportWriterTest, CdfCsvMonotone) {
+  SampleSet s;
+  for (int i = 100; i >= 1; --i) s.Add(i);
+  std::ostringstream out;
+  WriteCdfCsv(s, &out, 10);
+  std::istringstream in(out.str());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "value,cum_fraction");
+  double prev_v = -1, prev_f = -1;
+  while (std::getline(in, line)) {
+    const size_t comma = line.find(',');
+    const double v = std::stod(line.substr(0, comma));
+    const double f = std::stod(line.substr(comma + 1));
+    EXPECT_GE(v, prev_v);
+    EXPECT_GE(f, prev_f);
+    prev_v = v;
+    prev_f = f;
+  }
+  EXPECT_DOUBLE_EQ(prev_f, 1.0);
+}
+
+TEST(ReportWriterTest, WriteFileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/apt_report_test.csv";
+  Status st = WriteFile(path, [](std::ostream* out) { *out << "x,y\n1,2\n"; });
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "x,y\n1,2\n");
+}
+
+TEST(ReportWriterTest, WriteFileBadPath) {
+  Status st = WriteFile("/nonexistent_dir_xyz/file.csv",
+                        [](std::ostream*) {});
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST(ReportWriterTest, SimulatorRecordsExportEndToEnd) {
+  TraceConfig tc;
+  tc.profile = DatasetProfile::HumanEval();
+  tc.num_requests = 50;
+  tc.rate_per_sec = 3.0;
+  tc.seed = 15;
+  auto trace = BuildTrace(tc);
+  ASSERT_TRUE(trace.ok());
+  const SloSpec slo{1.0, 1.0};
+  FcfsScheduler sched;
+  const ModelSpec model = ModelSpec::Opt13B();
+  CostModel cm(model, ClusterSpec::ForModel(model));
+  Simulator sim(cm, SimulatorConfig{});
+  auto result = sim.Run(*trace, &sched, slo);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->records.size(), 50u);
+  std::ostringstream out;
+  WriteRequestRecordsCsv(result->records, slo, &out);
+  // 1 header + 50 rows.
+  int lines = 0;
+  for (char c : out.str()) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 51);
+}
+
+}  // namespace
+}  // namespace aptserve

@@ -1,0 +1,43 @@
+#include "engine/rho_calibrator.h"
+
+#include <gtest/gtest.h>
+
+namespace aptserve {
+namespace {
+
+TEST(RhoCalibratorTest, ProducesPositiveLinearFit) {
+  auto result = CalibrateRho(ModelConfig::Tiny(), 42, {8, 16, 32, 64}, 2);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->rho_seconds_per_token, 0.0);
+  ASSERT_EQ(result->points.size(), 4u);
+  for (const auto& p : result->points) {
+    EXPECT_GT(p.kv_seconds, 0.0);
+    EXPECT_GT(p.hidden_seconds, 0.0);
+  }
+}
+
+TEST(RhoCalibratorTest, HiddenCostGrowsWithContext) {
+  // The paper's Eq. 6 rationale: the extra hidden-cache cost is linear in
+  // context length, so longer contexts must show a larger KV-vs-hidden gap.
+  auto result = CalibrateRho(ModelConfig::Tiny(), 42, {4, 96}, 3);
+  ASSERT_TRUE(result.ok());
+  const auto& pts = result->points;
+  const double gap_short =
+      pts[0].hidden_seconds - pts[0].kv_seconds;
+  const double gap_long = pts[1].hidden_seconds - pts[1].kv_seconds;
+  EXPECT_GT(gap_long, gap_short);
+}
+
+TEST(RhoCalibratorTest, InputValidation) {
+  EXPECT_TRUE(
+      CalibrateRho(ModelConfig::Tiny(), 1, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(CalibrateRho(ModelConfig::Tiny(), 1, {0})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(CalibrateRho(ModelConfig::Tiny(), 1, {100000})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace aptserve

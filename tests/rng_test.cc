@@ -1,0 +1,81 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace aptserve {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(5.0, 10.0);
+    EXPECT_GE(v, 5.0);
+    EXPECT_LT(v, 10.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    hit_lo |= (v == 0);
+    hit_hi |= (v == 3);
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(17);
+  RunningStat s;
+  for (int i = 0; i < 20000; ++i) s.Add(rng.Normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  RunningStat s;
+  for (int i = 0; i < 20000; ++i) s.Add(rng.Exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(RngTest, GammaMeanAndCv) {
+  Rng rng(17);
+  // shape k, scale s: mean = k*s, CV = 1/sqrt(k).
+  RunningStat s;
+  for (int i = 0; i < 20000; ++i) s.Add(rng.Gamma(4.0, 0.5));
+  EXPECT_NEAR(s.mean(), 2.0, 0.05);
+  EXPECT_NEAR(s.stddev() / s.mean(), 0.5, 0.05);
+}
+
+TEST(RngTest, LogNormalMedian) {
+  Rng rng(17);
+  SampleSet s;
+  for (int i = 0; i < 20000; ++i) s.Add(rng.LogNormal(std::log(100.0), 0.5));
+  EXPECT_NEAR(s.Median(), 100.0, 5.0);
+}
+
+}  // namespace
+}  // namespace aptserve

@@ -1,0 +1,121 @@
+#include "engine/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace aptserve {
+namespace {
+
+std::vector<float> Logits() { return {0.0f, 1.0f, 3.0f, 2.0f, -1.0f}; }
+
+TEST(SamplingTest, GreedyIsArgmax) {
+  auto r = SampleToken(Logits(), SamplingParams::Greedy(), nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 2);
+}
+
+TEST(SamplingTest, EmptyLogitsRejected) {
+  EXPECT_FALSE(SampleToken({}, SamplingParams::Greedy(), nullptr).ok());
+}
+
+TEST(SamplingTest, StochasticNeedsRng) {
+  EXPECT_FALSE(
+      SampleToken(Logits(), SamplingParams::Temperature(1.0), nullptr).ok());
+}
+
+TEST(SamplingTest, InvalidParamsRejected) {
+  Rng rng(1);
+  EXPECT_FALSE(
+      SampleToken(Logits(), SamplingParams::Temperature(0.0), &rng).ok());
+  EXPECT_FALSE(SampleToken(Logits(), SamplingParams::TopK(0), &rng).ok());
+  EXPECT_FALSE(SampleToken(Logits(), SamplingParams::TopP(0.0), &rng).ok());
+  EXPECT_FALSE(SampleToken(Logits(), SamplingParams::TopP(1.5), &rng).ok());
+}
+
+TEST(SamplingTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 50; ++i) {
+    auto ra = SampleToken(Logits(), SamplingParams::Temperature(0.8), &a);
+    auto rb = SampleToken(Logits(), SamplingParams::Temperature(0.8), &b);
+    ASSERT_TRUE(ra.ok() && rb.ok());
+    EXPECT_EQ(*ra, *rb);
+  }
+}
+
+TEST(SamplingTest, LowTemperatureApproachesGreedy) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    auto r = SampleToken(Logits(), SamplingParams::Temperature(0.01), &rng);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, 2);
+  }
+}
+
+TEST(SamplingTest, TemperatureFrequenciesTrackSoftmax) {
+  Rng rng(5);
+  std::map<int32_t, int> counts;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    auto r = SampleToken(Logits(), SamplingParams::Temperature(1.0), &rng);
+    ASSERT_TRUE(r.ok());
+    ++counts[*r];
+  }
+  // softmax of {0,1,3,2,-1}: p2 ~= 0.636, p3 ~= 0.234, p1 ~= 0.086.
+  EXPECT_NEAR(counts[2] / double(n), 0.636, 0.02);
+  EXPECT_NEAR(counts[3] / double(n), 0.234, 0.02);
+  EXPECT_NEAR(counts[1] / double(n), 0.086, 0.01);
+}
+
+TEST(SamplingTest, TopKRestrictsSupport) {
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) {
+    auto r = SampleToken(Logits(), SamplingParams::TopK(2), &rng);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(*r == 2 || *r == 3) << *r;  // the two largest logits
+  }
+}
+
+TEST(SamplingTest, TopKLargerThanVocabIsPlainTemperature) {
+  Rng rng(9);
+  std::map<int32_t, int> counts;
+  for (int i = 0; i < 2000; ++i) {
+    auto r = SampleToken(Logits(), SamplingParams::TopK(100), &rng);
+    ASSERT_TRUE(r.ok());
+    ++counts[*r];
+  }
+  EXPECT_GT(counts.size(), 2u);  // full support reachable
+}
+
+TEST(SamplingTest, TopPNucleus) {
+  Rng rng(11);
+  // p2 ~= 0.636 alone exceeds top_p = 0.5, so the nucleus is {2} only.
+  for (int i = 0; i < 300; ++i) {
+    auto r = SampleToken(Logits(), SamplingParams::TopP(0.5), &rng);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, 2);
+  }
+  // top_p = 0.85 admits {2, 3} (0.636, then 0.870 >= 0.85 stops).
+  std::map<int32_t, int> counts;
+  for (int i = 0; i < 2000; ++i) {
+    auto r = SampleToken(Logits(), SamplingParams::TopP(0.85), &rng);
+    ASSERT_TRUE(r.ok());
+    ++counts[*r];
+  }
+  EXPECT_EQ(counts.count(0), 0u);
+  EXPECT_EQ(counts.count(4), 0u);
+}
+
+TEST(SamplingTest, TopPOneIsFullDistribution) {
+  Rng rng(13);
+  std::map<int32_t, int> counts;
+  for (int i = 0; i < 5000; ++i) {
+    auto r = SampleToken(Logits(), SamplingParams::TopP(1.0), &rng);
+    ASSERT_TRUE(r.ok());
+    ++counts[*r];
+  }
+  EXPECT_GE(counts.size(), 4u);
+}
+
+}  // namespace
+}  // namespace aptserve

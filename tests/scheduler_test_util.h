@@ -1,0 +1,92 @@
+// Shared helpers for scheduler unit tests: hand-built SimRequests and
+// SchedulerInput views over a real pool/assigner.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/scheduler.h"
+
+namespace aptserve {
+namespace testutil {
+
+struct SchedulerFixture {
+  explicit SchedulerFixture(int32_t pool_blocks = 256, int32_t block_size = 16)
+      : pool(pool_blocks, block_size), assigner(&pool),
+        cost_model(ModelSpec::Opt13B(),
+                   ClusterSpec::ForModel(ModelSpec::Opt13B())) {}
+
+  /// Creates a waiting request (no cache).
+  SimRequest* AddWaiting(RequestId id, int32_t prompt, int32_t output,
+                         TimePoint arrival) {
+    auto sr = std::make_unique<SimRequest>();
+    sr->spec = Request{id, prompt, output, arrival};
+    sr->phase = RequestPhase::kWaiting;
+    requests.push_back(std::move(sr));
+    return requests.back().get();
+  }
+
+  /// Creates a running request with a resident cache of `cached` tokens and
+  /// `generated` tokens already produced.
+  SimRequest* AddRunning(RequestId id, int32_t prompt, int32_t output,
+                         int32_t generated, CacheType type,
+                         TimePoint last_token) {
+    auto sr = std::make_unique<SimRequest>();
+    sr->spec = Request{id, prompt, output, 0.0};
+    sr->phase = RequestPhase::kRunning;
+    sr->cache_type = type;
+    sr->generated = generated;
+    sr->cached_tokens = prompt + generated - 1;
+    sr->has_first_token = true;
+    sr->last_token_time = last_token;
+    Status st = assigner.CreateFilled(id, type, sr->cached_tokens);
+    APT_CHECK_MSG(st.ok(), st.ToString());
+    requests.push_back(std::move(sr));
+    return requests.back().get();
+  }
+
+  SchedulerInput Input(TimePoint now) {
+    SchedulerInput in;
+    in.now = now;
+    in.pool = &pool;
+    in.assigner = &assigner;
+    in.cost_model = &cost_model;
+    for (const auto& sr : requests) {
+      if (sr->phase == RequestPhase::kWaiting) {
+        in.waiting.push_back(sr.get());
+      } else if (sr->phase == RequestPhase::kRunning) {
+        in.running.push_back(sr.get());
+      }
+    }
+    return in;
+  }
+
+  BlockPool pool;
+  HybridCacheAssigner assigner;
+  CostModel cost_model;
+  std::vector<std::unique_ptr<SimRequest>> requests;
+};
+
+inline bool HasItem(const BatchPlan& plan, RequestId id) {
+  for (const auto& item : plan.items) {
+    if (item.id == id) return true;
+  }
+  return false;
+}
+
+inline const ScheduledItem* FindItem(const BatchPlan& plan, RequestId id) {
+  for (const auto& item : plan.items) {
+    if (item.id == id) return &item;
+  }
+  return nullptr;
+}
+
+inline bool HasPreempt(const BatchPlan& plan, RequestId id) {
+  for (const auto& p : plan.preempt) {
+    if (p.id == id) return true;
+  }
+  return false;
+}
+
+}  // namespace testutil
+}  // namespace aptserve

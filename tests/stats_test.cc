@@ -1,0 +1,105 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace aptserve {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, MeanVarianceMinMax) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, SingleSampleHasZeroVariance) {
+  RunningStat s;
+  s.Add(3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.5);
+  EXPECT_EQ(s.max(), 3.5);
+}
+
+TEST(SampleSetTest, QuantilesExact) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_NEAR(s.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.Quantile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(s.Quantile(1.0), 100.0, 1e-9);
+  EXPECT_NEAR(s.P99(), 99.01, 1e-9);
+  EXPECT_NEAR(s.Mean(), 50.5, 1e-9);
+}
+
+TEST(SampleSetTest, EmptyQuantileIsZero) {
+  SampleSet s;
+  EXPECT_EQ(s.Quantile(0.5), 0.0);
+  EXPECT_EQ(s.Mean(), 0.0);
+}
+
+TEST(SampleSetTest, QuantileClampsRange) {
+  SampleSet s;
+  s.Add(1.0);
+  s.Add(2.0);
+  EXPECT_EQ(s.Quantile(-0.5), 1.0);
+  EXPECT_EQ(s.Quantile(2.0), 2.0);
+}
+
+TEST(SampleSetTest, AddAfterQueryResorts) {
+  SampleSet s;
+  s.Add(10.0);
+  EXPECT_EQ(s.Median(), 10.0);
+  s.Add(0.0);
+  EXPECT_EQ(s.Median(), 5.0);
+}
+
+TEST(SampleSetTest, CdfMonotoneAndComplete) {
+  SampleSet s;
+  for (int i = 0; i < 1000; ++i) s.Add(1000 - i);
+  auto cdf = s.Cdf(50);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_LE(cdf.size(), 60u);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-5.0);   // clamps to first bucket
+  h.Add(0.5);
+  h.Add(9.99);
+  h.Add(50.0);   // clamps to last bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[9], 2u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(3), 4.0);
+}
+
+TEST(HistogramTest, AsciiRendering) {
+  Histogram h(0.0, 4.0, 4);
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(1.6);
+  std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  Histogram empty(0.0, 1.0, 2);
+  EXPECT_EQ(empty.ToAscii(), "(empty)\n");
+}
+
+}  // namespace
+}  // namespace aptserve

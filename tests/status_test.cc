@@ -1,0 +1,80 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace aptserve {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::OutOfMemory("x").IsOutOfMemory());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  Status s = Status::InvalidArgument("bad block id");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "bad block id");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad block id");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfMemory), "Out of memory");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "Unimplemented");
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  auto r = ParsePositive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 5);
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  auto r = ParsePositive(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+Status ChainOk() {
+  APT_RETURN_NOT_OK(Status::OK());
+  APT_ASSIGN_OR_RETURN(int v, ParsePositive(3));
+  (void)v;
+  return Status::OK();
+}
+
+Status ChainErr() {
+  APT_ASSIGN_OR_RETURN(int v, ParsePositive(-3));
+  (void)v;
+  return Status::Internal("unreachable");
+}
+
+TEST(StatusOrTest, Macros) {
+  EXPECT_TRUE(ChainOk().ok());
+  Status s = ChainErr();
+  EXPECT_TRUE(s.IsInvalidArgument());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+}  // namespace
+}  // namespace aptserve

@@ -1,0 +1,141 @@
+#include "cache/swap_space.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/fcfs_scheduler.h"
+#include "core/apt_scheduler.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+namespace aptserve {
+namespace {
+
+TEST(SwapSpaceTest, AccountingRoundTrip) {
+  SwapSpace swap(10);
+  EXPECT_EQ(swap.free_blocks(), 10);
+  ASSERT_TRUE(swap.SwapOut(1, CacheType::kKV, 32, 4).ok());
+  EXPECT_TRUE(swap.Contains(1));
+  EXPECT_EQ(swap.used_blocks(), 4);
+  auto e = swap.SwapIn(1);
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->tokens, 32);
+  EXPECT_EQ(e->blocks, 4);
+  EXPECT_EQ(e->type, CacheType::kKV);
+  EXPECT_EQ(swap.used_blocks(), 0);
+  EXPECT_FALSE(swap.Contains(1));
+  EXPECT_EQ(swap.total_swap_outs(), 1);
+  EXPECT_EQ(swap.total_swap_ins(), 1);
+}
+
+TEST(SwapSpaceTest, CapacityEnforced) {
+  SwapSpace swap(8);
+  ASSERT_TRUE(swap.SwapOut(1, CacheType::kKV, 40, 6).ok());
+  EXPECT_TRUE(swap.SwapOut(2, CacheType::kKV, 40, 6).IsOutOfMemory());
+  ASSERT_TRUE(swap.SwapOut(2, CacheType::kHidden, 8, 2).ok());
+  EXPECT_EQ(swap.free_blocks(), 0);
+}
+
+TEST(SwapSpaceTest, DuplicateAndMissingRejected) {
+  SwapSpace swap(8);
+  ASSERT_TRUE(swap.SwapOut(1, CacheType::kKV, 8, 2).ok());
+  EXPECT_TRUE(swap.SwapOut(1, CacheType::kKV, 8, 2).IsAlreadyExists());
+  EXPECT_TRUE(swap.SwapIn(9).status().IsNotFound());
+  EXPECT_TRUE(swap.Drop(9).IsNotFound());
+}
+
+TEST(SwapSpaceTest, DropFreesWithoutRestore) {
+  SwapSpace swap(8);
+  ASSERT_TRUE(swap.SwapOut(1, CacheType::kHidden, 16, 4).ok());
+  ASSERT_TRUE(swap.Drop(1).ok());
+  EXPECT_EQ(swap.used_blocks(), 0);
+  EXPECT_EQ(swap.total_swap_ins(), 0);
+}
+
+TEST(SwapSpaceTest, InvalidEntriesRejected) {
+  SwapSpace swap(8);
+  EXPECT_TRUE(swap.SwapOut(1, CacheType::kKV, 0, 2).IsInvalidArgument());
+  EXPECT_TRUE(swap.SwapOut(1, CacheType::kKV, 8, 0).IsInvalidArgument());
+}
+
+// ---- Simulator integration ----
+
+std::vector<Request> PressureTrace(int n = 200, uint64_t seed = 41) {
+  TraceConfig tc;
+  tc.profile = DatasetProfile::ShareGpt();
+  tc.num_requests = n;
+  tc.rate_per_sec = 6.0;
+  tc.cv = 5.0;
+  tc.seed = seed;
+  auto t = BuildTrace(tc);
+  EXPECT_TRUE(t.ok());
+  return *t;
+}
+
+CostModel Opt13() {
+  const ModelSpec m = ModelSpec::Opt13B();
+  return CostModel(m, ClusterSpec::ForModel(m));
+}
+
+TEST(SwapPreemptionTest, SwapModeCompletesAndSwaps) {
+  const SloSpec slo{1.0, 1.0};
+  SimulatorConfig cfg;
+  cfg.preemption_mode = PreemptionMode::kSwap;
+  cfg.pool_blocks_override = 400;  // tight: forces preemptions
+  AptConfig ac;
+  ac.slo = slo;
+  AptScheduler sched(ac);
+  Simulator sim(Opt13(), cfg);
+  auto r = sim.Run(PressureTrace(), &sched, slo);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->swap_outs, 0);
+  EXPECT_EQ(r->swap_outs, r->swap_ins);  // everything swapped back in
+}
+
+TEST(SwapPreemptionTest, RecomputeModeNeverSwaps) {
+  const SloSpec slo{1.0, 1.0};
+  SimulatorConfig cfg;
+  cfg.pool_blocks_override = 400;
+  AptConfig ac;
+  ac.slo = slo;
+  AptScheduler sched(ac);
+  Simulator sim(Opt13(), cfg);
+  auto r = sim.Run(PressureTrace(), &sched, slo);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->swap_outs, 0);
+}
+
+TEST(SwapPreemptionTest, SwapReducesPrefillRecompute) {
+  // Swapped requests skip the recompute prefill, so the swap-mode run
+  // performs fewer prefill iterations under identical preemption pressure.
+  const SloSpec slo{1.0, 1.0};
+  auto trace = PressureTrace(250, 43);
+  SimulatorConfig rec_cfg, swap_cfg;
+  rec_cfg.pool_blocks_override = swap_cfg.pool_blocks_override = 400;
+  swap_cfg.preemption_mode = PreemptionMode::kSwap;
+  FcfsScheduler s1, s2;
+  Simulator rec(Opt13(), rec_cfg), swp(Opt13(), swap_cfg);
+  auto r_rec = rec.Run(trace, &s1, slo);
+  auto r_swp = swp.Run(trace, &s2, slo);
+  ASSERT_TRUE(r_rec.ok() && r_swp.ok());
+  if (r_swp->swap_outs > 0) {
+    EXPECT_LE(r_swp->prefill_iterations, r_rec->prefill_iterations);
+  }
+}
+
+TEST(SwapPreemptionTest, TinySwapSpaceFallsBackToRecompute) {
+  const SloSpec slo{1.0, 1.0};
+  SimulatorConfig cfg;
+  cfg.preemption_mode = PreemptionMode::kSwap;
+  cfg.pool_blocks_override = 400;
+  cfg.swap_blocks = 1;  // nothing fits: every preemption falls back
+  AptConfig ac;
+  ac.slo = slo;
+  AptScheduler sched(ac);
+  Simulator sim(Opt13(), cfg);
+  auto r = sim.Run(PressureTrace(), &sched, slo);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->swap_outs, 0);
+}
+
+}  // namespace
+}  // namespace aptserve

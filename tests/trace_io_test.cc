@@ -1,0 +1,92 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/trace.h"
+
+namespace aptserve {
+namespace {
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+  TraceConfig tc;
+  tc.profile = DatasetProfile::ShareGpt();
+  tc.num_requests = 100;
+  tc.rate_per_sec = 3.0;
+  tc.seed = 8;
+  auto trace = BuildTrace(tc);
+  ASSERT_TRUE(trace.ok());
+
+  std::ostringstream out;
+  WriteTraceCsv(*trace, &out);
+  std::istringstream in(out.str());
+  auto loaded = ReadTraceCsv(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), trace->size());
+  for (size_t i = 0; i < trace->size(); ++i) {
+    EXPECT_EQ((*loaded)[i].id, (*trace)[i].id);
+    EXPECT_EQ((*loaded)[i].prompt_len, (*trace)[i].prompt_len);
+    EXPECT_EQ((*loaded)[i].output_len, (*trace)[i].output_len);
+    EXPECT_NEAR((*loaded)[i].arrival, (*trace)[i].arrival, 1e-9);
+  }
+}
+
+TEST(TraceIoTest, RejectsBadHeader) {
+  std::istringstream in("wrong,header\n1,2,3,4\n");
+  EXPECT_TRUE(ReadTraceCsv(&in).status().IsInvalidArgument());
+}
+
+TEST(TraceIoTest, RejectsMalformedRows) {
+  const char* bad_rows[] = {
+      "id,arrival,prompt_len,output_len\n1,2.0,10\n",        // missing field
+      "id,arrival,prompt_len,output_len\n1,2.0,10,5,9\n",    // extra field
+      "id,arrival,prompt_len,output_len\n1,xyz,10,5\n",      // non-numeric
+      "id,arrival,prompt_len,output_len\n1,2.0,0,5\n",       // zero prompt
+      "id,arrival,prompt_len,output_len\n1,2.0,10,-1\n",     // neg output
+      "id,arrival,prompt_len,output_len\n1,-2.0,10,5\n",     // neg arrival
+  };
+  for (const char* csv : bad_rows) {
+    std::istringstream in(csv);
+    EXPECT_TRUE(ReadTraceCsv(&in).status().IsInvalidArgument()) << csv;
+  }
+}
+
+TEST(TraceIoTest, SkipsEmptyLinesAndSortsByArrival) {
+  std::istringstream in(
+      "id,arrival,prompt_len,output_len\n"
+      "2,5.0,10,5\n"
+      "\n"
+      "1,1.0,20,3\n");
+  auto trace = ReadTraceCsv(&in);
+  ASSERT_TRUE(trace.ok());
+  ASSERT_EQ(trace->size(), 2u);
+  EXPECT_EQ((*trace)[0].id, 1);
+  EXPECT_EQ((*trace)[1].id, 2);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/apt_trace_test.csv";
+  std::vector<Request> trace = {{0, 8, 4, 0.5}, {1, 16, 2, 1.5}};
+  ASSERT_TRUE(SaveTrace(trace, path).ok());
+  auto loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[1].prompt_len, 16);
+}
+
+TEST(TraceIoTest, LoadMissingFile) {
+  EXPECT_TRUE(LoadTrace("/no/such/apt_trace.csv").status().IsNotFound());
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrip) {
+  std::ostringstream out;
+  WriteTraceCsv({}, &out);
+  std::istringstream in(out.str());
+  auto trace = ReadTraceCsv(&in);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_TRUE(trace->empty());
+}
+
+}  // namespace
+}  // namespace aptserve

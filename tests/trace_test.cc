@@ -1,0 +1,101 @@
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace aptserve {
+namespace {
+
+TraceConfig BaseConfig() {
+  TraceConfig cfg;
+  cfg.profile = DatasetProfile::ShareGpt();
+  cfg.num_requests = 500;
+  cfg.rate_per_sec = 2.0;
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(TraceTest, BuildsRequestedCount) {
+  auto trace = BuildTrace(BaseConfig());
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->size(), 500u);
+  for (size_t i = 0; i < trace->size(); ++i) {
+    EXPECT_EQ((*trace)[i].id, static_cast<RequestId>(i));
+    EXPECT_GE((*trace)[i].prompt_len, 1);
+    EXPECT_GE((*trace)[i].output_len, 1);
+  }
+}
+
+TEST(TraceTest, ArrivalsSorted) {
+  auto trace = BuildTrace(BaseConfig());
+  ASSERT_TRUE(trace.ok());
+  for (size_t i = 1; i < trace->size(); ++i) {
+    EXPECT_GE((*trace)[i].arrival, (*trace)[i - 1].arrival);
+  }
+}
+
+TEST(TraceTest, RespectsContextCap) {
+  TraceConfig cfg = BaseConfig();
+  cfg.profile = DatasetProfile::LongBench();
+  cfg.max_total_len = 2048;
+  auto trace = BuildTrace(cfg);
+  ASSERT_TRUE(trace.ok());
+  for (const Request& r : *trace) {
+    EXPECT_LE(r.total_len(), 2048);
+  }
+}
+
+TEST(TraceTest, DeterministicForSeed) {
+  auto t1 = BuildTrace(BaseConfig());
+  auto t2 = BuildTrace(BaseConfig());
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  for (size_t i = 0; i < t1->size(); ++i) {
+    EXPECT_EQ((*t1)[i].prompt_len, (*t2)[i].prompt_len);
+    EXPECT_EQ((*t1)[i].output_len, (*t2)[i].output_len);
+    EXPECT_DOUBLE_EQ((*t1)[i].arrival, (*t2)[i].arrival);
+  }
+}
+
+TEST(TraceTest, DifferentSeedsDiffer) {
+  TraceConfig a = BaseConfig(), b = BaseConfig();
+  b.seed = 10;
+  auto ta = BuildTrace(a), tb = BuildTrace(b);
+  ASSERT_TRUE(ta.ok() && tb.ok());
+  int diff = 0;
+  for (size_t i = 0; i < ta->size(); ++i) {
+    if ((*ta)[i].prompt_len != (*tb)[i].prompt_len) ++diff;
+  }
+  EXPECT_GT(diff, 100);
+}
+
+TEST(TraceTest, StatsSummary) {
+  auto trace = BuildTrace(BaseConfig());
+  ASSERT_TRUE(trace.ok());
+  TraceStats s = ComputeTraceStats(*trace);
+  EXPECT_GT(s.input_mean, 0);
+  EXPECT_GT(s.output_mean, 0);
+  EXPECT_GE(s.input_max, s.input_median);
+  EXPECT_GE(s.output_max, s.output_median);
+}
+
+TEST(TraceTest, InputValidation) {
+  TraceConfig cfg = BaseConfig();
+  cfg.num_requests = -1;
+  EXPECT_FALSE(BuildTrace(cfg).ok());
+  cfg = BaseConfig();
+  cfg.max_total_len = 1;
+  EXPECT_FALSE(BuildTrace(cfg).ok());
+  cfg = BaseConfig();
+  cfg.rate_per_sec = 0.0;
+  EXPECT_FALSE(BuildTrace(cfg).ok());
+}
+
+TEST(TraceTest, HigherRateCompressesArrivals) {
+  TraceConfig slow = BaseConfig(), fast = BaseConfig();
+  fast.rate_per_sec = 20.0;
+  auto ts = BuildTrace(slow), tf = BuildTrace(fast);
+  ASSERT_TRUE(ts.ok() && tf.ok());
+  EXPECT_GT(ts->back().arrival, 4 * tf->back().arrival);
+}
+
+}  // namespace
+}  // namespace aptserve
