@@ -33,6 +33,13 @@
 #include "workload/request.h"
 #include "workload/trace.h"
 
+// The unified serving loop and its execution backends.
+#include "serve/cost_model_backend.h"
+#include "serve/execution_backend.h"
+#include "serve/inference_backend.h"
+#include "serve/multi_instance.h"
+#include "serve/serving_loop.h"
+
 // Serving simulation substrate.
 #include "sim/cluster_spec.h"
 #include "sim/cost_model.h"

@@ -1,23 +1,12 @@
 #include "engine/serving_engine.h"
 
 #include <algorithm>
-#include <chrono>
-#include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
-#include "sim/cost_model.h"
+#include "serve/inference_backend.h"
 
 namespace aptserve {
-
-namespace {
-
-double NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 ServingEngine::ServingEngine(const ServingEngineConfig& config)
     : config_(config),
@@ -28,11 +17,9 @@ ServingEngine::ServingEngine(const ServingEngineConfig& config)
 
 StatusOr<ServingEngineResult> ServingEngine::Serve(
     const std::vector<Request>& trace, Scheduler* scheduler) {
-  APT_CHECK(scheduler != nullptr);
-
   // rho for the scheduler's quantification model: measured on this engine
-  // (the paper's offline profiling), attached to a cost model whose only
-  // role here is carrying rho.
+  // (the paper's offline profiling) and carried to the scheduler through
+  // the backend's cost model.
   double rho = 0.0;
   if (config_.calibrate_rho) {
     const int32_t c1 = std::min(16, config_.model.max_seq_len / 4);
@@ -42,204 +29,32 @@ StatusOr<ServingEngineResult> ServingEngine::Serve(
                                       {c1, c2}, 2));
     rho = calib.rho_seconds_per_token;
   }
-  CostModel cost_model(ModelSpec::Opt13B(),
-                       ClusterSpec::ForModel(ModelSpec::Opt13B()));
-  cost_model.SetRhoOverride(rho);
 
-  // Mirror state consumed by the Scheduler interface.
-  std::vector<SimRequest> reqs;
-  reqs.reserve(trace.size());
-  MetricsCollector metrics;
-  Rng prompt_rng(config_.prompt_seed);
-  std::unordered_map<RequestId, size_t> index;
-  for (const Request& r : trace) {
-    if (r.prompt_len <= 0 || r.output_len <= 0) {
-      return Status::InvalidArgument("request lengths must be positive");
-    }
-    if (r.total_len() + 1 > config_.model.max_seq_len) {
-      return Status::InvalidArgument(
-          "request " + std::to_string(r.id) + " exceeds model context");
-    }
-    SimRequest sr;
-    sr.spec = r;
-    reqs.push_back(sr);
-    metrics.RegisterRequest(r);
-  }
-  std::sort(reqs.begin(), reqs.end(),
-            [](const SimRequest& a, const SimRequest& b) {
-              return a.spec.arrival < b.spec.arrival;
-            });
-  for (size_t i = 0; i < reqs.size(); ++i) {
-    index[reqs[i].spec.id] = i;
-    std::vector<int32_t> prompt(reqs[i].spec.prompt_len);
-    for (int32_t& t : prompt) {
-      t = static_cast<int32_t>(
-          prompt_rng.UniformInt(0, config_.model.vocab_size - 1));
-    }
-    APT_RETURN_NOT_OK(engine_.AddRequest(reqs[i].spec.id, std::move(prompt),
-                                         CacheType::kKV));
-  }
+  InferenceBackendOptions options;
+  options.prompt_seed = config_.prompt_seed;
+  options.swap_blocks = config_.swap_blocks;
+  options.rho_seconds_per_token = rho;
+  options.virtual_timing = config_.virtual_timing;
+  options.virtual_item_seconds = config_.virtual_item_seconds;
+  InferenceBackend backend(&engine_, options);
+
+  ServingLoopConfig loop_config;
+  loop_config.max_batch_size = config_.max_batch_size;
+  loop_config.max_iterations = config_.max_iterations;
+  loop_config.preemption_mode = config_.preemption_mode;
+  ServingLoop loop(&backend, loop_config);
+  APT_ASSIGN_OR_RETURN(ServingLoopResult r,
+                       loop.Run(trace, scheduler, config_.slo));
 
   ServingEngineResult result;
+  result.report = std::move(r.report);
+  result.compute_seconds = r.compute_seconds;
+  result.tokens_generated = r.tokens_generated;
   result.rho_seconds_per_token = rho;
-  TimePoint now = 0.0;  // virtual clock: accumulated measured compute
-  size_t next_arrival = 0;
-  size_t finished = 0;
-  int32_t consecutive_idle = 0;
-
-  for (int64_t iter = 0; iter < config_.max_iterations; ++iter) {
-    if (finished == reqs.size()) break;
-    while (next_arrival < reqs.size() &&
-           reqs[next_arrival].spec.arrival <= now) {
-      ++next_arrival;
-    }
-    SchedulerInput input;
-    input.now = now;
-    input.pool = &engine_.pool();
-    input.assigner = &engine_.assigner();
-    input.cost_model = &cost_model;
-    for (size_t i = 0; i < next_arrival; ++i) {
-      SimRequest& sr = reqs[i];
-      if (sr.phase == RequestPhase::kWaiting) {
-        input.waiting.push_back(&sr);
-      } else if (sr.phase == RequestPhase::kRunning) {
-        input.running.push_back(&sr);
-      }
-    }
-    if (input.waiting.empty() && input.running.empty()) {
-      if (next_arrival < reqs.size()) {
-        now = std::max(now, reqs[next_arrival].spec.arrival);
-        continue;
-      }
-      break;
-    }
-
-    BatchPlan plan = scheduler->PlanIteration(input);
-
-    // Preemptions.
-    for (const PreemptionItem& p : plan.preempt) {
-      auto it = index.find(p.id);
-      if (it == index.end()) return Status::Internal("preempt unknown id");
-      SimRequest& sr = reqs[it->second];
-      APT_RETURN_NOT_OK(engine_.Preempt(p.id));
-      APT_RETURN_NOT_OK(engine_.ConvertCacheType(p.id, p.resume_cache_type));
-      if (p.resume_cache_type != sr.cache_type) metrics.OnConversion();
-      sr.phase = RequestPhase::kWaiting;
-      sr.cache_type = p.resume_cache_type;
-      sr.cached_tokens = 0;
-      sr.prefill_progress = 0;
-      ++sr.preemptions;
-      ++result.preemptions;
-      metrics.OnPreemption();
-    }
-
-    // Execute the batch on the real engine, timing the whole iteration.
-    struct Emitted {
-      SimRequest* req;
-      bool token = false;
-    };
-    std::vector<Emitted> executed;
-    bool memory_wall = false;
-    const double t0 = NowSeconds();
-    for (const ScheduledItem& item : plan.items) {
-      auto it = index.find(item.id);
-      if (it == index.end()) return Status::Internal("schedule unknown id");
-      SimRequest& sr = reqs[it->second];
-      if (item.prefill_chunk > 0) {
-        if (sr.phase != RequestPhase::kWaiting) {
-          return Status::Internal("prefill for non-waiting request");
-        }
-        if (!engine_.assigner().Has(item.id)) {
-          // Fresh pass: adopt the scheduler's cache-type choice.
-          const CacheType prev = sr.cache_type;
-          APT_RETURN_NOT_OK(
-              engine_.ConvertCacheType(item.id, item.cache_type));
-          sr.cache_type = item.cache_type;
-          if (sr.has_first_token && prev != item.cache_type) {
-            metrics.OnConversion();
-          }
-        }
-        auto r = engine_.PrefillChunk(item.id, item.prefill_chunk);
-        if (!r.ok() && r.status().IsOutOfMemory()) {
-          memory_wall = true;
-          continue;
-        }
-        if (!r.ok()) return r.status();
-        const GenerationState* gs = engine_.Find(item.id);
-        sr.cached_tokens = gs->cached_tokens;
-        sr.prefill_progress = gs->cached_tokens;
-        if (r->has_value()) {
-          sr.phase = RequestPhase::kRunning;
-          ++sr.generated;
-          executed.push_back({&sr, true});
-        } else {
-          executed.push_back({&sr, false});
-        }
-      } else {
-        if (sr.phase != RequestPhase::kRunning) {
-          return Status::Internal("decode for non-running request");
-        }
-        auto r = engine_.DecodeStep(item.id);
-        if (!r.ok() && r.status().IsOutOfMemory()) {
-          // Recompute preemption, vLLM-style.
-          APT_RETURN_NOT_OK(engine_.Preempt(item.id));
-          sr.phase = RequestPhase::kWaiting;
-          sr.cached_tokens = 0;
-          sr.prefill_progress = 0;
-          ++sr.preemptions;
-          ++result.preemptions;
-          metrics.OnPreemption();
-          memory_wall = true;
-          continue;
-        }
-        if (!r.ok()) return r.status();
-        sr.cached_tokens = engine_.Find(item.id)->cached_tokens;
-        ++sr.generated;
-        executed.push_back({&sr, true});
-      }
-    }
-    const double elapsed = NowSeconds() - t0;
-
-    if (executed.empty()) {
-      ++consecutive_idle;
-      if (consecutive_idle > 1000) {
-        return Status::Internal("scheduler made no progress");
-      }
-      if (next_arrival < reqs.size()) {
-        now = std::max(now + 1e-4, reqs[next_arrival].spec.arrival);
-      } else {
-        now += 1e-4;
-      }
-      continue;
-    }
-    consecutive_idle = 0;
-    now += elapsed;
-    result.compute_seconds += elapsed;
-
-    for (const Emitted& e : executed) {
-      if (!e.token) continue;
-      SimRequest& sr = *e.req;
-      metrics.OnToken(sr.spec.id, now);
-      ++result.tokens_generated;
-      sr.has_first_token = true;
-      sr.last_token_time = now;
-      if (sr.generated >= sr.spec.output_len) {
-        sr.phase = RequestPhase::kFinished;
-        metrics.OnFinish(sr.spec.id, now);
-        APT_RETURN_NOT_OK(engine_.RemoveRequest(sr.spec.id));
-        ++finished;
-      }
-    }
-    metrics.OnIteration(elapsed, static_cast<int32_t>(executed.size()),
-                        memory_wall);
-  }
-
-  if (finished != reqs.size()) {
-    return Status::Internal("serving hit the iteration cap with " +
-                            std::to_string(reqs.size() - finished) +
-                            " unfinished requests");
-  }
-  result.report = metrics.Report(config_.slo);
+  result.preemptions = result.report.preemptions;
+  result.swap_outs = r.swap_outs;
+  result.swap_ins = r.swap_ins;
+  result.tokens = backend.TakeFinishedTokens();
   return result;
 }
 

@@ -1,24 +1,30 @@
-// ServingEngine: end-to-end serving on the *real* mini transformer. Where
-// the Simulator advances a virtual clock with an analytic cost model, this
-// drives the actual InferenceEngine — real prefills, real decode steps,
-// real hybrid-cache memory — under any Scheduler, timing each iteration
-// with the wall clock and scoring TTFT/TBT SLO attainment against trace
-// arrival times on the resulting virtual timeline.
+// ServingEngine: end-to-end serving on the *real* mini transformer. A thin
+// facade over the shared ServingLoop (serve/serving_loop.h) running on an
+// InferenceBackend: where the Simulator advances a virtual clock with an
+// analytic cost model, this drives the actual InferenceEngine — real
+// prefills, real decode steps, real hybrid-cache memory — under any
+// Scheduler, timing each iteration with the wall clock and scoring
+// TTFT/TBT SLO attainment against trace arrival times on the resulting
+// virtual timeline.
 //
 // This closes the loop of the paper's Figure 5 at laptop scale: the
 // scheduler's rho comes from a real calibration pass (Eq. 6) rather than an
 // analytic estimate, cache-type decisions move real float blocks, and
-// preemptions recompute real prefills.
+// preemptions recompute real prefills (or swap real payload bytes through
+// host memory under PreemptionMode::kSwap).
 //
 // Caveat (documented in DESIGN.md): a CPU executes batch items serially, so
 // absolute latencies are not GPU-like; the iteration-level batching
 // semantics, memory behaviour and scheduler decision points are identical.
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/inference_engine.h"
 #include "engine/rho_calibrator.h"
+#include "serve/serving_loop.h"
 #include "sim/metrics.h"
 #include "sim/scheduler.h"
 #include "workload/request.h"
@@ -37,6 +43,20 @@ struct ServingEngineConfig {
   /// pass); when false an analytic fallback is used.
   bool calibrate_rho = true;
   int64_t max_iterations = 2'000'000;
+  /// Hard cap on scheduled items per iteration (unbounded by default: a
+  /// serial CPU backend gains nothing from capping the batch).
+  int32_t max_batch_size = INT32_MAX;
+  /// How preempted requests' caches are evicted. kSwap moves the real
+  /// payload through the engine's host staging buffer, with the same
+  /// full-swap-space and type-conversion fallbacks as the simulator.
+  PreemptionMode preemption_mode = PreemptionMode::kRecompute;
+  /// Host swap capacity in blocks; <= 0 defaults to 4x the GPU pool.
+  int32_t swap_blocks = -1;
+  /// Deterministic virtual timing: iteration latency becomes a fixed cost
+  /// per executed item instead of measured wall time, making the full
+  /// timeline (TTFT/TBT, scheduler decisions) reproducible across runs.
+  bool virtual_timing = false;
+  double virtual_item_seconds = 1e-3;
 };
 
 struct ServingEngineResult {
@@ -46,6 +66,10 @@ struct ServingEngineResult {
   int64_t tokens_generated = 0;
   double rho_seconds_per_token = 0.0;
   int64_t preemptions = 0;
+  int64_t swap_outs = 0;
+  int64_t swap_ins = 0;
+  /// Full token sequences (prompt + generated) of every finished request.
+  std::unordered_map<RequestId, std::vector<int32_t>> tokens;
 };
 
 class ServingEngine {

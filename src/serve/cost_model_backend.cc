@@ -1,0 +1,141 @@
+#include "serve/cost_model_backend.h"
+
+#include "common/logging.h"
+
+namespace aptserve {
+
+StatusOr<int32_t> CostModelBackend::DerivePoolBlocks(
+    const CostModel& cost_model, const Options& options) {
+  if (options.pool_blocks_override > 0) return options.pool_blocks_override;
+  APT_ASSIGN_OR_RETURN(double cache_bytes, cost_model.cluster().CacheBytes(
+                                               cost_model.model()));
+  const double block_bytes =
+      options.block_size * cost_model.model().HiddenBytesPerToken();
+  const int32_t blocks = static_cast<int32_t>(cache_bytes / block_bytes);
+  if (blocks <= 0) return Status::InvalidArgument("no cache memory available");
+  return blocks;
+}
+
+StatusOr<std::unique_ptr<CostModelBackend>> CostModelBackend::Create(
+    const CostModel& cost_model, const Options& options) {
+  APT_ASSIGN_OR_RETURN(int32_t pool_blocks,
+                       DerivePoolBlocks(cost_model, options));
+  return std::unique_ptr<CostModelBackend>(
+      new CostModelBackend(cost_model, options, pool_blocks));
+}
+
+CostModelBackend::CostModelBackend(const CostModel& cost_model,
+                                   const Options& options, int32_t pool_blocks)
+    : cost_model_(cost_model),
+      options_(options),
+      pool_(pool_blocks, options.block_size),
+      assigner_(&pool_),
+      swap_(options.swap_blocks > 0 ? options.swap_blocks : 4 * pool_blocks),
+      block_bytes_(options.block_size *
+                   cost_model.model().HiddenBytesPerToken()) {}
+
+Status CostModelBackend::Prepare(const std::vector<SimRequest>& reqs) {
+  // Verify every request can ever fit (hidden cache in an empty pool).
+  for (const SimRequest& sr : reqs) {
+    const int32_t need =
+        assigner_.BlocksNeeded(CacheType::kHidden, sr.spec.total_len());
+    if (need > pool_.num_blocks()) {
+      return Status::InvalidArgument(
+          "request " + std::to_string(sr.spec.id) +
+          " cannot fit in the cache pool even with hidden cache");
+    }
+  }
+  return Status::OK();
+}
+
+void CostModelBackend::BeginIteration() {
+  workload_ = BatchWorkload{};
+  iter_swap_bytes_ = 0.0;
+}
+
+StatusOr<double> CostModelBackend::EndIteration() {
+  workload_.swap_bytes = carry_swap_bytes_ + iter_swap_bytes_;
+  carry_swap_bytes_ = 0.0;
+  return cost_model_.IterationSeconds(workload_);
+}
+
+Status CostModelBackend::Release(const SimRequest& sr) {
+  return assigner_.Release(sr.spec.id);
+}
+
+Status CostModelBackend::Convert(const SimRequest& sr, CacheType new_type) {
+  (void)new_type;  // the loop retypes the mirrored request state
+  return assigner_.DiscardForConversion(sr.spec.id);
+}
+
+StatusOr<bool> CostModelBackend::TrySwapOut(const SimRequest& sr) {
+  const CacheMap* map = assigner_.Find(sr.spec.id);
+  APT_CHECK(map != nullptr);
+  if (!swap_.SwapOut(sr.spec.id, sr.cache_type, sr.cached_tokens,
+                     map->TotalBlocks())
+           .ok()) {
+    return false;  // swap space full: caller falls back to recompute
+  }
+  carry_swap_bytes_ += map->TotalBlocks() * block_bytes_;
+  APT_RETURN_NOT_OK(assigner_.Release(sr.spec.id));
+  return true;
+}
+
+StatusOr<bool> CostModelBackend::TrySwapIn(const SimRequest& sr) {
+  const SwapSpace::Entry* entry = swap_.Find(sr.spec.id);
+  APT_CHECK(entry != nullptr);
+  const int32_t need = assigner_.BlocksNeeded(entry->type, entry->tokens);
+  if (need > pool_.num_free()) return false;
+  APT_ASSIGN_OR_RETURN(SwapSpace::Entry e, swap_.SwapIn(sr.spec.id));
+  APT_RETURN_NOT_OK(assigner_.CreateFilled(sr.spec.id, e.type, e.tokens));
+  iter_swap_bytes_ +=
+      assigner_.Find(sr.spec.id)->TotalBlocks() * block_bytes_;
+  return true;
+}
+
+StatusOr<ExecutionBackend::StepOutcome> CostModelBackend::ExecutePrefillChunk(
+    const SimRequest& sr, CacheType cache_type, int32_t chunk) {
+  Status st;
+  if (!assigner_.Has(sr.spec.id)) {
+    st = assigner_.CreateFilled(sr.spec.id, cache_type, chunk);
+  } else {
+    st = assigner_.Append(sr.spec.id, chunk);
+  }
+  if (st.IsOutOfMemory()) return StepOutcome{true, false};
+  APT_RETURN_NOT_OK(st);
+  workload_.prefill_tokens += chunk;
+  const int64_t k = sr.prefill_progress;
+  const int64_t c = chunk;
+  workload_.prefill_attend_tokens += c * k + c * (c + 1) / 2;
+  const bool completes = sr.prefill_progress + chunk >= sr.PrefillTarget();
+  return StepOutcome{false, completes};
+}
+
+StatusOr<ExecutionBackend::StepOutcome> CostModelBackend::ExecuteDecode(
+    const SimRequest& sr) {
+  Status st = assigner_.Append(sr.spec.id, 1);
+  if (st.IsOutOfMemory()) return StepOutcome{true, false};
+  APT_RETURN_NOT_OK(st);
+  ++workload_.decode_reqs;
+  // sr.cached_tokens is grown by the loop's emit pass, so here it still
+  // holds the pre-growth count == number of past context tokens.
+  const int64_t ctx = sr.cached_tokens;
+  if (sr.cache_type == CacheType::kHidden) {
+    workload_.decode_hidden_context_tokens += ctx;
+  } else {
+    workload_.decode_kv_context_tokens += ctx;
+  }
+  return StepOutcome{false, true};
+}
+
+Status CostModelBackend::OnFinish(const SimRequest& sr) {
+  return assigner_.Release(sr.spec.id);
+}
+
+Status CostModelBackend::Finalize() {
+  APT_CHECK_MSG(swap_.used_blocks() == 0,
+                "swap space must drain by the end of the run");
+  return Status::OK();
+}
+
+}  // namespace aptserve

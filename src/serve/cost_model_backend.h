@@ -1,0 +1,83 @@
+// CostModelBackend: the analytic execution backend behind the serving
+// simulator. It owns a standalone BlockPool/HybridCacheAssigner/SwapSpace,
+// performs cache accounting for every scheduled step, and prices each
+// iteration with the roofline CostModel — no real compute. The operation
+// sequence (and therefore the virtual timeline) is bit-for-bit identical
+// to the pre-refactor Simulator loop; tests/serving_loop_parity_test.cc
+// pins that equivalence.
+#pragma once
+
+#include <memory>
+
+#include "cache/block_pool.h"
+#include "cache/hybrid_assigner.h"
+#include "cache/swap_space.h"
+#include "serve/execution_backend.h"
+#include "sim/cost_model.h"
+
+namespace aptserve {
+
+class CostModelBackend : public ExecutionBackend {
+ public:
+  struct Options {
+    /// Token positions per cache block.
+    int32_t block_size = 16;
+    /// Override the pool size (blocks). <= 0 derives it from the cost
+    /// model's cluster memory minus weights (Table 2 accounting).
+    int32_t pool_blocks_override = -1;
+    /// Host swap capacity in blocks; <= 0 defaults to 4x the GPU pool
+    /// (vLLM's swap_space default is of that order).
+    int32_t swap_blocks = -1;
+  };
+
+  /// Pool blocks the configuration yields (shared with Simulator's
+  /// DerivePoolBlocks accessor).
+  static StatusOr<int32_t> DerivePoolBlocks(const CostModel& cost_model,
+                                            const Options& options);
+
+  static StatusOr<std::unique_ptr<CostModelBackend>> Create(
+      const CostModel& cost_model, const Options& options);
+
+  std::string name() const override { return "cost-model"; }
+  Status Prepare(const std::vector<SimRequest>& reqs) override;
+  const BlockPool* pool() const override { return &pool_; }
+  const HybridCacheAssigner* assigner() const override { return &assigner_; }
+  const CostModel* cost_model() const override { return &cost_model_; }
+  void BeginIteration() override;
+  StatusOr<double> EndIteration() override;
+  double IdleAdvanceSeconds() const override { return cost_model_.overhead(); }
+  Status Release(const SimRequest& sr) override;
+  Status Convert(const SimRequest& sr, CacheType new_type) override;
+  StatusOr<bool> TrySwapOut(const SimRequest& sr) override;
+  StatusOr<bool> TrySwapIn(const SimRequest& sr) override;
+  StatusOr<StepOutcome> ExecutePrefillChunk(const SimRequest& sr,
+                                            CacheType cache_type,
+                                            int32_t chunk) override;
+  StatusOr<StepOutcome> ExecuteDecode(const SimRequest& sr) override;
+  Status OnFinish(const SimRequest& sr) override;
+  Status Finalize() override;
+  int64_t swap_outs() const override { return swap_.total_swap_outs(); }
+  int64_t swap_ins() const override { return swap_.total_swap_ins(); }
+
+  int32_t pool_blocks() const { return pool_.num_blocks(); }
+
+ private:
+  CostModelBackend(const CostModel& cost_model, const Options& options,
+                   int32_t pool_blocks);
+
+  CostModel cost_model_;
+  Options options_;
+  BlockPool pool_;
+  HybridCacheAssigner assigner_;
+  SwapSpace swap_;
+  /// Bytes per cache block, for PCIe swap-traffic costing.
+  double block_bytes_;
+  /// Swap traffic generated between executed iterations is charged to the
+  /// next iteration that actually runs.
+  double carry_swap_bytes_ = 0.0;
+  /// Workload of the iteration currently being applied.
+  BatchWorkload workload_;
+  double iter_swap_bytes_ = 0.0;
+};
+
+}  // namespace aptserve

@@ -1,0 +1,106 @@
+// ExecutionBackend: the seam between the single iteration-level serving
+// loop (serve/serving_loop.h) and *how* a scheduled batch actually runs.
+// The loop owns admission, planning, preemption/conversion bookkeeping,
+// token emission and metrics; a backend owns the memory pool and performs
+// the cache mutations and (real or modeled) compute for each step:
+//
+//   - CostModelBackend  — analytic latencies over a standalone BlockPool
+//     (the classic serving simulator).
+//   - InferenceBackend  — the real mini-transformer InferenceEngine, timed
+//     with the wall clock (the paper's Figure 5 closed loop).
+//
+// Adding a future backend (async, batched-CPU, GPU) means implementing
+// this interface; preemption and swap semantics come from the shared loop
+// and are therefore guaranteed identical across backends.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cache/block_pool.h"
+#include "cache/cache_types.h"
+#include "cache/hybrid_assigner.h"
+#include "common/status.h"
+#include "sim/cost_model.h"
+#include "sim/sim_request.h"
+
+namespace aptserve {
+
+class ExecutionBackend {
+ public:
+  /// Result of executing one scheduled item.
+  struct StepOutcome {
+    /// The step could not allocate cache; nothing was applied. The loop
+    /// handles the fallout (memory-wall accounting, decode preemption).
+    bool out_of_memory = false;
+    /// The step produced a token (every decode; a prefill chunk that
+    /// completes its pass).
+    bool token = false;
+  };
+
+  virtual ~ExecutionBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Called once before the loop starts, with the trace's requests sorted
+  /// by arrival. Backend-specific validation and registration (e.g. the
+  /// inference engine synthesizes prompts here).
+  virtual Status Prepare(const std::vector<SimRequest>& reqs) = 0;
+
+  /// The unified block pool / cache assigner the scheduler plans against.
+  virtual const BlockPool* pool() const = 0;
+  virtual const HybridCacheAssigner* assigner() const = 0;
+  /// Cost model handed to the scheduler (for the analytic backend, the
+  /// model that also produces latencies; for the engine backend, a carrier
+  /// for the calibrated rho of paper Eq. 6).
+  virtual const CostModel* cost_model() const = 0;
+
+  /// Brackets one planned iteration. BeginIteration runs right after the
+  /// scheduler plans — before preemptions — so swap-out work is charged to
+  /// the iteration that caused it. EndIteration returns the iteration
+  /// latency in seconds (modeled or measured); it is only called when at
+  /// least one item was applied.
+  virtual void BeginIteration() {}
+  virtual StatusOr<double> EndIteration() = 0;
+
+  /// Clock advance applied when an iteration executes nothing.
+  virtual double IdleAdvanceSeconds() const = 0;
+
+  /// Frees the request's cache for a recompute preemption (token state is
+  /// kept; the request re-prefills later).
+  virtual Status Release(const SimRequest& sr) = 0;
+
+  /// Discards the request's cache for a cache-type conversion (paper §5's
+  /// discard-and-recompute). The loop updates the mirrored request state.
+  virtual Status Convert(const SimRequest& sr, CacheType new_type) = 0;
+
+  /// Attempts a swap-based preemption (PreemptionMode::kSwap). Returns
+  /// false when the swap space is full (the loop falls back to recompute).
+  virtual StatusOr<bool> TrySwapOut(const SimRequest& sr) = 0;
+
+  /// Attempts to restore a swapped-out request's cache. Returns false when
+  /// the pool lacks blocks (the request stays swapped and is retried).
+  virtual StatusOr<bool> TrySwapIn(const SimRequest& sr) = 0;
+
+  /// Executes a prefill chunk of `chunk` tokens (> 0, pre-clamped by the
+  /// loop to the remaining pass length) using `cache_type` for a fresh
+  /// pass. Allocates cache; out_of_memory leaves existing state intact.
+  virtual StatusOr<StepOutcome> ExecutePrefillChunk(const SimRequest& sr,
+                                                    CacheType cache_type,
+                                                    int32_t chunk) = 0;
+
+  /// Executes one decode step (cache grows by one position).
+  virtual StatusOr<StepOutcome> ExecuteDecode(const SimRequest& sr) = 0;
+
+  /// The request finished; release/remove its state.
+  virtual Status OnFinish(const SimRequest& sr) = 0;
+
+  /// Called after the trace completes (e.g. swap-drain invariants).
+  virtual Status Finalize() { return Status::OK(); }
+
+  /// Swap-traffic counters for result reporting.
+  virtual int64_t swap_outs() const { return 0; }
+  virtual int64_t swap_ins() const { return 0; }
+};
+
+}  // namespace aptserve

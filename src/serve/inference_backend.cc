@@ -1,0 +1,187 @@
+#include "serve/inference_backend.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "sim/cluster_spec.h"
+#include "sim/model_spec.h"
+
+namespace aptserve {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+CostModel MakeRhoCarrier(double rho) {
+  // The cost model's only role on this backend is carrying rho to the
+  // scheduler's quantification model (paper Eq. 6).
+  CostModel cm(ModelSpec::Opt13B(), ClusterSpec::ForModel(ModelSpec::Opt13B()));
+  cm.SetRhoOverride(rho);
+  return cm;
+}
+
+int32_t SwapCapacity(const InferenceBackendOptions& options,
+                     int32_t pool_blocks) {
+  return options.swap_blocks > 0 ? options.swap_blocks : 4 * pool_blocks;
+}
+
+InferenceEngine* CheckNotNull(InferenceEngine* engine) {
+  APT_CHECK(engine != nullptr);
+  return engine;
+}
+
+}  // namespace
+
+InferenceBackend::InferenceBackend(InferenceEngine* engine,
+                                   const InferenceBackendOptions& options)
+    : engine_(CheckNotNull(engine)),
+      options_(options),
+      cost_model_(MakeRhoCarrier(options.rho_seconds_per_token)),
+      swap_(SwapCapacity(options, engine_->pool().num_blocks())),
+      prompt_rng_(options.prompt_seed) {}
+
+InferenceBackend::InferenceBackend(const ModelConfig& model,
+                                   uint64_t weight_seed, int32_t num_blocks,
+                                   int32_t block_size,
+                                   const SamplingParams& sampling,
+                                   const InferenceBackendOptions& options)
+    : owned_engine_(std::make_unique<InferenceEngine>(model, weight_seed,
+                                                      num_blocks, block_size)),
+      engine_(owned_engine_.get()),
+      options_(options),
+      cost_model_(MakeRhoCarrier(options.rho_seconds_per_token)),
+      swap_(SwapCapacity(options, num_blocks)),
+      prompt_rng_(options.prompt_seed) {
+  engine_->SetSampling(sampling, weight_seed ^ 0x5851f42dULL);
+}
+
+Status InferenceBackend::Prepare(const std::vector<SimRequest>& reqs) {
+  const ModelConfig& cfg = engine_->model().config();
+  // Validate the whole trace before mutating the engine, so a rejected
+  // trace leaves a reusable engine behind.
+  for (const SimRequest& sr : reqs) {
+    if (sr.spec.total_len() + 1 > cfg.max_seq_len) {
+      return Status::InvalidArgument(
+          "request " + std::to_string(sr.spec.id) + " exceeds model context");
+    }
+  }
+  for (const SimRequest& sr : reqs) {
+    std::vector<int32_t> prompt(sr.spec.prompt_len);
+    for (int32_t& t : prompt) {
+      t = static_cast<int32_t>(prompt_rng_.UniformInt(0, cfg.vocab_size - 1));
+    }
+    APT_RETURN_NOT_OK(
+        engine_->AddRequest(sr.spec.id, std::move(prompt), CacheType::kKV));
+  }
+  return Status::OK();
+}
+
+void InferenceBackend::BeginIteration() {
+  iteration_start_ = NowSeconds();
+  executed_items_ = 0;
+}
+
+StatusOr<double> InferenceBackend::EndIteration() {
+  if (options_.virtual_timing) {
+    // Swap-outs of iterations that executed nothing carry forward to the
+    // next executed iteration, mirroring the analytic backend's
+    // carry_swap_bytes_ accounting.
+    const double latency =
+        options_.virtual_item_seconds * (executed_items_ + carry_items_);
+    carry_items_ = 0;
+    return latency;
+  }
+  return NowSeconds() - iteration_start_;
+}
+
+Status InferenceBackend::Release(const SimRequest& sr) {
+  // Recompute preemption: the engine keeps token state and discards any
+  // host swap copy; mirror the capacity account.
+  if (swap_.Contains(sr.spec.id)) {
+    APT_RETURN_NOT_OK(swap_.Drop(sr.spec.id));
+  }
+  return engine_->Preempt(sr.spec.id);
+}
+
+Status InferenceBackend::Convert(const SimRequest& sr, CacheType new_type) {
+  // Paper §5: a type switch discards the cache (a swapped copy of the old
+  // type is invalidated too) and the next prefill rebuilds it.
+  if (swap_.Contains(sr.spec.id)) {
+    APT_RETURN_NOT_OK(swap_.Drop(sr.spec.id));
+  }
+  APT_RETURN_NOT_OK(engine_->Preempt(sr.spec.id));
+  return engine_->ConvertCacheType(sr.spec.id, new_type);
+}
+
+StatusOr<bool> InferenceBackend::TrySwapOut(const SimRequest& sr) {
+  const CacheMap* map = engine_->assigner().Find(sr.spec.id);
+  APT_CHECK(map != nullptr);
+  // Reserve host capacity first; a full swap space falls back to recompute
+  // exactly like the analytic backend.
+  if (!swap_.SwapOut(sr.spec.id, sr.cache_type, sr.cached_tokens,
+                     map->TotalBlocks())
+           .ok()) {
+    return false;
+  }
+  Status st = engine_->SwapOut(sr.spec.id);
+  if (!st.ok()) {
+    APT_RETURN_NOT_OK(swap_.Drop(sr.spec.id));
+    return false;
+  }
+  ++carry_items_;  // the payload copy costs virtual time too
+  return true;
+}
+
+StatusOr<bool> InferenceBackend::TrySwapIn(const SimRequest& sr) {
+  APT_CHECK(swap_.Contains(sr.spec.id));
+  Status st = engine_->SwapIn(sr.spec.id);
+  if (st.IsOutOfMemory()) return false;  // stays swapped; retried later
+  APT_RETURN_NOT_OK(st);
+  APT_ASSIGN_OR_RETURN(SwapSpace::Entry entry, swap_.SwapIn(sr.spec.id));
+  (void)entry;
+  ++executed_items_;  // the payload copy costs real (or virtual) time
+  return true;
+}
+
+StatusOr<ExecutionBackend::StepOutcome> InferenceBackend::ExecutePrefillChunk(
+    const SimRequest& sr, CacheType cache_type, int32_t chunk) {
+  if (!engine_->assigner().Has(sr.spec.id)) {
+    // Fresh pass: adopt the scheduler's cache-type choice.
+    APT_RETURN_NOT_OK(engine_->ConvertCacheType(sr.spec.id, cache_type));
+  }
+  auto r = engine_->PrefillChunk(sr.spec.id, chunk);
+  if (!r.ok() && r.status().IsOutOfMemory()) return StepOutcome{true, false};
+  if (!r.ok()) return r.status();
+  ++executed_items_;
+  return StepOutcome{false, r->has_value()};
+}
+
+StatusOr<ExecutionBackend::StepOutcome> InferenceBackend::ExecuteDecode(
+    const SimRequest& sr) {
+  auto r = engine_->DecodeStep(sr.spec.id);
+  if (!r.ok() && r.status().IsOutOfMemory()) return StepOutcome{true, false};
+  if (!r.ok()) return r.status();
+  ++executed_items_;
+  return StepOutcome{false, true};
+}
+
+Status InferenceBackend::OnFinish(const SimRequest& sr) {
+  const GenerationState* gs = engine_->Find(sr.spec.id);
+  APT_CHECK(gs != nullptr);
+  finished_tokens_[sr.spec.id] = gs->tokens;
+  return engine_->RemoveRequest(sr.spec.id);
+}
+
+Status InferenceBackend::Finalize() {
+  APT_CHECK_MSG(swap_.used_blocks() == 0,
+                "swap space must drain by the end of the run");
+  return Status::OK();
+}
+
+}  // namespace aptserve

@@ -1,0 +1,103 @@
+// InferenceBackend: the execution backend that drives the *real* mini
+// transformer. Where CostModelBackend advances a virtual clock with an
+// analytic model, this performs actual prefills and decode steps on an
+// InferenceEngine — real float blocks, real hybrid-cache memory — and
+// reports measured wall-clock iteration latencies (or a deterministic
+// virtual latency for reproducible tests). Swap-based preemption moves the
+// real cache payload through the engine's host staging buffer, with a
+// SwapSpace capacity account mirroring the simulator's so both backends
+// share the same full-swap-space fallback behaviour.
+//
+// Caveat (DESIGN.md): a CPU executes batch items serially, so absolute
+// latencies are not GPU-like; the iteration-level batching semantics,
+// memory behaviour and scheduler decision points are identical.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/swap_space.h"
+#include "common/rng.h"
+#include "engine/inference_engine.h"
+#include "serve/execution_backend.h"
+#include "sim/cost_model.h"
+
+namespace aptserve {
+
+struct InferenceBackendOptions {
+  /// Seed for synthesizing prompt tokens from trace prompt lengths.
+  uint64_t prompt_seed = 7;
+  /// Host swap capacity in blocks; <= 0 defaults to 4x the GPU pool.
+  int32_t swap_blocks = -1;
+  /// Measured rho (paper Eq. 6) carried to the scheduler through the
+  /// backend's cost model; 0 disables the hidden-cache decode surcharge.
+  double rho_seconds_per_token = 0.0;
+  /// When true, iteration latency is `virtual_item_seconds` per executed
+  /// item instead of measured wall time — same seeds then give the same
+  /// timeline, tokens and TTFT/TBT (used by determinism tests).
+  bool virtual_timing = false;
+  double virtual_item_seconds = 1e-3;
+};
+
+class InferenceBackend : public ExecutionBackend {
+ public:
+  /// Borrows `engine` (must outlive the backend).
+  InferenceBackend(InferenceEngine* engine, const InferenceBackendOptions& options);
+
+  /// Owns a freshly built engine (multi-instance fleets build one engine
+  /// per instance through this constructor).
+  InferenceBackend(const ModelConfig& model, uint64_t weight_seed,
+                   int32_t num_blocks, int32_t block_size,
+                   const SamplingParams& sampling,
+                   const InferenceBackendOptions& options);
+
+  std::string name() const override { return "inference-engine"; }
+  Status Prepare(const std::vector<SimRequest>& reqs) override;
+  const BlockPool* pool() const override { return &engine_->pool(); }
+  const HybridCacheAssigner* assigner() const override {
+    return &engine_->assigner();
+  }
+  const CostModel* cost_model() const override { return &cost_model_; }
+  void BeginIteration() override;
+  StatusOr<double> EndIteration() override;
+  double IdleAdvanceSeconds() const override { return 1e-4; }
+  Status Release(const SimRequest& sr) override;
+  Status Convert(const SimRequest& sr, CacheType new_type) override;
+  StatusOr<bool> TrySwapOut(const SimRequest& sr) override;
+  StatusOr<bool> TrySwapIn(const SimRequest& sr) override;
+  StatusOr<StepOutcome> ExecutePrefillChunk(const SimRequest& sr,
+                                            CacheType cache_type,
+                                            int32_t chunk) override;
+  StatusOr<StepOutcome> ExecuteDecode(const SimRequest& sr) override;
+  Status OnFinish(const SimRequest& sr) override;
+  Status Finalize() override;
+  int64_t swap_outs() const override { return swap_.total_swap_outs(); }
+  int64_t swap_ins() const override { return swap_.total_swap_ins(); }
+
+  InferenceEngine& engine() { return *engine_; }
+  /// Full token sequences (prompt + generated) of finished requests,
+  /// captured before the engine drops them. Moves the map out; call once,
+  /// after the run.
+  std::unordered_map<RequestId, std::vector<int32_t>> TakeFinishedTokens() {
+    return std::move(finished_tokens_);
+  }
+
+ private:
+  std::unique_ptr<InferenceEngine> owned_engine_;
+  InferenceEngine* engine_;
+  InferenceBackendOptions options_;
+  /// Carrier for rho; the scheduler's quantification model reads it from
+  /// SchedulerInput::cost_model.
+  CostModel cost_model_;
+  SwapSpace swap_;
+  Rng prompt_rng_;
+  double iteration_start_ = 0.0;
+  int32_t executed_items_ = 0;
+  /// Virtual-timing cost of swap-outs not yet charged to an executed
+  /// iteration (the engine-side analogue of carry_swap_bytes_).
+  int32_t carry_items_ = 0;
+  std::unordered_map<RequestId, std::vector<int32_t>> finished_tokens_;
+};
+
+}  // namespace aptserve

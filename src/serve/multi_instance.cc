@@ -1,0 +1,156 @@
+#include "serve/multi_instance.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace aptserve {
+
+const char* DispatchPolicyName(DispatchPolicy p) {
+  switch (p) {
+    case DispatchPolicy::kRoundRobin:
+      return "round-robin";
+    case DispatchPolicy::kLeastLoaded:
+      return "least-loaded";
+    case DispatchPolicy::kPowerOfTwo:
+      return "power-of-two";
+  }
+  return "?";
+}
+
+std::vector<int32_t> DispatchTrace(const std::vector<Request>& trace,
+                                   const DispatchConfig& config) {
+  const int32_t n = config.n_instances;
+  std::vector<int32_t> assignment(trace.size(), 0);
+  if (n == 1) return assignment;
+
+  // Per-instance sliding-window backlog of dispatched prompt tokens.
+  std::vector<std::deque<std::pair<TimePoint, int64_t>>> window(n);
+  std::vector<int64_t> backlog(n, 0);
+  Rng rng(config.dispatch_seed);
+
+  auto expire = [&](TimePoint now) {
+    for (int32_t i = 0; i < n; ++i) {
+      while (!window[i].empty() &&
+             window[i].front().first < now - config.load_window_s) {
+        backlog[i] -= window[i].front().second;
+        window[i].pop_front();
+      }
+    }
+  };
+  auto assign = [&](size_t req_idx, int32_t inst) {
+    assignment[req_idx] = inst;
+    window[inst].emplace_back(trace[req_idx].arrival,
+                              trace[req_idx].prompt_len);
+    backlog[inst] += trace[req_idx].prompt_len;
+  };
+
+  for (size_t r = 0; r < trace.size(); ++r) {
+    expire(trace[r].arrival);
+    switch (config.policy) {
+      case DispatchPolicy::kRoundRobin:
+        assign(r, static_cast<int32_t>(r % n));
+        break;
+      case DispatchPolicy::kLeastLoaded: {
+        int32_t best = 0;
+        for (int32_t i = 1; i < n; ++i) {
+          if (backlog[i] < backlog[best]) best = i;
+        }
+        assign(r, best);
+        break;
+      }
+      case DispatchPolicy::kPowerOfTwo: {
+        const int32_t a = static_cast<int32_t>(rng.UniformInt(0, n - 1));
+        int32_t b = static_cast<int32_t>(rng.UniformInt(0, n - 2));
+        if (b >= a) ++b;
+        assign(r, backlog[a] <= backlog[b] ? a : b);
+        break;
+      }
+    }
+  }
+  return assignment;
+}
+
+MultiInstanceRunner::MultiInstanceRunner(const DispatchConfig& dispatch,
+                                         const ServingLoopConfig& loop)
+    : dispatch_(dispatch), loop_(loop) {
+  APT_CHECK(dispatch.n_instances >= 1);
+}
+
+std::vector<int32_t> MultiInstanceRunner::Dispatch(
+    const std::vector<Request>& trace) const {
+  return DispatchTrace(trace, dispatch_);
+}
+
+StatusOr<MultiInstanceResult> MultiInstanceRunner::Run(
+    const std::vector<Request>& trace, const SchedulerFactory& make_scheduler,
+    const BackendFactory& make_backend, const SloSpec& slo) {
+  const std::vector<int32_t> assignment = Dispatch(trace);
+  MultiInstanceResult result;
+  result.per_instance.resize(dispatch_.n_instances);
+  result.requests_per_instance.assign(dispatch_.n_instances, 0);
+
+  for (int32_t inst = 0; inst < dispatch_.n_instances; ++inst) {
+    std::vector<Request> sub;
+    for (size_t r = 0; r < trace.size(); ++r) {
+      if (assignment[r] == inst) sub.push_back(trace[r]);
+    }
+    result.requests_per_instance[inst] = static_cast<int32_t>(sub.size());
+    if (sub.empty()) continue;
+    auto scheduler = make_scheduler();
+    APT_ASSIGN_OR_RETURN(std::unique_ptr<ExecutionBackend> backend,
+                         make_backend(inst));
+    ServingLoop loop(backend.get(), loop_);
+    APT_ASSIGN_OR_RETURN(ServingLoopResult r,
+                         loop.Run(sub, scheduler.get(), slo));
+    result.per_instance[inst] = std::move(r.report);
+  }
+  result.combined =
+      MergeReports(result.per_instance, result.requests_per_instance);
+  return result;
+}
+
+SloReport MergeReports(const std::vector<SloReport>& reports,
+                       const std::vector<int32_t>& request_counts) {
+  APT_CHECK(reports.size() == request_counts.size());
+  SloReport out;
+  int64_t total_requests = 0;
+  double limit_time = 0.0;
+  double batch_weighted = 0.0;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const SloReport& r = reports[i];
+    const int64_t n = request_counts[i];
+    total_requests += n;
+    out.slo_attainment += r.slo_attainment * n;
+    out.ttft_attainment += r.ttft_attainment * n;
+    out.tbt_attainment += r.tbt_attainment * n;
+    out.total_serving_time = std::max(out.total_serving_time,
+                                      r.total_serving_time);
+    limit_time += r.batch_limit_time_ratio * r.total_serving_time;
+    out.iterations += r.iterations;
+    batch_weighted += r.mean_batch_size * static_cast<double>(r.iterations);
+    out.preemptions += r.preemptions;
+    out.conversions += r.conversions;
+    for (double v : r.ttfts.samples()) out.ttfts.Add(v);
+    for (double v : r.p99_tbts.samples()) out.p99_tbts.Add(v);
+  }
+  if (total_requests > 0) {
+    out.slo_attainment /= total_requests;
+    out.ttft_attainment /= total_requests;
+    out.tbt_attainment /= total_requests;
+  }
+  double summed_time = 0.0;
+  for (const SloReport& r : reports) summed_time += r.total_serving_time;
+  out.batch_limit_time_ratio =
+      summed_time > 0 ? limit_time / summed_time : 0.0;
+  out.mean_batch_size =
+      out.iterations > 0 ? batch_weighted / out.iterations : 0.0;
+  out.mean_ttft = out.ttfts.Mean();
+  out.p99_ttft = out.ttfts.P99();
+  return out;
+}
+
+}  // namespace aptserve

@@ -1,0 +1,94 @@
+// Multi-instance serving (the paper's §8 future work: "generalize
+// Apt-Serve's designs to the multi-instance scenario"). A dispatcher
+// assigns each arriving request to one of N independent ServingLoop
+// instances; instances then run to completion and the reports are merged.
+//
+// The runner is generic over ExecutionBackend: the same dispatch policies
+// shard the analytic simulator (CostModelBackend) and the real engine
+// (InferenceBackend) — the fleet composes with any backend for free.
+//
+// The dispatcher sees only what a real front-end would: arrival times and
+// prompt lengths. Load estimates use a sliding window of recently assigned
+// prompt tokens as the backlog proxy (Llumnix-style least-loaded routing
+// without cross-instance migration).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "serve/execution_backend.h"
+#include "serve/serving_loop.h"
+#include "sim/metrics.h"
+#include "sim/scheduler.h"
+#include "workload/request.h"
+
+namespace aptserve {
+
+enum class DispatchPolicy {
+  kRoundRobin,
+  /// Assign to the instance with the least prompt tokens dispatched within
+  /// the trailing window (a backlog proxy).
+  kLeastLoaded,
+  /// Pick two instances uniformly at random, assign to the less loaded —
+  /// the classic power-of-two-choices balancer.
+  kPowerOfTwo,
+};
+
+const char* DispatchPolicyName(DispatchPolicy p);
+
+struct DispatchConfig {
+  int32_t n_instances = 2;
+  DispatchPolicy policy = DispatchPolicy::kLeastLoaded;
+  /// Sliding window (seconds) over which dispatched prompt tokens count as
+  /// backlog.
+  double load_window_s = 30.0;
+  uint64_t dispatch_seed = 99;
+};
+
+/// Assigns each request of `trace` to an instance under `config`.
+std::vector<int32_t> DispatchTrace(const std::vector<Request>& trace,
+                                   const DispatchConfig& config);
+
+struct MultiInstanceResult {
+  SloReport combined;
+  std::vector<SloReport> per_instance;
+  std::vector<int32_t> requests_per_instance;
+};
+
+/// Creates one scheduler per instance (each instance needs its own
+/// stateful scheduler object).
+using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
+
+/// Creates the execution backend for instance `i` (each instance owns its
+/// pool/engine).
+using BackendFactory =
+    std::function<StatusOr<std::unique_ptr<ExecutionBackend>>(int32_t)>;
+
+class MultiInstanceRunner {
+ public:
+  MultiInstanceRunner(const DispatchConfig& dispatch,
+                      const ServingLoopConfig& loop);
+
+  /// Dispatches `trace` across instances, serves each shard with its own
+  /// ServingLoop over a backend from `make_backend`, and merges reports.
+  StatusOr<MultiInstanceResult> Run(const std::vector<Request>& trace,
+                                    const SchedulerFactory& make_scheduler,
+                                    const BackendFactory& make_backend,
+                                    const SloSpec& slo);
+
+  /// Exposed for tests: the dispatch assignment for a trace.
+  std::vector<int32_t> Dispatch(const std::vector<Request>& trace) const;
+
+ private:
+  DispatchConfig dispatch_;
+  ServingLoopConfig loop_;
+};
+
+/// Merges per-instance reports into a fleet-level report: attainment is
+/// request-weighted, latency sample sets are unioned, serving time is the
+/// parallel maximum, counters are summed.
+SloReport MergeReports(const std::vector<SloReport>& reports,
+                       const std::vector<int32_t>& request_counts);
+
+}  // namespace aptserve

@@ -1,0 +1,351 @@
+#include "serve/serving_loop.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.h"
+
+namespace aptserve {
+
+ServingLoop::ServingLoop(ExecutionBackend* backend,
+                         const ServingLoopConfig& config)
+    : backend_(backend), config_(config) {
+  APT_CHECK(backend != nullptr);
+}
+
+StatusOr<ServingLoopResult> ServingLoop::Run(const std::vector<Request>& trace,
+                                             Scheduler* scheduler,
+                                             const SloSpec& slo) {
+  APT_CHECK(scheduler != nullptr);
+  MetricsCollector metrics;
+  const bool swap_mode = config_.preemption_mode == PreemptionMode::kSwap;
+
+  // Requests in arrival order (the trace builder guarantees sorted output;
+  // re-sort defensively for hand-built traces).
+  std::vector<SimRequest> reqs;
+  reqs.reserve(trace.size());
+  for (const Request& r : trace) {
+    SimRequest sr;
+    sr.spec = r;
+    if (r.prompt_len <= 0 || r.output_len <= 0) {
+      return Status::InvalidArgument("request lengths must be positive");
+    }
+    reqs.push_back(sr);
+    metrics.RegisterRequest(r);
+  }
+  std::sort(reqs.begin(), reqs.end(),
+            [](const SimRequest& a, const SimRequest& b) {
+              return a.spec.arrival < b.spec.arrival;
+            });
+  APT_RETURN_NOT_OK(backend_->Prepare(reqs));
+  std::unordered_map<RequestId, size_t> index;
+  for (size_t i = 0; i < reqs.size(); ++i) index[reqs[i].spec.id] = i;
+
+  ServingLoopResult result;
+
+  TimePoint now = 0.0;
+  size_t next_arrival = 0;  // first request not yet arrived
+  size_t finished = 0;
+  int32_t consecutive_idle = 0;
+
+  for (int64_t iter = 0; iter < config_.max_iterations; ++iter) {
+    if (finished == reqs.size()) break;
+    // 1. Admit arrivals.
+    while (next_arrival < reqs.size() &&
+           reqs[next_arrival].spec.arrival <= now) {
+      ++next_arrival;
+    }
+
+    // 2. Build queues.
+    SchedulerInput input;
+    input.now = now;
+    input.pool = backend_->pool();
+    input.assigner = backend_->assigner();
+    input.cost_model = backend_->cost_model();
+    for (size_t i = 0; i < next_arrival; ++i) {
+      SimRequest& sr = reqs[i];
+      if (sr.phase == RequestPhase::kWaiting) {
+        input.waiting.push_back(&sr);
+      } else if (sr.phase == RequestPhase::kRunning) {
+        input.running.push_back(&sr);
+      }
+    }
+    if (input.waiting.empty() && input.running.empty()) {
+      if (next_arrival < reqs.size()) {
+        now = std::max(now, reqs[next_arrival].spec.arrival);
+        continue;
+      }
+      break;  // all done
+    }
+
+    // 3. Plan.
+    BatchPlan plan = scheduler->PlanIteration(input);
+
+    // Backends start their iteration clock here so that preemption work —
+    // in particular real swap-out payload copies — is charged to the
+    // iteration that caused it.
+    backend_->BeginIteration();
+
+    // 4a. Preemptions / conversions / swap-outs.
+    for (const PreemptionItem& p : plan.preempt) {
+      auto it = index.find(p.id);
+      if (it == index.end()) {
+        return Status::Internal("scheduler preempted unknown request");
+      }
+      SimRequest& sr = reqs[it->second];
+      // Preemption targets are running requests or waiting requests that
+      // hold a partial (chunked-prefill) cache; both free their blocks and
+      // restart their prefill pass later.
+      const bool preemptible =
+          backend_->assigner()->Has(p.id) &&
+          (sr.phase == RequestPhase::kRunning ||
+           sr.phase == RequestPhase::kWaiting);
+      if (!preemptible) {
+        return Status::Internal(
+            "scheduler preempted a request holding no cache");
+      }
+      const bool is_conversion = p.resume_cache_type != sr.cache_type;
+      if (is_conversion) {
+        // Type-conversion fallback: even in swap mode a conversion discards
+        // the cache — a swapped copy of the old type would be useless.
+        APT_RETURN_NOT_OK(backend_->Convert(sr, p.resume_cache_type));
+        ++sr.conversions;
+        metrics.OnConversion();
+      } else if (swap_mode && sr.phase == RequestPhase::kRunning) {
+        APT_ASSIGN_OR_RETURN(const bool swapped_out,
+                             backend_->TrySwapOut(sr));
+        if (swapped_out) {
+          // Swap-based preemption: the cache moves to host memory; the
+          // request keeps its logical progress and resumes via a swap-in
+          // instead of a recompute prefill.
+          metrics.OnPreemption();
+          ++sr.preemptions;
+          sr.phase = RequestPhase::kWaiting;
+          sr.swapped = true;
+          sr.prefill_progress = sr.cached_tokens;
+          continue;
+        }
+        // Full-swap-space fallback: recompute preemption.
+        APT_RETURN_NOT_OK(backend_->Release(sr));
+        metrics.OnPreemption();
+      } else {
+        APT_RETURN_NOT_OK(backend_->Release(sr));
+        metrics.OnPreemption();
+      }
+      ++sr.preemptions;
+      sr.phase = RequestPhase::kWaiting;
+      sr.cache_type = p.resume_cache_type;
+      sr.cached_tokens = 0;
+      sr.prefill_progress = 0;
+    }
+
+    // 4b. Execute scheduled items with memory allocation.
+    enum class StepKind { kDecode, kPrefill, kSwapIn };
+    struct Applied {
+      SimRequest* req;
+      StepKind kind;
+      int32_t chunk = 0;  // prefill only
+      bool token = false;
+    };
+    std::vector<Applied> applied;
+    bool hit_memory_wall = false;
+    int32_t accepted = 0;
+    for (const ScheduledItem& item : plan.items) {
+      if (accepted >= config_.max_batch_size) break;
+      auto it = index.find(item.id);
+      if (it == index.end()) {
+        return Status::Internal("scheduler scheduled unknown request");
+      }
+      SimRequest& sr = reqs[it->second];
+      if (sr.phase == RequestPhase::kFinished) {
+        return Status::Internal("scheduler scheduled a finished request");
+      }
+      if (item.prefill_chunk == 0) {
+        // Decode step.
+        if (sr.phase != RequestPhase::kRunning || sr.cached_tokens < 1) {
+          return Status::Internal("decode scheduled for non-running request");
+        }
+        if (item.cache_type != sr.cache_type) {
+          return Status::Internal(
+              "decode cache type mismatch; use preemption to convert");
+        }
+        APT_ASSIGN_OR_RETURN(ExecutionBackend::StepOutcome out,
+                             backend_->ExecuteDecode(sr));
+        if (out.out_of_memory) {
+          // vLLM-style recompute preemption: this request yields its memory
+          // and re-enters the waiting queue.
+          APT_RETURN_NOT_OK(backend_->Release(sr));
+          metrics.OnPreemption();
+          ++sr.preemptions;
+          sr.phase = RequestPhase::kWaiting;
+          sr.cached_tokens = 0;
+          sr.prefill_progress = 0;
+          hit_memory_wall = true;
+          continue;
+        }
+        applied.push_back({&sr, StepKind::kDecode, 0, out.token});
+        ++accepted;
+      } else {
+        // Prefill chunk (or swap-in for a swapped request).
+        if (sr.phase != RequestPhase::kWaiting) {
+          return Status::Internal("prefill scheduled for running request");
+        }
+        if (sr.swapped) {
+          // A scheduled swapped request performs a swap-in instead of a
+          // recompute: restore its blocks and resume decoding.
+          APT_ASSIGN_OR_RETURN(const bool swapped_in,
+                               backend_->TrySwapIn(sr));
+          if (!swapped_in) {
+            hit_memory_wall = true;
+            continue;  // stays swapped; retried later
+          }
+          sr.swapped = false;
+          sr.phase = RequestPhase::kRunning;
+          applied.push_back({&sr, StepKind::kSwapIn, 0, false});
+          ++accepted;
+          continue;
+        }
+        const int32_t remaining = sr.PrefillTarget() - sr.prefill_progress;
+        const int32_t chunk = std::min(item.prefill_chunk, remaining);
+        if (chunk <= 0) {
+          return Status::Internal("empty prefill chunk scheduled");
+        }
+        if (!backend_->assigner()->Has(item.id)) {
+          // A request that already produced tokens and resumes with a
+          // different cache type is an effective conversion (paper §5's
+          // discard-and-recompute, with the recompute folded into this
+          // resume prefill).
+          if (sr.has_first_token && sr.cache_type != item.cache_type) {
+            metrics.OnConversion();
+            ++sr.conversions;
+          }
+          sr.cache_type = item.cache_type;
+        } else if (item.cache_type != sr.cache_type) {
+          return Status::Internal(
+              "chunked prefill cannot switch cache type mid-pass");
+        }
+        APT_ASSIGN_OR_RETURN(
+            ExecutionBackend::StepOutcome out,
+            backend_->ExecutePrefillChunk(sr, item.cache_type, chunk));
+        if (out.out_of_memory) {
+          hit_memory_wall = true;
+          continue;  // stays waiting; retried in a later iteration
+        }
+        applied.push_back({&sr, StepKind::kPrefill, chunk, out.token});
+        ++accepted;
+      }
+    }
+
+    if (applied.empty()) {
+      // No work executed. Advance to the next arrival if any; repeated
+      // no-progress iterations with work at hand indicate a scheduler bug.
+      ++consecutive_idle;
+      if (consecutive_idle > 1000) {
+        return Status::Internal("scheduler made no progress for 1000 "
+                                "iterations with requests pending");
+      }
+      const double step = backend_->IdleAdvanceSeconds();
+      if (next_arrival < reqs.size()) {
+        now = std::max(now + step, reqs[next_arrival].spec.arrival);
+      } else {
+        now += step;
+      }
+      continue;
+    }
+    consecutive_idle = 0;
+
+    // 5. Cost: the backend prices (or measured) the batch it just ran.
+    APT_ASSIGN_OR_RETURN(const double latency, backend_->EndIteration());
+    int32_t prefill_steps = 0;
+    int32_t decode_steps = 0;
+    for (const Applied& a : applied) {
+      if (a.kind == StepKind::kPrefill) ++prefill_steps;
+      if (a.kind == StepKind::kDecode) ++decode_steps;
+    }
+    const bool is_prefill_iter = prefill_steps > 0 && decode_steps == 0;
+    const bool is_decode_iter = prefill_steps == 0 && decode_steps > 0;
+    if (is_prefill_iter) {
+      ++result.prefill_iterations;
+    } else if (is_decode_iter) {
+      ++result.decode_iterations;
+    } else {
+      ++result.mixed_iterations;
+    }
+    now += latency;
+    result.compute_seconds += latency;
+
+    // 6. Emit tokens / finish requests.
+    for (const Applied& a : applied) {
+      SimRequest& sr = *a.req;
+      if (a.kind == StepKind::kSwapIn) continue;  // swap-in emits no token
+      if (a.kind == StepKind::kDecode) {
+        sr.cached_tokens += 1;  // mirror of the backend's cache growth
+        ++sr.generated;
+        metrics.OnToken(sr.spec.id, now);
+        ++result.tokens_generated;
+        sr.last_token_time = now;
+      } else {
+        sr.prefill_progress += a.chunk;
+        sr.cached_tokens += a.chunk;
+        const bool completes = sr.prefill_progress >= sr.PrefillTarget();
+        APT_CHECK_MSG(completes == a.token,
+                      "backend and loop disagree on prefill completion");
+        if (!completes) continue;  // more chunks
+        sr.phase = RequestPhase::kRunning;
+        ++sr.generated;
+        metrics.OnToken(sr.spec.id, now);
+        ++result.tokens_generated;
+        sr.has_first_token = true;
+        sr.last_token_time = now;
+      }
+      if (sr.IsFinished()) {
+        sr.phase = RequestPhase::kFinished;
+        metrics.OnFinish(sr.spec.id, now);
+        APT_RETURN_NOT_OK(backend_->OnFinish(sr));
+        ++finished;
+      }
+    }
+
+    // 7. Batch-limit accounting (Figure 2): the batch could not be grown —
+    // either an allocation failed above, or unscheduled waiting work exists
+    // that would not fit in the remaining pool space.
+    bool at_limit = hit_memory_wall;
+    if (!at_limit) {
+      for (size_t i = 0; i < next_arrival && !at_limit; ++i) {
+        const SimRequest& sr = reqs[i];
+        if (sr.phase != RequestPhase::kWaiting) continue;
+        bool scheduled_now = false;
+        for (const Applied& a : applied) {
+          if (a.req == &sr) {
+            scheduled_now = true;
+            break;
+          }
+        }
+        if (!scheduled_now &&
+            backend_->assigner()->BlocksNeeded(CacheType::kKV,
+                                               sr.PrefillTarget()) >
+                backend_->pool()->num_free()) {
+          at_limit = true;
+        }
+      }
+    }
+    metrics.OnIteration(latency, static_cast<int32_t>(applied.size()),
+                        at_limit);
+    result.peak_blocks =
+        std::max(result.peak_blocks, backend_->pool()->peak_allocated());
+  }
+
+  if (finished != reqs.size()) {
+    return Status::Internal("serving loop hit the iteration cap with " +
+                            std::to_string(reqs.size() - finished) +
+                            " unfinished requests");
+  }
+  APT_RETURN_NOT_OK(backend_->Finalize());
+  result.swap_outs = backend_->swap_outs();
+  result.swap_ins = backend_->swap_ins();
+  result.report = metrics.Report(slo);
+  result.records = metrics.records();
+  return result;
+}
+
+}  // namespace aptserve

@@ -1,0 +1,77 @@
+// ServingLoop: THE iteration-level serving loop (paper §2.2), shared by
+// every execution path in the repo. Each iteration it (1) admits newly
+// arrived requests, (2) asks the Scheduler for a batch plan, (3) applies
+// preemptions/conversions/swaps against the backend's block pool,
+// (4) executes the scheduled items through the ExecutionBackend, (5)
+// advances the clock by the backend's iteration latency, and (6) emits
+// tokens / completes requests, collecting TTFT/TBT/SLO metrics.
+//
+// Simulator (analytic), ServingEngine (real transformer) and the
+// multi-instance fleet are all thin wrappers over this loop with different
+// backends; preemption and swap semantics live here, once.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/execution_backend.h"
+#include "sim/metrics.h"
+#include "sim/scheduler.h"
+#include "sim/sim_request.h"
+#include "workload/request.h"
+
+namespace aptserve {
+
+/// How a preempted request's cache is evicted (vLLM's two modes).
+enum class PreemptionMode {
+  /// Discard the cache; the request re-prefills later (the mode the
+  /// paper's experiments use).
+  kRecompute,
+  /// Move the cache to host memory and move it back on resume. Falls back
+  /// to recompute when the swap space is full, and to discard-and-recompute
+  /// when the resume changes cache type (a swapped copy of the old type is
+  /// useless after a conversion).
+  kSwap,
+};
+
+struct ServingLoopConfig {
+  /// Hard cap on scheduled items per iteration (vLLM max_num_seqs).
+  int32_t max_batch_size = 256;
+  /// Safety valve: abort after this many iterations.
+  int64_t max_iterations = 5'000'000;
+  PreemptionMode preemption_mode = PreemptionMode::kRecompute;
+};
+
+struct ServingLoopResult {
+  SloReport report;
+  /// Per-request latency records (TTFT, TBT samples, finish time).
+  std::unordered_map<RequestId, RequestRecord> records;
+  /// Iterations that were pure-prefill / pure-decode / mixed.
+  int64_t prefill_iterations = 0;
+  int64_t decode_iterations = 0;
+  int64_t mixed_iterations = 0;
+  int32_t peak_blocks = 0;
+  int64_t swap_outs = 0;
+  int64_t swap_ins = 0;
+  int64_t tokens_generated = 0;
+  /// Sum of executed-iteration latencies (the busy part of the timeline).
+  double compute_seconds = 0.0;
+};
+
+class ServingLoop {
+ public:
+  /// The backend must outlive the loop.
+  ServingLoop(ExecutionBackend* backend, const ServingLoopConfig& config);
+
+  /// Serves `trace` to completion under `scheduler` and reports metrics
+  /// against `slo`.
+  StatusOr<ServingLoopResult> Run(const std::vector<Request>& trace,
+                                  Scheduler* scheduler, const SloSpec& slo);
+
+ private:
+  ExecutionBackend* backend_;
+  ServingLoopConfig config_;
+};
+
+}  // namespace aptserve

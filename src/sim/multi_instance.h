@@ -1,34 +1,16 @@
-// Multi-instance serving (the paper's §8 future work: "generalize
-// Apt-Serve's designs to the multi-instance scenario"). A dispatcher
-// assigns each arriving request to one of N independent serving instances
-// (each with its own GPU pool, scheduler and iteration loop); instances
-// then run to completion and the reports are merged.
-//
-// The dispatcher sees only what a real front-end would: arrival times and
-// prompt lengths. Load estimates use a sliding window of recently assigned
-// prompt tokens as the backlog proxy (Llumnix-style least-loaded routing
-// without cross-instance migration).
+// Multi-instance *simulation*: a compatibility facade over the generic
+// MultiInstanceRunner (serve/multi_instance.h) with one CostModelBackend
+// per instance. Dispatch policies, report merging, and the per-instance
+// serving loops all live in the serve layer and are shared with the real
+// inference engine; this header re-exports them for existing users.
 #pragma once
 
-#include <functional>
-#include <memory>
 #include <vector>
 
+#include "serve/multi_instance.h"
 #include "sim/simulator.h"
 
 namespace aptserve {
-
-enum class DispatchPolicy {
-  kRoundRobin,
-  /// Assign to the instance with the least prompt tokens dispatched within
-  /// the trailing window (a backlog proxy).
-  kLeastLoaded,
-  /// Pick two instances uniformly at random, assign to the less loaded —
-  /// the classic power-of-two-choices balancer.
-  kPowerOfTwo,
-};
-
-const char* DispatchPolicyName(DispatchPolicy p);
 
 struct MultiInstanceConfig {
   int32_t n_instances = 2;
@@ -39,16 +21,6 @@ struct MultiInstanceConfig {
   uint64_t dispatch_seed = 99;
   SimulatorConfig sim;
 };
-
-struct MultiInstanceResult {
-  SloReport combined;
-  std::vector<SloReport> per_instance;
-  std::vector<int32_t> requests_per_instance;
-};
-
-/// Creates one scheduler per instance (each instance needs its own
-/// stateful scheduler object).
-using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
 
 class MultiInstanceSimulator {
  public:
@@ -66,11 +38,5 @@ class MultiInstanceSimulator {
   CostModel cost_model_;
   MultiInstanceConfig config_;
 };
-
-/// Merges per-instance reports into a fleet-level report: attainment is
-/// request-weighted, latency sample sets are unioned, serving time is the
-/// parallel maximum, counters are summed.
-SloReport MergeReports(const std::vector<SloReport>& reports,
-                       const std::vector<int32_t>& request_counts);
 
 }  // namespace aptserve

@@ -1,389 +1,57 @@
 #include "sim/simulator.h"
 
-#include "cache/swap_space.h"
-
-#include <algorithm>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace aptserve {
+
+CostModelBackend::Options ToCostModelBackendOptions(
+    const SimulatorConfig& config) {
+  CostModelBackend::Options opts;
+  opts.block_size = config.block_size;
+  opts.pool_blocks_override = config.pool_blocks_override;
+  opts.swap_blocks = config.swap_blocks;
+  return opts;
+}
+
+ServingLoopConfig ToServingLoopConfig(const SimulatorConfig& config) {
+  ServingLoopConfig loop;
+  loop.max_batch_size = config.max_batch_size;
+  loop.max_iterations = config.max_iterations;
+  loop.preemption_mode = config.preemption_mode;
+  return loop;
+}
 
 Simulator::Simulator(const CostModel& cost_model,
                      const SimulatorConfig& config)
     : cost_model_(cost_model), config_(config) {}
 
 StatusOr<int32_t> Simulator::DerivePoolBlocks() const {
-  if (config_.pool_blocks_override > 0) return config_.pool_blocks_override;
-  APT_ASSIGN_OR_RETURN(double cache_bytes, cost_model_.cluster().CacheBytes(
-                                               cost_model_.model()));
-  const double block_bytes =
-      config_.block_size * cost_model_.model().HiddenBytesPerToken();
-  const int32_t blocks = static_cast<int32_t>(cache_bytes / block_bytes);
-  if (blocks <= 0) return Status::InvalidArgument("no cache memory available");
-  return blocks;
+  return CostModelBackend::DerivePoolBlocks(
+      cost_model_, ToCostModelBackendOptions(config_));
 }
 
 StatusOr<SimulationResult> Simulator::Run(const std::vector<Request>& trace,
                                           Scheduler* scheduler,
                                           const SloSpec& slo) {
-  APT_CHECK(scheduler != nullptr);
-  APT_ASSIGN_OR_RETURN(int32_t pool_blocks, DerivePoolBlocks());
-  BlockPool pool(pool_blocks, config_.block_size);
-  HybridCacheAssigner assigner(&pool);
-  MetricsCollector metrics;
-  const bool swap_mode = config_.preemption_mode == PreemptionMode::kSwap;
-  SwapSpace swap(config_.swap_blocks > 0 ? config_.swap_blocks
-                                         : 4 * pool_blocks);
-  const double block_bytes =
-      config_.block_size * cost_model_.model().HiddenBytesPerToken();
-  // Swap traffic generated between executed iterations is charged to the
-  // next iteration that actually runs.
-  double carry_swap_bytes = 0.0;
+  APT_ASSIGN_OR_RETURN(std::unique_ptr<CostModelBackend> backend,
+                       CostModelBackend::Create(
+                           cost_model_, ToCostModelBackendOptions(config_)));
 
-  // Requests in arrival order (the trace builder guarantees sorted output;
-  // re-sort defensively for hand-built traces).
-  std::vector<SimRequest> reqs;
-  reqs.reserve(trace.size());
-  for (const Request& r : trace) {
-    SimRequest sr;
-    sr.spec = r;
-    if (r.prompt_len <= 0 || r.output_len <= 0) {
-      return Status::InvalidArgument("request lengths must be positive");
-    }
-    reqs.push_back(sr);
-    metrics.RegisterRequest(r);
-  }
-  std::sort(reqs.begin(), reqs.end(),
-            [](const SimRequest& a, const SimRequest& b) {
-              return a.spec.arrival < b.spec.arrival;
-            });
-  // Verify every request can ever fit (hidden cache in an empty pool).
-  for (const SimRequest& sr : reqs) {
-    const int32_t need = assigner.BlocksNeeded(
-        CacheType::kHidden, sr.spec.total_len());
-    if (need > pool_blocks) {
-      return Status::InvalidArgument(
-          "request " + std::to_string(sr.spec.id) +
-          " cannot fit in the cache pool even with hidden cache");
-    }
-  }
-  std::unordered_map<RequestId, size_t> index;
-  for (size_t i = 0; i < reqs.size(); ++i) index[reqs[i].spec.id] = i;
+  ServingLoop loop(backend.get(), ToServingLoopConfig(config_));
+  APT_ASSIGN_OR_RETURN(ServingLoopResult r, loop.Run(trace, scheduler, slo));
 
   SimulationResult result;
-  result.pool_blocks = pool_blocks;
-
-  TimePoint now = 0.0;
-  size_t next_arrival = 0;   // first request not yet arrived
-  size_t finished = 0;
-  int32_t consecutive_idle = 0;
-
-  for (int64_t iter = 0; iter < config_.max_iterations; ++iter) {
-    if (finished == reqs.size()) break;
-    // 1. Admit arrivals.
-    while (next_arrival < reqs.size() &&
-           reqs[next_arrival].spec.arrival <= now) {
-      ++next_arrival;
-    }
-
-    // 2. Build queues.
-    SchedulerInput input;
-    input.now = now;
-    input.pool = &pool;
-    input.assigner = &assigner;
-    input.cost_model = &cost_model_;
-    for (size_t i = 0; i < next_arrival; ++i) {
-      SimRequest& sr = reqs[i];
-      if (sr.phase == RequestPhase::kWaiting) {
-        input.waiting.push_back(&sr);
-      } else if (sr.phase == RequestPhase::kRunning) {
-        input.running.push_back(&sr);
-      }
-    }
-    if (input.waiting.empty() && input.running.empty()) {
-      if (next_arrival < reqs.size()) {
-        now = std::max(now, reqs[next_arrival].spec.arrival);
-        continue;
-      }
-      break;  // all done
-    }
-
-    // 3. Plan.
-    BatchPlan plan = scheduler->PlanIteration(input);
-
-    // 4a. Preemptions / conversions.
-    for (const PreemptionItem& p : plan.preempt) {
-      auto it = index.find(p.id);
-      if (it == index.end()) {
-        return Status::Internal("scheduler preempted unknown request");
-      }
-      SimRequest& sr = reqs[it->second];
-      // Preemption targets are running requests or waiting requests that
-      // hold a partial (chunked-prefill) cache; both free their blocks and
-      // restart their prefill pass later.
-      const bool preemptible =
-          assigner.Has(p.id) && (sr.phase == RequestPhase::kRunning ||
-                                 sr.phase == RequestPhase::kWaiting);
-      if (!preemptible) {
-        return Status::Internal(
-            "scheduler preempted a request holding no cache");
-      }
-      const bool is_conversion = p.resume_cache_type != sr.cache_type;
-      if (is_conversion) {
-        APT_RETURN_NOT_OK(assigner.DiscardForConversion(p.id));
-        ++sr.conversions;
-        metrics.OnConversion();
-      } else if (swap_mode && sr.phase == RequestPhase::kRunning &&
-                 swap.SwapOut(p.id, sr.cache_type, sr.cached_tokens,
-                              assigner.Find(p.id)->TotalBlocks())
-                     .ok()) {
-        // Swap-based preemption: the cache moves to host memory; the
-        // request keeps its logical progress and resumes via a swap-in
-        // instead of a recompute prefill.
-        carry_swap_bytes +=
-            assigner.Find(p.id)->TotalBlocks() * block_bytes;
-        APT_RETURN_NOT_OK(assigner.Release(p.id));
-        metrics.OnPreemption();
-        ++sr.preemptions;
-        sr.phase = RequestPhase::kWaiting;
-        sr.swapped = true;
-        sr.prefill_progress = sr.cached_tokens;
-        continue;
-      } else {
-        APT_RETURN_NOT_OK(assigner.Release(p.id));
-        metrics.OnPreemption();
-      }
-      ++sr.preemptions;
-      sr.phase = RequestPhase::kWaiting;
-      sr.cache_type = p.resume_cache_type;
-      sr.cached_tokens = 0;
-      sr.prefill_progress = 0;
-    }
-
-    // 4b. Apply scheduled items with memory allocation.
-    struct Applied {
-      SimRequest* req;
-      int32_t chunk;       // 0 => decode, -1 => swap-in (no token)
-      int32_t prior_progress;
-    };
-    std::vector<Applied> applied;
-    bool hit_memory_wall = false;
-    double iter_swap_bytes = 0.0;
-    int32_t accepted = 0;
-    for (const ScheduledItem& item : plan.items) {
-      if (accepted >= config_.max_batch_size) break;
-      auto it = index.find(item.id);
-      if (it == index.end()) {
-        return Status::Internal("scheduler scheduled unknown request");
-      }
-      SimRequest& sr = reqs[it->second];
-      if (sr.phase == RequestPhase::kFinished) {
-        return Status::Internal("scheduler scheduled a finished request");
-      }
-      if (item.prefill_chunk == 0) {
-        // Decode step.
-        if (sr.phase != RequestPhase::kRunning || sr.cached_tokens < 1) {
-          return Status::Internal("decode scheduled for non-running request");
-        }
-        if (item.cache_type != sr.cache_type) {
-          return Status::Internal(
-              "decode cache type mismatch; use preemption to convert");
-        }
-        Status st = assigner.Append(item.id, 1);
-        if (st.IsOutOfMemory()) {
-          // vLLM-style recompute preemption: this request yields its memory
-          // and re-enters the waiting queue.
-          APT_RETURN_NOT_OK(assigner.Release(item.id));
-          metrics.OnPreemption();
-          ++sr.preemptions;
-          sr.phase = RequestPhase::kWaiting;
-          sr.cached_tokens = 0;
-          sr.prefill_progress = 0;
-          hit_memory_wall = true;
-          continue;
-        }
-        APT_RETURN_NOT_OK(st);
-        applied.push_back({&sr, 0, 0});
-        ++accepted;
-      } else {
-        // Prefill chunk.
-        if (sr.phase != RequestPhase::kWaiting) {
-          return Status::Internal("prefill scheduled for running request");
-        }
-        if (sr.swapped) {
-          // A scheduled swapped request performs a swap-in instead of a
-          // recompute: restore its blocks on the GPU and resume decoding.
-          const SwapSpace::Entry* entry = swap.Find(item.id);
-          APT_CHECK(entry != nullptr);
-          const int32_t need =
-              assigner.BlocksNeeded(entry->type, entry->tokens);
-          if (need > pool.num_free()) {
-            hit_memory_wall = true;
-            continue;  // stays swapped; retried later
-          }
-          APT_ASSIGN_OR_RETURN(SwapSpace::Entry e, swap.SwapIn(item.id));
-          APT_RETURN_NOT_OK(
-              assigner.CreateFilled(item.id, e.type, e.tokens));
-          iter_swap_bytes +=
-              assigner.Find(item.id)->TotalBlocks() * block_bytes;
-          sr.swapped = false;
-          sr.phase = RequestPhase::kRunning;
-          applied.push_back({&sr, -1, 0});
-          ++accepted;
-          continue;
-        }
-        const int32_t remaining = sr.PrefillTarget() - sr.prefill_progress;
-        const int32_t chunk = std::min(item.prefill_chunk, remaining);
-        if (chunk <= 0) {
-          return Status::Internal("empty prefill chunk scheduled");
-        }
-        Status st;
-        if (!assigner.Has(item.id)) {
-          // A request that already produced tokens and resumes with a
-          // different cache type is an effective conversion (paper §5's
-          // discard-and-recompute, with the recompute folded into this
-          // resume prefill).
-          if (sr.has_first_token && sr.cache_type != item.cache_type) {
-            metrics.OnConversion();
-            ++sr.conversions;
-          }
-          sr.cache_type = item.cache_type;
-          st = assigner.CreateFilled(item.id, item.cache_type, chunk);
-        } else {
-          if (item.cache_type != sr.cache_type) {
-            return Status::Internal(
-                "chunked prefill cannot switch cache type mid-pass");
-          }
-          st = assigner.Append(item.id, chunk);
-        }
-        if (st.IsOutOfMemory()) {
-          hit_memory_wall = true;
-          continue;  // stays waiting; retried in a later iteration
-        }
-        APT_RETURN_NOT_OK(st);
-        applied.push_back({&sr, chunk, sr.prefill_progress});
-        ++accepted;
-      }
-    }
-
-    if (applied.empty()) {
-      // No work executed. Advance to the next arrival if any; repeated
-      // no-progress iterations with work at hand indicate a scheduler bug.
-      ++consecutive_idle;
-      if (consecutive_idle > 1000) {
-        return Status::Internal("scheduler made no progress for 1000 "
-                                "iterations with requests pending");
-      }
-      if (next_arrival < reqs.size()) {
-        now = std::max(now + cost_model_.overhead(),
-                       reqs[next_arrival].spec.arrival);
-      } else {
-        now += cost_model_.overhead();
-      }
-      continue;
-    }
-    consecutive_idle = 0;
-
-    // 5. Cost.
-    BatchWorkload w;
-    w.swap_bytes = carry_swap_bytes + iter_swap_bytes;
-    carry_swap_bytes = 0.0;
-    for (const Applied& a : applied) {
-      if (a.chunk < 0) continue;  // swap-in: costed via swap_bytes
-      if (a.chunk == 0) {
-        ++w.decode_reqs;
-        // sr.cached_tokens is updated in step 6, so here it still holds the
-        // pre-growth count == number of past context tokens.
-        const int64_t ctx = a.req->cached_tokens;
-        if (a.req->cache_type == CacheType::kHidden) {
-          w.decode_hidden_context_tokens += ctx;
-        } else {
-          w.decode_kv_context_tokens += ctx;
-        }
-      } else {
-        w.prefill_tokens += a.chunk;
-        const int64_t k = a.prior_progress;
-        const int64_t c = a.chunk;
-        w.prefill_attend_tokens += c * k + c * (c + 1) / 2;
-      }
-    }
-    const double latency = cost_model_.IterationSeconds(w);
-    const bool is_prefill_iter = w.prefill_tokens > 0 && w.decode_reqs == 0;
-    const bool is_decode_iter = w.prefill_tokens == 0 && w.decode_reqs > 0;
-    if (is_prefill_iter) {
-      ++result.prefill_iterations;
-    } else if (is_decode_iter) {
-      ++result.decode_iterations;
-    } else {
-      ++result.mixed_iterations;
-    }
-    now += latency;
-
-    // 6. Emit tokens / finish requests.
-    for (const Applied& a : applied) {
-      SimRequest& sr = *a.req;
-      if (a.chunk < 0) continue;  // swap-in emits no token
-      if (a.chunk == 0) {
-        sr.cached_tokens += 1;  // mirror of assigner.Append above
-        ++sr.generated;
-        metrics.OnToken(sr.spec.id, now);
-        sr.last_token_time = now;
-      } else {
-        sr.prefill_progress += a.chunk;
-        sr.cached_tokens += a.chunk;
-        if (sr.prefill_progress < sr.PrefillTarget()) continue;  // more chunks
-        sr.phase = RequestPhase::kRunning;
-        ++sr.generated;
-        metrics.OnToken(sr.spec.id, now);
-        sr.has_first_token = true;
-        sr.last_token_time = now;
-      }
-      if (sr.IsFinished()) {
-        sr.phase = RequestPhase::kFinished;
-        metrics.OnFinish(sr.spec.id, now);
-        APT_RETURN_NOT_OK(assigner.Release(sr.spec.id));
-        ++finished;
-      }
-    }
-
-    // 7. Batch-limit accounting (Figure 2): the batch could not be grown —
-    // either an allocation failed above, or unscheduled waiting work exists
-    // that would not fit in the remaining pool space.
-    bool at_limit = hit_memory_wall;
-    if (!at_limit) {
-      for (size_t i = 0; i < next_arrival && !at_limit; ++i) {
-        const SimRequest& sr = reqs[i];
-        if (sr.phase != RequestPhase::kWaiting) continue;
-        bool scheduled_now = false;
-        for (const Applied& a : applied) {
-          if (a.req == &sr) {
-            scheduled_now = true;
-            break;
-          }
-        }
-        if (!scheduled_now &&
-            assigner.BlocksNeeded(CacheType::kKV, sr.PrefillTarget()) >
-                pool.num_free()) {
-          at_limit = true;
-        }
-      }
-    }
-    metrics.OnIteration(latency, static_cast<int32_t>(applied.size()),
-                        at_limit);
-    result.peak_blocks = std::max(result.peak_blocks, pool.peak_allocated());
-  }
-
-  if (finished != reqs.size()) {
-    return Status::Internal("simulation hit the iteration cap with " +
-                            std::to_string(reqs.size() - finished) +
-                            " unfinished requests");
-  }
-  APT_CHECK_MSG(swap.used_blocks() == 0,
-                "swap space must drain by the end of the run");
-  result.swap_outs = swap.total_swap_outs();
-  result.swap_ins = swap.total_swap_ins();
-  result.report = metrics.Report(slo);
-  result.records = metrics.records();
+  result.report = std::move(r.report);
+  result.records = std::move(r.records);
+  result.prefill_iterations = r.prefill_iterations;
+  result.decode_iterations = r.decode_iterations;
+  result.mixed_iterations = r.mixed_iterations;
+  result.pool_blocks = backend->pool_blocks();
+  result.peak_blocks = r.peak_blocks;
+  result.swap_outs = r.swap_outs;
+  result.swap_ins = r.swap_ins;
   return result;
 }
 

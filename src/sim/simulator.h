@@ -1,36 +1,23 @@
-// Simulator: the iteration-level serving loop (paper §2.2). Each iteration
-// it (1) admits newly arrived requests into the waiting queue, (2) asks the
-// scheduler for a batch plan, (3) applies preemptions/conversions and cache
-// allocation against the unified block pool, (4) advances the clock by the
-// cost model's iteration latency, and (5) emits tokens / completes
-// requests, collecting TTFT/TBT/SLO metrics.
+// Simulator: the analytic serving simulator (paper §2.2). A thin facade
+// over the shared ServingLoop (serve/serving_loop.h) running on a
+// CostModelBackend: admission, scheduling, preemption/conversion and swap
+// semantics live in the loop; this class only derives the pool size from
+// the cluster spec and repackages the result. PreemptionMode lives in
+// serve/serving_loop.h and is re-exported here for compatibility.
 #pragma once
 
-#include <deque>
-#include <memory>
 #include <unordered_map>
 #include <vector>
 
-#include "cache/block_pool.h"
-#include "cache/hybrid_assigner.h"
 #include "common/status.h"
+#include "serve/cost_model_backend.h"
+#include "serve/serving_loop.h"
 #include "sim/cost_model.h"
 #include "sim/metrics.h"
 #include "sim/scheduler.h"
 #include "sim/sim_request.h"
 
 namespace aptserve {
-
-/// How the simulator evicts a preempted request's cache (vLLM's two modes).
-enum class PreemptionMode {
-  /// Discard the cache; the request re-prefills later (the mode the
-  /// paper's experiments use).
-  kRecompute,
-  /// Copy the cache to host memory over PCIe and copy it back on resume.
-  /// Falls back to recompute when the swap space is full or the resume
-  /// changes cache type.
-  kSwap,
-};
 
 struct SimulatorConfig {
   /// Token positions per cache block.
@@ -62,6 +49,12 @@ struct SimulationResult {
   /// request id — the raw data behind the paper's scatter/CDF figures.
   std::unordered_map<RequestId, RequestRecord> records;
 };
+
+/// Shared facade translations (also used by MultiInstanceSimulator), so a
+/// new SimulatorConfig field has exactly one mapping site.
+CostModelBackend::Options ToCostModelBackendOptions(
+    const SimulatorConfig& config);
+ServingLoopConfig ToServingLoopConfig(const SimulatorConfig& config);
 
 class Simulator {
  public:
