@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "baselines/fcfs_scheduler.h"
+#include "bench/bench_util.h"
 #include "core/apt_scheduler.h"
 #include "engine/serving_engine.h"
 #include "workload/arrival.h"
@@ -61,6 +62,21 @@ int main() {
                 sched->name().c_str(), result->compute_seconds,
                 result->report.mean_ttft, result->report.p99_ttft,
                 result->preemptions, result->report.conversions);
+    bench::JsonObject e;
+    e.Str("scheduler", sched->name())
+        .Int("num_requests", static_cast<int64_t>(trace.size()))
+        .Num("compute_seconds", result->compute_seconds)
+        .Num("mean_ttft_s", result->report.mean_ttft)
+        .Num("p99_ttft_s", result->report.p99_ttft)
+        .Num("tokens_per_sec",
+             result->compute_seconds > 0
+                 ? result->tokens_generated / result->compute_seconds
+                 : 0.0)
+        .Int("tokens_generated", result->tokens_generated)
+        .Int("preemptions", result->preemptions)
+        .Int("conversions", result->report.conversions)
+        .Num("rho_seconds_per_token", result->rho_seconds_per_token);
+    bench::BenchJson::Instance().AddEntry(std::move(e));
     if (k == 1) {
       std::printf("measured rho = %.1f us/token (real Eq. 6 calibration "
                   "fed to the scheduler)\n",

@@ -11,6 +11,10 @@
 #include "common/status.h"
 #include "common/types.h"
 
+// Parallel runtime layer (thread pool + config).
+#include "runtime/runtime_config.h"
+#include "runtime/thread_pool.h"
+
 // Unified hybrid cache (paper §4.3).
 #include "cache/block_pool.h"
 #include "cache/cache_map.h"

@@ -7,11 +7,16 @@
 namespace aptserve {
 
 InferenceEngine::InferenceEngine(const ModelConfig& config, uint64_t seed,
-                                 int32_t num_blocks, int32_t block_size)
+                                 int32_t num_blocks, int32_t block_size,
+                                 const RuntimeConfig& runtime)
     : model_(ModelWeights::Random(config, seed)),
       pool_(num_blocks, block_size),
       storage_(num_blocks, block_size, config.n_layers, config.d_model),
-      assigner_(&pool_) {}
+      assigner_(&pool_) {
+  if (runtime.ResolvedNumThreads() > 1) {
+    thread_pool_ = std::make_unique<runtime::ThreadPool>(runtime);
+  }
+}
 
 void InferenceEngine::SetSampling(const SamplingParams& params,
                                   uint64_t sample_seed) {
@@ -44,7 +49,7 @@ Status InferenceEngine::AddRequest(RequestId id, std::vector<int32_t> prompt,
   return Status::OK();
 }
 
-StatusOr<std::optional<int32_t>> InferenceEngine::PrefillChunk(
+StatusOr<PendingStep> InferenceEngine::PreparePrefillChunk(
     RequestId id, int32_t max_tokens) {
   auto it = requests_.find(id);
   if (it == requests_.end()) return Status::NotFound("unknown request");
@@ -75,23 +80,22 @@ StatusOr<std::optional<int32_t>> InferenceEngine::PrefillChunk(
   } else {
     APT_RETURN_NOT_OK(assigner_.Append(id, new_tokens));
   }
-  const CacheMap* map = assigner_.Find(id);
-  std::vector<float> logits;
-  std::vector<int32_t> chunk_tokens(gs.tokens.begin(),
-                                    gs.tokens.begin() + upto);
-  Status st = model_.PrefillCached(chunk_tokens, gs.cached_tokens, *map,
-                                   &storage_, &logits);
-  if (!st.ok()) {
-    if (fresh) (void)assigner_.Release(id);
-    return st;
-  }
-  gs.cached_tokens = upto;
-  if (upto < target) return std::optional<int32_t>{};  // more chunks needed
+  PendingStep step;
+  step.id = id;
+  step.is_decode = false;
+  step.prefill_tokens.assign(gs.tokens.begin(), gs.tokens.begin() + upto);
+  step.start = gs.cached_tokens;
+  step.upto = upto;
+  step.fresh = fresh;
+  step.completes = upto >= target;
+  return step;
+}
 
-  gs.in_decode = true;
-  APT_ASSIGN_OR_RETURN(const int32_t next, SampleNext(logits));
-  gs.tokens.push_back(next);
-  return std::optional<int32_t>{next};
+StatusOr<std::optional<int32_t>> InferenceEngine::PrefillChunk(
+    RequestId id, int32_t max_tokens) {
+  APT_ASSIGN_OR_RETURN(PendingStep step, PreparePrefillChunk(id, max_tokens));
+  ComputeStep(&step);
+  return FinishStep(&step);
 }
 
 StatusOr<int32_t> InferenceEngine::Prefill(RequestId id) {
@@ -108,7 +112,7 @@ StatusOr<int32_t> InferenceEngine::Prefill(RequestId id) {
   return *token;
 }
 
-StatusOr<int32_t> InferenceEngine::DecodeStep(RequestId id) {
+StatusOr<PendingStep> InferenceEngine::PrepareDecode(RequestId id) {
   auto it = requests_.find(id);
   if (it == requests_.end()) return Status::NotFound("unknown request");
   GenerationState& gs = it->second;
@@ -121,14 +125,87 @@ StatusOr<int32_t> InferenceEngine::DecodeStep(RequestId id) {
     return Status::InvalidArgument("sequence reached max_seq_len");
   }
   APT_RETURN_NOT_OK(assigner_.Append(id, 1));
-  const CacheMap* map = assigner_.Find(id);
-  std::vector<float> logits;
-  APT_RETURN_NOT_OK(
-      model_.CachedStep(gs.tokens[pos], pos, *map, &storage_, &logits));
-  gs.cached_tokens = pos + 1;
-  APT_ASSIGN_OR_RETURN(const int32_t next, SampleNext(logits));
+  PendingStep step;
+  step.id = id;
+  step.is_decode = true;
+  step.pos = pos;
+  step.token = gs.tokens[pos];
+  return step;
+}
+
+StatusOr<int32_t> InferenceEngine::DecodeStep(RequestId id) {
+  APT_ASSIGN_OR_RETURN(PendingStep step, PrepareDecode(id));
+  ComputeStep(&step);
+  APT_ASSIGN_OR_RETURN(std::optional<int32_t> next, FinishStep(&step));
+  APT_CHECK(next.has_value());
+  return *next;
+}
+
+void InferenceEngine::ComputeStep(PendingStep* step) {
+  APT_CHECK(step != nullptr && !step->computed);
+  const CacheMap* map = assigner_.Find(step->id);
+  if (map == nullptr) {
+    step->compute_status =
+        Status::Internal("pending step lost its cache map before compute");
+  } else if (step->is_decode) {
+    step->compute_status =
+        model_.CachedStep(step->token, step->pos, *map, &storage_,
+                          &step->logits, thread_pool_.get());
+  } else {
+    step->compute_status =
+        model_.PrefillCached(step->prefill_tokens, step->start, *map,
+                             &storage_, &step->logits, thread_pool_.get());
+  }
+  step->computed = true;
+}
+
+StatusOr<std::optional<int32_t>> InferenceEngine::FinishStep(
+    PendingStep* step) {
+  APT_CHECK(step != nullptr && step->computed);
+  auto it = requests_.find(step->id);
+  APT_CHECK_MSG(it != requests_.end(),
+                "pending step finished for a removed request");
+  GenerationState& gs = it->second;
+  if (!step->compute_status.ok()) {
+    if (!step->is_decode && step->fresh) (void)assigner_.Release(step->id);
+    return step->compute_status;
+  }
+  if (step->is_decode) {
+    gs.cached_tokens = step->pos + 1;
+  } else {
+    gs.cached_tokens = step->upto;
+    if (!step->completes) return std::optional<int32_t>{};  // more chunks
+    gs.in_decode = true;
+  }
+  APT_ASSIGN_OR_RETURN(const int32_t next, SampleNext(step->logits));
   gs.tokens.push_back(next);
-  return next;
+  return std::optional<int32_t>{next};
+}
+
+Status InferenceEngine::ExecuteSteps(std::vector<PendingStep>* steps) {
+  APT_CHECK(steps != nullptr);
+  const int64_t n = static_cast<int64_t>(steps->size());
+  // Items of an iteration are independent given the block pool: each step
+  // reads/writes only its own request's blocks and the immutable weights,
+  // so the forwards run concurrently and stay bit-identical. Item-level
+  // fan-out only pays once it can occupy the pool — nested ParallelFor
+  // runs inline, so a 2-item batch on an 8-thread pool would strand 6
+  // threads; below that point each step runs with full intra-op
+  // parallelism instead. Both paths are bit-identical.
+  if (thread_pool_ != nullptr && n >= thread_pool_->num_threads()) {
+    thread_pool_->ParallelFor(0, n, 1, [&](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) ComputeStep(&(*steps)[i]);
+    });
+  } else {
+    for (PendingStep& step : *steps) ComputeStep(&step);
+  }
+  // Serial sampling barrier, in preparation order: reproduces the exact
+  // RNG draw sequence of serial execution.
+  for (PendingStep& step : *steps) {
+    auto finished = FinishStep(&step);
+    if (!finished.ok()) return finished.status();
+  }
+  return Status::OK();
 }
 
 Status InferenceEngine::ConvertCacheType(RequestId id, CacheType new_type) {

@@ -19,6 +19,8 @@
 #include "engine/block_storage.h"
 #include "engine/sampling.h"
 #include "engine/transformer.h"
+#include "runtime/runtime_config.h"
+#include "runtime/thread_pool.h"
 
 namespace aptserve {
 
@@ -42,12 +44,41 @@ struct GenerationState {
   }
 };
 
+/// A prepared-but-not-yet-computed engine step. Preparation (validation
+/// plus block allocation) runs serially in schedule order — it is what
+/// determines out-of-memory behaviour — while the deferred transformer
+/// forward is free to run on any thread: distinct steps touch disjoint
+/// cache blocks and only share the (immutable) weights. FinishStep then
+/// samples serially, in schedule order, from the shared RNG stream — the
+/// sampling barrier that keeps token streams bit-identical to serial
+/// execution at any thread count.
+struct PendingStep {
+  RequestId id = -1;
+  bool is_decode = false;
+  /// Decode: the position processed and its input token.
+  int32_t pos = 0;
+  int32_t token = -1;
+  /// Prefill: tokens [0, upto), the first new position, the chunk end,
+  /// whether this pass created the cache, and whether it completes prefill.
+  std::vector<int32_t> prefill_tokens;
+  int32_t start = 0;
+  int32_t upto = 0;
+  bool fresh = false;
+  bool completes = false;
+  /// Filled by ComputeStep.
+  std::vector<float> logits;
+  Status compute_status = Status::OK();
+  bool computed = false;
+};
+
 class InferenceEngine {
  public:
   /// Builds a model with seeded random weights and a unified pool of
-  /// `num_blocks` blocks of `block_size` token positions each.
+  /// `num_blocks` blocks of `block_size` token positions each. `runtime`
+  /// sizes the engine's thread pool (default: serial; see RuntimeConfig).
   InferenceEngine(const ModelConfig& config, uint64_t seed, int32_t num_blocks,
-                  int32_t block_size);
+                  int32_t block_size,
+                  const RuntimeConfig& runtime = RuntimeConfig{});
 
   /// Sets the sampling strategy for generated tokens (default: greedy).
   void SetSampling(const SamplingParams& params, uint64_t sample_seed = 1);
@@ -72,6 +103,35 @@ class InferenceEngine {
   /// Runs one decode iteration for the request: extends the cache by one
   /// position, processes the latest token, appends and returns the next.
   StatusOr<int32_t> DecodeStep(RequestId id);
+
+  // ---- Batched execution (parallel runtime) --------------------------------
+  // PrefillChunk/DecodeStep are compositions of the three phases below, so
+  // the serial and batched paths share one implementation. A batch executor
+  // (serve/inference_backend.h) prepares steps in schedule order, computes
+  // them concurrently, and finishes them in order.
+
+  /// Validates and allocates one decode step without computing it.
+  StatusOr<PendingStep> PrepareDecode(RequestId id);
+
+  /// Validates and allocates (the next chunk of) a prefill pass without
+  /// computing it. Identical checks and allocation to PrefillChunk.
+  StatusOr<PendingStep> PreparePrefillChunk(RequestId id, int32_t max_tokens);
+
+  /// Runs the deferred transformer forward for a prepared step. Safe to
+  /// call concurrently for distinct steps (disjoint cache blocks, shared
+  /// immutable weights). Errors land in `step->compute_status`.
+  void ComputeStep(PendingStep* step);
+
+  /// Applies a computed step to the request state: advances the cached
+  /// token count and — for decodes and completing prefills — samples the
+  /// next token from the shared RNG stream. Must be called in the same
+  /// order steps were prepared to reproduce serial token streams.
+  StatusOr<std::optional<int32_t>> FinishStep(PendingStep* step);
+
+  /// Computes `steps` (in parallel across the runtime pool when the engine
+  /// has one) and finishes them in order. Bit-identical to executing the
+  /// steps one by one.
+  Status ExecuteSteps(std::vector<PendingStep>* steps);
 
   /// Switches the request's cache type: discards the existing cache; the
   /// caller must run Prefill() again to rebuild it (mirrors the paper's
@@ -108,6 +168,8 @@ class InferenceEngine {
   BlockPool& pool() { return pool_; }
   HybridCacheAssigner& assigner() { return assigner_; }
   BlockStorage& storage() { return storage_; }
+  /// The engine's runtime pool; null when configured serial.
+  runtime::ThreadPool* thread_pool() { return thread_pool_.get(); }
 
  private:
   StatusOr<int32_t> SampleNext(const std::vector<float>& logits);
@@ -126,6 +188,7 @@ class InferenceEngine {
   BlockPool pool_;
   BlockStorage storage_;
   HybridCacheAssigner assigner_;
+  std::unique_ptr<runtime::ThreadPool> thread_pool_;
   std::unordered_map<RequestId, GenerationState> requests_;
   std::unordered_map<RequestId, SwappedCache> swapped_;
   SamplingParams sampling_;

@@ -2,9 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "runtime/thread_pool.h"
 
 namespace aptserve {
 namespace ops {
+
+namespace {
+
+/// W rows per cache tile: a tile of kRowTile x cols fp32 weights is
+/// streamed once and reused across every batch row it multiplies.
+constexpr int32_t kRowTile = 32;
+
+inline float GeluScalar(float v) {
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  return 0.5f * v * (1.0f + std::tanh(kC * (v + 0.044715f * v * v * v)));
+}
+
+}  // namespace
 
 void MatVec(const float* w, const float* x, float* y, int32_t rows,
             int32_t cols) {
@@ -72,11 +88,7 @@ void LayerNorm(const float* x, const float* gain, const float* bias,
 }
 
 void Gelu(float* x, int32_t n) {
-  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
-  for (int32_t i = 0; i < n; ++i) {
-    const float v = x[i];
-    x[i] = 0.5f * v * (1.0f + std::tanh(kC * (v + 0.044715f * v * v * v)));
-  }
+  for (int32_t i = 0; i < n; ++i) x[i] = GeluScalar(x[i]);
 }
 
 void Relu(float* x, int32_t n) {
@@ -91,5 +103,111 @@ int32_t ArgMax(const float* x, int32_t n) {
   return best;
 }
 
+// ---- Blocked / batched kernels (parallel runtime tier) --------------------
+
+namespace {
+
+enum class PostAct { kNone, kRelu, kGelu };
+
+/// The blocked core: y_b[r] = act(dot(w_r, x_b)) over the sub-rectangle
+/// [b_lo, b_hi) x [r_lo, r_hi). The inner dot runs in the scalar MatVec
+/// accumulation order, so every output element is bit-identical to the
+/// reference kernel no matter how the rectangle is split across threads.
+inline void MatMatTile(const float* w, const float* x, float* y, int32_t rows,
+                       int32_t cols, int32_t b_lo, int32_t b_hi, int32_t r_lo,
+                       int32_t r_hi, PostAct act) {
+  for (int32_t r0 = r_lo; r0 < r_hi; r0 += kRowTile) {
+    const int32_t r1 = std::min(r0 + kRowTile, r_hi);
+    for (int32_t b = b_lo; b < b_hi; ++b) {
+      const float* xb = x + static_cast<int64_t>(b) * cols;
+      float* yb = y + static_cast<int64_t>(b) * rows;
+      for (int32_t r = r0; r < r1; ++r) {
+        yb[r] = Dot(w + static_cast<int64_t>(r) * cols, xb, cols);
+      }
+      if (act == PostAct::kRelu) {
+        for (int32_t r = r0; r < r1; ++r) yb[r] = std::max(0.0f, yb[r]);
+      } else if (act == PostAct::kGelu) {
+        for (int32_t r = r0; r < r1; ++r) yb[r] = GeluScalar(yb[r]);
+      }
+    }
+  }
+}
+
+void MatMatImpl(const float* w, const float* x, float* y, int32_t batch,
+                int32_t rows, int32_t cols, PostAct act,
+                runtime::ThreadPool* pool) {
+  if (batch <= 0 || rows <= 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1) {
+    MatMatTile(w, x, y, rows, cols, 0, batch, 0, rows, act);
+    return;
+  }
+  if (batch >= 2 * pool->num_threads()) {
+    // Plenty of batch rows: split the batch, each task sweeps all W tiles.
+    pool->ParallelFor(0, batch, 1, [&](int64_t lo, int64_t hi) {
+      MatMatTile(w, x, y, rows, cols, static_cast<int32_t>(lo),
+                 static_cast<int32_t>(hi), 0, rows, act);
+    });
+  } else {
+    // Few batch rows (decode / logits): split the W rows instead.
+    pool->ParallelFor(0, rows, kRowTile, [&](int64_t lo, int64_t hi) {
+      MatMatTile(w, x, y, rows, cols, 0, batch, static_cast<int32_t>(lo),
+                 static_cast<int32_t>(hi), act);
+    });
+  }
+}
+
+}  // namespace
+
+void MatMat(const float* w, const float* x, float* y, int32_t batch,
+            int32_t rows, int32_t cols, runtime::ThreadPool* pool) {
+  MatMatImpl(w, x, y, batch, rows, cols, PostAct::kNone, pool);
+}
+
+void MatVecBlocked(const float* w, const float* x, float* y, int32_t rows,
+                   int32_t cols, runtime::ThreadPool* pool) {
+  MatMatImpl(w, x, y, 1, rows, cols, PostAct::kNone, pool);
+}
+
+void LayerNormBatch(const float* x, const float* gain, const float* bias,
+                    float* out, int32_t batch, int32_t n,
+                    runtime::ThreadPool* pool) {
+  runtime::ParallelFor(pool, 0, batch, 4, [&](int64_t lo, int64_t hi) {
+    for (int64_t b = lo; b < hi; ++b) {
+      LayerNorm(x + b * n, gain, bias, out + b * n, n);
+    }
+  });
+}
+
+void FusedLayerNormMatMat(const float* x, const float* gain,
+                          const float* bias, const float* w, float* y,
+                          int32_t batch, int32_t rows, int32_t cols,
+                          runtime::ThreadPool* pool) {
+  if (pool != nullptr && pool->num_threads() > 1 &&
+      batch < 2 * pool->num_threads() && rows >= 4 * kRowTile) {
+    // Few batch rows but a tall W (e.g. logits): normalize once, then let
+    // the GEMM parallelize over W rows.
+    std::vector<float> normed(static_cast<size_t>(batch) * cols);
+    LayerNormBatch(x, gain, bias, normed.data(), batch, cols, pool);
+    MatMat(w, normed.data(), y, batch, rows, cols, pool);
+    return;
+  }
+  runtime::ParallelFor(pool, 0, batch, 1, [&](int64_t lo, int64_t hi) {
+    std::vector<float> ln(cols);
+    for (int64_t b = lo; b < hi; ++b) {
+      LayerNorm(x + b * cols, gain, bias, ln.data(), cols);
+      MatMatTile(w, ln.data(), y + b * rows, rows, cols, 0, 1, 0, rows,
+                 PostAct::kNone);
+    }
+  });
+}
+
+void FusedMatMatAct(const float* w, const float* x, float* y, int32_t batch,
+                    int32_t rows, int32_t cols, bool use_relu,
+                    runtime::ThreadPool* pool) {
+  MatMatImpl(w, x, y, batch, rows, cols,
+             use_relu ? PostAct::kRelu : PostAct::kGelu, pool);
+}
+
 }  // namespace ops
 }  // namespace aptserve
+

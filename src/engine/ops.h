@@ -1,11 +1,26 @@
 // Dense kernels for the mini transformer. All functions operate on raw fp32
 // spans; shapes are passed explicitly and validated by callers. Matrices are
 // row-major.
+//
+// Two kernel tiers live here:
+//   * scalar reference kernels (MatVec, LayerNorm, ...) — the pinned
+//     ground truth, single-threaded, naive loops;
+//   * blocked/batched kernels (MatMat, MatVecBlocked, LayerNormBatch and
+//     the fused passes) — cache-tiled over weight rows and optionally
+//     parallel over an aptserve::runtime::ThreadPool. Every blocked kernel
+//     accumulates each output element in exactly the scalar order, so its
+//     results are bit-identical to the reference at any thread count
+//     (pinned by tests/parallel_ops_test.cc).
 #pragma once
 
 #include <cstdint>
 
 namespace aptserve {
+
+namespace runtime {
+class ThreadPool;
+}  // namespace runtime
+
 namespace ops {
 
 /// y = W x, where W is [rows, cols] row-major and x has `cols` elements.
@@ -41,6 +56,42 @@ void Relu(float* x, int32_t n);
 
 /// Index of the maximum element (first on ties).
 int32_t ArgMax(const float* x, int32_t n);
+
+// ---- Blocked / batched kernels (parallel runtime tier) --------------------
+
+/// Batched MatVec: Y = X W^T, i.e. y_b = W x_b for each of the `batch` rows
+/// of X ([batch, cols] row-major); Y is [batch, rows]. Tiles of W rows are
+/// streamed once and reused across the whole batch (cache blocking), and
+/// the work is split over `pool` when given. Bit-identical to looping
+/// MatVec over the batch.
+void MatMat(const float* w, const float* x, float* y, int32_t batch,
+            int32_t rows, int32_t cols, runtime::ThreadPool* pool = nullptr);
+
+/// Row-blocked MatVec (batch-1 MatMat): same contract as MatVec, optionally
+/// parallel over row tiles. Bit-identical to MatVec.
+void MatVecBlocked(const float* w, const float* x, float* y, int32_t rows,
+                   int32_t cols, runtime::ThreadPool* pool = nullptr);
+
+/// Row-wise LayerNorm over a [batch, n] matrix: out_b = LayerNorm(x_b) *
+/// gain + bias. Bit-identical to calling LayerNorm per row.
+void LayerNormBatch(const float* x, const float* gain, const float* bias,
+                    float* out, int32_t batch, int32_t n,
+                    runtime::ThreadPool* pool = nullptr);
+
+/// Fused LayerNorm + batched MatVec: y_b = W LayerNorm(x_b). The normalized
+/// row never materializes outside a per-task scratch buffer. Bit-identical
+/// to LayerNorm followed by MatVec per row.
+void FusedLayerNormMatMat(const float* x, const float* gain,
+                          const float* bias, const float* w, float* y,
+                          int32_t batch, int32_t rows, int32_t cols,
+                          runtime::ThreadPool* pool = nullptr);
+
+/// Fused batched MatVec + activation: y_b = act(W x_b) with act = ReLU or
+/// tanh-GELU, applied to each output tile while it is cache-hot.
+/// Bit-identical to MatMat followed by Relu/Gelu.
+void FusedMatMatAct(const float* w, const float* x, float* y, int32_t batch,
+                    int32_t rows, int32_t cols, bool use_relu,
+                    runtime::ThreadPool* pool = nullptr);
 
 }  // namespace ops
 }  // namespace aptserve

@@ -43,7 +43,8 @@ StatusOr<double> TimeDecodeStep(InferenceEngine* engine, RequestId id,
 
 StatusOr<RhoCalibrationResult> CalibrateRho(
     const ModelConfig& config, uint64_t seed,
-    const std::vector<int32_t>& context_lens, int32_t reps) {
+    const std::vector<int32_t>& context_lens, int32_t reps,
+    const RuntimeConfig& runtime) {
   if (context_lens.empty()) {
     return Status::InvalidArgument("need at least one context length");
   }
@@ -58,7 +59,7 @@ StatusOr<RhoCalibrationResult> CalibrateRho(
   const int32_t block_size = 16;
   const int32_t blocks_needed =
       2 * ((max_ctx + reps + block_size) / block_size + 1);
-  InferenceEngine engine(config, seed, blocks_needed, block_size);
+  InferenceEngine engine(config, seed, blocks_needed, block_size, runtime);
   Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
 
   RhoCalibrationResult result;

@@ -10,6 +10,7 @@
 
 #include "common/status.h"
 #include "engine/model_config.h"
+#include "runtime/runtime_config.h"
 
 namespace aptserve {
 
@@ -31,8 +32,11 @@ struct RhoCalibrationResult {
 
 /// Runs decode steps at each context length in `context_lens` with both
 /// cache types (averaging `reps` timed repetitions) and fits rho.
+/// `runtime` must match the serving engine's runtime so the measured rho
+/// reflects the speed of the engine it will schedule.
 StatusOr<RhoCalibrationResult> CalibrateRho(
     const ModelConfig& config, uint64_t seed,
-    const std::vector<int32_t>& context_lens, int32_t reps = 3);
+    const std::vector<int32_t>& context_lens, int32_t reps = 3,
+    const RuntimeConfig& runtime = RuntimeConfig{});
 
 }  // namespace aptserve

@@ -11,7 +11,7 @@ namespace aptserve {
 ServingEngine::ServingEngine(const ServingEngineConfig& config)
     : config_(config),
       engine_(config.model, config.weight_seed, config.num_blocks,
-              config.block_size) {
+              config.block_size, config.runtime) {
   engine_.SetSampling(config.sampling, config.weight_seed ^ 0x5851f42dULL);
 }
 
@@ -26,7 +26,7 @@ StatusOr<ServingEngineResult> ServingEngine::Serve(
     const int32_t c2 = std::min(48, config_.model.max_seq_len / 2);
     APT_ASSIGN_OR_RETURN(RhoCalibrationResult calib,
                          CalibrateRho(config_.model, config_.weight_seed,
-                                      {c1, c2}, 2));
+                                      {c1, c2}, 2, config_.runtime));
     rho = calib.rho_seconds_per_token;
   }
 

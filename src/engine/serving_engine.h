@@ -37,6 +37,15 @@ struct ServingEngineConfig {
   uint64_t prompt_seed = 7;
   int32_t num_blocks = 256;
   int32_t block_size = 8;
+  /// Parallel runtime for kernels and batch execution. The default is
+  /// serial (effective num_threads = 1 unless APTSERVE_NUM_THREADS is
+  /// set). Given a fixed rho (calibrate_rho = false), token streams and
+  /// virtual-timing reports stay bit-identical across thread counts —
+  /// only wall-clock latency changes. With calibrate_rho = true the rho
+  /// fed to the scheduler is wall-clock-measured (on an engine with this
+  /// same runtime), so scheduling decisions can differ run to run exactly
+  /// as they always did under measured timing.
+  RuntimeConfig runtime;
   SloSpec slo{1.0, 1.0};
   SamplingParams sampling;  ///< greedy by default (deterministic output).
   /// Calibrate rho on the engine before serving (the paper's ~30 s offline

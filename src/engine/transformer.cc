@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "engine/ops.h"
+#include "runtime/thread_pool.h"
 
 namespace aptserve {
 
@@ -23,32 +24,38 @@ void TransformerModel::Activation(float* x, int32_t n) const {
 
 void TransformerModel::Attention(const float* q, const float* keys,
                                  const float* values, int32_t n_ctx,
-                                 float* out) const {
+                                 float* out, runtime::ThreadPool* pool) const {
   const ModelConfig& cfg = weights_.config;
   const int32_t hd = cfg.head_dim();
   const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
-  std::vector<float> scores(n_ctx);
-  for (int32_t h = 0; h < cfg.n_heads; ++h) {
-    const int32_t off = h * hd;
-    for (int32_t j = 0; j < n_ctx; ++j) {
-      scores[j] =
-          ops::Dot(q + off, keys + static_cast<int64_t>(j) * cfg.d_model + off,
-                   hd) *
-          scale;
-    }
-    ops::Softmax(scores.data(), n_ctx);
-    float* o = out + off;
-    std::fill(o, o + hd, 0.0f);
-    for (int32_t j = 0; j < n_ctx; ++j) {
-      const float* v = values + static_cast<int64_t>(j) * cfg.d_model + off;
-      const float a = scores[j];
-      for (int32_t k = 0; k < hd; ++k) o[k] += a * v[k];
-    }
-  }
+  // Heads are independent and own disjoint slices of `out`.
+  runtime::ParallelFor(
+      pool, 0, cfg.n_heads, 1, [&](int64_t h_lo, int64_t h_hi) {
+        std::vector<float> scores(n_ctx);
+        for (int64_t h = h_lo; h < h_hi; ++h) {
+          const int32_t off = static_cast<int32_t>(h) * hd;
+          for (int32_t j = 0; j < n_ctx; ++j) {
+            scores[j] =
+                ops::Dot(q + off,
+                         keys + static_cast<int64_t>(j) * cfg.d_model + off,
+                         hd) *
+                scale;
+          }
+          ops::Softmax(scores.data(), n_ctx);
+          float* o = out + off;
+          std::fill(o, o + hd, 0.0f);
+          for (int32_t j = 0; j < n_ctx; ++j) {
+            const float* v =
+                values + static_cast<int64_t>(j) * cfg.d_model + off;
+            const float a = scores[j];
+            for (int32_t k = 0; k < hd; ++k) o[k] += a * v[k];
+          }
+        }
+      });
 }
 
 StatusOr<std::vector<float>> TransformerModel::ForwardFull(
-    const std::vector<int32_t>& tokens) const {
+    const std::vector<int32_t>& tokens, runtime::ThreadPool* pool) const {
   const ModelConfig& cfg = weights_.config;
   const int32_t n = static_cast<int32_t>(tokens.size());
   if (n == 0) return Status::InvalidArgument("empty token sequence");
@@ -68,45 +75,50 @@ StatusOr<std::vector<float>> TransformerModel::ForwardFull(
     ops::AddInPlace(x.Row(i), weights_.position_embedding.Row(i), d);
   }
 
-  std::vector<float> ln(d), q(d), attn(d), proj(d), ff(cfg.d_ff), ffo(d);
-  Tensor keys({n, d}), values({n, d});
+  Tensor keys({n, d}), values({n, d}), normed({n, d});
   for (const LayerWeights& lw : weights_.layers) {
-    // Pass 1: K/V for every position from the layer input.
-    for (int32_t i = 0; i < n; ++i) {
-      ops::LayerNorm(x.Row(i), lw.ln1_gain.data(), lw.ln1_bias.data(),
-                     ln.data(), d);
-      ops::MatVec(lw.wk.data(), ln.data(), keys.Row(i), d, d);
-      ops::MatVec(lw.wv.data(), ln.data(), values.Row(i), d, d);
-    }
-    // Pass 2: causal attention + FFN per position.
-    for (int32_t i = 0; i < n; ++i) {
-      ops::LayerNorm(x.Row(i), lw.ln1_gain.data(), lw.ln1_bias.data(),
-                     ln.data(), d);
-      ops::MatVec(lw.wq.data(), ln.data(), q.data(), d, d);
-      Attention(q.data(), keys.data(), values.data(), i + 1, attn.data());
-      ops::MatVec(lw.wo.data(), attn.data(), proj.data(), d, d);
-      ops::AddInPlace(x.Row(i), proj.data(), d);
+    // Pass 1: K/V for every position from the layer input — one batched
+    // LayerNorm shared by both projections, then one blocked GEMM each.
+    ops::LayerNormBatch(x.data(), lw.ln1_gain.data(), lw.ln1_bias.data(),
+                        normed.data(), n, d, pool);
+    ops::MatMat(lw.wk.data(), normed.data(), keys.data(), n, d, d, pool);
+    ops::MatMat(lw.wv.data(), normed.data(), values.data(), n, d, d, pool);
+    // Pass 2: causal attention + FFN per position. Positions are
+    // independent given the K/V of pass 1 (position i reads keys[0..i]).
+    runtime::ParallelFor(pool, 0, n, 1, [&](int64_t lo, int64_t hi) {
+      std::vector<float> ln(d), q(d), attn(d), proj(d), ff(cfg.d_ff), ffo(d);
+      for (int64_t i = lo; i < hi; ++i) {
+        const int32_t pos = static_cast<int32_t>(i);
+        ops::LayerNorm(x.Row(pos), lw.ln1_gain.data(), lw.ln1_bias.data(),
+                       ln.data(), d);
+        ops::MatVec(lw.wq.data(), ln.data(), q.data(), d, d);
+        Attention(q.data(), keys.data(), values.data(), pos + 1, attn.data());
+        ops::MatVec(lw.wo.data(), attn.data(), proj.data(), d, d);
+        ops::AddInPlace(x.Row(pos), proj.data(), d);
 
-      ops::LayerNorm(x.Row(i), lw.ln2_gain.data(), lw.ln2_bias.data(),
-                     ln.data(), d);
-      ops::MatVec(lw.w1.data(), ln.data(), ff.data(), cfg.d_ff, d);
-      Activation(ff.data(), cfg.d_ff);
-      ops::MatVec(lw.w2.data(), ff.data(), ffo.data(), d, cfg.d_ff);
-      ops::AddInPlace(x.Row(i), ffo.data(), d);
-    }
+        ops::LayerNorm(x.Row(pos), lw.ln2_gain.data(), lw.ln2_bias.data(),
+                       ln.data(), d);
+        ops::MatVec(lw.w1.data(), ln.data(), ff.data(), cfg.d_ff, d);
+        Activation(ff.data(), cfg.d_ff);
+        ops::MatVec(lw.w2.data(), ff.data(), ffo.data(), d, cfg.d_ff);
+        ops::AddInPlace(x.Row(pos), ffo.data(), d);
+      }
+    });
   }
 
+  std::vector<float> ln(d);
   ops::LayerNorm(x.Row(n - 1), weights_.final_ln_gain.data(),
                  weights_.final_ln_bias.data(), ln.data(), d);
   std::vector<float> logits(cfg.vocab_size);
-  ops::MatVec(weights_.token_embedding.data(), ln.data(), logits.data(),
-              cfg.vocab_size, d);
+  ops::MatVecBlocked(weights_.token_embedding.data(), ln.data(), logits.data(),
+                     cfg.vocab_size, d, pool);
   return logits;
 }
 
 Status TransformerModel::CachedStep(int32_t token, int32_t pos,
                                     const CacheMap& map, BlockStorage* storage,
-                                    std::vector<float>* logits) const {
+                                    std::vector<float>* logits,
+                                    runtime::ThreadPool* pool) const {
   const ModelConfig& cfg = weights_.config;
   const int32_t d = cfg.d_model;
   if (token < 0 || token >= cfg.vocab_size) {
@@ -128,7 +140,6 @@ Status TransformerModel::CachedStep(int32_t token, int32_t pos,
   // (hidden path) each layer.
   std::vector<float> keys(static_cast<int64_t>(n_ctx) * d);
   std::vector<float> values(static_cast<int64_t>(n_ctx) * d);
-  std::vector<float> past_x(d);
 
   std::memcpy(x.data(), weights_.token_embedding.Row(token),
               sizeof(float) * d);
@@ -152,24 +163,29 @@ Status TransformerModel::CachedStep(int32_t token, int32_t pos,
       storage->WriteVector(map, CacheComponent::kValue, l, pos, v.data());
     } else {
       // Figure 3b: past layer inputs come from the hidden cache; K/V are
-      // re-projected on the fly (the extra linear-complexity work).
+      // re-projected on the fly (the extra linear-complexity work). Past
+      // positions are independent — this is the decode path's dominant
+      // cost and parallelizes across the pool.
       storage->WriteVector(map, CacheComponent::kHidden, l, pos, x.data());
-      for (int32_t j = 0; j < pos; ++j) {
-        storage->ReadVector(map, CacheComponent::kHidden, l, j, past_x.data());
-        ops::LayerNorm(past_x.data(), lw.ln1_gain.data(), lw.ln1_bias.data(),
-                       ln.data(), d);
-        ops::MatVec(lw.wk.data(), ln.data(),
-                    keys.data() + static_cast<int64_t>(j) * d, d, d);
-        ops::MatVec(lw.wv.data(), ln.data(),
-                    values.data() + static_cast<int64_t>(j) * d, d, d);
-      }
+      runtime::ParallelFor(pool, 0, pos, 8, [&](int64_t lo, int64_t hi) {
+        std::vector<float> past_x(d), past_ln(d);
+        for (int64_t j = lo; j < hi; ++j) {
+          storage->ReadVector(map, CacheComponent::kHidden, l,
+                              static_cast<int32_t>(j), past_x.data());
+          ops::LayerNorm(past_x.data(), lw.ln1_gain.data(), lw.ln1_bias.data(),
+                         past_ln.data(), d);
+          ops::MatVec(lw.wk.data(), past_ln.data(), keys.data() + j * d, d, d);
+          ops::MatVec(lw.wv.data(), past_ln.data(), values.data() + j * d, d,
+                      d);
+        }
+      });
     }
     std::memcpy(keys.data() + static_cast<int64_t>(pos) * d, k.data(),
                 sizeof(float) * d);
     std::memcpy(values.data() + static_cast<int64_t>(pos) * d, v.data(),
                 sizeof(float) * d);
 
-    Attention(q.data(), keys.data(), values.data(), n_ctx, attn.data());
+    Attention(q.data(), keys.data(), values.data(), n_ctx, attn.data(), pool);
     ops::MatVec(lw.wo.data(), attn.data(), proj.data(), d, d);
     ops::AddInPlace(x.data(), proj.data(), d);
 
@@ -184,15 +200,16 @@ Status TransformerModel::CachedStep(int32_t token, int32_t pos,
   ops::LayerNorm(x.data(), weights_.final_ln_gain.data(),
                  weights_.final_ln_bias.data(), ln.data(), d);
   logits->assign(cfg.vocab_size, 0.0f);
-  ops::MatVec(weights_.token_embedding.data(), ln.data(), logits->data(),
-              cfg.vocab_size, d);
+  ops::MatVecBlocked(weights_.token_embedding.data(), ln.data(),
+                     logits->data(), cfg.vocab_size, d, pool);
   return Status::OK();
 }
 
 Status TransformerModel::PrefillCached(const std::vector<int32_t>& tokens,
                                        int32_t start_pos, const CacheMap& map,
                                        BlockStorage* storage,
-                                       std::vector<float>* logits) const {
+                                       std::vector<float>* logits,
+                                       runtime::ThreadPool* pool) const {
   const ModelConfig& cfg = weights_.config;
   const int32_t d = cfg.d_model;
   const int32_t n = static_cast<int32_t>(tokens.size());
@@ -222,9 +239,7 @@ Status TransformerModel::PrefillCached(const std::vector<int32_t>& tokens,
                     d);
   }
 
-  std::vector<float> ln(d), q(d), attn(d), proj(d), ff(cfg.d_ff), ffo(d);
-  std::vector<float> past_x(d);
-  Tensor keys({n, d}), values({n, d});
+  Tensor keys({n, d}), values({n, d}), normed({c, d});
   for (int32_t l = 0; l < cfg.n_layers; ++l) {
     const LayerWeights& lw = weights_.layers[l];
     // K/V for the already-cached prefix: one gather (KV) or one
@@ -235,57 +250,72 @@ Status TransformerModel::PrefillCached(const std::vector<int32_t>& tokens,
         storage->Gather(map, CacheComponent::kValue, l, start_pos,
                         values.data());
       } else {
-        for (int32_t j = 0; j < start_pos; ++j) {
-          storage->ReadVector(map, CacheComponent::kHidden, l, j,
-                              past_x.data());
-          ops::LayerNorm(past_x.data(), lw.ln1_gain.data(),
-                         lw.ln1_bias.data(), ln.data(), d);
-          ops::MatVec(lw.wk.data(), ln.data(), keys.Row(j), d, d);
-          ops::MatVec(lw.wv.data(), ln.data(), values.Row(j), d, d);
-        }
+        runtime::ParallelFor(pool, 0, start_pos, 8,
+                             [&](int64_t lo, int64_t hi) {
+          std::vector<float> past_x(d), past_ln(d);
+          for (int64_t j = lo; j < hi; ++j) {
+            storage->ReadVector(map, CacheComponent::kHidden, l,
+                                static_cast<int32_t>(j), past_x.data());
+            ops::LayerNorm(past_x.data(), lw.ln1_gain.data(),
+                           lw.ln1_bias.data(), past_ln.data(), d);
+            ops::MatVec(lw.wk.data(), past_ln.data(),
+                        keys.Row(static_cast<int32_t>(j)), d, d);
+            ops::MatVec(lw.wv.data(), past_ln.data(),
+                        values.Row(static_cast<int32_t>(j)), d, d);
+          }
+        });
       }
     }
-    // K/V for the new positions from the (pre-attention) layer inputs, and
-    // this layer's cache writes.
+    // K/V for the new positions from the (pre-attention) layer inputs —
+    // one batched LayerNorm over the chunk shared by both projections,
+    // then one blocked GEMM each.
+    ops::LayerNormBatch(x.data(), lw.ln1_gain.data(), lw.ln1_bias.data(),
+                        normed.data(), c, d, pool);
+    ops::MatMat(lw.wk.data(), normed.data(), keys.Row(start_pos), c, d, d,
+                pool);
+    ops::MatMat(lw.wv.data(), normed.data(), values.Row(start_pos), c, d, d,
+                pool);
+    // This layer's cache writes (block-slot memcpys; serial).
     for (int32_t i = 0; i < c; ++i) {
       const int32_t pos = start_pos + i;
-      ops::LayerNorm(x.Row(i), lw.ln1_gain.data(), lw.ln1_bias.data(),
-                     ln.data(), d);
-      ops::MatVec(lw.wk.data(), ln.data(), keys.Row(pos), d, d);
-      ops::MatVec(lw.wv.data(), ln.data(), values.Row(pos), d, d);
       if (map.type() == CacheType::kKV) {
-        storage->WriteVector(map, CacheComponent::kKey, l, pos,
-                             keys.Row(pos));
+        storage->WriteVector(map, CacheComponent::kKey, l, pos, keys.Row(pos));
         storage->WriteVector(map, CacheComponent::kValue, l, pos,
                              values.Row(pos));
       } else {
         storage->WriteVector(map, CacheComponent::kHidden, l, pos, x.Row(i));
       }
     }
-    // Causal attention + FFN for each new position.
-    for (int32_t i = 0; i < c; ++i) {
-      const int32_t pos = start_pos + i;
-      ops::LayerNorm(x.Row(i), lw.ln1_gain.data(), lw.ln1_bias.data(),
-                     ln.data(), d);
-      ops::MatVec(lw.wq.data(), ln.data(), q.data(), d, d);
-      Attention(q.data(), keys.data(), values.data(), pos + 1, attn.data());
-      ops::MatVec(lw.wo.data(), attn.data(), proj.data(), d, d);
-      ops::AddInPlace(x.Row(i), proj.data(), d);
+    // Causal attention + FFN for each new position; independent given the
+    // fully-written K/V above.
+    runtime::ParallelFor(pool, 0, c, 1, [&](int64_t lo, int64_t hi) {
+      std::vector<float> ln(d), q(d), attn(d), proj(d), ff(cfg.d_ff), ffo(d);
+      for (int64_t i = lo; i < hi; ++i) {
+        const int32_t row = static_cast<int32_t>(i);
+        const int32_t pos = start_pos + row;
+        ops::LayerNorm(x.Row(row), lw.ln1_gain.data(), lw.ln1_bias.data(),
+                       ln.data(), d);
+        ops::MatVec(lw.wq.data(), ln.data(), q.data(), d, d);
+        Attention(q.data(), keys.data(), values.data(), pos + 1, attn.data());
+        ops::MatVec(lw.wo.data(), attn.data(), proj.data(), d, d);
+        ops::AddInPlace(x.Row(row), proj.data(), d);
 
-      ops::LayerNorm(x.Row(i), lw.ln2_gain.data(), lw.ln2_bias.data(),
-                     ln.data(), d);
-      ops::MatVec(lw.w1.data(), ln.data(), ff.data(), cfg.d_ff, d);
-      Activation(ff.data(), cfg.d_ff);
-      ops::MatVec(lw.w2.data(), ff.data(), ffo.data(), d, cfg.d_ff);
-      ops::AddInPlace(x.Row(i), ffo.data(), d);
-    }
+        ops::LayerNorm(x.Row(row), lw.ln2_gain.data(), lw.ln2_bias.data(),
+                       ln.data(), d);
+        ops::MatVec(lw.w1.data(), ln.data(), ff.data(), cfg.d_ff, d);
+        Activation(ff.data(), cfg.d_ff);
+        ops::MatVec(lw.w2.data(), ff.data(), ffo.data(), d, cfg.d_ff);
+        ops::AddInPlace(x.Row(row), ffo.data(), d);
+      }
+    });
   }
 
+  std::vector<float> ln(d);
   ops::LayerNorm(x.Row(c - 1), weights_.final_ln_gain.data(),
                  weights_.final_ln_bias.data(), ln.data(), d);
   logits->assign(cfg.vocab_size, 0.0f);
-  ops::MatVec(weights_.token_embedding.data(), ln.data(), logits->data(),
-              cfg.vocab_size, d);
+  ops::MatVecBlocked(weights_.token_embedding.data(), ln.data(),
+                     logits->data(), cfg.vocab_size, d, pool);
   return Status::OK();
 }
 

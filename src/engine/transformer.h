@@ -19,6 +19,15 @@
 
 namespace aptserve {
 
+namespace runtime {
+class ThreadPool;
+}  // namespace runtime
+
+// All forward paths accept an optional runtime::ThreadPool. Parallel
+// execution is bit-identical to serial: the batched kernels preserve the
+// scalar accumulation order per output element, and positions/heads only
+// read state that was fully written before the parallel region. A null
+// pool (the default) is the exact pre-runtime serial code path.
 class TransformerModel {
  public:
   explicit TransformerModel(ModelWeights weights);
@@ -29,7 +38,8 @@ class TransformerModel {
   /// Reference path: processes `tokens` from scratch with no cache and
   /// returns the next-token logits ([vocab]) at the last position.
   StatusOr<std::vector<float>> ForwardFull(
-      const std::vector<int32_t>& tokens) const;
+      const std::vector<int32_t>& tokens,
+      runtime::ThreadPool* pool = nullptr) const;
 
   /// Processes the token at 0-based position `pos` for a request whose
   /// previous `pos` positions are already cached in `map`/`storage`, writes
@@ -39,7 +49,8 @@ class TransformerModel {
   /// allocates blocks before the engine runs). Used for both prefill (loop
   /// over prompt positions) and decode (one position per iteration).
   Status CachedStep(int32_t token, int32_t pos, const CacheMap& map,
-                    BlockStorage* storage, std::vector<float>* logits) const;
+                    BlockStorage* storage, std::vector<float>* logits,
+                    runtime::ThreadPool* pool = nullptr) const;
 
   /// Batched (chunked) prefill: processes positions [start_pos,
   /// tokens.size()) in one pass, assuming [0, start_pos) are already cached
@@ -51,14 +62,17 @@ class TransformerModel {
   /// prefill (Sarathi-style schedulers schedule start_pos > 0 chunks).
   Status PrefillCached(const std::vector<int32_t>& tokens, int32_t start_pos,
                        const CacheMap& map, BlockStorage* storage,
-                       std::vector<float>* logits) const;
+                       std::vector<float>* logits,
+                       runtime::ThreadPool* pool = nullptr) const;
 
  private:
   /// Computes multi-head causal attention for the current position given
   /// contiguous K/V buffers covering positions [0, n_ctx). q has d_model
-  /// floats; out receives d_model floats (pre-Wo).
+  /// floats; out receives d_model floats (pre-Wo). Optionally parallel over
+  /// heads (each head owns a disjoint slice of `out`).
   void Attention(const float* q, const float* keys, const float* values,
-                 int32_t n_ctx, float* out) const;
+                 int32_t n_ctx, float* out,
+                 runtime::ThreadPool* pool = nullptr) const;
 
   void Activation(float* x, int32_t n) const;
 

@@ -1,0 +1,25 @@
+#include "runtime/runtime_config.h"
+
+#include <cstdlib>
+#include <thread>
+
+namespace aptserve {
+namespace runtime {
+
+int32_t RuntimeConfig::ResolvedNumThreads() const {
+  int32_t n = num_threads;
+  if (n == 0) {
+    if (const char* env = std::getenv("APTSERVE_NUM_THREADS")) {
+      n = static_cast<int32_t>(std::strtol(env, nullptr, 10));
+    }
+    if (n == 0) n = 1;
+  }
+  if (n < 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = hw > 0 ? static_cast<int32_t>(hw) : 1;
+  }
+  return n < 1 ? 1 : n;
+}
+
+}  // namespace runtime
+}  // namespace aptserve

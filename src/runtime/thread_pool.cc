@@ -1,0 +1,155 @@
+#include "runtime/thread_pool.h"
+
+#include <algorithm>
+
+namespace aptserve {
+namespace runtime {
+
+namespace {
+/// The pool the current thread is executing a chunk for; nested
+/// ParallelFor calls on the same pool run inline.
+thread_local ThreadPool* tls_current_pool = nullptr;
+}  // namespace
+
+ThreadPool::ThreadPool(const RuntimeConfig& config)
+    : num_threads_(config.ResolvedNumThreads()),
+      deterministic_(config.deterministic) {
+  workers_.reserve(num_threads_ - 1);
+  for (int32_t i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunOneChunk(Job* job, int64_t chunk_index) {
+  if (!job->aborted.load(std::memory_order_relaxed)) {
+    const int64_t lo = job->begin + chunk_index * job->chunk;
+    const int64_t hi = std::min<int64_t>(lo + job->chunk, job->end);
+    try {
+      (*job->body)(lo, hi);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> el(job->error_mutex);
+        if (!job->error) job->error = std::current_exception();
+      }
+      job->aborted.store(true, std::memory_order_release);
+    }
+  }
+  const int64_t done =
+      job->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (done == job->num_chunks) {
+    // Empty critical section: pairs the state change with the caller's
+    // predicate re-check so the wakeup cannot be missed.
+    std::lock_guard<std::mutex> lk(mutex_);
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::RunChunks(Job* job, int32_t participant) {
+  if (job->is_static) {
+    // Static contiguous split: participant p owns chunk p. Reproducible
+    // thread->range mapping; at most num_threads() chunks exist.
+    if (participant < job->num_chunks) RunOneChunk(job, participant);
+    return;
+  }
+  for (;;) {
+    const int64_t c = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job->num_chunks) return;
+    RunOneChunk(job, c);
+  }
+}
+
+void ThreadPool::WorkerLoop(int32_t worker_index) {
+  uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      cv_work_.wait(lk, [&] {
+        return stop_ || (current_ != nullptr && job_seq_ != seen);
+      });
+      if (stop_) return;
+      job = current_;
+      seen = job_seq_;
+      ++job_refs_;
+    }
+    tls_current_pool = this;
+    RunChunks(job, worker_index + 1);
+    tls_current_pool = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (--job_refs_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const RangeBody& body) {
+  const int64_t n = end - begin;
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  // Inline when serial, nested on this pool, or too small to split.
+  if (workers_.empty() || tls_current_pool == this || n <= grain) {
+    body(begin, end);
+    return;
+  }
+
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  job.body = &body;
+  job.is_static = deterministic_;
+  if (job.is_static) {
+    int64_t pieces = n / grain;
+    if (pieces < 1) pieces = 1;
+    if (pieces > num_threads_) pieces = num_threads_;
+    job.num_chunks = pieces;
+    job.chunk = (n + pieces - 1) / pieces;
+  } else {
+    job.chunk = grain;
+    job.num_chunks = (n + grain - 1) / grain;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    current_ = &job;
+    ++job_seq_;
+  }
+  cv_work_.notify_all();
+
+  // The caller is participant 0 and always has work under the static split.
+  ThreadPool* prev = tls_current_pool;
+  tls_current_pool = this;
+  RunChunks(&job, 0);
+  tls_current_pool = prev;
+
+  {
+    std::unique_lock<std::mutex> lk(mutex_);
+    cv_done_.wait(lk, [&] {
+      return job.chunks_done.load(std::memory_order_acquire) ==
+                 job.num_chunks &&
+             job_refs_ == 0;
+    });
+    current_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::ParallelForEach(int64_t begin, int64_t end, int64_t grain,
+                                 const std::function<void(int64_t)>& fn) {
+  ParallelFor(begin, end, grain, [&fn](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+}  // namespace runtime
+}  // namespace aptserve

@@ -51,8 +51,8 @@ InferenceBackend::InferenceBackend(const ModelConfig& model,
                                    int32_t block_size,
                                    const SamplingParams& sampling,
                                    const InferenceBackendOptions& options)
-    : owned_engine_(std::make_unique<InferenceEngine>(model, weight_seed,
-                                                      num_blocks, block_size)),
+    : owned_engine_(std::make_unique<InferenceEngine>(
+          model, weight_seed, num_blocks, block_size, options.runtime)),
       engine_(owned_engine_.get()),
       options_(options),
       cost_model_(MakeRhoCarrier(options.rho_seconds_per_token)),
@@ -83,11 +83,24 @@ Status InferenceBackend::Prepare(const std::vector<SimRequest>& reqs) {
 }
 
 void InferenceBackend::BeginIteration() {
+  APT_CHECK_MSG(pending_.empty(),
+                "previous iteration left unflushed pending steps");
   iteration_start_ = NowSeconds();
   executed_items_ = 0;
 }
 
+Status InferenceBackend::FlushPending() {
+  if (pending_.empty()) return Status::OK();
+  std::vector<PendingStep> steps = std::move(pending_);
+  pending_.clear();
+  return engine_->ExecuteSteps(&steps);
+}
+
 StatusOr<double> InferenceBackend::EndIteration() {
+  // Run the deferred forwards of this iteration's batch — in parallel
+  // across the engine's pool when it has one — before the clock is read,
+  // so measured latency covers the whole batch.
+  APT_RETURN_NOT_OK(FlushPending());
   if (options_.virtual_timing) {
     // Swap-outs of iterations that executed nothing carry forward to the
     // next executed iteration, mirroring the analytic backend's
@@ -149,25 +162,40 @@ StatusOr<bool> InferenceBackend::TrySwapIn(const SimRequest& sr) {
   return true;
 }
 
+Status InferenceBackend::FlushIfPending(RequestId id) {
+  // A scheduler may (pathologically) schedule the same request twice in
+  // one plan; serial execution would run the first step before preparing
+  // the second, so the deferred path must flush to stay equivalent.
+  for (const PendingStep& step : pending_) {
+    if (step.id == id) return FlushPending();
+  }
+  return Status::OK();
+}
+
 StatusOr<ExecutionBackend::StepOutcome> InferenceBackend::ExecutePrefillChunk(
     const SimRequest& sr, CacheType cache_type, int32_t chunk) {
   if (!engine_->assigner().Has(sr.spec.id)) {
     // Fresh pass: adopt the scheduler's cache-type choice.
     APT_RETURN_NOT_OK(engine_->ConvertCacheType(sr.spec.id, cache_type));
   }
-  auto r = engine_->PrefillChunk(sr.spec.id, chunk);
+  APT_RETURN_NOT_OK(FlushIfPending(sr.spec.id));
+  auto r = engine_->PreparePrefillChunk(sr.spec.id, chunk);
   if (!r.ok() && r.status().IsOutOfMemory()) return StepOutcome{true, false};
   if (!r.ok()) return r.status();
   ++executed_items_;
-  return StepOutcome{false, r->has_value()};
+  const bool completes = r->completes;
+  pending_.push_back(std::move(*r));
+  return StepOutcome{false, completes};
 }
 
 StatusOr<ExecutionBackend::StepOutcome> InferenceBackend::ExecuteDecode(
     const SimRequest& sr) {
-  auto r = engine_->DecodeStep(sr.spec.id);
+  APT_RETURN_NOT_OK(FlushIfPending(sr.spec.id));
+  auto r = engine_->PrepareDecode(sr.spec.id);
   if (!r.ok() && r.status().IsOutOfMemory()) return StepOutcome{true, false};
   if (!r.ok()) return r.status();
   ++executed_items_;
+  pending_.push_back(std::move(*r));
   return StepOutcome{false, true};
 }
 
@@ -179,6 +207,8 @@ Status InferenceBackend::OnFinish(const SimRequest& sr) {
 }
 
 Status InferenceBackend::Finalize() {
+  APT_CHECK_MSG(pending_.empty(),
+                "run finished with unflushed pending steps");
   APT_CHECK_MSG(swap_.used_blocks() == 0,
                 "swap space must drain by the end of the run");
   return Status::OK();

@@ -8,9 +8,18 @@
 // SwapSpace capacity account mirroring the simulator's so both backends
 // share the same full-swap-space fallback behaviour.
 //
-// Caveat (DESIGN.md): a CPU executes batch items serially, so absolute
-// latencies are not GPU-like; the iteration-level batching semantics,
-// memory behaviour and scheduler decision points are identical.
+// Batch execution (runtime layer): scheduled items are *prepared* (checked
+// and allocated) serially in schedule order as the loop applies them, then
+// the deferred transformer forwards run concurrently across the engine's
+// thread pool when EndIteration flushes the batch. Sampling happens behind
+// a serial barrier in schedule order, so token streams, SLO reports and
+// scheduler decisions are bit-identical to serial execution at any thread
+// count (tests/parallel_determinism_test.cc pins this).
+//
+// Caveat (DESIGN.md): with a serial runtime a CPU executes batch items one
+// by one; with num_threads > 1 the items of an iteration are amortized
+// across cores, narrowing the gap to the GPU-style batching the analytic
+// CostModel assumes.
 #pragma once
 
 #include <memory>
@@ -28,6 +37,9 @@ namespace aptserve {
 struct InferenceBackendOptions {
   /// Seed for synthesizing prompt tokens from trace prompt lengths.
   uint64_t prompt_seed = 7;
+  /// Runtime (thread pool) configuration for the owned-engine constructor;
+  /// ignored when borrowing an engine (the engine's own pool is used).
+  RuntimeConfig runtime;
   /// Host swap capacity in blocks; <= 0 defaults to 4x the GPU pool.
   int32_t swap_blocks = -1;
   /// Measured rho (paper Eq. 6) carried to the scheduler through the
@@ -84,6 +96,11 @@ class InferenceBackend : public ExecutionBackend {
   }
 
  private:
+  /// Computes all deferred steps (parallel) and samples in schedule order.
+  Status FlushPending();
+  /// Flushes early iff `id` already has a deferred step this iteration.
+  Status FlushIfPending(RequestId id);
+
   std::unique_ptr<InferenceEngine> owned_engine_;
   InferenceEngine* engine_;
   InferenceBackendOptions options_;
@@ -94,6 +111,9 @@ class InferenceBackend : public ExecutionBackend {
   Rng prompt_rng_;
   double iteration_start_ = 0.0;
   int32_t executed_items_ = 0;
+  /// Steps prepared this iteration whose compute is deferred to the
+  /// EndIteration flush (parallel across the engine's pool).
+  std::vector<PendingStep> pending_;
   /// Virtual-timing cost of swap-outs not yet charged to an executed
   /// iteration (the engine-side analogue of carry_swap_bytes_).
   int32_t carry_items_ = 0;

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "runtime/thread_pool.h"
 
 namespace aptserve {
 
@@ -75,8 +76,9 @@ std::vector<int32_t> DispatchTrace(const std::vector<Request>& trace,
 }
 
 MultiInstanceRunner::MultiInstanceRunner(const DispatchConfig& dispatch,
-                                         const ServingLoopConfig& loop)
-    : dispatch_(dispatch), loop_(loop) {
+                                         const ServingLoopConfig& loop,
+                                         const RuntimeConfig& runtime)
+    : dispatch_(dispatch), loop_(loop), runtime_(runtime) {
   APT_CHECK(dispatch.n_instances >= 1);
 }
 
@@ -89,25 +91,66 @@ StatusOr<MultiInstanceResult> MultiInstanceRunner::Run(
     const std::vector<Request>& trace, const SchedulerFactory& make_scheduler,
     const BackendFactory& make_backend, const SloSpec& slo) {
   const std::vector<int32_t> assignment = Dispatch(trace);
+  const int32_t n = dispatch_.n_instances;
   MultiInstanceResult result;
-  result.per_instance.resize(dispatch_.n_instances);
-  result.requests_per_instance.assign(dispatch_.n_instances, 0);
+  result.per_instance.resize(n);
+  result.requests_per_instance.assign(n, 0);
 
-  for (int32_t inst = 0; inst < dispatch_.n_instances; ++inst) {
+  // Per-instance serving state. Shards and the scheduler/backend objects
+  // are built serially in instance order — factories may capture shared
+  // state — so only the independent serving loops run on the fleet pool.
+  struct InstanceRun {
     std::vector<Request> sub;
+    std::unique_ptr<Scheduler> scheduler;
+    std::unique_ptr<ExecutionBackend> backend;
+    Status status = Status::OK();
+  };
+  std::vector<InstanceRun> runs(n);
+  for (int32_t inst = 0; inst < n; ++inst) {
     for (size_t r = 0; r < trace.size(); ++r) {
-      if (assignment[r] == inst) sub.push_back(trace[r]);
+      if (assignment[r] == inst) runs[inst].sub.push_back(trace[r]);
     }
-    result.requests_per_instance[inst] = static_cast<int32_t>(sub.size());
-    if (sub.empty()) continue;
-    auto scheduler = make_scheduler();
-    APT_ASSIGN_OR_RETURN(std::unique_ptr<ExecutionBackend> backend,
-                         make_backend(inst));
-    ServingLoop loop(backend.get(), loop_);
-    APT_ASSIGN_OR_RETURN(ServingLoopResult r,
-                         loop.Run(sub, scheduler.get(), slo));
-    result.per_instance[inst] = std::move(r.report);
+    result.requests_per_instance[inst] =
+        static_cast<int32_t>(runs[inst].sub.size());
+    if (runs[inst].sub.empty()) continue;
+    runs[inst].scheduler = make_scheduler();
+    APT_ASSIGN_OR_RETURN(runs[inst].backend, make_backend(inst));
   }
+
+  auto run_instance = [&](int32_t inst) {
+    InstanceRun& run = runs[inst];
+    if (run.sub.empty()) return;
+    ServingLoop loop(run.backend.get(), loop_);
+    StatusOr<ServingLoopResult> r = loop.Run(run.sub, run.scheduler.get(),
+                                             slo);
+    if (!r.ok()) {
+      run.status = r.status();
+      return;
+    }
+    result.per_instance[inst] = std::move(r->report);
+  };
+
+  const int32_t threads = std::min(runtime_.ResolvedNumThreads(), n);
+  if (threads > 1) {
+    // One task per instance epoch; the ParallelFor join is the epoch
+    // barrier behind which reports merge in instance order.
+    RuntimeConfig fleet_config = runtime_;
+    fleet_config.num_threads = threads;
+    runtime::ThreadPool fleet_pool(fleet_config);
+    fleet_pool.ParallelForEach(0, n, 1, [&](int64_t inst) {
+      run_instance(static_cast<int32_t>(inst));
+    });
+  } else {
+    for (int32_t inst = 0; inst < n; ++inst) {
+      run_instance(inst);
+      if (!runs[inst].status.ok()) break;  // fail fast, as before
+    }
+  }
+  // First failure in instance order, matching the serial runner's report.
+  for (const InstanceRun& run : runs) {
+    if (!run.status.ok()) return run.status;
+  }
+
   result.combined =
       MergeReports(result.per_instance, result.requests_per_instance);
   return result;

@@ -7,6 +7,14 @@
 // shard the analytic simulator (CostModelBackend) and the real engine
 // (InferenceBackend) — the fleet composes with any backend for free.
 //
+// With a RuntimeConfig of more than one thread, instances run concurrently
+// on a fleet thread pool (one task per instance epoch). Dispatch is
+// computed up front from arrivals alone, schedulers/backends are
+// constructed serially in instance order (factories may share state), and
+// the merge happens behind the ParallelFor join in instance order — so
+// every dispatch decision and the merged report are bit-identical to the
+// serial runner at any thread count.
+//
 // The dispatcher sees only what a real front-end would: arrival times and
 // prompt lengths. Load estimates use a sliding window of recently assigned
 // prompt tokens as the backlog proxy (Llumnix-style least-loaded routing
@@ -17,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/runtime_config.h"
 #include "serve/execution_backend.h"
 #include "serve/serving_loop.h"
 #include "sim/metrics.h"
@@ -68,10 +77,13 @@ using BackendFactory =
 class MultiInstanceRunner {
  public:
   MultiInstanceRunner(const DispatchConfig& dispatch,
-                      const ServingLoopConfig& loop);
+                      const ServingLoopConfig& loop,
+                      const RuntimeConfig& runtime = RuntimeConfig{});
 
   /// Dispatches `trace` across instances, serves each shard with its own
   /// ServingLoop over a backend from `make_backend`, and merges reports.
+  /// Instances run concurrently when the runtime allows; the result is
+  /// bit-identical to the serial run.
   StatusOr<MultiInstanceResult> Run(const std::vector<Request>& trace,
                                     const SchedulerFactory& make_scheduler,
                                     const BackendFactory& make_backend,
@@ -83,6 +95,7 @@ class MultiInstanceRunner {
  private:
   DispatchConfig dispatch_;
   ServingLoopConfig loop_;
+  RuntimeConfig runtime_;
 };
 
 /// Merges per-instance reports into a fleet-level report: attainment is

@@ -38,7 +38,8 @@ StatusOr<MultiInstanceResult> MultiInstanceSimulator::Run(
       ToCostModelBackendOptions(config_.sim);
 
   MultiInstanceRunner runner(ToDispatchConfig(config_),
-                             ToServingLoopConfig(config_.sim));
+                             ToServingLoopConfig(config_.sim),
+                             config_.runtime);
   return runner.Run(
       trace, make_scheduler,
       [&](int32_t) -> StatusOr<std::unique_ptr<ExecutionBackend>> {

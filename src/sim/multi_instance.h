@@ -20,6 +20,9 @@ struct MultiInstanceConfig {
   double load_window_s = 30.0;
   uint64_t dispatch_seed = 99;
   SimulatorConfig sim;
+  /// Fleet runtime: instances run concurrently on up to this many threads
+  /// (merged reports are bit-identical to the serial run). Default: serial.
+  RuntimeConfig runtime;
 };
 
 class MultiInstanceSimulator {

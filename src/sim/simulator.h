@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "runtime/runtime_config.h"
 #include "serve/cost_model_backend.h"
 #include "serve/serving_loop.h"
 #include "sim/cost_model.h"
@@ -33,6 +34,11 @@ struct SimulatorConfig {
   /// Host swap capacity in blocks; <= 0 defaults to 4x the GPU pool
   /// (vLLM's swap_space default is of that order).
   int32_t swap_blocks = -1;
+  /// Parallel runtime. The analytic backend has no compute to spread, so a
+  /// single Simulator ignores the thread count; the field exists so fleet
+  /// facades (MultiInstanceSimulator) and future parallel sweeps share one
+  /// knob. Default: serial.
+  RuntimeConfig runtime;
 };
 
 struct SimulationResult {

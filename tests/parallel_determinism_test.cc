@@ -1,0 +1,239 @@
+// The runtime layer's determinism contract: with virtual timing, token
+// streams, latency samples and SLO reports are bit-identical across thread
+// counts — parallel batch execution must be observationally equivalent to
+// the serial engine. Same for the multi-instance fleet: a parallel fleet
+// run merges to exactly the serial fleet's report.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/fcfs_scheduler.h"
+#include "baselines/sarathi_scheduler.h"
+#include "core/apt_scheduler.h"
+#include "engine/serving_engine.h"
+#include "sim/cluster_spec.h"
+#include "sim/cost_model.h"
+#include "sim/model_spec.h"
+#include "sim/multi_instance.h"
+#include "workload/arrival.h"
+#include "workload/trace.h"
+
+namespace aptserve {
+namespace {
+
+std::vector<Request> TinyTrace(int32_t n, double rate, uint64_t seed = 4) {
+  Rng rng(seed);
+  auto arrivals = PoissonArrivals(rate, n, &rng);
+  EXPECT_TRUE(arrivals.ok());
+  std::vector<Request> trace;
+  for (int32_t i = 0; i < n; ++i) {
+    Request r;
+    r.id = i;
+    r.prompt_len = static_cast<int32_t>(rng.UniformInt(4, 24));
+    r.output_len = static_cast<int32_t>(rng.UniformInt(2, 12));
+    r.arrival = (*arrivals)[i];
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+ServingEngineConfig Cfg(int32_t num_threads) {
+  ServingEngineConfig cfg;
+  cfg.model = ModelConfig::Tiny();
+  cfg.num_blocks = 96;
+  cfg.block_size = 8;
+  cfg.slo = SloSpec{5.0, 5.0};
+  cfg.calibrate_rho = false;
+  cfg.virtual_timing = true;
+  cfg.runtime.num_threads = num_threads;
+  return cfg;
+}
+
+std::unique_ptr<Scheduler> Make(const std::string& kind, const SloSpec& slo) {
+  if (kind == "fcfs") return std::make_unique<FcfsScheduler>();
+  if (kind == "sarathi") {
+    SarathiConfig c;
+    c.token_budget = 64;
+    c.chunk_size = 16;
+    return std::make_unique<SarathiScheduler>(c);
+  }
+  AptConfig c;
+  c.slo = slo;
+  c.max_prefill_tokens = 128;
+  return std::make_unique<AptScheduler>(c);
+}
+
+void ExpectIdenticalRuns(const ServingEngineResult& a,
+                         const ServingEngineResult& b) {
+  ASSERT_EQ(a.tokens.size(), b.tokens.size());
+  for (const auto& [id, toks] : a.tokens) {
+    auto it = b.tokens.find(id);
+    ASSERT_NE(it, b.tokens.end());
+    EXPECT_EQ(toks, it->second) << "tokens diverged for request " << id;
+  }
+  EXPECT_EQ(a.tokens_generated, b.tokens_generated);
+  EXPECT_EQ(a.compute_seconds, b.compute_seconds);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.swap_outs, b.swap_outs);
+  EXPECT_EQ(a.swap_ins, b.swap_ins);
+  EXPECT_EQ(a.report.iterations, b.report.iterations);
+  EXPECT_EQ(a.report.total_serving_time, b.report.total_serving_time);
+  EXPECT_EQ(a.report.slo_attainment, b.report.slo_attainment);
+  EXPECT_EQ(a.report.ttfts.samples(), b.report.ttfts.samples());
+  EXPECT_EQ(a.report.p99_tbts.samples(), b.report.p99_tbts.samples());
+}
+
+class CrossThreadCountTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CrossThreadCountTest, TokensAndReportsBitIdentical) {
+  const auto trace = TinyTrace(20, 50.0);
+  StatusOr<ServingEngineResult> runs[2] = {Status::Internal("unset"),
+                                           Status::Internal("unset")};
+  const int32_t thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    ServingEngine serving(Cfg(thread_counts[i]));
+    auto sched = Make(GetParam(), SloSpec{5.0, 5.0});
+    runs[i] = serving.Serve(trace, sched.get());
+    ASSERT_TRUE(runs[i].ok()) << runs[i].status().ToString();
+  }
+  ExpectIdenticalRuns(*runs[0], *runs[1]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedulers, CrossThreadCountTest,
+                         ::testing::Values("fcfs", "sarathi", "apt"),
+                         [](const auto& info) { return info.param; });
+
+TEST(CrossThreadCountSwapTest, SwapModeBitIdentical) {
+  const auto trace = TinyTrace(16, 1000.0, 9);
+  StatusOr<ServingEngineResult> runs[2] = {Status::Internal("unset"),
+                                           Status::Internal("unset")};
+  const int32_t thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    ServingEngineConfig cfg = Cfg(thread_counts[i]);
+    cfg.num_blocks = 24;  // tight: forces preemption under load
+    cfg.preemption_mode = PreemptionMode::kSwap;
+    ServingEngine serving(cfg);
+    FcfsScheduler sched;
+    runs[i] = serving.Serve(trace, &sched);
+    ASSERT_TRUE(runs[i].ok()) << runs[i].status().ToString();
+  }
+  EXPECT_GT(runs[0]->swap_outs + runs[0]->preemptions, 0);
+  ExpectIdenticalRuns(*runs[0], *runs[1]);
+}
+
+TEST(CrossThreadCountSwapTest, StochasticSamplingBitIdentical) {
+  // Non-greedy sampling consumes the shared RNG stream per emitted token;
+  // the serial sampling barrier must reproduce the exact draw order.
+  const auto trace = TinyTrace(12, 200.0, 5);
+  StatusOr<ServingEngineResult> runs[2] = {Status::Internal("unset"),
+                                           Status::Internal("unset")};
+  const int32_t thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    ServingEngineConfig cfg = Cfg(thread_counts[i]);
+    cfg.sampling = SamplingParams::TopK(8, 0.9);
+    ServingEngine serving(cfg);
+    FcfsScheduler sched;
+    runs[i] = serving.Serve(trace, &sched);
+    ASSERT_TRUE(runs[i].ok()) << runs[i].status().ToString();
+  }
+  ExpectIdenticalRuns(*runs[0], *runs[1]);
+}
+
+TEST(ParallelFleetTest, MergedReportBitIdenticalAcrossThreadCounts) {
+  TraceConfig tc;
+  tc.profile = DatasetProfile::ShareGpt();
+  tc.num_requests = 120;
+  tc.rate_per_sec = 4.0;
+  tc.seed = 33;
+  auto trace = BuildTrace(tc);
+  ASSERT_TRUE(trace.ok());
+  const SloSpec slo{1.0, 1.0};
+  const ModelSpec model = ModelSpec::Opt13B();
+  CostModel cm(model, ClusterSpec::ForModel(model));
+
+  SloReport reports[2];
+  const int32_t thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    MultiInstanceConfig cfg;
+    cfg.n_instances = 4;
+    cfg.runtime.num_threads = thread_counts[i];
+    MultiInstanceSimulator fleet(cm, cfg);
+    auto result = fleet.Run(
+        *trace, [] { return std::make_unique<FcfsScheduler>(); }, slo);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    reports[i] = result->combined;
+  }
+  EXPECT_EQ(reports[0].slo_attainment, reports[1].slo_attainment);
+  EXPECT_EQ(reports[0].total_serving_time, reports[1].total_serving_time);
+  EXPECT_EQ(reports[0].iterations, reports[1].iterations);
+  EXPECT_EQ(reports[0].mean_ttft, reports[1].mean_ttft);
+  EXPECT_EQ(reports[0].ttfts.samples(), reports[1].ttfts.samples());
+  EXPECT_EQ(reports[0].p99_tbts.samples(), reports[1].p99_tbts.samples());
+}
+
+TEST(EngineBatchApiTest, ExecuteStepsMatchesSerialSteps) {
+  // Drive the engine's batch API directly: N requests prefilled then
+  // decoded in lockstep batches must emit exactly the tokens of the
+  // one-by-one serial engine.
+  const ModelConfig cfg = ModelConfig::Tiny();
+  constexpr int32_t kRequests = 6;
+  constexpr int32_t kDecodes = 8;
+
+  auto run = [&](int32_t num_threads, bool batched) {
+    RuntimeConfig rt;
+    rt.num_threads = num_threads;
+    InferenceEngine engine(cfg, 42, 128, 8, rt);
+    Rng prompt_rng(7);
+    for (int32_t id = 0; id < kRequests; ++id) {
+      std::vector<int32_t> prompt(4 + id);
+      for (int32_t& t : prompt) {
+        t = static_cast<int32_t>(prompt_rng.UniformInt(0, cfg.vocab_size - 1));
+      }
+      const CacheType type =
+          id % 2 == 0 ? CacheType::kKV : CacheType::kHidden;
+      EXPECT_TRUE(engine.AddRequest(id, std::move(prompt), type).ok());
+    }
+    if (batched) {
+      std::vector<PendingStep> steps;
+      for (int32_t id = 0; id < kRequests; ++id) {
+        auto s = engine.PreparePrefillChunk(id, 1 << 20);
+        EXPECT_TRUE(s.ok());
+        steps.push_back(std::move(*s));
+      }
+      EXPECT_TRUE(engine.ExecuteSteps(&steps).ok());
+      for (int32_t d = 0; d < kDecodes; ++d) {
+        std::vector<PendingStep> batch;
+        for (int32_t id = 0; id < kRequests; ++id) {
+          auto s = engine.PrepareDecode(id);
+          EXPECT_TRUE(s.ok());
+          batch.push_back(std::move(*s));
+        }
+        EXPECT_TRUE(engine.ExecuteSteps(&batch).ok());
+      }
+    } else {
+      for (int32_t id = 0; id < kRequests; ++id) {
+        EXPECT_TRUE(engine.Prefill(id).ok());
+      }
+      for (int32_t d = 0; d < kDecodes; ++d) {
+        for (int32_t id = 0; id < kRequests; ++id) {
+          EXPECT_TRUE(engine.DecodeStep(id).ok());
+        }
+      }
+    }
+    std::vector<std::vector<int32_t>> tokens;
+    for (int32_t id = 0; id < kRequests; ++id) {
+      tokens.push_back(engine.Find(id)->tokens);
+    }
+    return tokens;
+  };
+
+  const auto serial = run(1, /*batched=*/false);
+  const auto batched_serial = run(1, /*batched=*/true);
+  const auto batched_parallel = run(4, /*batched=*/true);
+  EXPECT_EQ(serial, batched_serial);
+  EXPECT_EQ(serial, batched_parallel);
+}
+
+}  // namespace
+}  // namespace aptserve

@@ -1,0 +1,142 @@
+// ThreadPool stress coverage: empty ranges, nested calls, exception
+// propagation and reuse, concurrent top-level submissions, static vs
+// dynamic scheduling, and the RuntimeConfig resolution rules.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/runtime_config.h"
+#include "runtime/thread_pool.h"
+
+namespace aptserve {
+namespace runtime {
+namespace {
+
+RuntimeConfig Threads(int32_t n, bool deterministic = true) {
+  RuntimeConfig cfg;
+  cfg.num_threads = n;
+  cfg.deterministic = deterministic;
+  return cfg;
+}
+
+TEST(RuntimeConfigTest, ResolutionRules) {
+  EXPECT_EQ(Threads(1).ResolvedNumThreads(), 1);
+  EXPECT_EQ(Threads(4).ResolvedNumThreads(), 4);
+  EXPECT_GE(Threads(-1).ResolvedNumThreads(), 1);
+
+  // num_threads == 0 defers to the environment, defaulting to 1.
+  unsetenv("APTSERVE_NUM_THREADS");
+  EXPECT_EQ(Threads(0).ResolvedNumThreads(), 1);
+  setenv("APTSERVE_NUM_THREADS", "3", 1);
+  EXPECT_EQ(Threads(0).ResolvedNumThreads(), 3);
+  unsetenv("APTSERVE_NUM_THREADS");
+}
+
+TEST(ThreadPoolTest, EmptyAndReversedRangesAreNoOps) {
+  ThreadPool pool(Threads(4));
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 0, 1, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  pool.ParallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (bool deterministic : {true, false}) {
+    ThreadPool pool(Threads(4, deterministic));
+    constexpr int64_t kN = 10'000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.ParallelForEach(0, kN, 7, [&](int64_t i) { ++hits[i]; });
+    for (int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(Threads(1));
+  EXPECT_EQ(pool.num_threads(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(0, 100, 1, [&](int64_t, int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadPool pool(Threads(4));
+  constexpr int64_t kOuter = 16;
+  constexpr int64_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelForEach(0, kOuter, 1, [&](int64_t o) {
+    // Nested on the same pool: must run inline on this thread.
+    const std::thread::id self = std::this_thread::get_id();
+    pool.ParallelForEach(0, kInner, 1, [&](int64_t i) {
+      EXPECT_EQ(std::this_thread::get_id(), self);
+      ++hits[o * kInner + i];
+    });
+  });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(Threads(4));
+  EXPECT_THROW(
+      pool.ParallelForEach(0, 1000, 1,
+                           [&](int64_t i) {
+                             if (i == 123) throw std::runtime_error("boom");
+                           }),
+      std::runtime_error);
+  // The pool must survive and execute further work fully.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelForEach(0, 1000, 1, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 1000 * 999 / 2);
+}
+
+TEST(ThreadPoolTest, ConcurrentTopLevelSubmissionsSerialize) {
+  ThreadPool pool(Threads(4));
+  constexpr int kSubmitters = 4;
+  constexpr int64_t kN = 2000;
+  std::vector<std::atomic<int64_t>> sums(kSubmitters);
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int round = 0; round < 5; ++round) {
+        pool.ParallelForEach(0, kN, 3, [&](int64_t i) { sums[s] += i; });
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  for (int s = 0; s < kSubmitters; ++s) {
+    EXPECT_EQ(sums[s].load(), 5 * kN * (kN - 1) / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ManySmallJobsStress) {
+  ThreadPool pool(Threads(4));
+  int64_t total = 0;
+  for (int round = 0; round < 500; ++round) {
+    std::atomic<int64_t> count{0};
+    pool.ParallelForEach(0, round % 9, 1, [&](int64_t) { ++count; });
+    total += count.load();
+  }
+  int64_t expected = 0;
+  for (int round = 0; round < 500; ++round) expected += round % 9;
+  EXPECT_EQ(total, expected);
+}
+
+TEST(ThreadPoolTest, FreeFunctionHandlesNullPool) {
+  int64_t sum = 0;
+  ParallelFor(nullptr, 0, 10, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 45);
+}
+
+}  // namespace
+}  // namespace runtime
+}  // namespace aptserve
