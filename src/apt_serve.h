@@ -22,6 +22,9 @@
 #include "cache/hybrid_assigner.h"
 #include "cache/swap_space.h"
 
+// Prefix sharing (refcounted COW blocks + radix prefix index).
+#include "prefix/prefix_index.h"
+
 // Real mini-transformer inference engine (paper Figure 3 / §6.1).
 #include "engine/block_storage.h"
 #include "engine/inference_engine.h"
@@ -35,6 +38,8 @@
 #include "workload/arrival.h"
 #include "workload/length_sampler.h"
 #include "workload/request.h"
+#include "workload/shared_prefix.h"
+#include "workload/token_ids.h"
 #include "workload/trace.h"
 
 // The unified serving loop and its execution backends.

@@ -1,6 +1,7 @@
 #include "cache/block_pool.h"
 
 #include <algorithm>
+#include <map>
 
 #include "common/logging.h"
 
@@ -8,7 +9,7 @@ namespace aptserve {
 
 BlockPool::BlockPool(int32_t num_blocks, int32_t block_size)
     : num_blocks_(num_blocks), block_size_(block_size),
-      allocated_(num_blocks, false) {
+      ref_count_(num_blocks, 0) {
   APT_CHECK_MSG(num_blocks >= 0, "negative pool size");
   APT_CHECK_MSG(block_size > 0, "block size must be positive");
   free_list_.reserve(num_blocks);
@@ -23,7 +24,7 @@ StatusOr<BlockId> BlockPool::Allocate() {
   }
   const BlockId id = free_list_.back();
   free_list_.pop_back();
-  allocated_[id] = true;
+  ref_count_[id] = 1;
   ++total_allocations_;
   peak_allocated_ = std::max(peak_allocated_, num_allocated());
   return id;
@@ -45,17 +46,33 @@ Status BlockPool::AllocateMany(int32_t n, std::vector<BlockId>* out) {
   return Status::OK();
 }
 
+Status BlockPool::Ref(BlockId id) {
+  if (id < 0 || id >= num_blocks_) {
+    return Status::InvalidArgument("block id out of range: " +
+                                   std::to_string(id));
+  }
+  if (ref_count_[id] == 0) {
+    return Status::InvalidArgument("cannot ref free block " +
+                                   std::to_string(id));
+  }
+  ++ref_count_[id];
+  return Status::OK();
+}
+
 Status BlockPool::Free(BlockId id) {
   if (id < 0 || id >= num_blocks_) {
     return Status::InvalidArgument("block id out of range: " +
                                    std::to_string(id));
   }
-  if (!allocated_[id]) {
-    return Status::InvalidArgument("double free of block " +
-                                   std::to_string(id));
+  if (ref_count_[id] == 0) {
+    return Status::InvalidArgument(
+        "double free of block " + std::to_string(id) + " (refcount 0; " +
+        std::to_string(num_free()) + "/" + std::to_string(num_blocks_) +
+        " blocks on the free list)");
   }
-  allocated_[id] = false;
-  free_list_.push_back(id);
+  if (--ref_count_[id] == 0) {
+    free_list_.push_back(id);
+  }
   return Status::OK();
 }
 
@@ -64,6 +81,39 @@ void BlockPool::FreeMany(const std::vector<BlockId>& ids) {
     Status s = Free(id);
     APT_CHECK_MSG(s.ok(), s.ToString());
   }
+}
+
+int32_t BlockPool::num_shared() const {
+  int32_t n = 0;
+  for (int32_t c : ref_count_) n += c > 1 ? 1 : 0;
+  return n;
+}
+
+std::string BlockPool::DebugString() const {
+  // Refcount histogram: how many blocks sit at each owner count.
+  std::map<int32_t, int32_t> histogram;
+  int32_t max_ref = 0;
+  for (int32_t c : ref_count_) {
+    ++histogram[c];
+    max_ref = std::max(max_ref, c);
+  }
+  std::string out = "BlockPool{blocks=" + std::to_string(num_blocks_) +
+                    ", block_size=" + std::to_string(block_size_) +
+                    ", free=" + std::to_string(num_free()) +
+                    ", allocated=" + std::to_string(num_allocated()) +
+                    ", shared=" + std::to_string(num_shared()) +
+                    ", max_refcount=" + std::to_string(max_ref) +
+                    ", peak=" + std::to_string(peak_allocated_) +
+                    ", total_allocations=" +
+                    std::to_string(total_allocations_) + ", refcounts={";
+  bool first = true;
+  for (const auto& [refs, count] : histogram) {
+    if (!first) out += ", ";
+    first = false;
+    out += std::to_string(refs) + "x" + std::to_string(count);
+  }
+  out += "}}";
+  return out;
 }
 
 }  // namespace aptserve

@@ -2,9 +2,17 @@
 // flat array of fixed-size blocks; each block can hold K, V or hidden
 // vectors for `block_size` token positions (across all layers), so KV and
 // hidden caches space-share freely with no pre-partitioning.
+//
+// Blocks are reference-counted so the prefix-sharing layer (src/prefix/)
+// can let several requests — and the prefix index itself — hold the same
+// physical block. Allocate() hands out a block with one reference; Ref()
+// adds owners; Free() drops one reference and only returns the block to
+// the free list when the count reaches zero. Code that never calls Ref()
+// sees the exact one-owner allocate/free semantics the pool always had.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cache/cache_types.h"
@@ -22,13 +30,19 @@ class BlockPool {
   /// `num_blocks` blocks, each covering `block_size` token positions.
   BlockPool(int32_t num_blocks, int32_t block_size);
 
-  /// Allocates one block; OutOfMemory when the pool is exhausted.
+  /// Allocates one block (reference count 1); OutOfMemory when the pool is
+  /// exhausted.
   StatusOr<BlockId> Allocate();
 
   /// Allocates `n` blocks all-or-nothing; on failure the pool is unchanged.
   Status AllocateMany(int32_t n, std::vector<BlockId>* out);
 
-  /// Returns a block to the free list. InvalidArgument on double free or an
+  /// Adds one reference to an allocated block (prefix sharing: the block
+  /// gains another owner). InvalidArgument for a free or out-of-range id.
+  Status Ref(BlockId id);
+
+  /// Drops one reference; the block returns to the free list when the last
+  /// owner releases it. InvalidArgument on double free (a free block) or an
   /// out-of-range id.
   Status Free(BlockId id);
 
@@ -52,14 +66,27 @@ class BlockPool {
   int64_t total_allocations() const { return total_allocations_; }
 
   bool IsAllocated(BlockId id) const {
-    return id >= 0 && id < num_blocks_ && allocated_[id];
+    return id >= 0 && id < num_blocks_ && ref_count_[id] > 0;
   }
+
+  /// Current owner count of a block (0 = free). Out-of-range ids return 0.
+  int32_t RefCount(BlockId id) const {
+    return id >= 0 && id < num_blocks_ ? ref_count_[id] : 0;
+  }
+
+  /// Blocks currently held by more than one owner (prefix-shared blocks).
+  int32_t num_shared() const;
+
+  /// One-line dump of the pool's sharing invariants: free-list size,
+  /// allocated/shared counts, the refcount histogram, and lifetime totals.
+  std::string DebugString() const;
 
  private:
   int32_t num_blocks_;
   int32_t block_size_;
   std::vector<BlockId> free_list_;
-  std::vector<bool> allocated_;
+  /// Owners per block; 0 = on the free list.
+  std::vector<int32_t> ref_count_;
   int32_t peak_allocated_ = 0;
   int64_t total_allocations_ = 0;
 };

@@ -30,6 +30,19 @@ int32_t HybridCacheAssigner::BlocksToGrow(RequestId id,
   return map.type() == CacheType::kKV ? 2 * extra : extra;
 }
 
+Status HybridCacheAssigner::AllocateWithReclaim(int32_t n,
+                                                std::vector<BlockId>* out) {
+  Status st = pool_->AllocateMany(n, out);
+  if (st.IsOutOfMemory() && reclaimer_) {
+    // Ask the prefix index to evict unreferenced cached prefixes, then
+    // retry once. The reclaimer may free fewer than asked (pinned leaves
+    // are skipped); the retry surfaces the remaining deficit as OOM.
+    reclaimer_(n - pool_->num_free());
+    st = pool_->AllocateMany(n, out);
+  }
+  return st;
+}
+
 Status HybridCacheAssigner::AllocateFor(CacheMap* map,
                                         int32_t new_blocks_per_component) {
   if (new_blocks_per_component <= 0) return Status::OK();
@@ -37,7 +50,7 @@ Status HybridCacheAssigner::AllocateFor(CacheMap* map,
   const int32_t total =
       new_blocks_per_component * static_cast<int32_t>(components.size());
   std::vector<BlockId> blocks;
-  APT_RETURN_NOT_OK(pool_->AllocateMany(total, &blocks));
+  APT_RETURN_NOT_OK(AllocateWithReclaim(total, &blocks));
   size_t cursor = 0;
   for (CacheComponent c : components) {
     std::vector<BlockId> slice(blocks.begin() + cursor,
@@ -64,6 +77,69 @@ Status HybridCacheAssigner::CreateFilled(RequestId id, CacheType type,
   map.AdvanceTokens(num_tokens);
   maps_.emplace(id, std::move(map));
   return Status::OK();
+}
+
+StatusOr<CowSeed> HybridCacheAssigner::CreateSeeded(RequestId id,
+                                                    const PrefixMatch& match) {
+  if (!match.hit()) {
+    return Status::InvalidArgument("cannot seed from an empty match");
+  }
+  if (Has(id)) {
+    return Status::AlreadyExists("request " + std::to_string(id) +
+                                 " already has a cache");
+  }
+  const int32_t full = static_cast<int32_t>(match.k_blocks.size());
+  APT_CHECK(static_cast<int32_t>(match.v_blocks.size()) == full);
+  APT_CHECK(match.tokens == full * pool_->block_size() + match.cow_tokens);
+
+  // 1. Pin everything the match refers to before any allocation below can
+  // run the reclaimer: the full blocks become the request's owned
+  // references; the COW sources are pinned transiently until the caller's
+  // ReleaseCowSource (so eviction cannot free them before the payload
+  // copy happens).
+  for (BlockId b : match.k_blocks) APT_CHECK(pool_->Ref(b).ok());
+  for (BlockId b : match.v_blocks) APT_CHECK(pool_->Ref(b).ok());
+  CowSeed seed;
+  if (match.cow_tokens > 0) {
+    APT_CHECK(pool_->Ref(match.cow_src_k).ok());
+    APT_CHECK(pool_->Ref(match.cow_src_v).ok());
+    std::vector<BlockId> tail;
+    Status st = AllocateWithReclaim(2, &tail);
+    if (!st.ok()) {
+      // Unwind: the pool must end exactly as it started.
+      APT_CHECK(pool_->Free(match.cow_src_k).ok());
+      APT_CHECK(pool_->Free(match.cow_src_v).ok());
+      for (BlockId b : match.k_blocks) APT_CHECK(pool_->Free(b).ok());
+      for (BlockId b : match.v_blocks) APT_CHECK(pool_->Free(b).ok());
+      return st;
+    }
+    seed.src_k = match.cow_src_k;
+    seed.src_v = match.cow_src_v;
+    seed.dst_k = tail[0];
+    seed.dst_v = tail[1];
+    seed.tokens = match.cow_tokens;
+  }
+
+  // 2. Build the map: shared full blocks, then the private COW tail.
+  CacheMap map(CacheType::kKV, pool_->block_size());
+  std::vector<BlockId> k_list = match.k_blocks;
+  std::vector<BlockId> v_list = match.v_blocks;
+  if (match.cow_tokens > 0) {
+    k_list.push_back(seed.dst_k);
+    v_list.push_back(seed.dst_v);
+  }
+  map.AppendBlocks(CacheComponent::kKey, k_list);
+  map.AppendBlocks(CacheComponent::kValue, v_list);
+  map.AdvanceTokens(match.tokens);
+  maps_.emplace(id, std::move(map));
+  ++num_seeded_;
+  return seed;
+}
+
+void HybridCacheAssigner::ReleaseCowSource(const CowSeed& seed) {
+  if (seed.tokens <= 0) return;
+  APT_CHECK(pool_->Free(seed.src_k).ok());
+  APT_CHECK(pool_->Free(seed.src_v).ok());
 }
 
 Status HybridCacheAssigner::Append(RequestId id, int32_t extra_tokens) {

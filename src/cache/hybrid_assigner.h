@@ -5,19 +5,43 @@
 // type).
 #pragma once
 
+#include <functional>
 #include <unordered_map>
 
 #include "cache/block_pool.h"
 #include "cache/cache_map.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "prefix/prefix_index.h"
 
 namespace aptserve {
+
+/// Result of seeding a cache map from a prefix match. When the match ended
+/// mid-block the assigner allocated a private tail pair (`dst_*`) whose
+/// first `tokens` slots must be populated from the shared source pair
+/// (`src_*`) — the engine copies real payload, the analytic backend only
+/// accounts. The caller must invoke ReleaseCowSource() once done (the
+/// sources stay pinned until then so eviction cannot free them mid-copy).
+struct CowSeed {
+  BlockId src_k = kInvalidBlock;
+  BlockId src_v = kInvalidBlock;
+  BlockId dst_k = kInvalidBlock;
+  BlockId dst_v = kInvalidBlock;
+  int32_t tokens = 0;
+};
 
 class HybridCacheAssigner {
  public:
   /// The assigner borrows the pool; the pool must outlive it.
   explicit HybridCacheAssigner(BlockPool* pool);
+
+  /// Installs a last-resort block reclaimer (the prefix index's LRU
+  /// eviction): when an allocation comes up short, the assigner asks the
+  /// reclaimer to free at least the deficit and retries once. The callback
+  /// returns the number of blocks it freed.
+  void SetReclaimer(std::function<int32_t(int32_t)> reclaimer) {
+    reclaimer_ = std::move(reclaimer);
+  }
 
   /// Blocks required to cache `num_tokens` tokens with the given type:
   /// 2*ceil(t/B) for KV, ceil(t/B) for hidden.
@@ -32,6 +56,21 @@ class HybridCacheAssigner {
   /// AlreadyExists if the request already has a cache; OutOfMemory if blocks
   /// are unavailable (the pool is left unchanged).
   Status CreateFilled(RequestId id, CacheType type, int32_t num_tokens);
+
+  /// Creates a kKV cache for request `id` seeded from a prefix-index match:
+  /// the match's fully shared blocks join the map (one pool reference per
+  /// block is taken for the request, so releasing the map later just drops
+  /// that reference) and, when the match ends mid-block, a private tail
+  /// pair is allocated for copy-on-write population. Marks all
+  /// `match.tokens` positions filled. References are taken *before* the
+  /// tail allocation so the reclaimer's eviction can never free matched
+  /// blocks. OutOfMemory (tail pair unavailable even after reclaim) leaves
+  /// the pool and the request unchanged.
+  StatusOr<CowSeed> CreateSeeded(RequestId id, const PrefixMatch& match);
+
+  /// Drops the transient pin CreateSeeded kept on the COW source pair.
+  /// No-op for a seed without a COW tail.
+  void ReleaseCowSource(const CowSeed& seed);
 
   /// Extends request `id`'s cache by `extra_tokens` filled positions,
   /// allocating blocks on demand (decode growth, one token per iteration in
@@ -53,14 +92,19 @@ class HybridCacheAssigner {
 
   BlockPool* pool() const { return pool_; }
   int64_t num_conversions() const { return num_conversions_; }
+  int64_t num_seeded() const { return num_seeded_; }
   size_t num_requests() const { return maps_.size(); }
 
  private:
   Status AllocateFor(CacheMap* map, int32_t new_blocks_per_component);
+  /// AllocateMany with one reclaim-and-retry round on OutOfMemory.
+  Status AllocateWithReclaim(int32_t n, std::vector<BlockId>* out);
 
   BlockPool* pool_;
   std::unordered_map<RequestId, CacheMap> maps_;
+  std::function<int32_t(int32_t)> reclaimer_;
   int64_t num_conversions_ = 0;
+  int64_t num_seeded_ = 0;
 };
 
 }  // namespace aptserve

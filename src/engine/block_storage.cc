@@ -52,4 +52,14 @@ void BlockStorage::ReadVector(const CacheMap& map, CacheComponent component,
   std::memcpy(out, Slot(s.block, layer, s.offset), sizeof(float) * dim_);
 }
 
+void BlockStorage::CopyBlockPrefix(BlockId src, BlockId dst, int32_t slots) {
+  APT_CHECK(slots > 0 && slots <= block_size_);
+  APT_CHECK(src != dst);
+  // Slots of one (block, layer) are contiguous, so each layer is one run.
+  for (int32_t l = 0; l < n_layers_; ++l) {
+    std::memcpy(Slot(dst, l, 0), Slot(src, l, 0),
+                sizeof(float) * static_cast<int64_t>(slots) * dim_);
+  }
+}
+
 }  // namespace aptserve

@@ -45,6 +45,12 @@ class BlockStorage {
   void ReadVector(const CacheMap& map, CacheComponent component, int32_t layer,
                   int32_t pos, float* out) const;
 
+  /// Copies the first `slots` token slots of `src` into `dst` across every
+  /// layer — the copy-on-write step of prefix sharing: a request adopting a
+  /// partially matched tail block duplicates the shared payload into a
+  /// private block before writing its own positions after it.
+  void CopyBlockPrefix(BlockId src, BlockId dst, int32_t slots);
+
  private:
   int64_t Offset(BlockId block, int32_t layer, int32_t slot) const {
     APT_CHECK(block >= 0 && block < num_blocks_);

@@ -24,6 +24,13 @@ void InferenceEngine::SetSampling(const SamplingParams& params,
   sample_rng_ = Rng(sample_seed);
 }
 
+void InferenceEngine::EnablePrefixSharing() {
+  if (prefix_index_ != nullptr) return;
+  prefix_index_ = std::make_unique<PrefixIndex>(&pool_, pool_.block_size());
+  assigner_.SetReclaimer(
+      [this](int32_t need) { return prefix_index_->EvictLru(need); });
+}
+
 StatusOr<int32_t> InferenceEngine::SampleNext(
     const std::vector<float>& logits) {
   return SampleToken(logits, sampling_, &sample_rng_);
@@ -68,18 +75,67 @@ StatusOr<PendingStep> InferenceEngine::PreparePrefillChunk(
   if (target > model_.config().max_seq_len) {
     return Status::InvalidArgument("sequence exceeds max_seq_len");
   }
+
+  // Prefix sharing: a fresh KV pass first tries to adopt cached blocks for
+  // its prompt. The match is capped at prompt_len (generated tokens are
+  // request-private) and at target-1 (at least one position must be
+  // processed to produce the logits the pass samples from). Causality
+  // makes adopted K/V bit-identical to recomputation, so tokens are
+  // unchanged — only the prefill work shrinks.
+  const bool fresh = !assigner_.Has(id);
+  int32_t skipped = 0;
+  PrefixMatch match;
+  if (fresh && prefix_index_ != nullptr &&
+      gs.cache_type == CacheType::kKV && gs.cached_tokens == 0) {
+    const int32_t limit = std::min(gs.prompt_len, target - 1);
+    match = prefix_index_->Match(gs.tokens, limit);
+    if (match.hit()) {
+      auto seeded = assigner_.CreateSeeded(id, match);
+      if (seeded.ok()) {
+        if (seeded->tokens > 0) {
+          // Copy-on-write: duplicate the partially matched tail block's
+          // payload into the private tail before this pass writes the
+          // remaining positions of that block.
+          storage_.CopyBlockPrefix(seeded->src_k, seeded->dst_k,
+                                   seeded->tokens);
+          storage_.CopyBlockPrefix(seeded->src_v, seeded->dst_v,
+                                   seeded->tokens);
+        }
+        assigner_.ReleaseCowSource(*seeded);
+        gs.cached_tokens = match.tokens;
+        skipped = match.tokens;
+      } else if (!seeded.status().IsOutOfMemory()) {
+        return seeded.status();
+      }
+      // Seeding OOM falls through to the unshared path, whose own
+      // allocation surfaces the memory pressure normally.
+    }
+  }
+
   const int32_t upto = std::min(target, gs.cached_tokens + max_tokens);
   const int32_t new_tokens = upto - gs.cached_tokens;
   APT_CHECK(new_tokens > 0);
 
   // Allocate blocks for the chunk; on failure nothing changes (a fresh
-  // request's partial allocation is rolled back by CreateFilled itself).
-  const bool fresh = !assigner_.Has(id);
-  if (fresh) {
-    APT_RETURN_NOT_OK(assigner_.CreateFilled(id, gs.cache_type, upto));
+  // request's partial allocation is rolled back by CreateFilled itself; a
+  // seeded map is released wholesale, restoring the pre-call pool state).
+  Status alloc_st;
+  if (!assigner_.Has(id)) {
+    alloc_st = assigner_.CreateFilled(id, gs.cache_type, upto);
   } else {
-    APT_RETURN_NOT_OK(assigner_.Append(id, new_tokens));
+    alloc_st = assigner_.Append(id, new_tokens);
   }
+  if (!alloc_st.ok()) {
+    if (skipped > 0) {
+      APT_CHECK(assigner_.Release(id).ok());
+      gs.cached_tokens = 0;
+    }
+    return alloc_st;
+  }
+  // Count the adoption only now, with the whole prepare succeeded: a
+  // rolled-back seeding must not inflate hits relative to the prefill
+  // positions genuinely skipped.
+  if (skipped > 0) prefix_index_->RecordAdoption(match);
   PendingStep step;
   step.id = id;
   step.is_decode = false;
@@ -88,6 +144,7 @@ StatusOr<PendingStep> InferenceEngine::PreparePrefillChunk(
   step.upto = upto;
   step.fresh = fresh;
   step.completes = upto >= target;
+  step.prefix_skipped = skipped;
   return step;
 }
 
@@ -167,7 +224,10 @@ StatusOr<std::optional<int32_t>> InferenceEngine::FinishStep(
                 "pending step finished for a removed request");
   GenerationState& gs = it->second;
   if (!step->compute_status.ok()) {
-    if (!step->is_decode && step->fresh) (void)assigner_.Release(step->id);
+    if (!step->is_decode && step->fresh) {
+      (void)assigner_.Release(step->id);
+      gs.cached_tokens = 0;  // a seeded prepare advanced it
+    }
     return step->compute_status;
   }
   if (step->is_decode) {
@@ -176,6 +236,17 @@ StatusOr<std::optional<int32_t>> InferenceEngine::FinishStep(
     gs.cached_tokens = step->upto;
     if (!step->completes) return std::optional<int32_t>{};  // more chunks
     gs.in_decode = true;
+    if (prefix_index_ != nullptr && gs.cache_type == CacheType::kKV) {
+      // Index the completed pass's full prompt blocks so later requests
+      // (and this request's own re-prefills) can adopt them. Generated
+      // positions stay private: only chunks fully inside the prompt are
+      // shareable content.
+      const CacheMap* map = assigner_.Find(step->id);
+      APT_CHECK(map != nullptr);
+      prefix_index_->Insert(gs.tokens, gs.prompt_len,
+                            map->blocks(CacheComponent::kKey),
+                            map->blocks(CacheComponent::kValue));
+    }
   }
   APT_ASSIGN_OR_RETURN(const int32_t next, SampleNext(step->logits));
   gs.tokens.push_back(next);

@@ -19,6 +19,7 @@
 #include "engine/block_storage.h"
 #include "engine/sampling.h"
 #include "engine/transformer.h"
+#include "prefix/prefix_index.h"
 #include "runtime/runtime_config.h"
 #include "runtime/thread_pool.h"
 
@@ -65,6 +66,9 @@ struct PendingStep {
   int32_t upto = 0;
   bool fresh = false;
   bool completes = false;
+  /// Positions seeded from the prefix index instead of being computed
+  /// (prefill only; the pass starts after them).
+  int32_t prefix_skipped = 0;
   /// Filled by ComputeStep.
   std::vector<float> logits;
   Status compute_status = Status::OK();
@@ -82,6 +86,19 @@ class InferenceEngine {
 
   /// Sets the sampling strategy for generated tokens (default: greedy).
   void SetSampling(const SamplingParams& params, uint64_t sample_seed = 1);
+
+  /// Turns on prefix sharing: a per-engine PrefixIndex over the pool. From
+  /// then on a fresh KV prefill pass first matches its prompt against the
+  /// index (adopting shared blocks, copy-on-writing a partially matched
+  /// tail) and every completed KV prefill indexes its full prompt blocks.
+  /// The assigner's allocations gain the index's LRU eviction as a
+  /// last-resort reclaimer. Idempotent; cannot be turned off (tokens are
+  /// unaffected either way — sharing only skips recomputation).
+  void EnablePrefixSharing();
+
+  /// The engine's prefix index; null until EnablePrefixSharing().
+  PrefixIndex* prefix_index() { return prefix_index_.get(); }
+  const PrefixIndex* prefix_index() const { return prefix_index_.get(); }
 
   /// Registers a request with its prompt; no compute or memory yet.
   Status AddRequest(RequestId id, std::vector<int32_t> prompt,
@@ -188,6 +205,8 @@ class InferenceEngine {
   BlockPool pool_;
   BlockStorage storage_;
   HybridCacheAssigner assigner_;
+  /// Declared after pool_ so destruction releases index references first.
+  std::unique_ptr<PrefixIndex> prefix_index_;
   std::unique_ptr<runtime::ThreadPool> thread_pool_;
   std::unordered_map<RequestId, GenerationState> requests_;
   std::unordered_map<RequestId, SwappedCache> swapped_;

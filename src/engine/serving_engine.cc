@@ -36,6 +36,7 @@ StatusOr<ServingEngineResult> ServingEngine::Serve(
   options.rho_seconds_per_token = rho;
   options.virtual_timing = config_.virtual_timing;
   options.virtual_item_seconds = config_.virtual_item_seconds;
+  options.enable_prefix_sharing = config_.enable_prefix_sharing;
   InferenceBackend backend(&engine_, options);
 
   ServingLoopConfig loop_config;
@@ -54,6 +55,9 @@ StatusOr<ServingEngineResult> ServingEngine::Serve(
   result.preemptions = result.report.preemptions;
   result.swap_outs = r.swap_outs;
   result.swap_ins = r.swap_ins;
+  result.prefill_tokens_computed = r.prefill_tokens_computed;
+  result.prefill_tokens_skipped = r.prefill_tokens_skipped;
+  result.prefix = r.prefix;
   result.tokens = backend.TakeFinishedTokens();
   return result;
 }

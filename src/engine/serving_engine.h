@@ -66,6 +66,10 @@ struct ServingEngineConfig {
   /// timeline (TTFT/TBT, scheduler decisions) reproducible across runs.
   bool virtual_timing = false;
   double virtual_item_seconds = 1e-3;
+  /// Prefix sharing on the engine: fresh KV prefills adopt cached blocks
+  /// matched on prompt content and skip the matched compute. Tokens are
+  /// bit-identical either way; only latency and memory change.
+  bool enable_prefix_sharing = false;
 };
 
 struct ServingEngineResult {
@@ -77,6 +81,11 @@ struct ServingEngineResult {
   int64_t preemptions = 0;
   int64_t swap_outs = 0;
   int64_t swap_ins = 0;
+  /// Prefill positions computed vs. adopted from the prefix index.
+  int64_t prefill_tokens_computed = 0;
+  int64_t prefill_tokens_skipped = 0;
+  /// Prefix-sharing hit accounting (all zeros when sharing is off).
+  PrefixStats prefix;
   /// Full token sequences (prompt + generated) of every finished request.
   std::unordered_map<RequestId, std::vector<int32_t>> tokens;
 };

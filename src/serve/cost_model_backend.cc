@@ -1,6 +1,9 @@
 #include "serve/cost_model_backend.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "workload/token_ids.h"
 
 namespace aptserve {
 
@@ -32,7 +35,13 @@ CostModelBackend::CostModelBackend(const CostModel& cost_model,
       assigner_(&pool_),
       swap_(options.swap_blocks > 0 ? options.swap_blocks : 4 * pool_blocks),
       block_bytes_(options.block_size *
-                   cost_model.model().HiddenBytesPerToken()) {}
+                   cost_model.model().HiddenBytesPerToken()) {
+  if (options.enable_prefix_sharing) {
+    prefix_index_ = std::make_unique<PrefixIndex>(&pool_, options.block_size);
+    assigner_.SetReclaimer(
+        [this](int32_t need) { return prefix_index_->EvictLru(need); });
+  }
+}
 
 Status CostModelBackend::Prepare(const std::vector<SimRequest>& reqs) {
   // Verify every request can ever fit (hidden cache in an empty pool).
@@ -45,6 +54,26 @@ Status CostModelBackend::Prepare(const std::vector<SimRequest>& reqs) {
           " cannot fit in the cache pool even with hidden cache");
     }
   }
+  if (prefix_index_) {
+    // Matching needs token content: use the trace's ids when present,
+    // otherwise the deterministic synthesizer (same function every backend
+    // uses, so hit accounting is comparable across them).
+    for (const SimRequest& sr : reqs) {
+      if (sr.spec.has_token_ids()) {
+        if (static_cast<int32_t>(sr.spec.token_ids.size()) !=
+            sr.spec.prompt_len) {
+          return Status::InvalidArgument(
+              "request " + std::to_string(sr.spec.id) +
+              " token_ids size does not match prompt_len");
+        }
+        token_ids_[sr.spec.id] = sr.spec.token_ids;
+      } else {
+        token_ids_[sr.spec.id] = DeterministicPromptTokens(
+            sr.spec.id, options_.token_seed, sr.spec.prompt_len,
+            options_.token_vocab);
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -54,6 +83,21 @@ void CostModelBackend::BeginIteration() {
 }
 
 StatusOr<double> CostModelBackend::EndIteration() {
+  // Publish blocks of prefills that completed this iteration. Deferred to
+  // here — not done inside ExecutePrefillChunk — so a same-iteration
+  // sibling cannot match them yet, exactly like the engine backend, whose
+  // blocks only exist after its end-of-iteration flush.
+  if (prefix_index_) {
+    for (RequestId id : pending_inserts_) {
+      const CacheMap* map = assigner_.Find(id);
+      if (map == nullptr || map->type() != CacheType::kKV) continue;
+      const auto& tokens = token_ids_.at(id);
+      prefix_index_->Insert(tokens, static_cast<int32_t>(tokens.size()),
+                            map->blocks(CacheComponent::kKey),
+                            map->blocks(CacheComponent::kValue));
+    }
+    pending_inserts_.clear();
+  }
   workload_.swap_bytes = carry_swap_bytes_ + iter_swap_bytes_;
   carry_swap_bytes_ = 0.0;
   return cost_model_.IterationSeconds(workload_);
@@ -95,20 +139,64 @@ StatusOr<bool> CostModelBackend::TrySwapIn(const SimRequest& sr) {
 
 StatusOr<ExecutionBackend::StepOutcome> CostModelBackend::ExecutePrefillChunk(
     const SimRequest& sr, CacheType cache_type, int32_t chunk) {
+  const RequestId id = sr.spec.id;
+  // Prefix sharing mirrors the engine exactly: a fresh KV pass matches its
+  // prompt (capped at prompt_len and target-1), adopts the shared blocks,
+  // and only the remaining positions are priced as prefill work.
+  int32_t skipped = 0;
+  int32_t computed = chunk;
   Status st;
-  if (!assigner_.Has(sr.spec.id)) {
-    st = assigner_.CreateFilled(sr.spec.id, cache_type, chunk);
+  PrefixMatch match;
+  if (!assigner_.Has(id)) {
+    if (prefix_index_ && cache_type == CacheType::kKV &&
+        sr.prefill_progress == 0) {
+      const int32_t limit =
+          std::min(sr.spec.prompt_len, sr.PrefillTarget() - 1);
+      match = prefix_index_->Match(token_ids_.at(id), limit);
+      if (match.hit()) {
+        auto seeded = assigner_.CreateSeeded(id, match);
+        if (seeded.ok()) {
+          // No payload to copy analytically; just release the COW pin.
+          assigner_.ReleaseCowSource(*seeded);
+          skipped = match.tokens;
+        } else if (!seeded.status().IsOutOfMemory()) {
+          return seeded.status();
+        }
+        // Seeding OOM falls through to the unshared path below.
+      }
+    }
+    if (skipped > 0) {
+      computed = std::min(chunk, sr.PrefillTarget() - skipped);
+      st = assigner_.Append(id, computed);
+      if (!st.ok()) {
+        // Restore the pre-call pool state: the seeded map's references
+        // (shared and private alike) all release through the map.
+        APT_CHECK(assigner_.Release(id).ok());
+      } else {
+        // Mirrors the engine: the adoption counts only once the whole
+        // step succeeded.
+        prefix_index_->RecordAdoption(match);
+      }
+    } else {
+      st = assigner_.CreateFilled(id, cache_type, chunk);
+    }
   } else {
-    st = assigner_.Append(sr.spec.id, chunk);
+    st = assigner_.Append(id, chunk);
   }
   if (st.IsOutOfMemory()) return StepOutcome{true, false};
   APT_RETURN_NOT_OK(st);
-  workload_.prefill_tokens += chunk;
-  const int64_t k = sr.prefill_progress;
-  const int64_t c = chunk;
+  workload_.prefill_tokens += computed;
+  // Adopted positions still count as attended context for the computed
+  // span — attention over a hit prefix is real work, recomputing it isn't.
+  const int64_t k = sr.prefill_progress + skipped;
+  const int64_t c = computed;
   workload_.prefill_attend_tokens += c * k + c * (c + 1) / 2;
-  const bool completes = sr.prefill_progress + chunk >= sr.PrefillTarget();
-  return StepOutcome{false, completes};
+  const bool completes =
+      sr.prefill_progress + skipped + computed >= sr.PrefillTarget();
+  if (completes && prefix_index_ && cache_type == CacheType::kKV) {
+    pending_inserts_.push_back(id);
+  }
+  return StepOutcome{false, completes, computed, skipped};
 }
 
 StatusOr<ExecutionBackend::StepOutcome> CostModelBackend::ExecuteDecode(

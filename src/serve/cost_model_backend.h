@@ -8,10 +8,13 @@
 #pragma once
 
 #include <memory>
+#include <unordered_map>
+#include <vector>
 
 #include "cache/block_pool.h"
 #include "cache/hybrid_assigner.h"
 #include "cache/swap_space.h"
+#include "prefix/prefix_index.h"
 #include "serve/execution_backend.h"
 #include "sim/cost_model.h"
 
@@ -28,6 +31,19 @@ class CostModelBackend : public ExecutionBackend {
     /// Host swap capacity in blocks; <= 0 defaults to 4x the GPU pool
     /// (vLLM's swap_space default is of that order).
     int32_t swap_blocks = -1;
+    /// Prefix sharing over the analytic pool: matched prefill positions
+    /// are adopted instead of priced, mirroring the inference engine's
+    /// compute skip so both backends agree on what a hit is worth. Off by
+    /// default — the operation sequence is then bit-identical to the
+    /// pre-sharing backend.
+    bool enable_prefix_sharing = false;
+    /// Seed/vocabulary for synthesizing token ids of requests that carry
+    /// none (workload/token_ids.h). Traces with real token_ids ignore
+    /// these. For cross-backend hit-accounting parity on length-only
+    /// traces, match InferenceBackendOptions::prompt_seed and the engine's
+    /// vocab_size (the defaults match prompt_seed's default).
+    uint64_t token_seed = 7;
+    int32_t token_vocab = 50272;
   };
 
   /// Pool blocks the configuration yields (shared with Simulator's
@@ -58,8 +74,13 @@ class CostModelBackend : public ExecutionBackend {
   Status Finalize() override;
   int64_t swap_outs() const override { return swap_.total_swap_outs(); }
   int64_t swap_ins() const override { return swap_.total_swap_ins(); }
+  const PrefixStats* prefix_stats() const override {
+    return prefix_index_ ? &prefix_index_->stats() : nullptr;
+  }
 
   int32_t pool_blocks() const { return pool_.num_blocks(); }
+  /// The analytic backend's prefix index; null unless enabled.
+  const PrefixIndex* prefix_index() const { return prefix_index_.get(); }
 
  private:
   CostModelBackend(const CostModel& cost_model, const Options& options,
@@ -70,6 +91,15 @@ class CostModelBackend : public ExecutionBackend {
   BlockPool pool_;
   HybridCacheAssigner assigner_;
   SwapSpace swap_;
+  /// Declared after pool_ so destruction releases index references first.
+  std::unique_ptr<PrefixIndex> prefix_index_;
+  /// Prompt token ids per request (trace-provided or synthesized).
+  std::unordered_map<RequestId, std::vector<int32_t>> token_ids_;
+  /// Requests whose prefill completed this iteration; indexed at
+  /// EndIteration so within-iteration hit accounting matches the engine
+  /// backend, which also publishes blocks only at its end-of-iteration
+  /// flush.
+  std::vector<RequestId> pending_inserts_;
   /// Bytes per cache block, for PCIe swap-traffic costing.
   double block_bytes_;
   /// Swap traffic generated between executed iterations is charged to the

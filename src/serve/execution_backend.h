@@ -21,6 +21,7 @@
 #include "cache/cache_types.h"
 #include "cache/hybrid_assigner.h"
 #include "common/status.h"
+#include "prefix/prefix_index.h"
 #include "sim/cost_model.h"
 #include "sim/sim_request.h"
 
@@ -36,6 +37,13 @@ class ExecutionBackend {
     /// The step produced a token (every decode; a prefill chunk that
     /// completes its pass).
     bool token = false;
+    /// Prefill only: positions this step actually processed. 0 means "the
+    /// scheduled chunk" (backends without prefix sharing need not fill it).
+    int32_t computed = 0;
+    /// Prefill only: positions adopted from the backend's prefix index
+    /// instead of being computed. The loop advances the request by
+    /// computed + prefix_skipped.
+    int32_t prefix_skipped = 0;
   };
 
   virtual ~ExecutionBackend() = default;
@@ -101,6 +109,11 @@ class ExecutionBackend {
   /// Swap-traffic counters for result reporting.
   virtual int64_t swap_outs() const { return 0; }
   virtual int64_t swap_ins() const { return 0; }
+
+  /// Prefix-sharing hit accounting; null when the backend has no index.
+  /// Both backends report through the same PrefixStats struct so "what a
+  /// hit is worth" is directly comparable across them.
+  virtual const PrefixStats* prefix_stats() const { return nullptr; }
 };
 
 }  // namespace aptserve

@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "sim/cluster_spec.h"
 #include "sim/model_spec.h"
+#include "workload/token_ids.h"
 
 namespace aptserve {
 
@@ -44,7 +45,9 @@ InferenceBackend::InferenceBackend(InferenceEngine* engine,
       options_(options),
       cost_model_(MakeRhoCarrier(options.rho_seconds_per_token)),
       swap_(SwapCapacity(options, engine_->pool().num_blocks())),
-      prompt_rng_(options.prompt_seed) {}
+      prompt_rng_(options.prompt_seed) {
+  if (options.enable_prefix_sharing) engine_->EnablePrefixSharing();
+}
 
 InferenceBackend::InferenceBackend(const ModelConfig& model,
                                    uint64_t weight_seed, int32_t num_blocks,
@@ -59,6 +62,7 @@ InferenceBackend::InferenceBackend(const ModelConfig& model,
       swap_(SwapCapacity(options, num_blocks)),
       prompt_rng_(options.prompt_seed) {
   engine_->SetSampling(sampling, weight_seed ^ 0x5851f42dULL);
+  if (options.enable_prefix_sharing) engine_->EnablePrefixSharing();
 }
 
 Status InferenceBackend::Prepare(const std::vector<SimRequest>& reqs) {
@@ -72,9 +76,30 @@ Status InferenceBackend::Prepare(const std::vector<SimRequest>& reqs) {
     }
   }
   for (const SimRequest& sr : reqs) {
-    std::vector<int32_t> prompt(sr.spec.prompt_len);
-    for (int32_t& t : prompt) {
-      t = static_cast<int32_t>(prompt_rng_.UniformInt(0, cfg.vocab_size - 1));
+    // Prompts come from the trace when it carries token content (prefix
+    // sharing matches on it). Length-only traces: with sharing enabled,
+    // the same order-independent synthesizer the analytic backend uses
+    // (so hit accounting stays comparable across backends when their
+    // seed/vocab agree); with sharing off, the legacy sequential stream,
+    // bit-identical to pre-sharing behaviour.
+    std::vector<int32_t> prompt;
+    if (sr.spec.has_token_ids()) {
+      if (static_cast<int32_t>(sr.spec.token_ids.size()) !=
+          sr.spec.prompt_len) {
+        return Status::InvalidArgument(
+            "request " + std::to_string(sr.spec.id) +
+            " token_ids size does not match prompt_len");
+      }
+      prompt = sr.spec.token_ids;  // AddRequest validates the vocab range
+    } else if (options_.enable_prefix_sharing) {
+      prompt = DeterministicPromptTokens(sr.spec.id, options_.prompt_seed,
+                                         sr.spec.prompt_len, cfg.vocab_size);
+    } else {
+      prompt.resize(sr.spec.prompt_len);
+      for (int32_t& t : prompt) {
+        t = static_cast<int32_t>(
+            prompt_rng_.UniformInt(0, cfg.vocab_size - 1));
+      }
     }
     APT_RETURN_NOT_OK(
         engine_->AddRequest(sr.spec.id, std::move(prompt), CacheType::kKV));
@@ -183,9 +208,12 @@ StatusOr<ExecutionBackend::StepOutcome> InferenceBackend::ExecutePrefillChunk(
   if (!r.ok() && r.status().IsOutOfMemory()) return StepOutcome{true, false};
   if (!r.ok()) return r.status();
   ++executed_items_;
-  const bool completes = r->completes;
+  StepOutcome outcome;
+  outcome.token = r->completes;
+  outcome.computed = r->upto - r->start;
+  outcome.prefix_skipped = r->prefix_skipped;
   pending_.push_back(std::move(*r));
-  return StepOutcome{false, completes};
+  return outcome;
 }
 
 StatusOr<ExecutionBackend::StepOutcome> InferenceBackend::ExecuteDecode(

@@ -50,6 +50,11 @@ struct InferenceBackendOptions {
   /// timeline, tokens and TTFT/TBT (used by determinism tests).
   bool virtual_timing = false;
   double virtual_item_seconds = 1e-3;
+  /// Enables the engine's prefix index: fresh KV prefills adopt blocks
+  /// matched on real prompt content and skip the matched compute. Token
+  /// streams are unaffected (causal K/V of equal prefixes are
+  /// bit-identical); only latency and memory change.
+  bool enable_prefix_sharing = false;
 };
 
 class InferenceBackend : public ExecutionBackend {
@@ -86,6 +91,10 @@ class InferenceBackend : public ExecutionBackend {
   Status Finalize() override;
   int64_t swap_outs() const override { return swap_.total_swap_outs(); }
   int64_t swap_ins() const override { return swap_.total_swap_ins(); }
+  const PrefixStats* prefix_stats() const override {
+    const PrefixIndex* index = engine_->prefix_index();
+    return index ? &index->stats() : nullptr;
+  }
 
   InferenceEngine& engine() { return *engine_; }
   /// Full token sequences (prompt + generated) of finished requests,

@@ -231,7 +231,14 @@ StatusOr<ServingLoopResult> ServingLoop::Run(const std::vector<Request>& trace,
           hit_memory_wall = true;
           continue;  // stays waiting; retried in a later iteration
         }
-        applied.push_back({&sr, StepKind::kPrefill, chunk, out.token});
+        // A prefix-sharing backend may process fewer positions than the
+        // scheduled chunk (matched positions are adopted, not computed);
+        // the request still advances past both.
+        const int32_t computed = out.computed > 0 ? out.computed : chunk;
+        result.prefill_tokens_computed += computed;
+        result.prefill_tokens_skipped += out.prefix_skipped;
+        applied.push_back({&sr, StepKind::kPrefill,
+                           computed + out.prefix_skipped, out.token});
         ++accepted;
       }
     }
@@ -343,6 +350,7 @@ StatusOr<ServingLoopResult> ServingLoop::Run(const std::vector<Request>& trace,
   APT_RETURN_NOT_OK(backend_->Finalize());
   result.swap_outs = backend_->swap_outs();
   result.swap_ins = backend_->swap_ins();
+  if (const PrefixStats* ps = backend_->prefix_stats()) result.prefix = *ps;
   result.report = metrics.Report(slo);
   result.records = metrics.records();
   return result;

@@ -57,6 +57,13 @@ struct ServingLoopResult {
   int64_t tokens_generated = 0;
   /// Sum of executed-iteration latencies (the busy part of the timeline).
   double compute_seconds = 0.0;
+  /// Prefill positions the backend actually processed vs. adopted from its
+  /// prefix index (both zero-cost identical to pre-sharing accounting when
+  /// the backend has no index).
+  int64_t prefill_tokens_computed = 0;
+  int64_t prefill_tokens_skipped = 0;
+  /// Prefix-sharing hit accounting (all zeros without an index).
+  PrefixStats prefix;
 };
 
 class ServingLoop {

@@ -12,6 +12,9 @@ CostModelBackend::Options ToCostModelBackendOptions(
   opts.block_size = config.block_size;
   opts.pool_blocks_override = config.pool_blocks_override;
   opts.swap_blocks = config.swap_blocks;
+  opts.enable_prefix_sharing = config.enable_prefix_sharing;
+  opts.token_seed = config.token_seed;
+  opts.token_vocab = config.token_vocab;
   return opts;
 }
 
@@ -52,6 +55,9 @@ StatusOr<SimulationResult> Simulator::Run(const std::vector<Request>& trace,
   result.peak_blocks = r.peak_blocks;
   result.swap_outs = r.swap_outs;
   result.swap_ins = r.swap_ins;
+  result.prefill_tokens_computed = r.prefill_tokens_computed;
+  result.prefill_tokens_skipped = r.prefill_tokens_skipped;
+  result.prefix = r.prefix;
   return result;
 }
 

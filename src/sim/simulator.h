@@ -39,6 +39,15 @@ struct SimulatorConfig {
   /// facades (MultiInstanceSimulator) and future parallel sweeps share one
   /// knob. Default: serial.
   RuntimeConfig runtime;
+  /// Prefix sharing over the analytic pool (see CostModelBackend::Options):
+  /// matched prefill positions are adopted instead of priced. Off keeps
+  /// the operation sequence bit-identical to the pre-sharing simulator.
+  bool enable_prefix_sharing = false;
+  /// Seed/vocab for synthesizing token ids of requests that carry none
+  /// (match the engine facade's prompt_seed/vocab_size when comparing hit
+  /// accounting across backends on a length-only trace).
+  uint64_t token_seed = 7;
+  int32_t token_vocab = 50272;
 };
 
 struct SimulationResult {
@@ -51,6 +60,11 @@ struct SimulationResult {
   int32_t peak_blocks = 0;
   int64_t swap_outs = 0;
   int64_t swap_ins = 0;
+  /// Prefill positions computed vs. adopted from the prefix index.
+  int64_t prefill_tokens_computed = 0;
+  int64_t prefill_tokens_skipped = 0;
+  /// Prefix-sharing hit accounting (all zeros when sharing is off).
+  PrefixStats prefix;
   /// Per-request latency records (TTFT, TBT samples, finish time), keyed by
   /// request id — the raw data behind the paper's scatter/CDF figures.
   std::unordered_map<RequestId, RequestRecord> records;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.h"
 
@@ -17,8 +18,15 @@ struct Request {
   int32_t output_len = 0;
   /// Arrival time in seconds from the start of the trace.
   TimePoint arrival = 0.0;
+  /// Optional prompt token ids (exactly `prompt_len` entries when present).
+  /// Prefix sharing matches on real token content, so traces that exercise
+  /// it carry ids (the shared-prefix workload generator fills them; plain
+  /// length-only traces leave this empty and backends synthesize
+  /// deterministically — workload/token_ids.h).
+  std::vector<int32_t> token_ids;
 
   int32_t total_len() const { return prompt_len + output_len; }
+  bool has_token_ids() const { return !token_ids.empty(); }
 };
 
 }  // namespace aptserve

@@ -1,0 +1,68 @@
+#include "workload/shared_prefix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace aptserve {
+
+StatusOr<std::vector<Request>> BuildSharedPrefixTrace(
+    const SharedPrefixConfig& config) {
+  if (config.system_prompt_len < 0 || config.tokens_per_turn <= 0) {
+    return Status::InvalidArgument("prompt token counts must be positive");
+  }
+  if (config.num_conversations <= 0 || config.turns_per_conversation <= 0) {
+    return Status::InvalidArgument("need at least one conversation and turn");
+  }
+  if (config.output_len_mean <= 0 || config.vocab_size <= 0) {
+    return Status::InvalidArgument("output length and vocab must be positive");
+  }
+  if (config.output_jitter < 0.0 || config.output_jitter >= 1.0) {
+    return Status::InvalidArgument("output_jitter must be in [0, 1)");
+  }
+
+  Rng rng(config.seed);
+  std::vector<int32_t> system_prompt(config.system_prompt_len);
+  for (int32_t& t : system_prompt) {
+    t = static_cast<int32_t>(rng.UniformInt(0, config.vocab_size - 1));
+  }
+
+  std::vector<Request> trace;
+  trace.reserve(static_cast<size_t>(config.num_conversations) *
+                config.turns_per_conversation);
+  for (int32_t c = 0; c < config.num_conversations; ++c) {
+    // One RNG per conversation, seeded off the trace seed, so adding a
+    // conversation never perturbs the others' content.
+    Rng conv_rng(config.seed ^
+                 (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(c + 1)));
+    std::vector<int32_t> history = system_prompt;
+    for (int32_t k = 0; k < config.turns_per_conversation; ++k) {
+      for (int32_t i = 0; i < config.tokens_per_turn; ++i) {
+        history.push_back(static_cast<int32_t>(
+            conv_rng.UniformInt(0, config.vocab_size - 1)));
+      }
+      Request r;
+      r.prompt_len = static_cast<int32_t>(history.size());
+      r.token_ids = history;
+      const double jitter =
+          conv_rng.Uniform(-config.output_jitter, config.output_jitter);
+      r.output_len = std::max(
+          1, static_cast<int32_t>(std::lround(config.output_len_mean *
+                                              (1.0 + jitter))));
+      r.arrival = c * config.conversation_stagger_s + k * config.think_time_s;
+      trace.push_back(std::move(r));
+    }
+  }
+
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (size_t i = 0; i < trace.size(); ++i) {
+    trace[i].id = static_cast<RequestId>(i);
+  }
+  return trace;
+}
+
+}  // namespace aptserve

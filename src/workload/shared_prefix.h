@@ -1,0 +1,56 @@
+// Shared-prefix workload generator: the traffic shape prefix sharing is
+// built for. Real serving load (multi-turn chat, few-shot templates, agent
+// DAG loops) is dominated by requests whose prompts share long prefixes:
+//
+//   - every request starts with one global *system prompt*;
+//   - requests group into *conversations* (the fan-out knob): turn k of a
+//     conversation repeats turn k-1's full context and appends fresh turn
+//     tokens, so consecutive turns share a growing prefix.
+//
+// Turn prompts model context as deterministic synthetic tokens (the
+// trace's stand-in for user text plus prior assistant output — real
+// generated ids are unknowable at trace-build time and identical for both
+// execution backends this way). Every request carries concrete token_ids,
+// so prefix matching works on real content on the engine and the analytic
+// backend alike.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "workload/request.h"
+
+namespace aptserve {
+
+struct SharedPrefixConfig {
+  /// Tokens of the global system prompt every request starts with. The
+  /// prefix-length axis of the bench sweep.
+  int32_t system_prompt_len = 256;
+  /// Concurrent conversations (the fan-out / hit-rate axis: all of them
+  /// share the system prompt; each shares its own history across turns).
+  int32_t num_conversations = 8;
+  /// Requests per conversation.
+  int32_t turns_per_conversation = 4;
+  /// Fresh context tokens appended by each turn.
+  int32_t tokens_per_turn = 64;
+  /// Mean generated tokens per turn; actual lengths jitter deterministically
+  /// in [mean*(1-jitter), mean*(1+jitter)].
+  int32_t output_len_mean = 32;
+  double output_jitter = 0.25;
+  /// Gap between consecutive turns of one conversation (user think time).
+  double think_time_s = 2.0;
+  /// Arrival offset between conversation starts.
+  double conversation_stagger_s = 0.25;
+  int32_t vocab_size = 50272;
+  uint64_t seed = 42;
+};
+
+/// Builds the trace sorted by arrival with ids 0..n-1 in arrival order.
+/// The fraction of prompt tokens covered by some earlier request's prompt
+/// grows with turns and fan-out; at the defaults well over half of all
+/// prompt positions are shared.
+StatusOr<std::vector<Request>> BuildSharedPrefixTrace(
+    const SharedPrefixConfig& config);
+
+}  // namespace aptserve

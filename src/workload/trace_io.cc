@@ -8,23 +8,39 @@ namespace aptserve {
 
 namespace {
 constexpr char kHeader[] = "id,arrival,prompt_len,output_len";
-}
+// v2 adds an optional trailing column: prompt token ids, space-separated
+// inside the CSV field (empty when a request carries none). Written only
+// when some request has token ids, so length-only traces round-trip
+// byte-identically to the original format.
+constexpr char kHeaderV2[] = "id,arrival,prompt_len,output_len,token_ids";
+}  // namespace
 
 void WriteTraceCsv(const std::vector<Request>& trace, std::ostream* out) {
+  bool any_tokens = false;
+  for (const Request& r : trace) any_tokens |= r.has_token_ids();
   // Full round-trip precision for arrival timestamps.
   out->precision(17);
-  *out << kHeader << '\n';
+  *out << (any_tokens ? kHeaderV2 : kHeader) << '\n';
   for (const Request& r : trace) {
     *out << r.id << ',' << r.arrival << ',' << r.prompt_len << ','
-         << r.output_len << '\n';
+         << r.output_len;
+    if (any_tokens) {
+      *out << ',';
+      for (size_t i = 0; i < r.token_ids.size(); ++i) {
+        if (i > 0) *out << ' ';
+        *out << r.token_ids[i];
+      }
+    }
+    *out << '\n';
   }
 }
 
 StatusOr<std::vector<Request>> ReadTraceCsv(std::istream* in) {
   std::string line;
-  if (!std::getline(*in, line) || line != kHeader) {
+  if (!std::getline(*in, line) || (line != kHeader && line != kHeaderV2)) {
     return Status::InvalidArgument("missing or malformed trace CSV header");
   }
+  const bool v2 = line == kHeaderV2;
   std::vector<Request> trace;
   int line_no = 1;
   while (std::getline(*in, line)) {
@@ -48,6 +64,15 @@ StatusOr<std::vector<Request>> ReadTraceCsv(std::istream* in) {
         throw std::invalid_argument("output");
       }
       r.output_len = std::stoi(field);
+      if (v2 && std::getline(row, field, ',')) {
+        std::istringstream ids(field);
+        std::string tok;
+        while (ids >> tok) {
+          const int32_t t = std::stoi(tok);
+          if (t < 0) throw std::invalid_argument("negative token id");
+          r.token_ids.push_back(t);
+        }
+      }
     } catch (const std::exception&) {
       return Status::InvalidArgument("trace CSV parse error at line " +
                                      std::to_string(line_no));
@@ -60,7 +85,13 @@ StatusOr<std::vector<Request>> ReadTraceCsv(std::istream* in) {
       return Status::InvalidArgument("invalid request values at line " +
                                      std::to_string(line_no));
     }
-    trace.push_back(r);
+    if (r.has_token_ids() &&
+        static_cast<int32_t>(r.token_ids.size()) != r.prompt_len) {
+      return Status::InvalidArgument(
+          "token_ids count does not match prompt_len at line " +
+          std::to_string(line_no));
+    }
+    trace.push_back(std::move(r));
   }
   std::sort(trace.begin(), trace.end(),
             [](const Request& a, const Request& b) {

@@ -15,10 +15,14 @@
 namespace aptserve {
 
 /// Writes `trace` as CSV with header `id,arrival,prompt_len,output_len`.
+/// When any request carries token ids (prefix-sharing traces), a fifth
+/// `token_ids` column is added holding the ids space-separated; plain
+/// length-only traces keep the original four-column format byte-for-byte.
 void WriteTraceCsv(const std::vector<Request>& trace, std::ostream* out);
 
-/// Parses a trace written by WriteTraceCsv. Validates the header, field
-/// counts, and value ranges; returns the requests sorted by arrival.
+/// Parses a trace written by WriteTraceCsv (either header version).
+/// Validates the header, field counts, value ranges, and that token_ids —
+/// when present — match prompt_len; returns the requests sorted by arrival.
 StatusOr<std::vector<Request>> ReadTraceCsv(std::istream* in);
 
 /// File-path conveniences.

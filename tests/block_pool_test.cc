@@ -48,7 +48,60 @@ TEST(BlockPoolTest, DoubleFreeRejected) {
   auto a = pool.Allocate();
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(pool.Free(*a).ok());
-  EXPECT_TRUE(pool.Free(*a).IsInvalidArgument());
+  Status s = pool.Free(*a);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  // The message names the offending block so sharing bugs are debuggable.
+  EXPECT_NE(s.ToString().find("block " + std::to_string(*a)),
+            std::string::npos)
+      << s.ToString();
+}
+
+TEST(BlockPoolTest, RefCountsShareAndFreeOnLastRelease) {
+  BlockPool pool(2, 4);
+  auto a = pool.Allocate();
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(pool.RefCount(*a), 1);
+  ASSERT_TRUE(pool.Ref(*a).ok());
+  ASSERT_TRUE(pool.Ref(*a).ok());
+  EXPECT_EQ(pool.RefCount(*a), 3);
+  EXPECT_EQ(pool.num_shared(), 1);
+  // Intermediate releases keep the block allocated.
+  ASSERT_TRUE(pool.Free(*a).ok());
+  ASSERT_TRUE(pool.Free(*a).ok());
+  EXPECT_TRUE(pool.IsAllocated(*a));
+  EXPECT_EQ(pool.num_free(), 1);
+  // The last owner's release frees it.
+  ASSERT_TRUE(pool.Free(*a).ok());
+  EXPECT_FALSE(pool.IsAllocated(*a));
+  EXPECT_EQ(pool.num_free(), 2);
+  EXPECT_EQ(pool.RefCount(*a), 0);
+}
+
+TEST(BlockPoolTest, RefRejectsFreeAndOutOfRangeBlocks) {
+  BlockPool pool(2, 4);
+  EXPECT_TRUE(pool.Ref(0).IsInvalidArgument());   // free block
+  EXPECT_TRUE(pool.Ref(-1).IsInvalidArgument());  // out of range
+  EXPECT_TRUE(pool.Ref(2).IsInvalidArgument());
+  EXPECT_EQ(pool.RefCount(-1), 0);
+  EXPECT_EQ(pool.RefCount(5), 0);
+}
+
+TEST(BlockPoolTest, DebugStringDumpsSharingInvariants) {
+  BlockPool pool(4, 8);
+  auto a = pool.Allocate();
+  auto b = pool.Allocate();
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_TRUE(pool.Ref(*a).ok());
+  const std::string dump = pool.DebugString();
+  EXPECT_NE(dump.find("blocks=4"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("free=2"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("allocated=2"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("shared=1"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("max_refcount=2"), std::string::npos) << dump;
+  // Histogram: 2 free blocks, 1 single-owner, 1 double-owner.
+  EXPECT_NE(dump.find("0x2"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("1x1"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("2x1"), std::string::npos) << dump;
 }
 
 TEST(BlockPoolTest, FreeOutOfRangeRejected) {

@@ -79,6 +79,56 @@ TEST(TraceIoTest, LoadMissingFile) {
   EXPECT_TRUE(LoadTrace("/no/such/apt_trace.csv").status().IsNotFound());
 }
 
+TEST(TraceIoTest, TokenIdsRoundTrip) {
+  // Prefix-sharing traces carry token content; the v2 column restores it
+  // exactly, including a mix of requests with and without ids.
+  std::vector<Request> trace(2);
+  trace[0].id = 0;
+  trace[0].arrival = 0.5;
+  trace[0].prompt_len = 3;
+  trace[0].output_len = 4;
+  trace[0].token_ids = {7, 0, 12345};
+  trace[1].id = 1;
+  trace[1].arrival = 1.25;
+  trace[1].prompt_len = 2;
+  trace[1].output_len = 1;  // no token_ids: the field stays empty
+
+  std::ostringstream out;
+  WriteTraceCsv(trace, &out);
+  EXPECT_NE(out.str().find("token_ids"), std::string::npos);
+  std::istringstream in(out.str());
+  auto loaded = ReadTraceCsv(&in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].token_ids, trace[0].token_ids);
+  EXPECT_TRUE((*loaded)[1].token_ids.empty());
+}
+
+TEST(TraceIoTest, LengthOnlyTracesKeepLegacyFormat) {
+  // Without token ids the emitted CSV is byte-identical to the v1 format,
+  // so pre-sharing tooling and committed traces stay valid.
+  std::vector<Request> trace(1);
+  trace[0].id = 0;
+  trace[0].arrival = 0.0;
+  trace[0].prompt_len = 5;
+  trace[0].output_len = 2;
+  std::ostringstream out;
+  WriteTraceCsv(trace, &out);
+  EXPECT_EQ(out.str(), "id,arrival,prompt_len,output_len\n0,0,5,2\n");
+}
+
+TEST(TraceIoTest, RejectsTokenCountMismatch) {
+  std::istringstream in(
+      "id,arrival,prompt_len,output_len,token_ids\n0,0,3,1,1 2\n");
+  EXPECT_TRUE(ReadTraceCsv(&in).status().IsInvalidArgument());
+}
+
+TEST(TraceIoTest, RejectsNegativeTokenIds) {
+  std::istringstream in(
+      "id,arrival,prompt_len,output_len,token_ids\n0,0,3,1,-5 3 7\n");
+  EXPECT_TRUE(ReadTraceCsv(&in).status().IsInvalidArgument());
+}
+
 TEST(TraceIoTest, EmptyTraceRoundTrip) {
   std::ostringstream out;
   WriteTraceCsv({}, &out);
