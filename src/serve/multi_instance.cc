@@ -1,11 +1,9 @@
 #include "serve/multi_instance.h"
 
 #include <algorithm>
-#include <deque>
 #include <utility>
 
 #include "common/logging.h"
-#include "common/rng.h"
 #include "runtime/thread_pool.h"
 
 namespace aptserve {
@@ -22,79 +20,72 @@ const char* DispatchPolicyName(DispatchPolicy p) {
   return "?";
 }
 
+RouterConfig ToRouterConfig(const DispatchConfig& config) {
+  RouterConfig r;
+  r.n_instances = config.n_instances;
+  switch (config.policy) {
+    case DispatchPolicy::kRoundRobin:
+      r.policy = RoutePolicy::kRoundRobin;
+      break;
+    case DispatchPolicy::kLeastLoaded:
+      r.policy = RoutePolicy::kLeastLoaded;
+      break;
+    case DispatchPolicy::kPowerOfTwo:
+      r.policy = RoutePolicy::kPowerOfTwo;
+      break;
+  }
+  r.load_window_s = config.load_window_s;
+  r.dispatch_seed = config.dispatch_seed;
+  r.admission = AdmissionMode::kNone;
+  return r;
+}
+
 std::vector<int32_t> DispatchTrace(const std::vector<Request>& trace,
                                    const DispatchConfig& config) {
-  const int32_t n = config.n_instances;
-  std::vector<int32_t> assignment(trace.size(), 0);
-  if (n == 1) return assignment;
-
-  // Per-instance sliding-window backlog of dispatched prompt tokens.
-  std::vector<std::deque<std::pair<TimePoint, int64_t>>> window(n);
-  std::vector<int64_t> backlog(n, 0);
-  Rng rng(config.dispatch_seed);
-
-  auto expire = [&](TimePoint now) {
-    for (int32_t i = 0; i < n; ++i) {
-      while (!window[i].empty() &&
-             window[i].front().first < now - config.load_window_s) {
-        backlog[i] -= window[i].front().second;
-        window[i].pop_front();
-      }
-    }
-  };
-  auto assign = [&](size_t req_idx, int32_t inst) {
-    assignment[req_idx] = inst;
-    window[inst].emplace_back(trace[req_idx].arrival,
-                              trace[req_idx].prompt_len);
-    backlog[inst] += trace[req_idx].prompt_len;
-  };
-
-  for (size_t r = 0; r < trace.size(); ++r) {
-    expire(trace[r].arrival);
-    switch (config.policy) {
-      case DispatchPolicy::kRoundRobin:
-        assign(r, static_cast<int32_t>(r % n));
-        break;
-      case DispatchPolicy::kLeastLoaded: {
-        int32_t best = 0;
-        for (int32_t i = 1; i < n; ++i) {
-          if (backlog[i] < backlog[best]) best = i;
-        }
-        assign(r, best);
-        break;
-      }
-      case DispatchPolicy::kPowerOfTwo: {
-        const int32_t a = static_cast<int32_t>(rng.UniformInt(0, n - 1));
-        int32_t b = static_cast<int32_t>(rng.UniformInt(0, n - 2));
-        if (b >= a) ++b;
-        assign(r, backlog[a] <= backlog[b] ? a : b);
-        break;
-      }
-    }
-  }
-  return assignment;
+  return Router(ToRouterConfig(config)).Route(trace).assignment;
 }
+
+namespace {
+
+void AddPrefixStats(const PrefixStats& from, PrefixStats* into) {
+  into->lookups += from.lookups;
+  into->hits += from.hits;
+  into->matched_tokens += from.matched_tokens;
+  into->shared_blocks += from.shared_blocks;
+  into->cow_matches += from.cow_matches;
+  into->inserted_blocks += from.inserted_blocks;
+  into->evicted_blocks += from.evicted_blocks;
+}
+
+}  // namespace
+
+MultiInstanceRunner::MultiInstanceRunner(const Router& router,
+                                         const ServingLoopConfig& loop,
+                                         const RuntimeConfig& runtime)
+    : router_(router), loop_(loop), runtime_(runtime) {}
 
 MultiInstanceRunner::MultiInstanceRunner(const DispatchConfig& dispatch,
                                          const ServingLoopConfig& loop,
                                          const RuntimeConfig& runtime)
-    : dispatch_(dispatch), loop_(loop), runtime_(runtime) {
+    : router_(Router(ToRouterConfig(dispatch))),
+      loop_(loop),
+      runtime_(runtime) {
   APT_CHECK(dispatch.n_instances >= 1);
-}
-
-std::vector<int32_t> MultiInstanceRunner::Dispatch(
-    const std::vector<Request>& trace) const {
-  return DispatchTrace(trace, dispatch_);
 }
 
 StatusOr<MultiInstanceResult> MultiInstanceRunner::Run(
     const std::vector<Request>& trace, const SchedulerFactory& make_scheduler,
     const BackendFactory& make_backend, const SloSpec& slo) {
-  const std::vector<int32_t> assignment = Dispatch(trace);
-  const int32_t n = dispatch_.n_instances;
+  const RouteDecision decision = router_.Route(trace);
+  const int32_t n = router_.config().n_instances;
   MultiInstanceResult result;
   result.per_instance.resize(n);
-  result.requests_per_instance.assign(n, 0);
+  result.requests_per_instance = decision.admitted_per_instance;
+  result.rejected_requests = decision.rejected;
+  result.deprioritized_requests = decision.deprioritized;
+  result.prefill_computed_per_instance.assign(n, 0);
+  result.prefill_skipped_per_instance.assign(n, 0);
+  result.prefix_per_instance.resize(n);
 
   // Per-instance serving state. Shards and the scheduler/backend objects
   // are built serially in instance order — factories may capture shared
@@ -103,15 +94,20 @@ StatusOr<MultiInstanceResult> MultiInstanceRunner::Run(
     std::vector<Request> sub;
     std::unique_ptr<Scheduler> scheduler;
     std::unique_ptr<ExecutionBackend> backend;
+    ServingLoopResult out;
     Status status = Status::OK();
   };
   std::vector<InstanceRun> runs(n);
+  for (size_t r = 0; r < trace.size(); ++r) {
+    const int32_t inst = decision.assignment[r];
+    if (inst == RouteDecision::kRejected) continue;
+    Request req = trace[r];
+    if (decision.best_effort[r]) req.best_effort = true;
+    runs[inst].sub.push_back(std::move(req));
+  }
   for (int32_t inst = 0; inst < n; ++inst) {
-    for (size_t r = 0; r < trace.size(); ++r) {
-      if (assignment[r] == inst) runs[inst].sub.push_back(trace[r]);
-    }
-    result.requests_per_instance[inst] =
-        static_cast<int32_t>(runs[inst].sub.size());
+    APT_CHECK(static_cast<int32_t>(runs[inst].sub.size()) ==
+              decision.admitted_per_instance[inst]);
     if (runs[inst].sub.empty()) continue;
     runs[inst].scheduler = make_scheduler();
     APT_ASSIGN_OR_RETURN(runs[inst].backend, make_backend(inst));
@@ -127,7 +123,7 @@ StatusOr<MultiInstanceResult> MultiInstanceRunner::Run(
       run.status = r.status();
       return;
     }
-    result.per_instance[inst] = std::move(r->report);
+    run.out = std::move(*r);
   };
 
   const int32_t threads = std::min(runtime_.ResolvedNumThreads(), n);
@@ -151,8 +147,21 @@ StatusOr<MultiInstanceResult> MultiInstanceRunner::Run(
     if (!run.status.ok()) return run.status;
   }
 
+  for (int32_t inst = 0; inst < n; ++inst) {
+    const ServingLoopResult& out = runs[inst].out;
+    result.per_instance[inst] = out.report;
+    result.prefill_computed_per_instance[inst] = out.prefill_tokens_computed;
+    result.prefill_skipped_per_instance[inst] = out.prefill_tokens_skipped;
+    result.prefix_per_instance[inst] = out.prefix;
+    result.prefill_tokens_computed += out.prefill_tokens_computed;
+    result.prefill_tokens_skipped += out.prefill_tokens_skipped;
+    result.tokens_generated += out.tokens_generated;
+    AddPrefixStats(out.prefix, &result.prefix);
+  }
+
   result.combined =
       MergeReports(result.per_instance, result.requests_per_instance);
+  FoldRejectedIntoReport(decision.rejected, &result.combined);
   return result;
 }
 
@@ -160,13 +169,17 @@ SloReport MergeReports(const std::vector<SloReport>& reports,
                        const std::vector<int32_t>& request_counts) {
   APT_CHECK(reports.size() == request_counts.size());
   SloReport out;
-  int64_t total_requests = 0;
+  int64_t eligible_total = 0;
   double limit_time = 0.0;
   double batch_weighted = 0.0;
   for (size_t i = 0; i < reports.size(); ++i) {
     const SloReport& r = reports[i];
-    const int64_t n = request_counts[i];
-    total_requests += n;
+    // Attainment weight: eligible requests. Hand-built reports may not
+    // fill best_effort_requests; counts minus best-effort equals eligible
+    // for real reports and the raw count otherwise — bit-identical to the
+    // pre-SLO-routing merge whenever no best-effort traffic exists.
+    const int64_t n = request_counts[i] - r.best_effort_requests;
+    eligible_total += n;
     out.slo_attainment += r.slo_attainment * n;
     out.ttft_attainment += r.ttft_attainment * n;
     out.tbt_attainment += r.tbt_attainment * n;
@@ -177,13 +190,17 @@ SloReport MergeReports(const std::vector<SloReport>& reports,
     batch_weighted += r.mean_batch_size * static_cast<double>(r.iterations);
     out.preemptions += r.preemptions;
     out.conversions += r.conversions;
+    out.eligible_requests += r.eligible_requests;
+    out.slo_met_requests += r.slo_met_requests;
+    out.best_effort_requests += r.best_effort_requests;
+    out.rejected_requests += r.rejected_requests;
     for (double v : r.ttfts.samples()) out.ttfts.Add(v);
     for (double v : r.p99_tbts.samples()) out.p99_tbts.Add(v);
   }
-  if (total_requests > 0) {
-    out.slo_attainment /= total_requests;
-    out.ttft_attainment /= total_requests;
-    out.tbt_attainment /= total_requests;
+  if (eligible_total > 0) {
+    out.slo_attainment /= eligible_total;
+    out.ttft_attainment /= eligible_total;
+    out.tbt_attainment /= eligible_total;
   }
   double summed_time = 0.0;
   for (const SloReport& r : reports) summed_time += r.total_serving_time;
@@ -193,6 +210,9 @@ SloReport MergeReports(const std::vector<SloReport>& reports,
       out.iterations > 0 ? batch_weighted / out.iterations : 0.0;
   out.mean_ttft = out.ttfts.Mean();
   out.p99_ttft = out.ttfts.P99();
+  out.goodput_rps = out.total_serving_time > 0
+                        ? out.slo_met_requests / out.total_serving_time
+                        : 0.0;
   return out;
 }
 

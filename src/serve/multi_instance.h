@@ -1,32 +1,38 @@
 // Multi-instance serving (the paper's §8 future work: "generalize
-// Apt-Serve's designs to the multi-instance scenario"). A dispatcher
-// assigns each arriving request to one of N independent ServingLoop
-// instances; instances then run to completion and the reports are merged.
+// Apt-Serve's designs to the multi-instance scenario"). The fleet Router
+// (serve/router.h) is the single entry point for multi-instance traffic:
+// it owns the global arrival queue, admits each request against its SLO,
+// and assigns it to one of N independent ServingLoop instances; instances
+// then run to completion and the reports are merged.
 //
-// The runner is generic over ExecutionBackend: the same dispatch policies
+// The runner is generic over ExecutionBackend: the same routing policies
 // shard the analytic simulator (CostModelBackend) and the real engine
-// (InferenceBackend) — the fleet composes with any backend for free.
+// (InferenceBackend) — the fleet composes with any backend for free, and
+// because routing is backend-independent, the same trace produces the
+// same shards (and therefore identical prefix-hit accounting) on both.
 //
 // With a RuntimeConfig of more than one thread, instances run concurrently
-// on a fleet thread pool (one task per instance epoch). Dispatch is
+// on a fleet thread pool (one task per instance epoch). Routing is
 // computed up front from arrivals alone, schedulers/backends are
 // constructed serially in instance order (factories may share state), and
 // the merge happens behind the ParallelFor join in instance order — so
-// every dispatch decision and the merged report are bit-identical to the
+// every routing decision and the merged report are bit-identical to the
 // serial runner at any thread count.
 //
-// The dispatcher sees only what a real front-end would: arrival times and
-// prompt lengths. Load estimates use a sliding window of recently assigned
-// prompt tokens as the backlog proxy (Llumnix-style least-loaded routing
-// without cross-instance migration).
+// The router sees only what a real front-end would: arrival times, prompt
+// lengths, prompt token ids and per-request SLOs. DispatchPolicy /
+// DispatchConfig / DispatchTrace are the pre-router dispatch API, kept as
+// thin aliases over the router's legacy policies.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "prefix/prefix_index.h"
 #include "runtime/runtime_config.h"
 #include "serve/execution_backend.h"
+#include "serve/router.h"
 #include "serve/serving_loop.h"
 #include "sim/metrics.h"
 #include "sim/scheduler.h"
@@ -34,6 +40,8 @@
 
 namespace aptserve {
 
+/// Pre-router dispatch policies (compatibility aliases; the Router
+/// reproduces their assignments bit-for-bit).
 enum class DispatchPolicy {
   kRoundRobin,
   /// Assign to the instance with the least prompt tokens dispatched within
@@ -55,14 +63,33 @@ struct DispatchConfig {
   uint64_t dispatch_seed = 99;
 };
 
-/// Assigns each request of `trace` to an instance under `config`.
+/// The RouterConfig equivalent of a legacy dispatch configuration.
+RouterConfig ToRouterConfig(const DispatchConfig& config);
+
+/// Assigns each request of `trace` to an instance under `config`
+/// (admission-free routing; kept for existing callers and parity tests).
 std::vector<int32_t> DispatchTrace(const std::vector<Request>& trace,
                                    const DispatchConfig& config);
 
 struct MultiInstanceResult {
   SloReport combined;
   std::vector<SloReport> per_instance;
+  /// Admitted requests per instance (== all requests when admission is off).
   std::vector<int32_t> requests_per_instance;
+  /// Admission outcomes (zero unless the router rejects/deprioritizes).
+  int64_t rejected_requests = 0;
+  int64_t deprioritized_requests = 0;
+  /// Fleet prefill accounting: positions computed vs adopted from the
+  /// instances' prefix indexes, summed and per instance.
+  int64_t prefill_tokens_computed = 0;
+  int64_t prefill_tokens_skipped = 0;
+  std::vector<int64_t> prefill_computed_per_instance;
+  std::vector<int64_t> prefill_skipped_per_instance;
+  /// Prefix-sharing hit accounting, summed and per instance (all zeros
+  /// when the backends run without an index).
+  PrefixStats prefix;
+  std::vector<PrefixStats> prefix_per_instance;
+  int64_t tokens_generated = 0;
 };
 
 /// Creates one scheduler per instance (each instance needs its own
@@ -76,12 +103,19 @@ using BackendFactory =
 
 class MultiInstanceRunner {
  public:
+  /// Fleet behind an SLO-aware router (the primary entry point).
+  MultiInstanceRunner(const Router& router, const ServingLoopConfig& loop,
+                      const RuntimeConfig& runtime = RuntimeConfig{});
+
+  /// Legacy dispatch-policy fleet; equivalent to a Router over
+  /// ToRouterConfig(dispatch) with admission off.
   MultiInstanceRunner(const DispatchConfig& dispatch,
                       const ServingLoopConfig& loop,
                       const RuntimeConfig& runtime = RuntimeConfig{});
 
-  /// Dispatches `trace` across instances, serves each shard with its own
-  /// ServingLoop over a backend from `make_backend`, and merges reports.
+  /// Routes `trace` across instances, serves each admitted shard with its
+  /// own ServingLoop over a backend from `make_backend`, and merges
+  /// reports (rejected requests are folded into the combined attainment).
   /// Instances run concurrently when the runtime allows; the result is
   /// bit-identical to the serial run.
   StatusOr<MultiInstanceResult> Run(const std::vector<Request>& trace,
@@ -89,18 +123,27 @@ class MultiInstanceRunner {
                                     const BackendFactory& make_backend,
                                     const SloSpec& slo);
 
-  /// Exposed for tests: the dispatch assignment for a trace.
-  std::vector<int32_t> Dispatch(const std::vector<Request>& trace) const;
+  /// Exposed for tests: the full routing decision for a trace.
+  RouteDecision Route(const std::vector<Request>& trace) const {
+    return router_.Route(trace);
+  }
+  /// Legacy accessor: the per-request instance assignment.
+  std::vector<int32_t> Dispatch(const std::vector<Request>& trace) const {
+    return router_.Route(trace).assignment;
+  }
+
+  const Router& router() const { return router_; }
 
  private:
-  DispatchConfig dispatch_;
+  Router router_;
   ServingLoopConfig loop_;
   RuntimeConfig runtime_;
 };
 
 /// Merges per-instance reports into a fleet-level report: attainment is
-/// request-weighted, latency sample sets are unioned, serving time is the
-/// parallel maximum, counters are summed.
+/// weighted by eligible (non-best-effort) requests, latency sample sets
+/// are unioned, serving time is the parallel maximum, counters are summed,
+/// goodput is the merged SLO-met count over the fleet serving time.
 SloReport MergeReports(const std::vector<SloReport>& reports,
                        const std::vector<int32_t>& request_counts);
 

@@ -1,0 +1,279 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace aptserve {
+
+const char* RoutePolicyName(RoutePolicy p) {
+  switch (p) {
+    case RoutePolicy::kRoundRobin:
+      return "round-robin";
+    case RoutePolicy::kLeastLoaded:
+      return "least-loaded";
+    case RoutePolicy::kPowerOfTwo:
+      return "power-of-two";
+    case RoutePolicy::kLeastOutstandingWork:
+      return "least-outstanding-work";
+    case RoutePolicy::kPrefixAffinity:
+      return "prefix-affinity";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Per-instance mirror of a PrefixIndex's *content*: a radix tree over
+/// full block_size token chunks of the prompts routed to that instance.
+/// Matching follows PrefixIndex::Match's full-block rule, so the router's
+/// affinity score approximates the match the instance's real index will
+/// report once those prompts have prefilled (approximates, not equals:
+/// the real index also COW-matches partial tail blocks, LRU-evicts under
+/// pool pressure, and indexes only completed prefills).
+class AffinityMirror {
+ public:
+  explicit AffinityMirror(int32_t block_size) : block_size_(block_size) {}
+
+  /// Matched positions: block_size per matched chunk, capped (like index
+  /// callers) at prompt_len - 1 so the score never exceeds what a real
+  /// adoption could use.
+  int32_t MatchTokens(const std::vector<int32_t>& tokens) const {
+    const Node* node = &root_;
+    int32_t matched = 0;
+    const int32_t usable = static_cast<int32_t>(tokens.size()) - 1;
+    std::vector<int32_t> chunk(block_size_);
+    while (matched + block_size_ <= usable) {
+      chunk.assign(tokens.begin() + matched,
+                   tokens.begin() + matched + block_size_);
+      auto it = node->children.find(chunk);
+      if (it == node->children.end()) break;
+      node = it->second.get();
+      matched += block_size_;
+    }
+    return matched;
+  }
+
+  void Insert(const std::vector<int32_t>& tokens) {
+    Node* node = &root_;
+    const int32_t n = static_cast<int32_t>(tokens.size());
+    for (int32_t at = 0; at + block_size_ <= n; at += block_size_) {
+      std::vector<int32_t> chunk(tokens.begin() + at,
+                                 tokens.begin() + at + block_size_);
+      auto it = node->children.find(chunk);
+      if (it == node->children.end()) {
+        it = node->children
+                 .emplace(std::move(chunk), std::make_unique<Node>())
+                 .first;
+      }
+      node = it->second.get();
+    }
+  }
+
+ private:
+  struct Node {
+    std::map<std::vector<int32_t>, std::unique_ptr<Node>> children;
+  };
+  int32_t block_size_;
+  Node root_;
+};
+
+}  // namespace
+
+Router::Router(const RouterConfig& config, const CostModel* cost_model,
+               const OutputLengthPredictor* predictor)
+    : config_(config), cost_model_(cost_model), predictor_(predictor) {
+  APT_CHECK(config.n_instances >= 1);
+  APT_CHECK(config.block_size >= 1);
+}
+
+double Router::PredictedOutputLen(const Request& r) const {
+  if (predictor_ != nullptr && predictor_->observations() > 0) {
+    return predictor_->PredictMean(r.prompt_len, config_.default_output_len);
+  }
+  return config_.default_output_len;
+}
+
+double Router::EstimatedPrefillSeconds(const Request& r) const {
+  if (cost_model_ == nullptr) {
+    return r.prompt_len * config_.fallback_seconds_per_token;
+  }
+  BatchWorkload w;
+  w.prefill_tokens = r.prompt_len;
+  w.prefill_attend_tokens =
+      static_cast<int64_t>(r.prompt_len) * (r.prompt_len + 1) / 2;
+  return cost_model_->IterationSeconds(w);
+}
+
+double Router::EstimatedServiceSeconds(const Request& r) const {
+  const double out_len = PredictedOutputLen(r);
+  if (cost_model_ == nullptr) {
+    return (r.prompt_len + out_len) * config_.fallback_seconds_per_token;
+  }
+  // One decode iteration at the request's mid-generation context length,
+  // times the predicted output length.
+  BatchWorkload d;
+  d.decode_reqs = 1;
+  d.decode_kv_context_tokens =
+      r.prompt_len + static_cast<int64_t>(out_len / 2);
+  return EstimatedPrefillSeconds(r) +
+         out_len * cost_model_->IterationSeconds(d);
+}
+
+RouteDecision Router::Route(const std::vector<Request>& trace) const {
+  const int32_t n = config_.n_instances;
+  RouteDecision decision;
+  decision.assignment.assign(trace.size(), 0);
+  decision.best_effort.assign(trace.size(), 0);
+  decision.admitted_per_instance.assign(n, 0);
+
+  // Legacy-policy state: per-instance sliding-window backlog of dispatched
+  // prompt tokens (bit-for-bit the pre-router DispatchTrace bookkeeping).
+  std::vector<std::deque<std::pair<TimePoint, int64_t>>> window(n);
+  std::vector<int64_t> backlog(n, 0);
+  Rng rng(config_.dispatch_seed);
+  // Work-model state: when each instance is predicted to drain its queue.
+  std::vector<double> busy_until(n, 0.0);
+  // Prefix-affinity mirrors.
+  std::vector<AffinityMirror> mirror;
+  if (config_.policy == RoutePolicy::kPrefixAffinity) {
+    mirror.reserve(n);
+    for (int32_t i = 0; i < n; ++i) mirror.emplace_back(config_.block_size);
+  }
+
+  // Only maintain the state some consumer actually reads: the token
+  // backlog windows feed kLeastLoaded/kPowerOfTwo, the busy-until clocks
+  // feed kLeastOutstandingWork, the affinity imbalance cap, and admission.
+  const bool need_backlog = config_.policy == RoutePolicy::kLeastLoaded ||
+                            config_.policy == RoutePolicy::kPowerOfTwo;
+  const bool need_work =
+      config_.policy == RoutePolicy::kLeastOutstandingWork ||
+      config_.policy == RoutePolicy::kPrefixAffinity ||
+      config_.admission != AdmissionMode::kNone;
+
+  auto expire = [&](TimePoint now) {
+    for (int32_t i = 0; i < n; ++i) {
+      while (!window[i].empty() &&
+             window[i].front().first < now - config_.load_window_s) {
+        backlog[i] -= window[i].front().second;
+        window[i].pop_front();
+      }
+    }
+  };
+  auto outstanding = [&](int32_t i, TimePoint now) {
+    return std::max(0.0, busy_until[i] - now);
+  };
+  auto least_outstanding = [&](TimePoint now) {
+    int32_t best = 0;
+    for (int32_t i = 1; i < n; ++i) {
+      if (outstanding(i, now) < outstanding(best, now)) best = i;
+    }
+    return best;
+  };
+
+  for (size_t r = 0; r < trace.size(); ++r) {
+    const Request& req = trace[r];
+    const TimePoint now = req.arrival;
+    if (need_backlog) expire(now);
+
+    // 1. Pick the target instance under the policy.
+    int32_t inst = 0;
+    if (n == 1) {
+      inst = 0;
+    } else {
+      switch (config_.policy) {
+        case RoutePolicy::kRoundRobin:
+          inst = static_cast<int32_t>(r % n);
+          break;
+        case RoutePolicy::kLeastLoaded: {
+          int32_t best = 0;
+          for (int32_t i = 1; i < n; ++i) {
+            if (backlog[i] < backlog[best]) best = i;
+          }
+          inst = best;
+          break;
+        }
+        case RoutePolicy::kPowerOfTwo: {
+          const int32_t a = static_cast<int32_t>(rng.UniformInt(0, n - 1));
+          int32_t b = static_cast<int32_t>(rng.UniformInt(0, n - 2));
+          if (b >= a) ++b;
+          inst = backlog[a] <= backlog[b] ? a : b;
+          break;
+        }
+        case RoutePolicy::kLeastOutstandingWork:
+          inst = least_outstanding(now);
+          break;
+        case RoutePolicy::kPrefixAffinity: {
+          const int32_t fallback = least_outstanding(now);
+          const double min_work = outstanding(fallback, now);
+          int32_t best = -1;
+          int32_t best_match = 0;
+          if (req.has_token_ids()) {
+            for (int32_t i = 0; i < n; ++i) {
+              if (outstanding(i, now) - min_work >
+                  config_.affinity_max_imbalance_s) {
+                continue;  // over the load-imbalance cap
+              }
+              const int32_t m = mirror[i].MatchTokens(req.token_ids);
+              if (m > best_match) {
+                best_match = m;
+                best = i;
+              }
+            }
+          }
+          inst = best_match > 0 ? best : fallback;
+          break;
+        }
+      }
+    }
+
+    // 2. Admission against the effective TTFT deadline: queue wait plus
+    // the request's own prefill time. A miss on the policy's choice first
+    // spills to the least-outstanding instance — a request is only turned
+    // away when NO instance can meet its deadline.
+    bool admit_best_effort = false;
+    if (config_.admission != AdmissionMode::kNone) {
+      const double ttft_bound = req.slo_ttft_s >= 0
+                                    ? req.slo_ttft_s
+                                    : config_.default_slo.ttft_s;
+      const double prefill_s = EstimatedPrefillSeconds(req);
+      const double deadline = config_.admission_slack * ttft_bound;
+      if (outstanding(inst, now) + prefill_s > deadline) {
+        const int32_t spill = least_outstanding(now);
+        if (outstanding(spill, now) + prefill_s <= deadline) {
+          inst = spill;
+        } else if (config_.admission == AdmissionMode::kReject) {
+          decision.assignment[r] = RouteDecision::kRejected;
+          ++decision.rejected;
+          continue;  // never enters any routing state
+        } else {
+          admit_best_effort = true;
+          ++decision.deprioritized;
+        }
+      }
+    }
+
+    // 3. Commit: every live routing model observes the admitted request.
+    decision.assignment[r] = inst;
+    decision.best_effort[r] = admit_best_effort ? 1 : 0;
+    ++decision.admitted;
+    ++decision.admitted_per_instance[inst];
+    if (need_backlog) {
+      window[inst].emplace_back(now, req.prompt_len);
+      backlog[inst] += req.prompt_len;
+    }
+    if (need_work) {
+      const double start = std::max(now, busy_until[inst]);
+      busy_until[inst] = start + EstimatedServiceSeconds(req);
+    }
+    if (!mirror.empty() && req.has_token_ids()) {
+      mirror[inst].Insert(req.token_ids);
+    }
+  }
+  return decision;
+}
+
+}  // namespace aptserve

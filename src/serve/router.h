@@ -1,0 +1,146 @@
+// Router: the fleet-level serving front-end. It owns the global arrival
+// queue — every request entering a multi-instance fleet passes through
+// Route() — and decides, per request in arrival order, (a) whether the
+// request is admitted against its SLO and (b) which instance serves it.
+//
+// Policies:
+//   - kRoundRobin / kLeastLoaded / kPowerOfTwo: the pre-router dispatch
+//     policies, reproduced bit-for-bit (same sliding-window backlog, same
+//     RNG draw sequence) so existing fleets behave identically.
+//   - kLeastOutstandingWork: routes to the instance with the least
+//     *predicted* outstanding work — each routed request contributes its
+//     estimated prefill seconds plus predicted-output-length decode
+//     seconds (core/length_predictor + the cost model), draining in real
+//     time (a per-instance busy-until clock).
+//   - kPrefixAffinity: probes a per-instance mirror of the instances'
+//     PrefixIndex content (block-granular radix match over routed prompt
+//     token ids) and routes to the longest match, capped by a
+//     load-imbalance bound; no usable match falls back to least
+//     outstanding work. Cross-instance cache locality becomes goodput:
+//     turns of one conversation land where their prefix already lives.
+//
+// Admission control (optional): a request whose predicted TTFT — queue
+// wait on the chosen instance plus its own prefill time — exceeds
+// `admission_slack` times its effective TTFT deadline is rejected (never
+// served; counted into fleet attainment as a miss) or deprioritized
+// (served best-effort, excluded from attainment/goodput).
+//
+// Determinism: Route() is a pure function of (trace, config, cost model,
+// predictor state) — a single serial pass with no wall-clock or
+// cross-thread input — so fleet results are bit-identical at any thread
+// count and across backends, which is what makes the cross-backend
+// differential tests possible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/length_predictor.h"
+#include "sim/cost_model.h"
+#include "sim/metrics.h"
+#include "workload/request.h"
+
+namespace aptserve {
+
+enum class RoutePolicy {
+  kRoundRobin,
+  kLeastLoaded,
+  kPowerOfTwo,
+  kLeastOutstandingWork,
+  kPrefixAffinity,
+};
+
+const char* RoutePolicyName(RoutePolicy p);
+
+enum class AdmissionMode {
+  kNone,          ///< admit everything (default; pre-router behavior).
+  kReject,        ///< turn away requests predicted to miss their deadline.
+  kDeprioritize,  ///< serve them best-effort instead (excluded from goodput).
+};
+
+struct RouterConfig {
+  int32_t n_instances = 2;
+  RoutePolicy policy = RoutePolicy::kRoundRobin;
+
+  /// kLeastLoaded / kPowerOfTwo: sliding window (seconds) over which
+  /// dispatched prompt tokens count as backlog, and the p2c seed. Must
+  /// match the legacy DispatchConfig values for bit-for-bit parity.
+  double load_window_s = 30.0;
+  uint64_t dispatch_seed = 99;
+
+  /// kLeastOutstandingWork / admission: predicted output length when the
+  /// predictor has no signal for a prompt-length bucket (or none is set).
+  double default_output_len = 128.0;
+  /// Work-estimate fallback when no cost model is provided: seconds per
+  /// token of prompt + predicted output (matches the inference backend's
+  /// default virtual_item_seconds order of magnitude).
+  double fallback_seconds_per_token = 1e-3;
+
+  /// kPrefixAffinity: granularity of the affinity mirror. Match it to the
+  /// instances' cache block size so the mirror's full-block score tracks
+  /// their PrefixIndex match lengths (the mirror approximates the real
+  /// index: it ignores partial-block COW spans, never evicts, and inserts
+  /// at route time rather than at prefill completion — a routing score,
+  /// not an accounting oracle).
+  int32_t block_size = 16;
+  /// Load-imbalance cap: an instance is an affinity candidate only while
+  /// its outstanding work exceeds the fleet minimum by at most this many
+  /// seconds. Keeps a hot shared prefix from funneling the whole trace
+  /// onto one instance.
+  double affinity_max_imbalance_s = 10.0;
+
+  AdmissionMode admission = AdmissionMode::kNone;
+  /// Reject/deprioritize when predicted TTFT > slack * effective deadline.
+  double admission_slack = 1.0;
+  /// Deadlines for requests that carry no per-request SLO.
+  SloSpec default_slo{1.0, 1.0};
+};
+
+struct RouteDecision {
+  static constexpr int32_t kRejected = -1;
+
+  /// Instance per trace index; kRejected for turned-away requests.
+  std::vector<int32_t> assignment;
+  /// Deprioritized (best-effort) flag per trace index.
+  std::vector<uint8_t> best_effort;
+  int64_t admitted = 0;
+  int64_t rejected = 0;
+  int64_t deprioritized = 0;
+  std::vector<int32_t> admitted_per_instance;
+};
+
+class Router {
+ public:
+  /// `cost_model` (optional, borrowed) prices work estimates for
+  /// kLeastOutstandingWork, the affinity imbalance cap, and admission
+  /// control; without one, estimates fall back to
+  /// fallback_seconds_per_token. `predictor` (optional, borrowed) supplies
+  /// expected output lengths; without one, default_output_len is used.
+  explicit Router(const RouterConfig& config,
+                  const CostModel* cost_model = nullptr,
+                  const OutputLengthPredictor* predictor = nullptr);
+
+  /// Routes `trace` (sorted by arrival) in one deterministic pass. All
+  /// routing state (backlog windows, busy-until clocks, affinity mirrors,
+  /// the p2c RNG) is local to the call, so Route is const and repeatable.
+  RouteDecision Route(const std::vector<Request>& trace) const;
+
+  /// Estimated seconds to serve `r` alone: prefill plus predicted decode.
+  /// Exposed for tests of the admission math.
+  double EstimatedServiceSeconds(const Request& r) const;
+  /// Estimated prefill-only seconds (the TTFT compute term).
+  double EstimatedPrefillSeconds(const Request& r) const;
+
+  const RouterConfig& config() const { return config_; }
+
+ private:
+  double PredictedOutputLen(const Request& r) const;
+
+  RouterConfig config_;
+  const CostModel* cost_model_;
+  const OutputLengthPredictor* predictor_;
+};
+
+}  // namespace aptserve

@@ -51,22 +51,34 @@ SloReport MetricsCollector::Report(const SloSpec& slo) const {
   SloReport r;
   if (records_.empty()) return r;
   int64_t meets_both = 0, meets_ttft = 0, meets_tbt = 0;
+  int64_t eligible = 0;
   SampleSet ttft_mean_acc;
   for (const auto& [id, rec] : records_) {
     (void)id;
-    if (rec.MeetsSlo(slo)) ++meets_both;
-    if (rec.MeetsTtft(slo)) ++meets_ttft;
-    if (rec.MeetsTbt(slo)) ++meets_tbt;
+    // Latency samples cover every served request; attainment counts only
+    // eligible (non-best-effort) ones.
     if (rec.ttft >= 0) {
       r.ttfts.Add(rec.ttft);
       ttft_mean_acc.Add(rec.ttft);
     }
     if (!rec.tbt_samples.empty()) r.p99_tbts.Add(rec.P99Tbt());
+    if (rec.spec.best_effort) {
+      ++r.best_effort_requests;
+      continue;
+    }
+    ++eligible;
+    if (rec.MeetsSlo(slo)) ++meets_both;
+    if (rec.MeetsTtft(slo)) ++meets_ttft;
+    if (rec.MeetsTbt(slo)) ++meets_tbt;
   }
-  const double n = static_cast<double>(records_.size());
-  r.slo_attainment = meets_both / n;
-  r.ttft_attainment = meets_ttft / n;
-  r.tbt_attainment = meets_tbt / n;
+  r.eligible_requests = eligible;
+  r.slo_met_requests = meets_both;
+  const double n = static_cast<double>(eligible);
+  if (eligible > 0) {
+    r.slo_attainment = meets_both / n;
+    r.ttft_attainment = meets_ttft / n;
+    r.tbt_attainment = meets_tbt / n;
+  }
   r.total_serving_time = total_time_;
   r.batch_limit_time_ratio =
       total_time_ > 0 ? batch_limit_time_ / total_time_ : 0.0;
@@ -78,7 +90,24 @@ SloReport MetricsCollector::Report(const SloSpec& slo) const {
   r.mean_ttft = ttft_mean_acc.Mean();
   r.p99_ttft = ttft_mean_acc.P99();
   r.jain_fairness_ttft = JainFairnessIndex(r.ttfts.samples());
+  r.goodput_rps = total_time_ > 0 ? meets_both / total_time_ : 0.0;
   return r;
+}
+
+void FoldRejectedIntoReport(int64_t rejected, SloReport* report) {
+  APT_CHECK(report != nullptr);
+  if (rejected <= 0) return;
+  // Attainment is met / (eligible + previously folded rejects); re-base the
+  // denominator to include the new rejects. All-rejected runs keep zero.
+  const double prev =
+      static_cast<double>(report->eligible_requests +
+                          report->rejected_requests);
+  report->rejected_requests += rejected;
+  const double denom = prev + rejected;
+  const double scale = denom > 0 ? prev / denom : 0.0;
+  report->slo_attainment *= scale;
+  report->ttft_attainment *= scale;
+  report->tbt_attainment *= scale;
 }
 
 double JainFairnessIndex(const std::vector<double>& values) {

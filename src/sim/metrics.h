@@ -26,19 +26,29 @@ struct RequestRecord {
   TimePoint finish_time = -1.0;
 
   double P99Tbt() const;
+  /// Effective deadlines: the request's own SLO when set (>= 0), else the
+  /// run-level spec. A deadline exactly met (ttft == bound) counts as met.
+  double TtftBound(const SloSpec& slo) const {
+    return spec.slo_ttft_s >= 0 ? spec.slo_ttft_s : slo.ttft_s;
+  }
+  double TbtBound(const SloSpec& slo) const {
+    return spec.slo_tbt_p99_s >= 0 ? spec.slo_tbt_p99_s : slo.tbt_p99_s;
+  }
   bool MeetsTtft(const SloSpec& slo) const {
-    return ttft >= 0 && ttft <= slo.ttft_s;
+    return ttft >= 0 && ttft <= TtftBound(slo);
   }
   bool MeetsTbt(const SloSpec& slo) const {
     // Requests with a single output token have no TBT; vacuously met.
-    return tbt_samples.empty() || P99Tbt() <= slo.tbt_p99_s;
+    return tbt_samples.empty() || P99Tbt() <= TbtBound(slo);
   }
   bool MeetsSlo(const SloSpec& slo) const {
     return MeetsTtft(slo) && MeetsTbt(slo);
   }
 };
 
-/// Aggregate report produced after a simulation run.
+/// Aggregate report produced after a simulation run. Attainment fractions
+/// are over *eligible* requests (served and not best-effort); rejected
+/// requests are folded in at the fleet layer via FoldRejectedIntoReport.
 struct SloReport {
   double slo_attainment = 0.0;    ///< fraction meeting both SLOs.
   double ttft_attainment = 0.0;
@@ -57,10 +67,31 @@ struct SloReport {
   /// request waited equally, 1/n when one request absorbed all the delay.
   /// Quantifies the §6.6 starvation observation as a single number.
   double jain_fairness_ttft = 0.0;
+  /// Requests counted toward attainment: served and not best-effort.
+  int64_t eligible_requests = 0;
+  /// Eligible requests that met both SLOs (the goodput numerator; exact,
+  /// so fleet merges need no floating-point reconstruction).
+  int64_t slo_met_requests = 0;
+  /// Served requests excluded from attainment (admission deprioritized).
+  int64_t best_effort_requests = 0;
+  /// Requests admission control turned away (never served). Zero in
+  /// per-instance reports; the fleet layer folds them into the combined
+  /// report's attainment denominators.
+  int64_t rejected_requests = 0;
+  /// SLO-met eligible requests per second of serving time — the goodput
+  /// readout SLO-aware routing optimizes for.
+  double goodput_rps = 0.0;
 };
 
 /// Jain's fairness index (sum x)^2 / (n * sum x^2); 0 for empty input.
 double JainFairnessIndex(const std::vector<double>& values);
+
+/// Accounts `rejected` admission-rejected requests into `report`: they
+/// enter every attainment denominator as misses (scaling the fractions by
+/// eligible / (eligible + rejected)) and are recorded in
+/// rejected_requests. Goodput is unchanged — rejected requests consume no
+/// serving time and meet no SLO. No-op for rejected <= 0.
+void FoldRejectedIntoReport(int64_t rejected, SloReport* report);
 
 class MetricsCollector {
  public:

@@ -10,7 +10,7 @@ void WriteRequestRecordsCsv(
     const SloSpec& slo, std::ostream* out) {
   out->precision(12);
   *out << "id,arrival,prompt_len,output_len,ttft,p99_tbt,finish,"
-          "meets_ttft,meets_tbt\n";
+          "ttft_bound,tbt_bound,best_effort,meets_ttft,meets_tbt\n";
   std::vector<const RequestRecord*> rows;
   rows.reserve(records.size());
   for (const auto& [id, rec] : records) rows.push_back(&rec);
@@ -22,16 +22,36 @@ void WriteRequestRecordsCsv(
     *out << rec->spec.id << ',' << rec->spec.arrival << ','
          << rec->spec.prompt_len << ',' << rec->spec.output_len << ','
          << rec->ttft << ',' << rec->P99Tbt() << ',' << rec->finish_time
-         << ',' << (rec->MeetsTtft(slo) ? 1 : 0) << ','
+         << ',' << rec->TtftBound(slo) << ',' << rec->TbtBound(slo) << ','
+         << (rec->spec.best_effort ? 1 : 0) << ','
+         << (rec->MeetsTtft(slo) ? 1 : 0) << ','
          << (rec->MeetsTbt(slo) ? 1 : 0) << '\n';
   }
 }
 
 void WriteSweepCsv(const std::vector<SweepRow>& rows, std::ostream* out) {
-  *out << "system,rate,slo_attainment,ttft_attainment,tbt_attainment\n";
+  *out << "system,rate,slo_attainment,ttft_attainment,tbt_attainment,"
+          "goodput_rps,rejected\n";
   for (const SweepRow& r : rows) {
     *out << r.system << ',' << r.rate << ',' << r.slo_attainment << ','
-         << r.ttft_attainment << ',' << r.tbt_attainment << '\n';
+         << r.ttft_attainment << ',' << r.tbt_attainment << ','
+         << r.goodput_rps << ',' << r.rejected << '\n';
+  }
+}
+
+void WriteFleetCsv(const std::vector<SloReport>& per_instance,
+                   const std::vector<int32_t>& requests_per_instance,
+                   std::ostream* out) {
+  *out << "instance,requests,slo_attainment,goodput_rps,mean_ttft,"
+          "preemptions\n";
+  for (size_t i = 0; i < per_instance.size(); ++i) {
+    const SloReport& r = per_instance[i];
+    const int32_t n = i < requests_per_instance.size()
+                          ? requests_per_instance[i]
+                          : 0;
+    *out << i << ',' << n << ',' << r.slo_attainment << ','
+         << r.goodput_rps << ',' << r.mean_ttft << ',' << r.preemptions
+         << '\n';
   }
 }
 

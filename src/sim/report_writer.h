@@ -14,24 +14,37 @@
 
 namespace aptserve {
 
-/// One row of a rate-sweep series: (system, rate) -> attainments.
+/// One row of a rate-sweep series: (system, rate) -> attainments plus the
+/// SLO-aware routing readouts (goodput, admission rejects).
 struct SweepRow {
   std::string system;
   double rate = 0.0;
   double slo_attainment = 0.0;
   double ttft_attainment = 0.0;
   double tbt_attainment = 0.0;
+  double goodput_rps = 0.0;
+  int64_t rejected = 0;
 };
 
 /// Writes per-request records as CSV:
-/// id,arrival,prompt_len,output_len,ttft,p99_tbt,finish,meets_ttft,
-/// meets_tbt. Rows are sorted by request id (arrival order).
+/// id,arrival,prompt_len,output_len,ttft,p99_tbt,finish,ttft_bound,
+/// tbt_bound,best_effort,meets_ttft,meets_tbt. The bounds are the
+/// effective per-request deadlines (own SLO when set, else `slo`). Rows
+/// are sorted by request id (arrival order).
 void WriteRequestRecordsCsv(
     const std::unordered_map<RequestId, RequestRecord>& records,
     const SloSpec& slo, std::ostream* out);
 
-/// Writes sweep rows as CSV: system,rate,slo,ttft,tbt.
+/// Writes sweep rows as CSV:
+/// system,rate,slo_attainment,ttft_attainment,tbt_attainment,goodput_rps,
+/// rejected.
 void WriteSweepCsv(const std::vector<SweepRow>& rows, std::ostream* out);
+
+/// Writes per-instance fleet reports as CSV:
+/// instance,requests,slo_attainment,goodput_rps,mean_ttft,preemptions.
+void WriteFleetCsv(const std::vector<SloReport>& per_instance,
+                   const std::vector<int32_t>& requests_per_instance,
+                   std::ostream* out);
 
 /// Writes a (value, cum_fraction) CDF as CSV.
 void WriteCdfCsv(const SampleSet& samples, std::ostream* out,

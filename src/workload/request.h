@@ -24,9 +24,18 @@ struct Request {
   /// length-only traces leave this empty and backends synthesize
   /// deterministically — workload/token_ids.h).
   std::vector<int32_t> token_ids;
+  /// Per-request SLO deadlines in seconds; negative inherits the run-level
+  /// SloSpec. The fleet router's admission control evaluates requests
+  /// against these, and metrics resolve them per record.
+  double slo_ttft_s = -1.0;
+  double slo_tbt_p99_s = -1.0;
+  /// Admission control deprioritized this request: it is still served, but
+  /// excluded from SLO attainment and goodput (best-effort traffic).
+  bool best_effort = false;
 
   int32_t total_len() const { return prompt_len + output_len; }
   bool has_token_ids() const { return !token_ids.empty(); }
+  bool has_own_slo() const { return slo_ttft_s >= 0 || slo_tbt_p99_s >= 0; }
 };
 
 }  // namespace aptserve

@@ -1,0 +1,144 @@
+// Cross-backend differential test harness: runs the SAME workload through
+// the shared ServingLoop on both execution backends —
+//   - CostModelBackend (analytic latencies over a standalone pool), and
+//   - InferenceBackend (the real mini transformer, deterministic virtual
+//     timing) —
+// with matching cache geometry and token synthesis, and asserts the
+// behaviors that must agree regardless of how iterations are priced:
+// request completion order, prefill-skip accounting, and prefix-sharing
+// hit accounting (PrefixStats). Latencies legitimately differ (modeled
+// Opt-13B vs virtual per-item seconds); everything structural must not.
+//
+// Used by serving_loop_parity_test (cross-backend section),
+// prefix_determinism_test, and the fleet router tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "baselines/fcfs_scheduler.h"
+#include "engine/model_config.h"
+#include "serve/cost_model_backend.h"
+#include "serve/inference_backend.h"
+#include "serve/serving_loop.h"
+#include "sim/cost_model.h"
+#include "workload/request.h"
+
+namespace aptserve {
+namespace testing_util {
+
+struct DiffOptions {
+  /// Shared cache geometry — identical on both backends so allocation
+  /// behavior (and thus prefix matching) lines up.
+  int32_t block_size = 4;
+  int32_t pool_blocks = 256;
+  bool enable_prefix_sharing = true;
+  SloSpec slo{10.0, 10.0};
+  ServingLoopConfig loop;
+  /// Fresh scheduler per backend run (stateful schedulers must not be
+  /// shared). Defaults to FCFS.
+  std::function<std::unique_ptr<Scheduler>()> make_scheduler =
+      [] { return std::make_unique<FcfsScheduler>(); };
+  /// Engine side: the tiny real model, deterministic virtual timing.
+  ModelConfig engine_model = ModelConfig::Tiny();
+  uint64_t weight_seed = 42;
+  /// Cost side: the analytic roofline model.
+  ModelSpec cost_spec = ModelSpec::Opt13B();
+};
+
+struct BackendRun {
+  ServingLoopResult result;
+  /// Request ids ordered by (finish_time, id).
+  std::vector<RequestId> completion_order;
+};
+
+struct BackendDiff {
+  BackendRun cost;
+  BackendRun engine;
+};
+
+inline std::vector<RequestId> CompletionOrder(const ServingLoopResult& r) {
+  std::vector<std::pair<double, RequestId>> order;
+  order.reserve(r.records.size());
+  for (const auto& [id, rec] : r.records) {
+    order.emplace_back(rec.finish_time, id);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<RequestId> ids;
+  ids.reserve(order.size());
+  for (const auto& [t, id] : order) {
+    (void)t;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+/// Runs `trace` on both backends. The engine synthesizes prompt ids with
+/// its default seed; the cost backend is pointed at the engine's vocab so
+/// length-only traces expand identically on both sides.
+inline StatusOr<BackendDiff> RunBackendDiff(const std::vector<Request>& trace,
+                                            const DiffOptions& options) {
+  BackendDiff diff;
+  {
+    CostModel cm(options.cost_spec, ClusterSpec::ForModel(options.cost_spec));
+    CostModelBackend::Options o;
+    o.block_size = options.block_size;
+    o.pool_blocks_override = options.pool_blocks;
+    o.enable_prefix_sharing = options.enable_prefix_sharing;
+    o.token_vocab = options.engine_model.vocab_size;
+    APT_ASSIGN_OR_RETURN(std::unique_ptr<CostModelBackend> backend,
+                         CostModelBackend::Create(cm, o));
+    auto scheduler = options.make_scheduler();
+    ServingLoop loop(backend.get(), options.loop);
+    APT_ASSIGN_OR_RETURN(diff.cost.result,
+                         loop.Run(trace, scheduler.get(), options.slo));
+    diff.cost.completion_order = CompletionOrder(diff.cost.result);
+  }
+  {
+    InferenceBackendOptions o;
+    o.virtual_timing = true;
+    o.enable_prefix_sharing = options.enable_prefix_sharing;
+    InferenceBackend backend(options.engine_model, options.weight_seed,
+                             options.pool_blocks, options.block_size,
+                             SamplingParams{}, o);
+    auto scheduler = options.make_scheduler();
+    ServingLoop loop(&backend, options.loop);
+    APT_ASSIGN_OR_RETURN(diff.engine.result,
+                         loop.Run(trace, scheduler.get(), options.slo));
+    diff.engine.completion_order = CompletionOrder(diff.engine.result);
+  }
+  return diff;
+}
+
+/// The cross-backend agreement contract: completion order, prefill-skip
+/// accounting, and every PrefixStats counter must match. Call after
+/// RunBackendDiff on workloads whose arrival spacing dominates both
+/// backends' iteration latencies (otherwise ordering could legitimately
+/// diverge with the timeline).
+inline void ExpectBackendAgreement(const BackendDiff& diff) {
+  EXPECT_EQ(diff.cost.completion_order, diff.engine.completion_order)
+      << "backends completed requests in different orders";
+
+  const ServingLoopResult& c = diff.cost.result;
+  const ServingLoopResult& e = diff.engine.result;
+  EXPECT_EQ(c.tokens_generated, e.tokens_generated);
+  EXPECT_EQ(c.prefill_tokens_skipped, e.prefill_tokens_skipped);
+  EXPECT_EQ(c.prefill_tokens_computed + c.prefill_tokens_skipped,
+            e.prefill_tokens_computed + e.prefill_tokens_skipped)
+      << "backends disagree on total prefill positions";
+
+  EXPECT_EQ(c.prefix.lookups, e.prefix.lookups);
+  EXPECT_EQ(c.prefix.hits, e.prefix.hits);
+  EXPECT_EQ(c.prefix.matched_tokens, e.prefix.matched_tokens);
+  EXPECT_EQ(c.prefix.shared_blocks, e.prefix.shared_blocks);
+  EXPECT_EQ(c.prefix.cow_matches, e.prefix.cow_matches);
+  EXPECT_EQ(c.prefix.inserted_blocks, e.prefix.inserted_blocks);
+}
+
+}  // namespace testing_util
+}  // namespace aptserve

@@ -140,5 +140,134 @@ TEST(JainFairnessTest, ReportedInSloReport) {
   EXPECT_DOUBLE_EQ(rep.jain_fairness_ttft, 1.0);
 }
 
+// ---------------------------------------------------------------------------
+// Per-request SLOs, goodput and rejection accounting (the fleet router's
+// admission/attainment math).
+// ---------------------------------------------------------------------------
+
+TEST(RequestRecordTest, PerRequestDeadlineOverridesRunLevelSlo) {
+  SloSpec slo{1.0, 1.0};
+  RequestRecord rec;
+  rec.spec = Req(0, 0.0);
+  rec.ttft = 0.8;
+  // Tighter own deadline: the run-level SLO would pass, the request's own
+  // must fail.
+  rec.spec.slo_ttft_s = 0.5;
+  EXPECT_DOUBLE_EQ(rec.TtftBound(slo), 0.5);
+  EXPECT_FALSE(rec.MeetsTtft(slo));
+  // Looser own deadline rescues a run-level miss.
+  rec.ttft = 1.5;
+  rec.spec.slo_ttft_s = 2.0;
+  EXPECT_TRUE(rec.MeetsTtft(slo));
+  // Negative (unset) inherits the run level.
+  rec.spec.slo_ttft_s = -1.0;
+  EXPECT_DOUBLE_EQ(rec.TtftBound(slo), 1.0);
+  EXPECT_FALSE(rec.MeetsTtft(slo));
+  // Per-request TBT bound works the same way.
+  rec.tbt_samples = {0.7};
+  EXPECT_TRUE(rec.MeetsTbt(slo));
+  rec.spec.slo_tbt_p99_s = 0.5;
+  EXPECT_FALSE(rec.MeetsTbt(slo));
+}
+
+TEST(RequestRecordTest, DeadlineExactlyMetCounts) {
+  SloSpec slo{1.0, 0.5};
+  RequestRecord rec;
+  rec.spec = Req(0, 0.0);
+  rec.ttft = 1.0;  // exactly the bound
+  EXPECT_TRUE(rec.MeetsTtft(slo));
+  rec.spec.slo_ttft_s = 0.25;
+  rec.ttft = 0.25;  // exactly the per-request bound
+  EXPECT_TRUE(rec.MeetsTtft(slo));
+  rec.tbt_samples = {0.5};  // P99 == bound
+  EXPECT_TRUE(rec.MeetsTbt(slo));
+  EXPECT_TRUE(rec.MeetsSlo(slo));
+}
+
+TEST(MetricsCollectorTest, GoodputCountsSloMetPerServingSecond) {
+  SloSpec slo{1.0, 1.0};
+  MetricsCollector mc;
+  mc.RegisterRequest(Req(1, 0.0));
+  mc.OnToken(1, 0.5);  // meets
+  mc.RegisterRequest(Req(2, 0.0));
+  mc.OnToken(2, 3.0);  // misses TTFT
+  mc.OnIteration(2.0, 2, false);
+  mc.OnIteration(2.0, 2, false);
+  auto rep = mc.Report(slo);
+  EXPECT_EQ(rep.slo_met_requests, 1);
+  EXPECT_EQ(rep.eligible_requests, 2);
+  EXPECT_DOUBLE_EQ(rep.goodput_rps, 1.0 / 4.0);
+}
+
+TEST(MetricsCollectorTest, GoodputZeroWithoutServingTime) {
+  MetricsCollector mc;
+  mc.RegisterRequest(Req(1, 0.0));
+  mc.OnToken(1, 0.1);
+  auto rep = mc.Report(SloSpec{1.0, 1.0});
+  EXPECT_DOUBLE_EQ(rep.goodput_rps, 0.0);
+}
+
+TEST(MetricsCollectorTest, BestEffortExcludedFromAttainmentAndGoodput) {
+  SloSpec slo{1.0, 1.0};
+  MetricsCollector mc;
+  Request fast = Req(1, 0.0);
+  mc.RegisterRequest(fast);
+  mc.OnToken(1, 0.5);  // meets, eligible
+  Request be = Req(2, 0.0);
+  be.best_effort = true;
+  mc.RegisterRequest(be);
+  mc.OnToken(2, 0.1);  // would meet, but best-effort
+  mc.OnIteration(1.0, 2, false);
+  auto rep = mc.Report(slo);
+  EXPECT_EQ(rep.eligible_requests, 1);
+  EXPECT_EQ(rep.best_effort_requests, 1);
+  EXPECT_EQ(rep.slo_met_requests, 1);
+  EXPECT_DOUBLE_EQ(rep.slo_attainment, 1.0);  // over eligible only
+  EXPECT_DOUBLE_EQ(rep.goodput_rps, 1.0);
+  // Latency samples still cover everyone.
+  EXPECT_EQ(rep.ttfts.count(), 2u);
+}
+
+TEST(FoldRejectedTest, RejectedEnterAttainmentDenominator) {
+  SloReport rep;
+  rep.eligible_requests = 3;
+  rep.slo_attainment = 1.0;
+  rep.ttft_attainment = 1.0;
+  rep.tbt_attainment = 2.0 / 3.0;
+  rep.goodput_rps = 0.5;
+  FoldRejectedIntoReport(1, &rep);
+  EXPECT_EQ(rep.rejected_requests, 1);
+  EXPECT_DOUBLE_EQ(rep.slo_attainment, 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(rep.ttft_attainment, 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(rep.tbt_attainment, (2.0 / 3.0) * (3.0 / 4.0));
+  // Goodput is unchanged: rejected requests consume no serving time.
+  EXPECT_DOUBLE_EQ(rep.goodput_rps, 0.5);
+}
+
+TEST(FoldRejectedTest, FoldingTwiceComposes) {
+  SloReport rep;
+  rep.eligible_requests = 2;
+  rep.slo_attainment = 1.0;
+  FoldRejectedIntoReport(1, &rep);
+  FoldRejectedIntoReport(1, &rep);
+  EXPECT_EQ(rep.rejected_requests, 2);
+  EXPECT_DOUBLE_EQ(rep.slo_attainment, 2.0 / 4.0);
+}
+
+TEST(FoldRejectedTest, EdgeCases) {
+  // No rejects: no-op.
+  SloReport rep;
+  rep.eligible_requests = 5;
+  rep.slo_attainment = 0.8;
+  FoldRejectedIntoReport(0, &rep);
+  EXPECT_EQ(rep.rejected_requests, 0);
+  EXPECT_DOUBLE_EQ(rep.slo_attainment, 0.8);
+  // Everything rejected: attainment pinned at zero.
+  SloReport all_rejected;
+  FoldRejectedIntoReport(10, &all_rejected);
+  EXPECT_EQ(all_rejected.rejected_requests, 10);
+  EXPECT_DOUBLE_EQ(all_rejected.slo_attainment, 0.0);
+}
+
 }  // namespace
 }  // namespace aptserve

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "backend_diff_util.h"
 #include "baselines/fcfs_scheduler.h"
 #include "engine/serving_engine.h"
 #include "sim/simulator.h"
@@ -136,28 +137,18 @@ TEST(PrefixDeterminismTest, HitAccountingIdenticalAcrossBackends) {
   // far beyond iteration latencies: both backends see the same sequence of
   // fresh-prefill matches and completed-pass inserts, so every counter of
   // PrefixStats must agree — the acceptance bar for "both backends agree
-  // on what a hit is worth".
+  // on what a hit is worth". Runs through the differential harness, which
+  // also pins completion order and prefill-skip accounting.
   const auto trace = Trace();
-  auto engine = RunEngine(trace, true);
-  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
-
-  const ModelSpec m = ModelSpec::Opt13B();
-  CostModel cm(m, ClusterSpec::ForModel(m));
-  SimulatorConfig cfg;
-  cfg.block_size = 4;
-  cfg.pool_blocks_override = 256;
-  cfg.enable_prefix_sharing = true;
-  Simulator sim(cm, cfg);
-  FcfsScheduler sched;
-  auto analytic = sim.Run(trace, &sched, SloSpec{10.0, 10.0});
-  ASSERT_TRUE(analytic.ok()) << analytic.status().ToString();
-
-  EXPECT_EQ(engine->prefix.lookups, analytic->prefix.lookups);
-  EXPECT_EQ(engine->prefix.hits, analytic->prefix.hits);
-  EXPECT_EQ(engine->prefix.matched_tokens, analytic->prefix.matched_tokens);
-  EXPECT_EQ(engine->prefix.shared_blocks, analytic->prefix.shared_blocks);
-  EXPECT_EQ(engine->prefix.cow_matches, analytic->prefix.cow_matches);
-  EXPECT_EQ(engine->prefill_tokens_skipped, analytic->prefill_tokens_skipped);
+  testing_util::DiffOptions opts;
+  opts.block_size = 4;
+  opts.pool_blocks = 256;
+  auto diff = testing_util::RunBackendDiff(trace, opts);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  testing_util::ExpectBackendAgreement(*diff);
+  // The workload actually exercised sharing on both sides.
+  EXPECT_GT(diff->engine.result.prefix.hits, 0);
+  EXPECT_GT(diff->cost.result.prefill_tokens_skipped, 0);
 }
 
 TEST(PrefixDeterminismTest, LengthOnlyTraceParityAndSynthesizer) {
@@ -173,24 +164,15 @@ TEST(PrefixDeterminismTest, LengthOnlyTraceParityAndSynthesizer) {
     trace[i].arrival = i * 1.0;
   }
 
-  auto engine = RunEngine(trace, true);
-  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
-  const ModelSpec m = ModelSpec::Opt13B();
-  CostModel cm(m, ClusterSpec::ForModel(m));
-  SimulatorConfig cfg;
-  cfg.block_size = 4;
-  cfg.pool_blocks_override = 256;
-  cfg.enable_prefix_sharing = true;
-  cfg.token_vocab = ModelConfig::Tiny().vocab_size;  // match the engine
-  Simulator sim(cm, cfg);
-  FcfsScheduler sched;
-  auto analytic = sim.Run(trace, &sched, SloSpec{10.0, 10.0});
-  ASSERT_TRUE(analytic.ok()) << analytic.status().ToString();
-
-  EXPECT_EQ(engine->prefix.lookups, 4);
-  EXPECT_EQ(engine->prefix.lookups, analytic->prefix.lookups);
-  EXPECT_EQ(engine->prefix.hits, 0);
-  EXPECT_EQ(analytic->prefix.hits, 0);
+  testing_util::DiffOptions opts;
+  opts.block_size = 4;
+  opts.pool_blocks = 256;
+  auto diff = testing_util::RunBackendDiff(trace, opts);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  testing_util::ExpectBackendAgreement(*diff);
+  EXPECT_EQ(diff->engine.result.prefix.lookups, 4);
+  EXPECT_EQ(diff->engine.result.prefix.hits, 0);
+  EXPECT_EQ(diff->cost.result.prefix.hits, 0);
 
   // EnsureTokenIds materializes the same expansion up front (and never
   // overwrites content a trace already carries).

@@ -43,11 +43,60 @@ TEST(ReportWriterTest, RequestRecordsCsvShape) {
 
 TEST(ReportWriterTest, SweepCsv) {
   std::ostringstream out;
-  WriteSweepCsv({{"vLLM", 2.0, 0.9, 0.92, 1.0}, {"Apt", 2.0, 0.99, 0.99, 1.0}},
+  WriteSweepCsv({{"vLLM", 2.0, 0.9, 0.92, 1.0, 3.5, 4},
+                 {"Apt", 2.0, 0.99, 0.99, 1.0, 4.25, 0}},
                 &out);
   const std::string csv = out.str();
-  EXPECT_NE(csv.find("vLLM,2,0.9,0.92,1\n"), std::string::npos);
-  EXPECT_NE(csv.find("Apt,2,0.99,0.99,1\n"), std::string::npos);
+  EXPECT_NE(csv.find("system,rate,slo_attainment,ttft_attainment,"
+                     "tbt_attainment,goodput_rps,rejected\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("vLLM,2,0.9,0.92,1,3.5,4\n"), std::string::npos);
+  EXPECT_NE(csv.find("Apt,2,0.99,0.99,1,4.25,0\n"), std::string::npos);
+}
+
+TEST(ReportWriterTest, RequestRecordsCsvCarriesDeadlinesAndBestEffort) {
+  std::unordered_map<RequestId, RequestRecord> records;
+  RequestRecord own_slo;
+  own_slo.spec = Request{7, 10, 5, 1.0};
+  own_slo.spec.slo_ttft_s = 0.25;   // own deadline, tighter than run SLO
+  own_slo.ttft = 0.5;               // misses its own bound, meets the run's
+  own_slo.finish_time = 2.0;
+  RequestRecord best_effort;
+  best_effort.spec = Request{8, 10, 5, 1.5};
+  best_effort.spec.best_effort = true;
+  best_effort.ttft = 0.1;
+  best_effort.finish_time = 2.5;
+  records[7] = own_slo;
+  records[8] = best_effort;
+
+  std::ostringstream out;
+  WriteRequestRecordsCsv(records, SloSpec{1.0, 1.0}, &out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("ttft_bound,tbt_bound,best_effort,meets_ttft"),
+            std::string::npos);
+  // Request 7: bound 0.25 (own), best_effort 0, meets_ttft 0.
+  EXPECT_NE(csv.find(",0.25,1,0,0,1\n"), std::string::npos);
+  // Request 8: inherited bound 1, best_effort 1, meets_ttft 1.
+  EXPECT_NE(csv.find(",1,1,1,1,1\n"), std::string::npos);
+}
+
+TEST(ReportWriterTest, FleetCsvShape) {
+  SloReport a, b;
+  a.slo_attainment = 1.0;
+  a.goodput_rps = 2.5;
+  a.mean_ttft = 0.125;
+  a.preemptions = 3;
+  b.slo_attainment = 0.5;
+  b.goodput_rps = 1.25;
+  b.mean_ttft = 0.5;
+  std::ostringstream out;
+  WriteFleetCsv({a, b}, {40, 60}, &out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("instance,requests,slo_attainment,goodput_rps,"
+                     "mean_ttft,preemptions\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,40,1,2.5,0.125,3\n"), std::string::npos);
+  EXPECT_NE(csv.find("1,60,0.5,1.25,0.5,0\n"), std::string::npos);
 }
 
 TEST(ReportWriterTest, CdfCsvMonotone) {

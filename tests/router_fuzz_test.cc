@@ -1,0 +1,245 @@
+// Property/fuzz tests for the fleet router: seeded random workloads
+// (shared-prefix conversations mixed with Poisson singleton arrivals)
+// swept across every policy and admission mode, asserting the structural
+// invariants that must hold for ANY input:
+//   - conservation: no request is lost — admitted + rejected == trace
+//     size, shard sizes match the decision, assignments are in range;
+//   - determinism: routing the same trace twice gives identical decisions,
+//     and the routed fleet's merged report is bit-identical at 1 and 4
+//     fleet threads (the epoch-barrier guarantee);
+//   - accounting: per-instance stats sum to the fleet totals (latency
+//     sample counts, iterations, prefill accounting, PrefixStats,
+//     eligible/best-effort splits).
+// The seed matrix is overridable via APTSERVE_FUZZ_SEEDS (comma-separated)
+// so CI can fan out fixed seeds.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/fcfs_scheduler.h"
+#include "common/rng.h"
+#include "serve/cost_model_backend.h"
+#include "serve/multi_instance.h"
+#include "serve/router.h"
+#include "workload/arrival.h"
+#include "workload/shared_prefix.h"
+
+namespace aptserve {
+namespace {
+
+std::vector<uint64_t> FuzzSeeds() {
+  std::vector<uint64_t> seeds;
+  if (const char* env = std::getenv("APTSERVE_FUZZ_SEEDS")) {
+    std::string s(env);
+    size_t at = 0;
+    while (at < s.size()) {
+      const size_t comma = s.find(',', at);
+      const std::string tok =
+          s.substr(at, comma == std::string::npos ? comma : comma - at);
+      if (!tok.empty()) seeds.push_back(std::stoull(tok));
+      if (comma == std::string::npos) break;
+      at = comma + 1;
+    }
+  }
+  if (seeds.empty()) seeds = {1, 2, 3};
+  return seeds;
+}
+
+/// Mixed workload: a shared-prefix conversation block plus Poisson
+/// singletons with random lengths, merged by arrival and re-id'd.
+std::vector<Request> MixedTrace(uint64_t seed) {
+  Rng rng(seed);
+  SharedPrefixConfig cfg;
+  cfg.system_prompt_len = static_cast<int32_t>(rng.UniformInt(8, 32));
+  cfg.num_conversations = static_cast<int32_t>(rng.UniformInt(2, 6));
+  cfg.turns_per_conversation = static_cast<int32_t>(rng.UniformInt(2, 4));
+  cfg.tokens_per_turn = static_cast<int32_t>(rng.UniformInt(4, 16));
+  cfg.output_len_mean = static_cast<int32_t>(rng.UniformInt(2, 8));
+  cfg.vocab_size = 1000;
+  cfg.think_time_s = rng.Uniform(0.5, 3.0);
+  cfg.conversation_stagger_s = rng.Uniform(0.05, 0.5);
+  cfg.seed = seed * 31 + 7;
+  auto conv = BuildSharedPrefixTrace(cfg);
+  EXPECT_TRUE(conv.ok());
+  std::vector<Request> trace = *conv;
+
+  const int32_t singles = static_cast<int32_t>(rng.UniformInt(10, 30));
+  auto arrivals = PoissonArrivals(rng.Uniform(2.0, 12.0), singles, &rng);
+  EXPECT_TRUE(arrivals.ok());
+  for (int32_t i = 0; i < singles; ++i) {
+    Request r;
+    r.prompt_len = static_cast<int32_t>(rng.UniformInt(4, 100));
+    r.output_len = static_cast<int32_t>(rng.UniformInt(1, 12));
+    r.arrival = (*arrivals)[i];
+    if (rng.Uniform() < 0.3) r.slo_ttft_s = rng.Uniform(0.001, 2.0);
+    trace.push_back(r);
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (size_t i = 0; i < trace.size(); ++i) {
+    trace[i].id = static_cast<RequestId>(i);
+  }
+  return trace;
+}
+
+void ExpectDecisionInvariants(const RouteDecision& d, size_t trace_size,
+                              int32_t n_instances) {
+  ASSERT_EQ(d.assignment.size(), trace_size);
+  ASSERT_EQ(d.best_effort.size(), trace_size);
+  ASSERT_EQ(d.admitted_per_instance.size(),
+            static_cast<size_t>(n_instances));
+  int64_t admitted = 0, rejected = 0, deprioritized = 0;
+  std::vector<int32_t> per(n_instances, 0);
+  for (size_t i = 0; i < trace_size; ++i) {
+    const int32_t a = d.assignment[i];
+    if (a == RouteDecision::kRejected) {
+      ++rejected;
+      EXPECT_EQ(d.best_effort[i], 0);
+      continue;
+    }
+    ASSERT_GE(a, 0);
+    ASSERT_LT(a, n_instances);
+    ++admitted;
+    ++per[a];
+    if (d.best_effort[i]) ++deprioritized;
+  }
+  EXPECT_EQ(admitted, d.admitted);
+  EXPECT_EQ(rejected, d.rejected);
+  EXPECT_EQ(deprioritized, d.deprioritized);
+  EXPECT_EQ(admitted + rejected, static_cast<int64_t>(trace_size));
+  EXPECT_EQ(per, d.admitted_per_instance);
+}
+
+void ExpectStatsSumToFleetTotals(const MultiInstanceResult& r,
+                                 size_t trace_size) {
+  int64_t requests = 0;
+  for (int32_t c : r.requests_per_instance) requests += c;
+  EXPECT_EQ(requests + r.rejected_requests,
+            static_cast<int64_t>(trace_size));
+
+  size_t ttft_samples = 0;
+  int64_t iterations = 0, preemptions = 0;
+  int64_t eligible = 0, best_effort = 0, slo_met = 0;
+  for (const SloReport& rep : r.per_instance) {
+    ttft_samples += rep.ttfts.count();
+    iterations += rep.iterations;
+    preemptions += rep.preemptions;
+    eligible += rep.eligible_requests;
+    best_effort += rep.best_effort_requests;
+    slo_met += rep.slo_met_requests;
+  }
+  EXPECT_EQ(ttft_samples, r.combined.ttfts.count());
+  EXPECT_EQ(iterations, r.combined.iterations);
+  EXPECT_EQ(preemptions, r.combined.preemptions);
+  EXPECT_EQ(eligible, r.combined.eligible_requests);
+  EXPECT_EQ(best_effort, r.combined.best_effort_requests);
+  EXPECT_EQ(slo_met, r.combined.slo_met_requests);
+  // Every admitted request is either eligible or best-effort, and every
+  // admitted request produced a first token.
+  EXPECT_EQ(eligible + best_effort, requests);
+  EXPECT_EQ(ttft_samples, static_cast<size_t>(requests));
+
+  int64_t computed = 0, skipped = 0, hits = 0, matched = 0;
+  for (size_t i = 0; i < r.per_instance.size(); ++i) {
+    computed += r.prefill_computed_per_instance[i];
+    skipped += r.prefill_skipped_per_instance[i];
+    hits += r.prefix_per_instance[i].hits;
+    matched += r.prefix_per_instance[i].matched_tokens;
+  }
+  EXPECT_EQ(computed, r.prefill_tokens_computed);
+  EXPECT_EQ(skipped, r.prefill_tokens_skipped);
+  EXPECT_EQ(hits, r.prefix.hits);
+  EXPECT_EQ(matched, r.prefix.matched_tokens);
+}
+
+TEST(RouterFuzzTest, InvariantsAcrossPoliciesAdmissionAndSeeds) {
+  const ModelSpec m = ModelSpec::Opt13B();
+  const CostModel cm(m, ClusterSpec::ForModel(m));
+  const SloSpec slo{1.0, 1.0};
+
+  const RoutePolicy policies[] = {
+      RoutePolicy::kRoundRobin, RoutePolicy::kLeastLoaded,
+      RoutePolicy::kPowerOfTwo, RoutePolicy::kLeastOutstandingWork,
+      RoutePolicy::kPrefixAffinity};
+  const AdmissionMode admissions[] = {AdmissionMode::kNone,
+                                      AdmissionMode::kReject,
+                                      AdmissionMode::kDeprioritize};
+
+  for (uint64_t seed : FuzzSeeds()) {
+    const auto trace = MixedTrace(seed);
+    for (RoutePolicy policy : policies) {
+      for (AdmissionMode admission : admissions) {
+        SCOPED_TRACE(std::string(RoutePolicyName(policy)) + " seed " +
+                     std::to_string(seed) + " admission " +
+                     std::to_string(static_cast<int>(admission)));
+        RouterConfig rc;
+        rc.n_instances = 3;
+        rc.policy = policy;
+        rc.block_size = 4;
+        rc.admission = admission;
+        rc.default_slo = SloSpec{2.0, 2.0};
+        rc.default_output_len = 8.0;
+        const Router router(rc, &cm);
+
+        // Determinism: routing twice gives the same decision.
+        const RouteDecision d1 = router.Route(trace);
+        const RouteDecision d2 = router.Route(trace);
+        EXPECT_EQ(d1.assignment, d2.assignment);
+        EXPECT_EQ(d1.best_effort, d2.best_effort);
+        EXPECT_EQ(d1.rejected, d2.rejected);
+        ExpectDecisionInvariants(d1, trace.size(), rc.n_instances);
+
+        // Serve the routed fleet; per-instance stats must sum to totals,
+        // and the merged report must be thread-count independent.
+        auto make_backend =
+            [&](int32_t) -> StatusOr<std::unique_ptr<ExecutionBackend>> {
+          CostModelBackend::Options o;
+          o.block_size = 4;
+          o.pool_blocks_override = 512;
+          o.enable_prefix_sharing = true;
+          o.token_vocab = 1000;
+          APT_ASSIGN_OR_RETURN(std::unique_ptr<CostModelBackend> backend,
+                               CostModelBackend::Create(cm, o));
+          return std::unique_ptr<ExecutionBackend>(std::move(backend));
+        };
+        auto make_scheduler = [] { return std::make_unique<FcfsScheduler>(); };
+
+        RuntimeConfig serial;
+        serial.num_threads = 1;
+        MultiInstanceRunner runner(router, ServingLoopConfig{}, serial);
+        auto result = runner.Run(trace, make_scheduler, make_backend, slo);
+        ASSERT_TRUE(result.ok()) << result.status().ToString();
+        ExpectStatsSumToFleetTotals(*result, trace.size());
+        EXPECT_EQ(result->rejected_requests, d1.rejected);
+        EXPECT_EQ(result->deprioritized_requests, d1.deprioritized);
+
+        RuntimeConfig threaded;
+        threaded.num_threads = 4;
+        MultiInstanceRunner parallel(router, ServingLoopConfig{}, threaded);
+        auto threaded_result =
+            parallel.Run(trace, make_scheduler, make_backend, slo);
+        ASSERT_TRUE(threaded_result.ok())
+            << threaded_result.status().ToString();
+        EXPECT_EQ(result->combined.total_serving_time,
+                  threaded_result->combined.total_serving_time);
+        EXPECT_EQ(result->combined.slo_attainment,
+                  threaded_result->combined.slo_attainment);
+        EXPECT_EQ(result->combined.goodput_rps,
+                  threaded_result->combined.goodput_rps);
+        EXPECT_EQ(result->combined.ttfts.samples(),
+                  threaded_result->combined.ttfts.samples());
+        EXPECT_EQ(result->prefill_tokens_skipped,
+                  threaded_result->prefill_tokens_skipped);
+        EXPECT_EQ(result->prefix.hits, threaded_result->prefix.hits);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aptserve

@@ -13,6 +13,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "backend_diff_util.h"
+#include "common/rng.h"
+#include "workload/shared_prefix.h"
 #include "baselines/fastgen_scheduler.h"
 #include "baselines/fcfs_scheduler.h"
 #include "baselines/sarathi_scheduler.h"
@@ -511,6 +514,57 @@ INSTANTIATE_TEST_SUITE_P(Schedulers, ParityTest,
                          ::testing::Values("fcfs", "sarathi", "fastgen",
                                            "apt", "apt_s"),
                          [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------------
+// Cross-backend parity (the differential harness): beyond reproducing the
+// legacy loop, the two ExecutionBackends must agree with *each other* on
+// everything structural — completion order, prefill accounting, prefix
+// stats — even though one prices iterations analytically and the other
+// measures a (virtual) engine.
+// ---------------------------------------------------------------------------
+
+TEST(CrossBackendParityTest, SpacedTraceAgreesWithoutSharing) {
+  // Arrivals spaced far beyond both backends' iteration latencies: the
+  // request-level schedule is latency-independent, so completion order and
+  // token accounting must match exactly.
+  std::vector<Request> trace;
+  Rng rng(17);
+  for (int32_t i = 0; i < 12; ++i) {
+    Request r;
+    r.id = i;
+    r.prompt_len = static_cast<int32_t>(rng.UniformInt(4, 24));
+    r.output_len = static_cast<int32_t>(rng.UniformInt(2, 10));
+    r.arrival = 2.0 * i;
+    trace.push_back(r);
+  }
+  testing_util::DiffOptions opts;
+  opts.enable_prefix_sharing = false;
+  auto diff = testing_util::RunBackendDiff(trace, opts);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  testing_util::ExpectBackendAgreement(*diff);
+  EXPECT_EQ(diff->cost.result.prefill_tokens_skipped, 0);
+  EXPECT_EQ(diff->engine.result.prefill_tokens_skipped, 0);
+}
+
+TEST(CrossBackendParityTest, SharedPrefixTraceAgreesWithSharing) {
+  SharedPrefixConfig cfg;
+  cfg.system_prompt_len = 12;
+  cfg.num_conversations = 4;
+  cfg.turns_per_conversation = 2;
+  cfg.tokens_per_turn = 8;
+  cfg.output_len_mean = 3;
+  cfg.vocab_size = ModelConfig::Tiny().vocab_size;
+  cfg.think_time_s = 3.0;
+  cfg.conversation_stagger_s = 0.5;
+  auto trace = BuildSharedPrefixTrace(cfg);
+  ASSERT_TRUE(trace.ok());
+
+  testing_util::DiffOptions opts;
+  auto diff = testing_util::RunBackendDiff(*trace, opts);
+  ASSERT_TRUE(diff.ok()) << diff.status().ToString();
+  testing_util::ExpectBackendAgreement(*diff);
+  EXPECT_GT(diff->cost.result.prefix.hits, 0);
+}
 
 }  // namespace
 }  // namespace aptserve
