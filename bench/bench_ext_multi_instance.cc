@@ -26,13 +26,13 @@ int main() {
     auto trace = BuildTrace(tc);
     if (!trace.ok()) return 1;
     for (int32_t n : {1, 2, 4}) {
-      for (DispatchPolicy policy :
-           {DispatchPolicy::kRoundRobin, DispatchPolicy::kLeastLoaded,
-            DispatchPolicy::kPowerOfTwo}) {
-        if (n == 1 && policy != DispatchPolicy::kRoundRobin) continue;
+      for (RoutePolicy policy :
+           {RoutePolicy::kRoundRobin, RoutePolicy::kLeastLoaded,
+            RoutePolicy::kPowerOfTwo}) {
+        if (n == 1 && policy != RoutePolicy::kRoundRobin) continue;
         MultiInstanceConfig mc;
-        mc.n_instances = n;
-        mc.policy = policy;
+        mc.fleet.router.n_instances = n;
+        mc.fleet.router.policy = policy;
         MultiInstanceSimulator mi(cm, mc);
         auto rf = mi.Run(*trace,
                          [] { return std::make_unique<FcfsScheduler>(); },
@@ -46,7 +46,7 @@ int main() {
                          slo);
         if (!rf.ok() || !ra.ok()) return 1;
         std::printf("%10.1f %6d %14s %12.1f %12.1f\n", rate, n,
-                    DispatchPolicyName(policy),
+                    RoutePolicyName(policy),
                     100 * rf->combined.slo_attainment,
                     100 * ra->combined.slo_attainment);
         std::fflush(stdout);

@@ -119,6 +119,18 @@ int main() {
   const std::vector<int32_t> thread_counts = {1, 2, 4, 8};
   const std::vector<int32_t> batches = {1, 4, 8, 16};
   const unsigned hw = std::thread::hardware_concurrency();
+  // The ≥2x-at-4-threads ROADMAP target is only observable with ≥4
+  // physical cores; on smaller containers speedup legitimately sits near
+  // 1.0, and the snapshot must say so instead of looking like a miss.
+  const bool multicore = hw >= 4;
+  if (!multicore) {
+    std::fprintf(stderr,
+                 "WARNING: hardware_concurrency=%u < 4 — thread-scaling "
+                 "speedups are not observable on this machine; the JSON "
+                 "snapshot records \"multicore\": false. Re-run on >=4 "
+                 "physical cores for real gains.\n",
+                 hw);
+  }
 
   bench::BenchJson::Instance().SetName("bench_parallel_scaling");
   {
@@ -126,6 +138,7 @@ int main() {
     bench::BenchJson::Instance()
         .config()
         .Int("hardware_concurrency", hw)
+        .Bool("multicore", multicore)
         .Int("d_model", cfg.d_model)
         .Int("n_layers", cfg.n_layers)
         .Int("d_ff", cfg.d_ff)

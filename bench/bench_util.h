@@ -52,6 +52,10 @@ class JsonObject {
     fields_.emplace_back(key, std::to_string(value));
     return *this;
   }
+  JsonObject& Bool(const std::string& key, bool value) {
+    fields_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
   JsonObject& Str(const std::string& key, const std::string& value) {
     std::string quoted = "\"";
     for (char c : value) {

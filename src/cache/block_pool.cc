@@ -83,6 +83,22 @@ void BlockPool::FreeMany(const std::vector<BlockId>& ids) {
   }
 }
 
+StatusOr<int32_t> BlockPool::ExportBlocks(const std::vector<BlockId>& ids) {
+  int32_t still_resident = 0;
+  for (BlockId id : ids) {
+    if (id >= 0 && id < num_blocks_ && ref_count_[id] > 1) ++still_resident;
+    APT_RETURN_NOT_OK(Free(id));
+  }
+  total_exported_blocks_ += static_cast<int64_t>(ids.size());
+  return still_resident;
+}
+
+Status BlockPool::ImportBlocks(int32_t n, std::vector<BlockId>* out) {
+  APT_RETURN_NOT_OK(AllocateMany(n, out));
+  total_imported_blocks_ += n;
+  return Status::OK();
+}
+
 int32_t BlockPool::num_shared() const {
   int32_t n = 0;
   for (int32_t c : ref_count_) n += c > 1 ? 1 : 0;
@@ -105,7 +121,10 @@ std::string BlockPool::DebugString() const {
                     ", max_refcount=" + std::to_string(max_ref) +
                     ", peak=" + std::to_string(peak_allocated_) +
                     ", total_allocations=" +
-                    std::to_string(total_allocations_) + ", refcounts={";
+                    std::to_string(total_allocations_) +
+                    ", exported=" + std::to_string(total_exported_blocks_) +
+                    ", imported=" + std::to_string(total_imported_blocks_) +
+                    ", refcounts={";
   bool first = true;
   for (const auto& [refs, count] : histogram) {
     if (!first) out += ", ";

@@ -49,6 +49,23 @@ class BlockPool {
   /// Frees every block in `ids` (asserts each free succeeds).
   void FreeMany(const std::vector<BlockId>& ids);
 
+  /// Releases the blocks of a request migrating *out* of this pool: drops
+  /// one reference per id, like FreeMany, but tracks the export in the
+  /// lifetime counters and returns how many blocks stayed resident because
+  /// another owner (the prefix index, a sharing request) still holds them.
+  /// Only the remainder physically left the pool. InvalidArgument if any
+  /// id is free or out of range (the pool is modified up to that id).
+  StatusOr<int32_t> ExportBlocks(const std::vector<BlockId>& ids);
+
+  /// Allocates `n` blocks to receive a migrating request's cache
+  /// (all-or-nothing; on failure the pool is unchanged). Identical
+  /// allocation behavior to AllocateMany, tracked separately so migration
+  /// traffic shows up in DebugString's lifetime totals.
+  Status ImportBlocks(int32_t n, std::vector<BlockId>* out);
+
+  int64_t total_exported_blocks() const { return total_exported_blocks_; }
+  int64_t total_imported_blocks() const { return total_imported_blocks_; }
+
   int32_t num_blocks() const { return num_blocks_; }
   int32_t block_size() const { return block_size_; }
   int32_t num_free() const { return static_cast<int32_t>(free_list_.size()); }
@@ -89,6 +106,8 @@ class BlockPool {
   std::vector<int32_t> ref_count_;
   int32_t peak_allocated_ = 0;
   int64_t total_allocations_ = 0;
+  int64_t total_exported_blocks_ = 0;
+  int64_t total_imported_blocks_ = 0;
 };
 
 }  // namespace aptserve

@@ -32,13 +32,17 @@ int32_t HybridCacheAssigner::BlocksToGrow(RequestId id,
 
 Status HybridCacheAssigner::AllocateWithReclaim(int32_t n,
                                                 std::vector<BlockId>* out) {
-  Status st = pool_->AllocateMany(n, out);
+  const auto allocate = [&] {
+    return importing_ ? pool_->ImportBlocks(n, out)
+                      : pool_->AllocateMany(n, out);
+  };
+  Status st = allocate();
   if (st.IsOutOfMemory() && reclaimer_) {
     // Ask the prefix index to evict unreferenced cached prefixes, then
     // retry once. The reclaimer may free fewer than asked (pinned leaves
     // are skipped); the retry surfaces the remaining deficit as OOM.
     reclaimer_(n - pool_->num_free());
-    st = pool_->AllocateMany(n, out);
+    st = allocate();
   }
   return st;
 }
@@ -167,6 +171,63 @@ Status HybridCacheAssigner::Release(RequestId id) {
   pool_->FreeMany(it->second.AllBlocks());
   maps_.erase(it);
   return Status::OK();
+}
+
+StatusOr<RequestCacheImage> HybridCacheAssigner::SerializeRequestCache(
+    RequestId id) const {
+  auto it = maps_.find(id);
+  if (it == maps_.end()) {
+    return Status::NotFound("request " + std::to_string(id) + " has no cache");
+  }
+  RequestCacheImage image;
+  image.type = it->second.type();
+  image.num_tokens = it->second.num_tokens();
+  return image;
+}
+
+Status HybridCacheAssigner::ReleaseExported(RequestId id) {
+  auto it = maps_.find(id);
+  if (it == maps_.end()) {
+    return Status::NotFound("request " + std::to_string(id) + " has no cache");
+  }
+  APT_RETURN_NOT_OK(pool_->ExportBlocks(it->second.AllBlocks()).status());
+  maps_.erase(it);
+  return Status::OK();
+}
+
+StatusOr<CowSeed> HybridCacheAssigner::RestoreRequestCache(
+    RequestId id, const RequestCacheImage& image, const PrefixMatch& match) {
+  if (image.num_tokens <= 0) {
+    return Status::InvalidArgument("cannot restore an empty cache image");
+  }
+  if (match.hit() && (image.type != CacheType::kKV ||
+                      match.tokens > image.num_tokens)) {
+    return Status::InvalidArgument(
+        "prefix match incompatible with the cache image");
+  }
+  importing_ = true;
+  StatusOr<CowSeed> result = [&]() -> StatusOr<CowSeed> {
+    if (!match.hit()) {
+      APT_RETURN_NOT_OK(CreateFilled(id, image.type, image.num_tokens));
+      return CowSeed{};
+    }
+    auto seeded = CreateSeeded(id, match);
+    if (!seeded.ok()) return seeded.status();
+    const int32_t remainder = image.num_tokens - match.tokens;
+    if (remainder > 0) {
+      Status st = Append(id, remainder);
+      if (!st.ok()) {
+        // Unwind to the pre-call pool state; the transient COW pin must
+        // drop too (the caller never sees the seed).
+        ReleaseCowSource(*seeded);
+        APT_CHECK(Release(id).ok());
+        return st;
+      }
+    }
+    return seeded;
+  }();
+  importing_ = false;
+  return result;
 }
 
 Status HybridCacheAssigner::DiscardForConversion(RequestId id) {

@@ -30,6 +30,15 @@ struct CowSeed {
   int32_t tokens = 0;
 };
 
+/// Logical snapshot of one request's cache map for live migration: type and
+/// filled positions only — block ids are pool-local and never travel (the
+/// destination re-resolves shared prefixes through its own index and
+/// allocates the rest via BlockPool::ImportBlocks).
+struct RequestCacheImage {
+  CacheType type = CacheType::kKV;
+  int32_t num_tokens = 0;
+};
+
 class HybridCacheAssigner {
  public:
   /// The assigner borrows the pool; the pool must outlive it.
@@ -80,6 +89,32 @@ class HybridCacheAssigner {
   /// Releases all blocks of request `id` (finish or preemption).
   Status Release(RequestId id);
 
+  // ---- Live migration (cache-state handoff) -------------------------------
+
+  /// Snapshot of request `id`'s cache for migration. The map stays intact —
+  /// the engine gathers the payload next; ReleaseExported() then drops the
+  /// source's blocks.
+  StatusOr<RequestCacheImage> SerializeRequestCache(RequestId id) const;
+
+  /// Releases a migrated-out request's blocks through
+  /// BlockPool::ExportBlocks: shared prefix blocks stay resident for their
+  /// remaining owners (the index, sharing siblings); the rest return to the
+  /// free list.
+  Status ReleaseExported(RequestId id);
+
+  /// Rebuilds a migrated-in request's cache map from its image. Shared
+  /// prefix blocks are adopted from `match` (the caller matched the prompt
+  /// against *this* pool's index — dedupe, not copy), a mid-block COW tail
+  /// pair is allocated exactly as in CreateSeeded (the caller must populate
+  /// it and then ReleaseCowSource), and the remaining
+  /// `image.num_tokens - match.tokens` positions get fresh blocks through
+  /// BlockPool::ImportBlocks. Pass an empty match for a dedupe-free
+  /// restore. OutOfMemory leaves the pool and the request unchanged (the
+  /// caller falls back to a cold import).
+  StatusOr<CowSeed> RestoreRequestCache(RequestId id,
+                                        const RequestCacheImage& image,
+                                        const PrefixMatch& match);
+
   /// Discards request `id`'s cache so it can be rebuilt with `new_type`
   /// by a subsequent prefill (paper §5: a type switch recomputes the cache).
   /// Equivalent to Release; provided as a named operation for clarity and
@@ -97,7 +132,9 @@ class HybridCacheAssigner {
 
  private:
   Status AllocateFor(CacheMap* map, int32_t new_blocks_per_component);
-  /// AllocateMany with one reclaim-and-retry round on OutOfMemory.
+  /// AllocateMany with one reclaim-and-retry round on OutOfMemory. Routes
+  /// through ImportBlocks while a RestoreRequestCache is in flight so
+  /// migration allocations show up in the pool's lifetime totals.
   Status AllocateWithReclaim(int32_t n, std::vector<BlockId>* out);
 
   BlockPool* pool_;
@@ -105,6 +142,7 @@ class HybridCacheAssigner {
   std::function<int32_t(int32_t)> reclaimer_;
   int64_t num_conversions_ = 0;
   int64_t num_seeded_ = 0;
+  bool importing_ = false;
 };
 
 }  // namespace aptserve

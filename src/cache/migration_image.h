@@ -1,0 +1,51 @@
+// MigrationImage: the serialized, pool-independent form of one in-flight
+// request's hybrid cache + token state, used for live request migration
+// between fleet instances (serve/fleet_controller.h).
+//
+// The image is deliberately *logical*: it names no BlockIds — block ids are
+// per-pool, and the destination re-resolves shared prefix blocks through
+// its own PrefixIndex so shared content dedupes instead of copying. Only
+// the engine backend fills `payload` (real float vectors gathered through
+// BlockStorage); the analytic backend migrates accounting state alone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_types.h"
+
+namespace aptserve {
+
+struct MigrationImage {
+  /// Token ids: the prompt (first `prompt_len` entries) followed by any
+  /// tokens generated before migration. The accounting backend may carry
+  /// only the prompt; `prompt_len` delimits shareable content either way.
+  std::vector<int32_t> tokens;
+  int32_t prompt_len = 0;
+  CacheType cache_type = CacheType::kKV;
+  /// Cached positions travelling with the request; 0 = the request
+  /// migrates cold (it re-prefills at the destination).
+  int32_t cached_tokens = 0;
+  /// Engine payload for the cached positions, gathered per component and
+  /// layer: [component][layer][pos][dim] in CacheMap::Components() order.
+  /// Empty on the accounting backend.
+  std::vector<float> payload;
+
+  bool carries_cache() const { return cached_tokens > 0; }
+};
+
+/// Outcome of importing a MigrationImage into a destination backend.
+struct MigrationImport {
+  /// False when the destination could not allocate the cache (it imported
+  /// the request cold instead; the request re-prefills there).
+  bool cache_restored = false;
+  /// Cached positions re-resolved through the destination's PrefixIndex —
+  /// already resident there, so they never cross the interconnect.
+  int32_t deduped_tokens = 0;
+  /// Cached positions whose state actually transferred.
+  int32_t copied_tokens = 0;
+  /// Accounting bytes of the transfer (the interconnect term's input).
+  double bytes = 0.0;
+};
+
+}  // namespace aptserve

@@ -375,6 +375,122 @@ Status InferenceEngine::SwapIn(RequestId id) {
   return Status::OK();
 }
 
+StatusOr<MigrationImage> InferenceEngine::ExportRequest(RequestId id) {
+  auto it = requests_.find(id);
+  if (it == requests_.end()) return Status::NotFound("unknown request");
+  if (swapped_.count(id)) {
+    return Status::FailedPrecondition(
+        "request is swapped out; it must migrate cold");
+  }
+  GenerationState& gs = it->second;
+  MigrationImage image;
+  image.tokens = gs.tokens;
+  image.prompt_len = gs.prompt_len;
+  image.cache_type = gs.cache_type;
+  image.cached_tokens = gs.cached_tokens;
+  if (gs.cached_tokens > 0) {
+    const CacheMap* map = assigner_.Find(id);
+    APT_CHECK_MSG(map != nullptr, "cached tokens without a cache map");
+    const int32_t d = model_.config().d_model;
+    const int32_t layers = model_.config().n_layers;
+    const auto components = map->Components();
+    image.payload.resize(static_cast<int64_t>(components.size()) * layers *
+                         gs.cached_tokens * d);
+    int64_t cursor = 0;
+    for (CacheComponent c : components) {
+      for (int32_t l = 0; l < layers; ++l) {
+        storage_.Gather(*map, c, l, gs.cached_tokens,
+                        image.payload.data() + cursor);
+        cursor += static_cast<int64_t>(gs.cached_tokens) * d;
+      }
+    }
+    APT_RETURN_NOT_OK(assigner_.ReleaseExported(id));
+  }
+  requests_.erase(it);
+  return image;
+}
+
+StatusOr<MigrationImport> InferenceEngine::ImportRequest(
+    RequestId id, const MigrationImage& image) {
+  if (requests_.count(id)) {
+    return Status::AlreadyExists("request " + std::to_string(id) +
+                                 " already registered");
+  }
+  if (image.tokens.empty() || image.prompt_len <= 0 ||
+      image.prompt_len > static_cast<int32_t>(image.tokens.size())) {
+    return Status::InvalidArgument("malformed migration image");
+  }
+  if (image.cached_tokens > static_cast<int32_t>(image.tokens.size())) {
+    return Status::InvalidArgument("image caches more than its tokens");
+  }
+  GenerationState gs;
+  gs.tokens = image.tokens;
+  gs.prompt_len = image.prompt_len;
+  gs.cache_type = image.cache_type;
+  requests_.emplace(id, gs);
+
+  MigrationImport import;
+  if (image.cached_tokens == 0) return import;
+
+  // Re-resolve the cached prompt prefix through this engine's index so
+  // already-resident shared blocks dedupe instead of crossing the
+  // interconnect. Generated positions (beyond prompt_len) are private and
+  // always transfer.
+  PrefixMatch match;
+  if (prefix_index_ != nullptr && image.cache_type == CacheType::kKV) {
+    const int32_t limit = std::min(image.prompt_len, image.cached_tokens);
+    match = prefix_index_->Match(image.tokens, limit);
+  }
+  auto seeded = assigner_.RestoreRequestCache(
+      id, RequestCacheImage{image.cache_type, image.cached_tokens}, match);
+  if (!seeded.ok()) {
+    if (seeded.status().IsOutOfMemory()) {
+      return import;  // cold import: the request re-prefills here
+    }
+    requests_.erase(id);
+    return seeded.status();
+  }
+  if (seeded->tokens > 0) {
+    // Mid-block COW tail: duplicate the shared tail block's payload locally
+    // before the transferred positions (and later prefill writes) land
+    // after it.
+    storage_.CopyBlockPrefix(seeded->src_k, seeded->dst_k, seeded->tokens);
+    storage_.CopyBlockPrefix(seeded->src_v, seeded->dst_v, seeded->tokens);
+  }
+  assigner_.ReleaseCowSource(*seeded);
+  if (match.hit()) prefix_index_->RecordAdoption(match);
+
+  // Scatter the transferred span [match.tokens, cached) from the payload.
+  const CacheMap* map = assigner_.Find(id);
+  APT_CHECK(map != nullptr);
+  const int32_t d = model_.config().d_model;
+  const int32_t layers = model_.config().n_layers;
+  const auto components = map->Components();
+  APT_CHECK(static_cast<int64_t>(image.payload.size()) ==
+            static_cast<int64_t>(components.size()) * layers *
+                image.cached_tokens * d);
+  int64_t cursor = 0;
+  for (CacheComponent c : components) {
+    for (int32_t l = 0; l < layers; ++l) {
+      for (int32_t pos = match.tokens; pos < image.cached_tokens; ++pos) {
+        storage_.WriteVector(*map, c, l, pos,
+                             image.payload.data() + cursor +
+                                 static_cast<int64_t>(pos) * d);
+      }
+      cursor += static_cast<int64_t>(image.cached_tokens) * d;
+    }
+  }
+  auto& state = requests_.at(id);
+  state.cached_tokens = image.cached_tokens;
+  import.cache_restored = true;
+  import.deduped_tokens = match.tokens;
+  import.copied_tokens = image.cached_tokens - match.tokens;
+  import.bytes = static_cast<double>(import.copied_tokens) *
+                 static_cast<double>(components.size()) * layers * d *
+                 sizeof(float);
+  return import;
+}
+
 Status InferenceEngine::RemoveRequest(RequestId id) {
   auto it = requests_.find(id);
   if (it == requests_.end()) return Status::NotFound("unknown request");

@@ -13,6 +13,7 @@
 
 #include "cache/block_pool.h"
 #include "cache/hybrid_assigner.h"
+#include "cache/migration_image.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/types.h"
@@ -173,6 +174,29 @@ class InferenceEngine {
 
   /// Drops the request and frees its cache.
   Status RemoveRequest(RequestId id);
+
+  // ---- Live migration (fleet cache-state handoff) --------------------------
+
+  /// Serializes the request for migration to another engine instance: full
+  /// token state plus — when the request holds cache — the cached vectors
+  /// gathered through BlockStorage (same layout as the swap staging
+  /// buffer). The request is removed from this engine; its blocks release
+  /// through BlockPool::ExportBlocks, so prefix-shared blocks stay resident
+  /// for their remaining owners. FailedPrecondition for swapped-out
+  /// requests (swap-in first, or migrate them cold after a release).
+  StatusOr<MigrationImage> ExportRequest(RequestId id);
+
+  /// Registers a migrated-in request and restores its cache. The prompt
+  /// prefix of the cached span is first re-resolved against this engine's
+  /// PrefixIndex: matched blocks are adopted (dedupe — the content is
+  /// bit-identical by causality when the fleet replicates weights), a
+  /// mid-block tail is copy-on-written locally, and only the rest is
+  /// scattered from the image's payload. If the pool cannot hold the cache
+  /// even after reclaim, the request imports cold (cache_restored=false)
+  /// and re-prefills here — the migration analogue of a recompute
+  /// preemption.
+  StatusOr<MigrationImport> ImportRequest(RequestId id,
+                                          const MigrationImage& image);
 
   /// Convenience: generate up to `max_new_tokens` tokens (prefill if needed
   /// then decode steps), stopping early on `eos_token` (pass -1 to disable).

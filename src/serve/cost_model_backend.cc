@@ -54,27 +54,104 @@ Status CostModelBackend::Prepare(const std::vector<SimRequest>& reqs) {
           " cannot fit in the cache pool even with hidden cache");
     }
   }
-  if (prefix_index_) {
-    // Matching needs token content: use the trace's ids when present,
-    // otherwise the deterministic synthesizer (same function every backend
-    // uses, so hit accounting is comparable across them).
-    for (const SimRequest& sr : reqs) {
-      if (sr.spec.has_token_ids()) {
-        if (static_cast<int32_t>(sr.spec.token_ids.size()) !=
-            sr.spec.prompt_len) {
-          return Status::InvalidArgument(
-              "request " + std::to_string(sr.spec.id) +
-              " token_ids size does not match prompt_len");
-        }
-        token_ids_[sr.spec.id] = sr.spec.token_ids;
-      } else {
-        token_ids_[sr.spec.id] = DeterministicPromptTokens(
-            sr.spec.id, options_.token_seed, sr.spec.prompt_len,
-            options_.token_vocab);
-      }
-    }
+  for (const SimRequest& sr : reqs) {
+    APT_RETURN_NOT_OK(RegisterTokenIds(sr));
   }
   return Status::OK();
+}
+
+Status CostModelBackend::RegisterTokenIds(const SimRequest& sr) {
+  if (!prefix_index_) return Status::OK();
+  // Matching needs token content: use the trace's ids when present,
+  // otherwise the deterministic synthesizer (same function every backend
+  // uses, so hit accounting is comparable across them).
+  if (sr.spec.has_token_ids()) {
+    if (static_cast<int32_t>(sr.spec.token_ids.size()) != sr.spec.prompt_len) {
+      return Status::InvalidArgument(
+          "request " + std::to_string(sr.spec.id) +
+          " token_ids size does not match prompt_len");
+    }
+    token_ids_[sr.spec.id] = sr.spec.token_ids;
+  } else {
+    token_ids_[sr.spec.id] = DeterministicPromptTokens(
+        sr.spec.id, options_.token_seed, sr.spec.prompt_len,
+        options_.token_vocab);
+  }
+  return Status::OK();
+}
+
+Status CostModelBackend::Admit(const SimRequest& sr) {
+  const int32_t need =
+      assigner_.BlocksNeeded(CacheType::kHidden, sr.spec.total_len());
+  if (need > pool_.num_blocks()) {
+    return Status::InvalidArgument(
+        "request " + std::to_string(sr.spec.id) +
+        " cannot fit in the cache pool even with hidden cache");
+  }
+  return RegisterTokenIds(sr);
+}
+
+StatusOr<MigrationImage> CostModelBackend::ExportRequest(const SimRequest& sr) {
+  const RequestId id = sr.spec.id;
+  MigrationImage image;
+  auto ids = token_ids_.find(id);
+  if (ids != token_ids_.end()) {
+    image.tokens = ids->second;
+  } else if (sr.spec.has_token_ids()) {
+    image.tokens = sr.spec.token_ids;
+  }
+  image.prompt_len = sr.spec.prompt_len;
+  image.cache_type = sr.cache_type;
+  if (assigner_.Has(id)) {
+    APT_ASSIGN_OR_RETURN(RequestCacheImage cache,
+                         assigner_.SerializeRequestCache(id));
+    image.cache_type = cache.type;
+    image.cached_tokens = cache.num_tokens;
+    APT_RETURN_NOT_OK(assigner_.ReleaseExported(id));
+  }
+  token_ids_.erase(id);
+  return image;
+}
+
+StatusOr<MigrationImport> CostModelBackend::ImportRequest(
+    const SimRequest& sr, const MigrationImage& image) {
+  APT_RETURN_NOT_OK(Admit(sr));
+  const RequestId id = sr.spec.id;
+  if (prefix_index_ &&
+      static_cast<int32_t>(image.tokens.size()) >= image.prompt_len &&
+      image.prompt_len > 0) {
+    // The source's (possibly trace-provided) content wins over a fresh
+    // synthesis so matching stays consistent across the migration.
+    token_ids_[id].assign(image.tokens.begin(),
+                          image.tokens.begin() + image.prompt_len);
+  }
+  MigrationImport import;
+  if (!image.carries_cache()) return import;
+
+  PrefixMatch match;
+  if (prefix_index_ && image.cache_type == CacheType::kKV) {
+    const int32_t limit = std::min(image.prompt_len, image.cached_tokens);
+    match = prefix_index_->Match(token_ids_.at(id), limit);
+  }
+  auto seeded = assigner_.RestoreRequestCache(
+      id, RequestCacheImage{image.cache_type, image.cached_tokens}, match);
+  if (!seeded.ok()) {
+    if (seeded.status().IsOutOfMemory()) {
+      return import;  // cold import: the request re-prefills here
+    }
+    return seeded.status();
+  }
+  // No payload to copy analytically; just drop the transient COW pin.
+  assigner_.ReleaseCowSource(*seeded);
+  if (match.hit()) prefix_index_->RecordAdoption(match);
+  import.cache_restored = true;
+  import.deduped_tokens = match.tokens;
+  import.copied_tokens = image.cached_tokens - match.tokens;
+  const double per_token_bytes =
+      (image.cache_type == CacheType::kKV ? 2.0 : 1.0) * block_bytes_ /
+      options_.block_size;
+  import.bytes = import.copied_tokens * per_token_bytes;
+  return import;
 }
 
 void CostModelBackend::BeginIteration() {

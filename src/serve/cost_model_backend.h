@@ -56,6 +56,10 @@ class CostModelBackend : public ExecutionBackend {
 
   std::string name() const override { return "cost-model"; }
   Status Prepare(const std::vector<SimRequest>& reqs) override;
+  Status Admit(const SimRequest& sr) override;
+  StatusOr<MigrationImage> ExportRequest(const SimRequest& sr) override;
+  StatusOr<MigrationImport> ImportRequest(const SimRequest& sr,
+                                          const MigrationImage& image) override;
   const BlockPool* pool() const override { return &pool_; }
   const HybridCacheAssigner* assigner() const override { return &assigner_; }
   const CostModel* cost_model() const override { return &cost_model_; }
@@ -77,6 +81,9 @@ class CostModelBackend : public ExecutionBackend {
   const PrefixStats* prefix_stats() const override {
     return prefix_index_ ? &prefix_index_->stats() : nullptr;
   }
+  int32_t ReclaimCache(int32_t min_blocks) override {
+    return prefix_index_ ? prefix_index_->EvictLru(min_blocks) : 0;
+  }
 
   int32_t pool_blocks() const { return pool_.num_blocks(); }
   /// The analytic backend's prefix index; null unless enabled.
@@ -85,6 +92,10 @@ class CostModelBackend : public ExecutionBackend {
  private:
   CostModelBackend(const CostModel& cost_model, const Options& options,
                    int32_t pool_blocks);
+
+  /// Records the request's prompt token ids (trace-provided or synthesized)
+  /// when prefix sharing is on; shared by Prepare and Admit.
+  Status RegisterTokenIds(const SimRequest& sr);
 
   CostModel cost_model_;
   Options options_;

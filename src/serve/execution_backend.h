@@ -20,6 +20,7 @@
 #include "cache/block_pool.h"
 #include "cache/cache_types.h"
 #include "cache/hybrid_assigner.h"
+#include "cache/migration_image.h"
 #include "common/status.h"
 #include "prefix/prefix_index.h"
 #include "sim/cost_model.h"
@@ -54,6 +55,34 @@ class ExecutionBackend {
   /// by arrival. Backend-specific validation and registration (e.g. the
   /// inference engine synthesizes prompts here).
   virtual Status Prepare(const std::vector<SimRequest>& reqs) = 0;
+
+  /// Registers one request mid-run (a live-routed arrival in an elastic
+  /// fleet). Same validation and registration as one Prepare() entry;
+  /// backends must keep per-request registration order-equivalent to a
+  /// whole-shard Prepare so static fleets stay bit-identical.
+  virtual Status Admit(const SimRequest& sr) {
+    (void)sr;
+    return Status::Unimplemented(name() + " cannot admit requests mid-run");
+  }
+
+  /// Serializes a request for live migration (token state + cache payload,
+  /// if any) and removes it from this backend. Shared prefix blocks stay
+  /// resident for their remaining owners (BlockPool::ExportBlocks).
+  virtual StatusOr<MigrationImage> ExportRequest(const SimRequest& sr) {
+    (void)sr;
+    return Status::Unimplemented(name() + " cannot export requests");
+  }
+
+  /// Registers a migrated-in request and restores its cache, re-resolving
+  /// the cached prompt prefix through this backend's PrefixIndex (dedupe).
+  /// A pool too full to hold the cache imports the request cold
+  /// (cache_restored=false; it re-prefills here).
+  virtual StatusOr<MigrationImport> ImportRequest(const SimRequest& sr,
+                                                  const MigrationImage& image) {
+    (void)sr;
+    (void)image;
+    return Status::Unimplemented(name() + " cannot import requests");
+  }
 
   /// The unified block pool / cache assigner the scheduler plans against.
   virtual const BlockPool* pool() const = 0;
@@ -114,6 +143,15 @@ class ExecutionBackend {
   /// Both backends report through the same PrefixStats struct so "what a
   /// hit is worth" is directly comparable across them.
   virtual const PrefixStats* prefix_stats() const { return nullptr; }
+
+  /// Releases at least `min_blocks` of evictable cached state (prefix-index
+  /// LRU leaves) back to the pool if possible; returns blocks freed. The
+  /// loop calls this on no-progress iterations so scheduler-side free-block
+  /// gates can make headway against a pool full of cold cached prefixes.
+  virtual int32_t ReclaimCache(int32_t min_blocks) {
+    (void)min_blocks;
+    return 0;
+  }
 };
 
 }  // namespace aptserve

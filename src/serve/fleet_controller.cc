@@ -1,0 +1,512 @@
+#include "serve/fleet_controller.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "runtime/thread_pool.h"
+
+namespace aptserve {
+
+namespace {
+
+void AddPrefixStats(const PrefixStats& from, PrefixStats* into) {
+  into->lookups += from.lookups;
+  into->hits += from.hits;
+  into->matched_tokens += from.matched_tokens;
+  into->shared_blocks += from.shared_blocks;
+  into->cow_matches += from.cow_matches;
+  into->inserted_blocks += from.inserted_blocks;
+  into->evicted_blocks += from.evicted_blocks;
+}
+
+/// One serving instance of the elastic fleet.
+struct Instance {
+  enum class State { kWarming, kLive, kDraining, kRetired };
+  State state = State::kLive;
+  double add_time = 0.0;
+  double live_at = 0.0;
+  double retire_time = -1.0;
+  std::unique_ptr<Scheduler> scheduler;
+  std::unique_ptr<ExecutionBackend> backend;
+  std::unique_ptr<ServingLoopState> loop;
+  Status status = Status::OK();
+
+  bool Alive() const { return state != State::kRetired; }
+  bool Routable() const { return state == State::kLive; }
+};
+
+}  // namespace
+
+FleetController::FleetController(const FleetConfig& config,
+                                 const Router& router,
+                                 const CostModel* migration_cost_model)
+    : config_(config),
+      router_(router),
+      migration_cost_model_(migration_cost_model != nullptr
+                                ? migration_cost_model
+                                : router.cost_model()) {
+  APT_CHECK(router_.config().n_instances >= 1);
+  APT_CHECK(config_.min_instances >= 1);
+  APT_CHECK(config_.tick_interval_s > 0.0);
+  APT_CHECK(config_.instance_warmup_s >= 0.0);
+  APT_CHECK(config_.scale_up_cooldown_s >= 0.0);
+  APT_CHECK(config_.scale_down_cooldown_s >= 0.0);
+}
+
+FleetController::FleetController(const FleetConfig& config,
+                                 const CostModel* cost_model,
+                                 const OutputLengthPredictor* predictor)
+    : FleetController(config, Router(config.router, cost_model, predictor),
+                      cost_model) {}
+
+StatusOr<FleetResult> FleetController::Run(
+    const std::vector<Request>& trace, const SchedulerFactory& make_scheduler,
+    const BackendFactory& make_backend, const SloSpec& slo) {
+  const bool elastic = config_.IsElastic();
+  const int32_t initial_n = router_.config().n_instances;
+  const int32_t max_n = elastic ? config_.MaxInstances() : initial_n;
+
+  FleetResult out;
+  FleetMetrics& fm = out.fleet;
+  RouterState rstate = router_.MakeState(max_n);
+  std::vector<std::unique_ptr<Instance>> fleet;
+  fleet.reserve(max_n);
+
+  const auto record_event = [&](double t, int32_t id,
+                                FleetScaleEvent::Kind kind) {
+    fm.scale_events.push_back(FleetScaleEvent{t, id, kind});
+  };
+
+  // Spawns instance fleet.size() at virtual time `t`. A cold spawn only
+  // becomes routable after the warmup latency elapses; the initial fleet
+  // is born warm (it existed before the trace started).
+  const auto spawn = [&](double t, bool cold) -> Status {
+    // Ids are lifetime-unique (a retired id is never reused), so over many
+    // scale cycles the id space outgrows the alive ceiling; the router
+    // state grows with it.
+    const int32_t id = static_cast<int32_t>(fleet.size());
+    auto inst = std::make_unique<Instance>();
+    inst->scheduler = make_scheduler();
+    APT_ASSIGN_OR_RETURN(inst->backend, make_backend(id));
+    inst->loop =
+        std::make_unique<ServingLoopState>(inst->backend.get(), config_.loop);
+    APT_RETURN_NOT_OK(inst->loop->Start({}, inst->scheduler.get(), slo));
+    inst->add_time = t;
+    inst->live_at = cold ? t + config_.instance_warmup_s : t;
+    inst->state = cold ? Instance::State::kWarming : Instance::State::kLive;
+    record_event(t, id, FleetScaleEvent::Kind::kAdd);
+    if (cold) {
+      ++fm.cold_starts;
+    } else {
+      record_event(t, id, FleetScaleEvent::Kind::kLive);
+    }
+    fleet.push_back(std::move(inst));
+    router_.GrowState(&rstate, static_cast<int32_t>(fleet.size()));
+    return Status::OK();
+  };
+
+  for (int32_t i = 0; i < initial_n; ++i) {
+    APT_RETURN_NOT_OK(spawn(0.0, /*cold=*/false));
+  }
+
+  // Live migration of one waiting request, cache state included. The
+  // transfer is priced on post-dedupe bytes; the request becomes
+  // schedulable at the destination once the virtual transfer completes.
+  const auto migrate = [&](Instance& src, Instance& dst, RequestId id,
+                           double t) -> Status {
+    APT_ASSIGN_OR_RETURN(MigratedRequest m, src.loop->Extract(id));
+    const bool carried_cache = m.image.carries_cache();
+    const double base = std::max(t, m.available_at);
+    const auto delay = [&](const MigrationImport& import) {
+      return migration_cost_model_ != nullptr
+                 ? migration_cost_model_->MigrationSeconds(import.bytes)
+                 : 0.0;
+    };
+    APT_ASSIGN_OR_RETURN(const MigrationImport import,
+                         dst.loop->Receive(std::move(m), base, delay));
+    ++fm.migrations;
+    if (carried_cache) ++fm.migrations_with_cache;
+    fm.migration_deduped_tokens += import.deduped_tokens;
+    fm.migration_copied_tokens += import.copied_tokens;
+    fm.migration_bytes += import.bytes;
+    fm.migration_seconds += delay(import);
+    return Status::OK();
+  };
+
+  const auto pick_coolest = [&](const Instance* exclude) -> Instance* {
+    Instance* best = nullptr;
+    for (const auto& inst : fleet) {
+      if (!inst->Routable() || inst.get() == exclude) continue;
+      if (best == nullptr ||
+          inst->loop->NumWaiting() < best->loop->NumWaiting()) {
+        best = inst.get();
+      }
+    }
+    return best;
+  };
+
+  double last_scale_change = -std::numeric_limits<double>::infinity();
+
+  // One controller tick: warmups, scaling-policy votes, the migration
+  // planner, drain retirements, and the fleet-size timeline entry.
+  const auto tick = [&](double t) -> Status {
+    ++fm.ticks;
+    for (size_t i = 0; i < fleet.size(); ++i) {
+      Instance& inst = *fleet[i];
+      if (inst.state == Instance::State::kWarming && t >= inst.live_at) {
+        inst.state = Instance::State::kLive;
+        record_event(inst.live_at, static_cast<int32_t>(i),
+                     FleetScaleEvent::Kind::kLive);
+      }
+    }
+    std::vector<Instance*> live;
+    for (const auto& inst : fleet) {
+      if (inst->Routable()) live.push_back(inst.get());
+    }
+    int32_t alive = 0;
+    for (const auto& inst : fleet) alive += inst->Alive() ? 1 : 0;
+
+    // Scaling votes.
+    if (!config_.scaling.empty() && !live.empty()) {
+      int64_t total_waiting = 0;
+      double util_sum = 0.0;
+      for (Instance* inst : live) {
+        total_waiting += inst->loop->NumWaiting();
+        util_sum += inst->backend->pool()->utilization();
+      }
+      const double queue_per_instance =
+          static_cast<double>(total_waiting) / live.size();
+      const double mean_util = util_sum / live.size();
+
+      bool vote_up = false, vote_down = false, hold = false;
+      for (const ScalingRule& rule : config_.scaling) {
+        switch (rule.kind) {
+          case ScalingRule::Kind::kQueueDepth:
+            if (queue_per_instance > rule.queue_high) {
+              vote_up = true;
+            } else if (queue_per_instance < rule.queue_low) {
+              vote_down = true;
+            } else {
+              hold = true;
+            }
+            break;
+          case ScalingRule::Kind::kTargetUtilization:
+            if (mean_util > rule.util_high) {
+              vote_up = true;
+            } else if (mean_util < rule.util_low) {
+              vote_down = true;
+            } else {
+              hold = true;
+            }
+            break;
+          case ScalingRule::Kind::kSloAttainmentGuard: {
+            int64_t met = 0, total = 0;
+            for (const auto& inst : fleet) {
+              const auto [m, n] =
+                  inst->loop->TtftFinishesSince(t - rule.window_s);
+              met += m;
+              total += n;
+            }
+            if (total > 0 &&
+                static_cast<double>(met) / total < rule.attainment_floor) {
+              vote_up = true;
+            }
+            break;
+          }
+        }
+      }
+      if (vote_up && alive < max_n &&
+          t - last_scale_change >= config_.scale_up_cooldown_s) {
+        APT_RETURN_NOT_OK(spawn(t, /*cold=*/true));
+        last_scale_change = t;
+        ++alive;
+      } else if (!vote_up && vote_down && !hold &&
+                 t - last_scale_change >= config_.scale_down_cooldown_s &&
+                 static_cast<int32_t>(live.size()) > config_.min_instances) {
+        // Drain the live instance with the least unfinished work (tie:
+        // the newest — LIFO keeps long-lived instances' caches warm).
+        Instance* victim = nullptr;
+        int32_t victim_id = -1;
+        for (size_t i = 0; i < fleet.size(); ++i) {
+          Instance& inst = *fleet[i];
+          if (!inst.Routable()) continue;
+          if (victim == nullptr ||
+              inst.loop->NumUnfinished() <= victim->loop->NumUnfinished()) {
+            victim = &inst;
+            victim_id = static_cast<int32_t>(i);
+          }
+        }
+        if (victim != nullptr) {
+          victim->state = Instance::State::kDraining;
+          record_event(t, victim_id, FleetScaleEvent::Kind::kDrainStart);
+          last_scale_change = t;
+        }
+      }
+    }
+
+    // Migration planner: evacuate draining instances, then shed queue
+    // depth from the hottest live instance to the coolest.
+    if (config_.enable_migration) {
+      int32_t moved = 0;
+      for (auto& src : fleet) {
+        if (src->state != Instance::State::kDraining) continue;
+        for (RequestId id : src->loop->MigratableWaiting()) {
+          if (moved >= config_.max_migrations_per_tick) break;
+          Instance* dst = pick_coolest(src.get());
+          if (dst == nullptr) break;
+          APT_RETURN_NOT_OK(migrate(*src, *dst, id, t));
+          ++moved;
+        }
+      }
+      while (moved < config_.max_migrations_per_tick) {
+        Instance* hottest = nullptr;
+        Instance* coolest = nullptr;
+        for (const auto& inst : fleet) {
+          if (!inst->Routable()) continue;
+          if (hottest == nullptr ||
+              inst->loop->NumWaiting() > hottest->loop->NumWaiting()) {
+            hottest = inst.get();
+          }
+          if (coolest == nullptr ||
+              inst->loop->NumWaiting() < coolest->loop->NumWaiting()) {
+            coolest = inst.get();
+          }
+        }
+        if (hottest == nullptr || coolest == nullptr || hottest == coolest ||
+            hottest->loop->NumWaiting() - coolest->loop->NumWaiting() <=
+                config_.migration_imbalance_threshold) {
+          break;
+        }
+        const auto candidates = hottest->loop->MigratableWaiting();
+        if (candidates.empty()) break;
+        APT_RETURN_NOT_OK(migrate(*hottest, *coolest, candidates.front(), t));
+        ++moved;
+      }
+    }
+
+    // Retire drained instances.
+    for (size_t i = 0; i < fleet.size(); ++i) {
+      Instance& inst = *fleet[i];
+      if (inst.state == Instance::State::kDraining &&
+          inst.loop->AllServed()) {
+        inst.state = Instance::State::kRetired;
+        // Billing runs to the instance's own last iteration (which may
+        // overshoot the tick); the event is logged at the tick that
+        // observed the retirement so the scale-event log stays
+        // chronological.
+        inst.retire_time = std::max(t, inst.loop->now());
+        record_event(t, static_cast<int32_t>(i),
+                     FleetScaleEvent::Kind::kRetire);
+        --alive;
+      }
+    }
+
+    fm.size_timeline.emplace_back(t, alive);
+    fm.peak_instances = std::max(fm.peak_instances, alive);
+    return Status::OK();
+  };
+
+  // Fleet thread pool: instances step independently between barriers.
+  const int32_t threads =
+      std::min(config_.runtime.ResolvedNumThreads(), max_n);
+  std::unique_ptr<runtime::ThreadPool> pool;
+  if (threads > 1) {
+    RuntimeConfig fleet_runtime = config_.runtime;
+    fleet_runtime.num_threads = threads;
+    pool = std::make_unique<runtime::ThreadPool>(fleet_runtime);
+  }
+
+  const auto step_until = [&](Instance& inst, double t_end) {
+    if (!inst.Alive() || !inst.status.ok()) return;
+    while (inst.loop->now() < t_end) {
+      if (inst.loop->AllServed()) break;  // parked; the cap cannot apply
+      if (inst.loop->iterations() >= config_.loop.max_iterations) {
+        inst.status = Status::Internal(
+            "serving loop hit the iteration cap with " +
+            std::to_string(inst.loop->NumUnfinished()) +
+            " unfinished requests");
+        return;
+      }
+      auto progress = inst.loop->Step();
+      if (!progress.ok()) {
+        inst.status = progress.status();
+        return;
+      }
+      if (*progress == ServingLoopState::Progress::kDrained) break;
+    }
+  };
+
+  size_t next_route = 0;
+  int64_t total_rejected = 0;
+  int64_t total_deprioritized = 0;
+  std::vector<uint8_t> live_mask;
+  double window_start = 0.0;
+
+  while (true) {
+    const double window_end =
+        elastic ? window_start + config_.tick_interval_s
+                : std::numeric_limits<double>::infinity();
+    if (elastic) APT_RETURN_NOT_OK(tick(window_start));
+
+    // Route every arrival of this window against the live set (constant
+    // within the window — scale events only happen at ticks).
+    if (next_route < trace.size()) {
+      live_mask.assign(rstate.capacity(), 0);
+      for (size_t i = 0; i < fleet.size(); ++i) {
+        live_mask[i] = fleet[i]->Routable() ? 1 : 0;
+      }
+    }
+    while (next_route < trace.size() &&
+           trace[next_route].arrival < window_end) {
+      const Request& req = trace[next_route];
+      bool best_effort = false;
+      const int32_t inst =
+          router_.RouteOne(req, next_route, live_mask, &rstate, &best_effort);
+      if (inst == RouteDecision::kRejected) {
+        ++total_rejected;
+      } else {
+        Request routed = req;
+        if (best_effort) {
+          routed.best_effort = true;
+          ++total_deprioritized;
+        }
+        APT_RETURN_NOT_OK(fleet[inst]->loop->Inject(routed, routed.arrival));
+      }
+      ++next_route;
+    }
+
+    // Epochs: every instance advances to the window barrier.
+    const int32_t n_now = static_cast<int32_t>(fleet.size());
+    if (pool != nullptr) {
+      pool->ParallelForEach(0, n_now, 1, [&](int64_t i) {
+        step_until(*fleet[i], window_end);
+      });
+    } else {
+      for (int32_t i = 0; i < n_now; ++i) {
+        step_until(*fleet[i], window_end);
+        if (!fleet[i]->status.ok()) break;  // fail fast, as before
+      }
+    }
+    // First failure in instance order, matching the classic runner.
+    for (const auto& inst : fleet) {
+      if (!inst->status.ok()) return inst->status;
+    }
+
+    if (!elastic) break;
+    bool done = next_route == trace.size();
+    for (const auto& inst : fleet) {
+      done = done && inst->loop->AllServed();
+    }
+    if (done) break;
+    window_start = window_end;
+    if (fm.ticks > 100'000'000) {
+      return Status::Internal("fleet controller exceeded the tick guard");
+    }
+  }
+
+  // Finalize instances and assemble the fleet result.
+  MultiInstanceResult& result = out.serve;
+  const int32_t total_instances = static_cast<int32_t>(fleet.size());
+  result.per_instance.resize(total_instances);
+  result.requests_per_instance.assign(total_instances, 0);
+  result.prefill_computed_per_instance.assign(total_instances, 0);
+  result.prefill_skipped_per_instance.assign(total_instances, 0);
+  result.prefix_per_instance.resize(total_instances);
+  result.rejected_requests = total_rejected;
+  result.deprioritized_requests = total_deprioritized;
+
+  double fleet_end = 0.0;
+  for (const auto& inst : fleet) {
+    fleet_end = std::max(fleet_end, inst->loop->now());
+  }
+  for (int32_t i = 0; i < total_instances; ++i) {
+    Instance& inst = *fleet[i];
+    // An instance that never saw a request reports all-zeros, exactly like
+    // the classic runner's skipped empty shard.
+    if (inst.loop->NumRegistered() > 0) {
+      APT_ASSIGN_OR_RETURN(const ServingLoopResult r, inst.loop->Finish());
+      result.per_instance[i] = r.report;
+      result.requests_per_instance[i] =
+          static_cast<int32_t>(r.records.size());
+      result.prefill_computed_per_instance[i] = r.prefill_tokens_computed;
+      result.prefill_skipped_per_instance[i] = r.prefill_tokens_skipped;
+      result.prefix_per_instance[i] = r.prefix;
+      result.prefill_tokens_computed += r.prefill_tokens_computed;
+      result.prefill_tokens_skipped += r.prefill_tokens_skipped;
+      result.tokens_generated += r.tokens_generated;
+      AddPrefixStats(r.prefix, &result.prefix);
+    }
+    const double end = inst.retire_time >= 0 ? inst.retire_time : fleet_end;
+    fm.instance_seconds += std::max(0.0, end - inst.add_time);
+  }
+  if (elastic) {
+    int32_t alive = 0;
+    for (const auto& inst : fleet) alive += inst->Alive() ? 1 : 0;
+    fm.size_timeline.emplace_back(fleet_end, alive);
+    fm.peak_instances = std::max(fm.peak_instances, alive);
+  } else {
+    fm.instance_seconds = total_instances * fleet_end;
+    fm.peak_instances = total_instances;
+    fm.size_timeline.emplace_back(fleet_end, total_instances);
+  }
+
+  result.combined =
+      MergeReports(result.per_instance, result.requests_per_instance);
+  FoldRejectedIntoReport(result.rejected_requests, &result.combined);
+  return out;
+}
+
+SloReport MergeReports(const std::vector<SloReport>& reports,
+                       const std::vector<int32_t>& request_counts) {
+  APT_CHECK(reports.size() == request_counts.size());
+  SloReport out;
+  int64_t eligible_total = 0;
+  double limit_time = 0.0;
+  double batch_weighted = 0.0;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const SloReport& r = reports[i];
+    // Attainment weight: eligible requests. Hand-built reports may not
+    // fill best_effort_requests; counts minus best-effort equals eligible
+    // for real reports and the raw count otherwise — bit-identical to the
+    // pre-SLO-routing merge whenever no best-effort traffic exists.
+    const int64_t n = request_counts[i] - r.best_effort_requests;
+    eligible_total += n;
+    out.slo_attainment += r.slo_attainment * n;
+    out.ttft_attainment += r.ttft_attainment * n;
+    out.tbt_attainment += r.tbt_attainment * n;
+    out.total_serving_time = std::max(out.total_serving_time,
+                                      r.total_serving_time);
+    limit_time += r.batch_limit_time_ratio * r.total_serving_time;
+    out.iterations += r.iterations;
+    batch_weighted += r.mean_batch_size * static_cast<double>(r.iterations);
+    out.preemptions += r.preemptions;
+    out.conversions += r.conversions;
+    out.eligible_requests += r.eligible_requests;
+    out.slo_met_requests += r.slo_met_requests;
+    out.best_effort_requests += r.best_effort_requests;
+    out.rejected_requests += r.rejected_requests;
+    for (double v : r.ttfts.samples()) out.ttfts.Add(v);
+    for (double v : r.p99_tbts.samples()) out.p99_tbts.Add(v);
+  }
+  if (eligible_total > 0) {
+    out.slo_attainment /= eligible_total;
+    out.ttft_attainment /= eligible_total;
+    out.tbt_attainment /= eligible_total;
+  }
+  double summed_time = 0.0;
+  for (const SloReport& r : reports) summed_time += r.total_serving_time;
+  out.batch_limit_time_ratio =
+      summed_time > 0 ? limit_time / summed_time : 0.0;
+  out.mean_batch_size =
+      out.iterations > 0 ? batch_weighted / out.iterations : 0.0;
+  out.mean_ttft = out.ttfts.Mean();
+  out.p99_ttft = out.ttfts.P99();
+  out.goodput_rps = out.total_serving_time > 0
+                        ? out.slo_met_requests / out.total_serving_time
+                        : 0.0;
+  return out;
+}
+
+}  // namespace aptserve

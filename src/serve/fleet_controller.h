@@ -1,0 +1,214 @@
+// FleetController: the event-driven multi-instance serving layer. One
+// virtual-time loop interleaves per-instance serving-loop epochs
+// (ServingLoopState::Step) with controller ticks; each tick evaluates
+// pluggable scaling policies to grow the fleet (cold start with a
+// configurable warmup latency) or drain-and-remove instances, and a
+// migration planner that moves queued or preempted requests off hot or
+// draining instances *with their hybrid KV/hidden cache state*
+// (ServingLoopState::Extract/Receive over the backends'
+// ExportRequest/ImportRequest — shared prefix blocks re-resolve through the
+// destination's PrefixIndex so they dedupe instead of copying, and the
+// interconnect transfer is priced by CostModel::MigrationSeconds).
+//
+// Requests are routed live, at arrival, against the currently-live
+// instance set (Router::RouteOne); scale events only happen at tick
+// boundaries, so routing within a tick window sees a constant fleet.
+//
+// Determinism: ticks, routing, scaling, and migration all run serially at
+// window barriers; instances only execute their own independent epochs
+// between barriers (in parallel on the fleet thread pool when the runtime
+// allows). Results are therefore bit-identical at any thread count.
+//
+// The static fleet is the degenerate case: no scaling rules, no migration.
+// It runs as a single infinite window — route everything, run every
+// instance to completion — which is operation-for-operation the classic
+// MultiInstanceRunner (rebuilt on this controller and pinned by the router
+// parity and serving-loop parity suites).
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/length_predictor.h"
+#include "runtime/runtime_config.h"
+#include "serve/router.h"
+#include "serve/serving_loop.h"
+#include "sim/metrics.h"
+#include "sim/scheduler.h"
+#include "workload/request.h"
+
+namespace aptserve {
+
+/// Creates one scheduler per instance (each instance needs its own
+/// stateful scheduler object).
+using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
+
+/// Creates the execution backend for instance `i` (each instance owns its
+/// pool/engine).
+using BackendFactory =
+    std::function<StatusOr<std::unique_ptr<ExecutionBackend>>(int32_t)>;
+
+struct MultiInstanceResult {
+  SloReport combined;
+  std::vector<SloReport> per_instance;
+  /// Requests served per instance (== the routed counts for a static
+  /// fleet; migration moves them to where they actually finished).
+  std::vector<int32_t> requests_per_instance;
+  /// Admission outcomes (zero unless the router rejects/deprioritizes).
+  int64_t rejected_requests = 0;
+  int64_t deprioritized_requests = 0;
+  /// Fleet prefill accounting: positions computed vs adopted from the
+  /// instances' prefix indexes, summed and per instance.
+  int64_t prefill_tokens_computed = 0;
+  int64_t prefill_tokens_skipped = 0;
+  std::vector<int64_t> prefill_computed_per_instance;
+  std::vector<int64_t> prefill_skipped_per_instance;
+  /// Prefix-sharing hit accounting, summed and per instance (all zeros
+  /// when the backends run without an index).
+  PrefixStats prefix;
+  std::vector<PrefixStats> prefix_per_instance;
+  int64_t tokens_generated = 0;
+};
+
+/// One pluggable scaling policy evaluated every controller tick. Rules
+/// combine conservatively: any up-vote wins; the fleet shrinks only when
+/// no rule votes up, at least one votes down, and none holds.
+struct ScalingRule {
+  enum class Kind {
+    /// Mean block-pool utilization across live instances.
+    kTargetUtilization,
+    /// Trailing-window fleet TTFT attainment floor. Up-only — a guard
+    /// never votes to shrink, and abstains while the window is empty.
+    kSloAttainmentGuard,
+    /// Waiting (queued) requests per live instance.
+    kQueueDepth,
+  };
+  Kind kind = Kind::kQueueDepth;
+  /// kTargetUtilization thresholds.
+  double util_high = 0.85;
+  double util_low = 0.30;
+  /// kQueueDepth thresholds.
+  double queue_high = 8.0;
+  double queue_low = 1.0;
+  /// kSloAttainmentGuard floor and rolling window.
+  double attainment_floor = 0.90;
+  double window_s = 30.0;
+
+  static ScalingRule TargetUtilization(double high = 0.85, double low = 0.30) {
+    ScalingRule r;
+    r.kind = Kind::kTargetUtilization;
+    r.util_high = high;
+    r.util_low = low;
+    return r;
+  }
+  static ScalingRule QueueDepth(double high = 8.0, double low = 1.0) {
+    ScalingRule r;
+    r.kind = Kind::kQueueDepth;
+    r.queue_high = high;
+    r.queue_low = low;
+    return r;
+  }
+  static ScalingRule SloAttainmentGuard(double floor = 0.90,
+                                        double window_s = 30.0) {
+    ScalingRule r;
+    r.kind = Kind::kSloAttainmentGuard;
+    r.attainment_floor = floor;
+    r.window_s = window_s;
+    return r;
+  }
+};
+
+/// The single home of fleet options (satellite of ISSUE 5: the legacy
+/// sim-layer MultiInstanceConfig is now a thin wrapper around this).
+struct FleetConfig {
+  /// Routing policy, admission control, and the *initial* fleet size
+  /// (router.n_instances).
+  RouterConfig router;
+  ServingLoopConfig loop;
+  /// Fleet runtime: instances step concurrently on up to this many threads
+  /// between controller barriers (bit-identical to serial).
+  RuntimeConfig runtime;
+
+  // ---- Elasticity ----------------------------------------------------------
+  int32_t min_instances = 1;
+  /// Scale-up ceiling; 0 means router.n_instances (no headroom).
+  int32_t max_instances = 0;
+  /// Controller tick (virtual seconds) between policy evaluations.
+  double tick_interval_s = 1.0;
+  /// Cold-start latency: a spawned instance starts serving this much
+  /// virtual time after its spawn tick.
+  double instance_warmup_s = 0.5;
+  /// Empty = never scale (the static fleet).
+  std::vector<ScalingRule> scaling;
+  /// Minimum virtual time between scaling actions (anti-flapping).
+  /// Asymmetric on purpose: growing is cheap to undo, shrinking under
+  /// rising load costs SLO misses, so fleets react up fast and down slowly.
+  double scale_up_cooldown_s = 2.0;
+  double scale_down_cooldown_s = 15.0;
+
+  // ---- Migration -----------------------------------------------------------
+  /// Enables the migration planner: draining instances evacuate their
+  /// queued/preempted requests, and hot instances shed queue depth to cool
+  /// ones, cache state travelling along.
+  bool enable_migration = false;
+  /// Hot-rebalance trigger: (max - min) waiting-queue depth across live
+  /// instances must exceed this before a rebalance migration happens.
+  double migration_imbalance_threshold = 8.0;
+  /// Per-tick cap on planner moves (drain evacuation + rebalance).
+  int32_t max_migrations_per_tick = 8;
+
+  bool IsElastic() const { return !scaling.empty() || enable_migration; }
+  int32_t MaxInstances() const {
+    return std::max(max_instances, router.n_instances);
+  }
+};
+
+struct FleetResult {
+  MultiInstanceResult serve;
+  FleetMetrics fleet;
+};
+
+class FleetController {
+ public:
+  /// Routes through a copy of `router` (its config().n_instances is the
+  /// initial fleet size; config.router is ignored for routing).
+  /// `migration_cost_model` prices cache transfers; defaults to the
+  /// router's own cost model (instantaneous when neither exists).
+  FleetController(const FleetConfig& config, const Router& router,
+                  const CostModel* migration_cost_model = nullptr);
+
+  /// Builds the Router from config.router with the given estimators.
+  explicit FleetController(const FleetConfig& config,
+                           const CostModel* cost_model = nullptr,
+                           const OutputLengthPredictor* predictor = nullptr);
+
+  /// Serves `trace` (sorted by arrival) on the elastic fleet. Scheduler
+  /// and backend factories run eagerly for every spawned instance —
+  /// routing is live, so (unlike the historical shard-and-run runner,
+  /// which skipped empty shards) an instance's backend exists before
+  /// anyone knows whether traffic will reach it. Factories must therefore
+  /// succeed for every instance id up to the scale ceiling.
+  StatusOr<FleetResult> Run(const std::vector<Request>& trace,
+                            const SchedulerFactory& make_scheduler,
+                            const BackendFactory& make_backend,
+                            const SloSpec& slo);
+
+  const Router& router() const { return router_; }
+  const FleetConfig& config() const { return config_; }
+
+ private:
+  FleetConfig config_;
+  Router router_;
+  const CostModel* migration_cost_model_;
+};
+
+/// Merges per-instance reports into a fleet-level report: attainment is
+/// weighted by eligible (non-best-effort) requests, latency sample sets
+/// are unioned, serving time is the parallel maximum, counters are summed,
+/// goodput is the merged SLO-met count over the fleet serving time.
+SloReport MergeReports(const std::vector<SloReport>& reports,
+                       const std::vector<int32_t>& request_counts);
+
+}  // namespace aptserve

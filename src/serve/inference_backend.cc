@@ -76,35 +76,66 @@ Status InferenceBackend::Prepare(const std::vector<SimRequest>& reqs) {
     }
   }
   for (const SimRequest& sr : reqs) {
-    // Prompts come from the trace when it carries token content (prefix
-    // sharing matches on it). Length-only traces: with sharing enabled,
-    // the same order-independent synthesizer the analytic backend uses
-    // (so hit accounting stays comparable across backends when their
-    // seed/vocab agree); with sharing off, the legacy sequential stream,
-    // bit-identical to pre-sharing behaviour.
-    std::vector<int32_t> prompt;
-    if (sr.spec.has_token_ids()) {
-      if (static_cast<int32_t>(sr.spec.token_ids.size()) !=
-          sr.spec.prompt_len) {
-        return Status::InvalidArgument(
-            "request " + std::to_string(sr.spec.id) +
-            " token_ids size does not match prompt_len");
-      }
-      prompt = sr.spec.token_ids;  // AddRequest validates the vocab range
-    } else if (options_.enable_prefix_sharing) {
-      prompt = DeterministicPromptTokens(sr.spec.id, options_.prompt_seed,
-                                         sr.spec.prompt_len, cfg.vocab_size);
-    } else {
-      prompt.resize(sr.spec.prompt_len);
-      for (int32_t& t : prompt) {
-        t = static_cast<int32_t>(
-            prompt_rng_.UniformInt(0, cfg.vocab_size - 1));
-      }
-    }
-    APT_RETURN_NOT_OK(
-        engine_->AddRequest(sr.spec.id, std::move(prompt), CacheType::kKV));
+    APT_RETURN_NOT_OK(Register(sr));
   }
   return Status::OK();
+}
+
+Status InferenceBackend::Register(const SimRequest& sr) {
+  const ModelConfig& cfg = engine_->model().config();
+  // Prompts come from the trace when it carries token content (prefix
+  // sharing matches on it). Length-only traces: with sharing enabled,
+  // the same order-independent synthesizer the analytic backend uses
+  // (so hit accounting stays comparable across backends when their
+  // seed/vocab agree); with sharing off, the legacy sequential stream,
+  // bit-identical to pre-sharing behaviour. Registration order must match
+  // arrival order for that stream to reproduce a whole-shard Prepare.
+  std::vector<int32_t> prompt;
+  if (sr.spec.has_token_ids()) {
+    if (static_cast<int32_t>(sr.spec.token_ids.size()) !=
+        sr.spec.prompt_len) {
+      return Status::InvalidArgument(
+          "request " + std::to_string(sr.spec.id) +
+          " token_ids size does not match prompt_len");
+    }
+    prompt = sr.spec.token_ids;  // AddRequest validates the vocab range
+  } else if (options_.enable_prefix_sharing) {
+    prompt = DeterministicPromptTokens(sr.spec.id, options_.prompt_seed,
+                                       sr.spec.prompt_len, cfg.vocab_size);
+  } else {
+    prompt.resize(sr.spec.prompt_len);
+    for (int32_t& t : prompt) {
+      t = static_cast<int32_t>(prompt_rng_.UniformInt(0, cfg.vocab_size - 1));
+    }
+  }
+  return engine_->AddRequest(sr.spec.id, std::move(prompt), CacheType::kKV);
+}
+
+Status InferenceBackend::Admit(const SimRequest& sr) {
+  const ModelConfig& cfg = engine_->model().config();
+  if (sr.spec.total_len() + 1 > cfg.max_seq_len) {
+    return Status::InvalidArgument(
+        "request " + std::to_string(sr.spec.id) + " exceeds model context");
+  }
+  return Register(sr);
+}
+
+StatusOr<MigrationImage> InferenceBackend::ExportRequest(const SimRequest& sr) {
+  if (swap_.Contains(sr.spec.id)) {
+    return Status::FailedPrecondition(
+        "swapped-out requests migrate cold, not live");
+  }
+  return engine_->ExportRequest(sr.spec.id);
+}
+
+StatusOr<MigrationImport> InferenceBackend::ImportRequest(
+    const SimRequest& sr, const MigrationImage& image) {
+  const ModelConfig& cfg = engine_->model().config();
+  if (sr.spec.total_len() + 1 > cfg.max_seq_len) {
+    return Status::InvalidArgument(
+        "request " + std::to_string(sr.spec.id) + " exceeds model context");
+  }
+  return engine_->ImportRequest(sr.spec.id, image);
 }
 
 void InferenceBackend::BeginIteration() {
@@ -231,6 +262,9 @@ Status InferenceBackend::OnFinish(const SimRequest& sr) {
   const GenerationState* gs = engine_->Find(sr.spec.id);
   APT_CHECK(gs != nullptr);
   finished_tokens_[sr.spec.id] = gs->tokens;
+  if (options_.finished_sink != nullptr) {
+    (*options_.finished_sink)[sr.spec.id] = gs->tokens;
+  }
   return engine_->RemoveRequest(sr.spec.id);
 }
 

@@ -55,6 +55,11 @@ struct InferenceBackendOptions {
   /// streams are unaffected (causal K/V of equal prefixes are
   /// bit-identical); only latency and memory change.
   bool enable_prefix_sharing = false;
+  /// Optional sink receiving every finished request's full token sequence
+  /// (prompt + generated): fleet owners read tokens after the controller
+  /// destroys per-instance backends. Borrowed, must outlive the backend,
+  /// and must be private to this backend (instances step concurrently).
+  std::unordered_map<RequestId, std::vector<int32_t>>* finished_sink = nullptr;
 };
 
 class InferenceBackend : public ExecutionBackend {
@@ -71,6 +76,10 @@ class InferenceBackend : public ExecutionBackend {
 
   std::string name() const override { return "inference-engine"; }
   Status Prepare(const std::vector<SimRequest>& reqs) override;
+  Status Admit(const SimRequest& sr) override;
+  StatusOr<MigrationImage> ExportRequest(const SimRequest& sr) override;
+  StatusOr<MigrationImport> ImportRequest(const SimRequest& sr,
+                                          const MigrationImage& image) override;
   const BlockPool* pool() const override { return &engine_->pool(); }
   const HybridCacheAssigner* assigner() const override {
     return &engine_->assigner();
@@ -95,6 +104,10 @@ class InferenceBackend : public ExecutionBackend {
     const PrefixIndex* index = engine_->prefix_index();
     return index ? &index->stats() : nullptr;
   }
+  int32_t ReclaimCache(int32_t min_blocks) override {
+    PrefixIndex* index = engine_->prefix_index();
+    return index ? index->EvictLru(min_blocks) : 0;
+  }
 
   InferenceEngine& engine() { return *engine_; }
   /// Full token sequences (prompt + generated) of finished requests,
@@ -105,6 +118,8 @@ class InferenceBackend : public ExecutionBackend {
   }
 
  private:
+  /// Prompt synthesis + engine registration for one request (Prepare/Admit).
+  Status Register(const SimRequest& sr);
   /// Computes all deferred steps (parallel) and samples in schedule order.
   Status FlushPending();
   /// Flushes early iff `id` already has a deferred step this iteration.

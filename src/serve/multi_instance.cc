@@ -1,10 +1,9 @@
 #include "serve/multi_instance.h"
 
-#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
-#include "runtime/thread_pool.h"
+#include "serve/fleet_controller.h"
 
 namespace aptserve {
 
@@ -45,20 +44,6 @@ std::vector<int32_t> DispatchTrace(const std::vector<Request>& trace,
   return Router(ToRouterConfig(config)).Route(trace).assignment;
 }
 
-namespace {
-
-void AddPrefixStats(const PrefixStats& from, PrefixStats* into) {
-  into->lookups += from.lookups;
-  into->hits += from.hits;
-  into->matched_tokens += from.matched_tokens;
-  into->shared_blocks += from.shared_blocks;
-  into->cow_matches += from.cow_matches;
-  into->inserted_blocks += from.inserted_blocks;
-  into->evicted_blocks += from.evicted_blocks;
-}
-
-}  // namespace
-
 MultiInstanceRunner::MultiInstanceRunner(const Router& router,
                                          const ServingLoopConfig& loop,
                                          const RuntimeConfig& runtime)
@@ -76,144 +61,19 @@ MultiInstanceRunner::MultiInstanceRunner(const DispatchConfig& dispatch,
 StatusOr<MultiInstanceResult> MultiInstanceRunner::Run(
     const std::vector<Request>& trace, const SchedulerFactory& make_scheduler,
     const BackendFactory& make_backend, const SloSpec& slo) {
-  const RouteDecision decision = router_.Route(trace);
-  const int32_t n = router_.config().n_instances;
-  MultiInstanceResult result;
-  result.per_instance.resize(n);
-  result.requests_per_instance = decision.admitted_per_instance;
-  result.rejected_requests = decision.rejected;
-  result.deprioritized_requests = decision.deprioritized;
-  result.prefill_computed_per_instance.assign(n, 0);
-  result.prefill_skipped_per_instance.assign(n, 0);
-  result.prefix_per_instance.resize(n);
-
-  // Per-instance serving state. Shards and the scheduler/backend objects
-  // are built serially in instance order — factories may capture shared
-  // state — so only the independent serving loops run on the fleet pool.
-  struct InstanceRun {
-    std::vector<Request> sub;
-    std::unique_ptr<Scheduler> scheduler;
-    std::unique_ptr<ExecutionBackend> backend;
-    ServingLoopResult out;
-    Status status = Status::OK();
-  };
-  std::vector<InstanceRun> runs(n);
-  for (size_t r = 0; r < trace.size(); ++r) {
-    const int32_t inst = decision.assignment[r];
-    if (inst == RouteDecision::kRejected) continue;
-    Request req = trace[r];
-    if (decision.best_effort[r]) req.best_effort = true;
-    runs[inst].sub.push_back(std::move(req));
-  }
-  for (int32_t inst = 0; inst < n; ++inst) {
-    APT_CHECK(static_cast<int32_t>(runs[inst].sub.size()) ==
-              decision.admitted_per_instance[inst]);
-    if (runs[inst].sub.empty()) continue;
-    runs[inst].scheduler = make_scheduler();
-    APT_ASSIGN_OR_RETURN(runs[inst].backend, make_backend(inst));
-  }
-
-  auto run_instance = [&](int32_t inst) {
-    InstanceRun& run = runs[inst];
-    if (run.sub.empty()) return;
-    ServingLoop loop(run.backend.get(), loop_);
-    StatusOr<ServingLoopResult> r = loop.Run(run.sub, run.scheduler.get(),
-                                             slo);
-    if (!r.ok()) {
-      run.status = r.status();
-      return;
-    }
-    run.out = std::move(*r);
-  };
-
-  const int32_t threads = std::min(runtime_.ResolvedNumThreads(), n);
-  if (threads > 1) {
-    // One task per instance epoch; the ParallelFor join is the epoch
-    // barrier behind which reports merge in instance order.
-    RuntimeConfig fleet_config = runtime_;
-    fleet_config.num_threads = threads;
-    runtime::ThreadPool fleet_pool(fleet_config);
-    fleet_pool.ParallelForEach(0, n, 1, [&](int64_t inst) {
-      run_instance(static_cast<int32_t>(inst));
-    });
-  } else {
-    for (int32_t inst = 0; inst < n; ++inst) {
-      run_instance(inst);
-      if (!runs[inst].status.ok()) break;  // fail fast, as before
-    }
-  }
-  // First failure in instance order, matching the serial runner's report.
-  for (const InstanceRun& run : runs) {
-    if (!run.status.ok()) return run.status;
-  }
-
-  for (int32_t inst = 0; inst < n; ++inst) {
-    const ServingLoopResult& out = runs[inst].out;
-    result.per_instance[inst] = out.report;
-    result.prefill_computed_per_instance[inst] = out.prefill_tokens_computed;
-    result.prefill_skipped_per_instance[inst] = out.prefill_tokens_skipped;
-    result.prefix_per_instance[inst] = out.prefix;
-    result.prefill_tokens_computed += out.prefill_tokens_computed;
-    result.prefill_tokens_skipped += out.prefill_tokens_skipped;
-    result.tokens_generated += out.tokens_generated;
-    AddPrefixStats(out.prefix, &result.prefix);
-  }
-
-  result.combined =
-      MergeReports(result.per_instance, result.requests_per_instance);
-  FoldRejectedIntoReport(decision.rejected, &result.combined);
-  return result;
-}
-
-SloReport MergeReports(const std::vector<SloReport>& reports,
-                       const std::vector<int32_t>& request_counts) {
-  APT_CHECK(reports.size() == request_counts.size());
-  SloReport out;
-  int64_t eligible_total = 0;
-  double limit_time = 0.0;
-  double batch_weighted = 0.0;
-  for (size_t i = 0; i < reports.size(); ++i) {
-    const SloReport& r = reports[i];
-    // Attainment weight: eligible requests. Hand-built reports may not
-    // fill best_effort_requests; counts minus best-effort equals eligible
-    // for real reports and the raw count otherwise — bit-identical to the
-    // pre-SLO-routing merge whenever no best-effort traffic exists.
-    const int64_t n = request_counts[i] - r.best_effort_requests;
-    eligible_total += n;
-    out.slo_attainment += r.slo_attainment * n;
-    out.ttft_attainment += r.ttft_attainment * n;
-    out.tbt_attainment += r.tbt_attainment * n;
-    out.total_serving_time = std::max(out.total_serving_time,
-                                      r.total_serving_time);
-    limit_time += r.batch_limit_time_ratio * r.total_serving_time;
-    out.iterations += r.iterations;
-    batch_weighted += r.mean_batch_size * static_cast<double>(r.iterations);
-    out.preemptions += r.preemptions;
-    out.conversions += r.conversions;
-    out.eligible_requests += r.eligible_requests;
-    out.slo_met_requests += r.slo_met_requests;
-    out.best_effort_requests += r.best_effort_requests;
-    out.rejected_requests += r.rejected_requests;
-    for (double v : r.ttfts.samples()) out.ttfts.Add(v);
-    for (double v : r.p99_tbts.samples()) out.p99_tbts.Add(v);
-  }
-  if (eligible_total > 0) {
-    out.slo_attainment /= eligible_total;
-    out.ttft_attainment /= eligible_total;
-    out.tbt_attainment /= eligible_total;
-  }
-  double summed_time = 0.0;
-  for (const SloReport& r : reports) summed_time += r.total_serving_time;
-  out.batch_limit_time_ratio =
-      summed_time > 0 ? limit_time / summed_time : 0.0;
-  out.mean_batch_size =
-      out.iterations > 0 ? batch_weighted / out.iterations : 0.0;
-  out.mean_ttft = out.ttfts.Mean();
-  out.p99_ttft = out.ttfts.P99();
-  out.goodput_rps = out.total_serving_time > 0
-                        ? out.slo_met_requests / out.total_serving_time
-                        : 0.0;
-  return out;
+  // The static fleet is the FleetController's degenerate case: no scaling
+  // rules, no migration — one infinite window that routes everything and
+  // runs every instance to completion, bit-identical to the historical
+  // shard-and-run runner.
+  FleetConfig config;
+  config.router = router_.config();
+  config.loop = loop_;
+  config.runtime = runtime_;
+  FleetController controller(config, router_);
+  APT_ASSIGN_OR_RETURN(FleetResult result,
+                       controller.Run(trace, make_scheduler, make_backend,
+                                      slo));
+  return std::move(result.serve);
 }
 
 }  // namespace aptserve

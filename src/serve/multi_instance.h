@@ -32,6 +32,7 @@
 #include "prefix/prefix_index.h"
 #include "runtime/runtime_config.h"
 #include "serve/execution_backend.h"
+#include "serve/fleet_controller.h"
 #include "serve/router.h"
 #include "serve/serving_loop.h"
 #include "sim/metrics.h"
@@ -71,35 +72,10 @@ RouterConfig ToRouterConfig(const DispatchConfig& config);
 std::vector<int32_t> DispatchTrace(const std::vector<Request>& trace,
                                    const DispatchConfig& config);
 
-struct MultiInstanceResult {
-  SloReport combined;
-  std::vector<SloReport> per_instance;
-  /// Admitted requests per instance (== all requests when admission is off).
-  std::vector<int32_t> requests_per_instance;
-  /// Admission outcomes (zero unless the router rejects/deprioritizes).
-  int64_t rejected_requests = 0;
-  int64_t deprioritized_requests = 0;
-  /// Fleet prefill accounting: positions computed vs adopted from the
-  /// instances' prefix indexes, summed and per instance.
-  int64_t prefill_tokens_computed = 0;
-  int64_t prefill_tokens_skipped = 0;
-  std::vector<int64_t> prefill_computed_per_instance;
-  std::vector<int64_t> prefill_skipped_per_instance;
-  /// Prefix-sharing hit accounting, summed and per instance (all zeros
-  /// when the backends run without an index).
-  PrefixStats prefix;
-  std::vector<PrefixStats> prefix_per_instance;
-  int64_t tokens_generated = 0;
-};
-
-/// Creates one scheduler per instance (each instance needs its own
-/// stateful scheduler object).
-using SchedulerFactory = std::function<std::unique_ptr<Scheduler>()>;
-
-/// Creates the execution backend for instance `i` (each instance owns its
-/// pool/engine).
-using BackendFactory =
-    std::function<StatusOr<std::unique_ptr<ExecutionBackend>>(int32_t)>;
+// MultiInstanceResult, SchedulerFactory, BackendFactory and MergeReports
+// now live in serve/fleet_controller.h (the runner is a thin static-fleet
+// facade over the event-driven FleetController) and are re-exported here
+// for existing users.
 
 class MultiInstanceRunner {
  public:
@@ -139,12 +115,5 @@ class MultiInstanceRunner {
   ServingLoopConfig loop_;
   RuntimeConfig runtime_;
 };
-
-/// Merges per-instance reports into a fleet-level report: attainment is
-/// weighted by eligible (non-best-effort) requests, latency sample sets
-/// are unioned, serving time is the parallel maximum, counters are summed,
-/// goodput is the merged SLO-met count over the fleet serving time.
-SloReport MergeReports(const std::vector<SloReport>& reports,
-                       const std::vector<int32_t>& request_counts);
 
 }  // namespace aptserve

@@ -83,6 +83,33 @@ class AffinityMirror {
 
 }  // namespace
 
+/// The incremental routing model: one entry of every per-instance vector
+/// per addressable instance. Round-robin uses the caller-provided
+/// trace_index (not an internal counter) for bit-compatibility with the
+/// batch form.
+struct RouterState::Impl {
+  int32_t n = 0;
+  /// Legacy-policy state: per-instance sliding-window backlog of dispatched
+  /// prompt tokens (bit-for-bit the pre-router DispatchTrace bookkeeping).
+  std::vector<std::deque<std::pair<TimePoint, int64_t>>> window;
+  std::vector<int64_t> backlog;
+  Rng rng{0};
+  /// Work-model state: when each instance is predicted to drain its queue.
+  std::vector<double> busy_until;
+  /// Prefix-affinity mirrors (empty unless the policy needs them).
+  std::vector<AffinityMirror> mirror;
+  /// Scratch for RouteOne's live-instance list (avoids a per-request
+  /// allocation on the batch path).
+  std::vector<int32_t> live_scratch;
+};
+
+RouterState::RouterState() = default;
+RouterState::~RouterState() = default;
+RouterState::RouterState(RouterState&&) noexcept = default;
+RouterState& RouterState::operator=(RouterState&&) noexcept = default;
+
+int32_t RouterState::capacity() const { return impl_ ? impl_->n : 0; }
+
 Router::Router(const RouterConfig& config, const CostModel* cost_model,
                const OutputLengthPredictor* predictor)
     : config_(config), cost_model_(cost_model), predictor_(predictor) {
@@ -123,26 +150,55 @@ double Router::EstimatedServiceSeconds(const Request& r) const {
          out_len * cost_model_->IterationSeconds(d);
 }
 
-RouteDecision Router::Route(const std::vector<Request>& trace) const {
-  const int32_t n = config_.n_instances;
-  RouteDecision decision;
-  decision.assignment.assign(trace.size(), 0);
-  decision.best_effort.assign(trace.size(), 0);
-  decision.admitted_per_instance.assign(n, 0);
-
-  // Legacy-policy state: per-instance sliding-window backlog of dispatched
-  // prompt tokens (bit-for-bit the pre-router DispatchTrace bookkeeping).
-  std::vector<std::deque<std::pair<TimePoint, int64_t>>> window(n);
-  std::vector<int64_t> backlog(n, 0);
-  Rng rng(config_.dispatch_seed);
-  // Work-model state: when each instance is predicted to drain its queue.
-  std::vector<double> busy_until(n, 0.0);
-  // Prefix-affinity mirrors.
-  std::vector<AffinityMirror> mirror;
+RouterState Router::MakeState(int32_t max_instances) const {
+  RouterState state;
+  state.impl_ = std::make_unique<RouterState::Impl>();
+  RouterState::Impl& s = *state.impl_;
+  s.n = std::max(config_.n_instances, max_instances);
+  s.window.resize(s.n);
+  s.backlog.assign(s.n, 0);
+  s.rng = Rng(config_.dispatch_seed);
+  s.busy_until.assign(s.n, 0.0);
   if (config_.policy == RoutePolicy::kPrefixAffinity) {
-    mirror.reserve(n);
-    for (int32_t i = 0; i < n; ++i) mirror.emplace_back(config_.block_size);
+    s.mirror.reserve(s.n);
+    for (int32_t i = 0; i < s.n; ++i) s.mirror.emplace_back(config_.block_size);
   }
+  return state;
+}
+
+void Router::GrowState(RouterState* state, int32_t n_instances) const {
+  APT_CHECK(state != nullptr && state->impl_ != nullptr);
+  RouterState::Impl& s = *state->impl_;
+  if (n_instances <= s.n) return;
+  s.n = n_instances;
+  s.window.resize(n_instances);
+  s.backlog.resize(n_instances, 0);
+  s.busy_until.resize(n_instances, 0.0);
+  if (config_.policy == RoutePolicy::kPrefixAffinity) {
+    while (static_cast<int32_t>(s.mirror.size()) < n_instances) {
+      s.mirror.emplace_back(config_.block_size);
+    }
+  }
+  return;
+}
+
+int32_t Router::RouteOne(const Request& req, size_t trace_index,
+                         const std::vector<uint8_t>& live, RouterState* state,
+                         bool* best_effort) const {
+  APT_CHECK(state != nullptr && state->impl_ != nullptr &&
+            best_effort != nullptr);
+  RouterState::Impl& s = *state->impl_;
+  const int32_t n = s.n;
+  APT_CHECK(static_cast<int32_t>(live.size()) == n);
+  std::vector<int32_t>& live_ids = s.live_scratch;
+  live_ids.clear();
+  live_ids.reserve(n);
+  for (int32_t i = 0; i < n; ++i) {
+    if (live[i]) live_ids.push_back(i);
+  }
+  const int32_t n_live = static_cast<int32_t>(live_ids.size());
+  APT_CHECK_MSG(n_live >= 1, "routing with no live instances");
+  *best_effort = false;
 
   // Only maintain the state some consumer actually reads: the token
   // backlog windows feed kLeastLoaded/kPowerOfTwo, the busy-until clocks
@@ -154,124 +210,145 @@ RouteDecision Router::Route(const std::vector<Request>& trace) const {
       config_.policy == RoutePolicy::kPrefixAffinity ||
       config_.admission != AdmissionMode::kNone;
 
-  auto expire = [&](TimePoint now) {
-    for (int32_t i = 0; i < n; ++i) {
-      while (!window[i].empty() &&
-             window[i].front().first < now - config_.load_window_s) {
-        backlog[i] -= window[i].front().second;
-        window[i].pop_front();
-      }
-    }
+  const TimePoint now = req.arrival;
+  auto outstanding = [&](int32_t i) {
+    return std::max(0.0, s.busy_until[i] - now);
   };
-  auto outstanding = [&](int32_t i, TimePoint now) {
-    return std::max(0.0, busy_until[i] - now);
-  };
-  auto least_outstanding = [&](TimePoint now) {
-    int32_t best = 0;
-    for (int32_t i = 1; i < n; ++i) {
-      if (outstanding(i, now) < outstanding(best, now)) best = i;
+  auto least_outstanding = [&] {
+    int32_t best = live_ids[0];
+    for (int32_t k = 1; k < n_live; ++k) {
+      const int32_t i = live_ids[k];
+      if (outstanding(i) < outstanding(best)) best = i;
     }
     return best;
   };
 
-  for (size_t r = 0; r < trace.size(); ++r) {
-    const Request& req = trace[r];
-    const TimePoint now = req.arrival;
-    if (need_backlog) expire(now);
+  if (need_backlog) {
+    // Expire the sliding windows of every instance (live or not) so an
+    // instance re-entering the live set carries no stale backlog.
+    for (int32_t i = 0; i < n; ++i) {
+      while (!s.window[i].empty() &&
+             s.window[i].front().first < now - config_.load_window_s) {
+        s.backlog[i] -= s.window[i].front().second;
+        s.window[i].pop_front();
+      }
+    }
+  }
 
-    // 1. Pick the target instance under the policy.
-    int32_t inst = 0;
-    if (n == 1) {
-      inst = 0;
-    } else {
-      switch (config_.policy) {
-        case RoutePolicy::kRoundRobin:
-          inst = static_cast<int32_t>(r % n);
-          break;
-        case RoutePolicy::kLeastLoaded: {
-          int32_t best = 0;
-          for (int32_t i = 1; i < n; ++i) {
-            if (backlog[i] < backlog[best]) best = i;
-          }
-          inst = best;
-          break;
+  // 1. Pick the target instance under the policy. A one-instance fleet
+  // (or a one-instance live set) skips the policy — and its RNG draws —
+  // exactly like the historical single-instance shortcut.
+  int32_t inst = live_ids[0];
+  if (n_live > 1) {
+    switch (config_.policy) {
+      case RoutePolicy::kRoundRobin:
+        inst = live_ids[trace_index % n_live];
+        break;
+      case RoutePolicy::kLeastLoaded: {
+        int32_t best = live_ids[0];
+        for (int32_t k = 1; k < n_live; ++k) {
+          const int32_t i = live_ids[k];
+          if (s.backlog[i] < s.backlog[best]) best = i;
         }
-        case RoutePolicy::kPowerOfTwo: {
-          const int32_t a = static_cast<int32_t>(rng.UniformInt(0, n - 1));
-          int32_t b = static_cast<int32_t>(rng.UniformInt(0, n - 2));
-          if (b >= a) ++b;
-          inst = backlog[a] <= backlog[b] ? a : b;
-          break;
-        }
-        case RoutePolicy::kLeastOutstandingWork:
-          inst = least_outstanding(now);
-          break;
-        case RoutePolicy::kPrefixAffinity: {
-          const int32_t fallback = least_outstanding(now);
-          const double min_work = outstanding(fallback, now);
-          int32_t best = -1;
-          int32_t best_match = 0;
-          if (req.has_token_ids()) {
-            for (int32_t i = 0; i < n; ++i) {
-              if (outstanding(i, now) - min_work >
-                  config_.affinity_max_imbalance_s) {
-                continue;  // over the load-imbalance cap
-              }
-              const int32_t m = mirror[i].MatchTokens(req.token_ids);
-              if (m > best_match) {
-                best_match = m;
-                best = i;
-              }
+        inst = best;
+        break;
+      }
+      case RoutePolicy::kPowerOfTwo: {
+        const int32_t a =
+            static_cast<int32_t>(s.rng.UniformInt(0, n_live - 1));
+        int32_t b = static_cast<int32_t>(s.rng.UniformInt(0, n_live - 2));
+        if (b >= a) ++b;
+        inst = s.backlog[live_ids[a]] <= s.backlog[live_ids[b]]
+                   ? live_ids[a]
+                   : live_ids[b];
+        break;
+      }
+      case RoutePolicy::kLeastOutstandingWork:
+        inst = least_outstanding();
+        break;
+      case RoutePolicy::kPrefixAffinity: {
+        const int32_t fallback = least_outstanding();
+        const double min_work = outstanding(fallback);
+        int32_t best = -1;
+        int32_t best_match = 0;
+        if (req.has_token_ids()) {
+          for (int32_t k = 0; k < n_live; ++k) {
+            const int32_t i = live_ids[k];
+            if (outstanding(i) - min_work >
+                config_.affinity_max_imbalance_s) {
+              continue;  // over the load-imbalance cap
+            }
+            const int32_t m = s.mirror[i].MatchTokens(req.token_ids);
+            if (m > best_match) {
+              best_match = m;
+              best = i;
             }
           }
-          inst = best_match > 0 ? best : fallback;
-          break;
         }
+        inst = best_match > 0 ? best : fallback;
+        break;
       }
     }
+  }
 
-    // 2. Admission against the effective TTFT deadline: queue wait plus
-    // the request's own prefill time. A miss on the policy's choice first
-    // spills to the least-outstanding instance — a request is only turned
-    // away when NO instance can meet its deadline.
-    bool admit_best_effort = false;
-    if (config_.admission != AdmissionMode::kNone) {
-      const double ttft_bound = req.slo_ttft_s >= 0
-                                    ? req.slo_ttft_s
-                                    : config_.default_slo.ttft_s;
-      const double prefill_s = EstimatedPrefillSeconds(req);
-      const double deadline = config_.admission_slack * ttft_bound;
-      if (outstanding(inst, now) + prefill_s > deadline) {
-        const int32_t spill = least_outstanding(now);
-        if (outstanding(spill, now) + prefill_s <= deadline) {
-          inst = spill;
-        } else if (config_.admission == AdmissionMode::kReject) {
-          decision.assignment[r] = RouteDecision::kRejected;
-          ++decision.rejected;
-          continue;  // never enters any routing state
-        } else {
-          admit_best_effort = true;
-          ++decision.deprioritized;
-        }
+  // 2. Admission against the effective TTFT deadline: queue wait plus
+  // the request's own prefill time. A miss on the policy's choice first
+  // spills to the least-outstanding instance — a request is only turned
+  // away when NO live instance can meet its deadline.
+  if (config_.admission != AdmissionMode::kNone) {
+    const double ttft_bound =
+        req.slo_ttft_s >= 0 ? req.slo_ttft_s : config_.default_slo.ttft_s;
+    const double prefill_s = EstimatedPrefillSeconds(req);
+    const double deadline = config_.admission_slack * ttft_bound;
+    if (outstanding(inst) + prefill_s > deadline) {
+      const int32_t spill = least_outstanding();
+      if (outstanding(spill) + prefill_s <= deadline) {
+        inst = spill;
+      } else if (config_.admission == AdmissionMode::kReject) {
+        return RouteDecision::kRejected;  // never enters any routing state
+      } else {
+        *best_effort = true;
       }
     }
+  }
 
-    // 3. Commit: every live routing model observes the admitted request.
+  // 3. Commit: every live routing model observes the admitted request.
+  if (need_backlog) {
+    s.window[inst].emplace_back(now, req.prompt_len);
+    s.backlog[inst] += req.prompt_len;
+  }
+  if (need_work) {
+    const double start = std::max(now, s.busy_until[inst]);
+    s.busy_until[inst] = start + EstimatedServiceSeconds(req);
+  }
+  if (!s.mirror.empty() && req.has_token_ids()) {
+    s.mirror[inst].Insert(req.token_ids);
+  }
+  return inst;
+}
+
+RouteDecision Router::Route(const std::vector<Request>& trace) const {
+  const int32_t n = config_.n_instances;
+  RouteDecision decision;
+  decision.assignment.assign(trace.size(), 0);
+  decision.best_effort.assign(trace.size(), 0);
+  decision.admitted_per_instance.assign(n, 0);
+
+  RouterState state = MakeState();
+  const std::vector<uint8_t> live(n, 1);
+  for (size_t r = 0; r < trace.size(); ++r) {
+    bool best_effort = false;
+    const int32_t inst = RouteOne(trace[r], r, live, &state, &best_effort);
+    if (inst == RouteDecision::kRejected) {
+      decision.assignment[r] = RouteDecision::kRejected;
+      ++decision.rejected;
+      continue;
+    }
     decision.assignment[r] = inst;
-    decision.best_effort[r] = admit_best_effort ? 1 : 0;
+    decision.best_effort[r] = best_effort ? 1 : 0;
     ++decision.admitted;
     ++decision.admitted_per_instance[inst];
-    if (need_backlog) {
-      window[inst].emplace_back(now, req.prompt_len);
-      backlog[inst] += req.prompt_len;
-    }
-    if (need_work) {
-      const double start = std::max(now, busy_until[inst]);
-      busy_until[inst] = start + EstimatedServiceSeconds(req);
-    }
-    if (!mirror.empty() && req.has_token_ids()) {
-      mirror[inst].Insert(req.token_ids);
-    }
+    if (best_effort) ++decision.deprioritized;
   }
   return decision;
 }

@@ -111,6 +111,27 @@ struct RouteDecision {
   std::vector<int32_t> admitted_per_instance;
 };
 
+/// The mutable routing model (backlog windows, busy-until clocks, affinity
+/// mirrors, the p2c RNG) held across incremental RouteOne calls. Opaque;
+/// created by Router::MakeState. The event-driven FleetController keeps one
+/// per run and routes each arrival as it happens against the live instance
+/// set; Router::Route is the batch form over an all-live fleet.
+class RouterState {
+ public:
+  RouterState();
+  ~RouterState();
+  RouterState(RouterState&&) noexcept;
+  RouterState& operator=(RouterState&&) noexcept;
+
+  /// Instances this state can route to (fixed at MakeState).
+  int32_t capacity() const;
+
+ private:
+  friend class Router;
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 class Router {
  public:
   /// `cost_model` (optional, borrowed) prices work estimates for
@@ -125,7 +146,29 @@ class Router {
   /// Routes `trace` (sorted by arrival) in one deterministic pass. All
   /// routing state (backlog windows, busy-until clocks, affinity mirrors,
   /// the p2c RNG) is local to the call, so Route is const and repeatable.
+  /// Implemented as MakeState + RouteOne per request over an all-live
+  /// fleet, so batch and incremental routing are bit-identical.
   RouteDecision Route(const std::vector<Request>& trace) const;
+
+  /// A fresh routing state for incremental routing, able to address
+  /// max(config().n_instances, max_instances) instances (an elastic fleet
+  /// sizes it at its scale-up ceiling).
+  RouterState MakeState(int32_t max_instances = 0) const;
+
+  /// Grows `state` to address `n_instances` (new instances start with
+  /// empty routing models). Instance ids are lifetime-unique in an elastic
+  /// fleet — a retired id is never reused — so the state grows past the
+  /// alive ceiling over a long run. No-op when already large enough.
+  void GrowState(RouterState* state, int32_t n_instances) const;
+
+  /// Routes one request (requests must be fed in arrival order) against
+  /// the instances with live[i] != 0, updating `state`'s models exactly as
+  /// the batch pass would. `trace_index` drives round-robin. Returns the
+  /// chosen instance or RouteDecision::kRejected; `*best_effort` reports an
+  /// admission deprioritization. At least one instance must be live.
+  int32_t RouteOne(const Request& req, size_t trace_index,
+                   const std::vector<uint8_t>& live, RouterState* state,
+                   bool* best_effort) const;
 
   /// Estimated seconds to serve `r` alone: prefill plus predicted decode.
   /// Exposed for tests of the admission math.
@@ -134,6 +177,9 @@ class Router {
   double EstimatedPrefillSeconds(const Request& r) const;
 
   const RouterConfig& config() const { return config_; }
+  /// The cost model pricing this router's work estimates (null when none);
+  /// the fleet controller reuses it to price migration transfers.
+  const CostModel* cost_model() const { return cost_model_; }
 
  private:
   double PredictedOutputLen(const Request& r) const;

@@ -2,23 +2,25 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "common/logging.h"
 
 namespace aptserve {
 
-ServingLoop::ServingLoop(ExecutionBackend* backend,
-                         const ServingLoopConfig& config)
+ServingLoopState::ServingLoopState(ExecutionBackend* backend,
+                                   const ServingLoopConfig& config)
     : backend_(backend), config_(config) {
   APT_CHECK(backend != nullptr);
 }
 
-StatusOr<ServingLoopResult> ServingLoop::Run(const std::vector<Request>& trace,
-                                             Scheduler* scheduler,
-                                             const SloSpec& slo) {
+Status ServingLoopState::Start(const std::vector<Request>& trace,
+                               Scheduler* scheduler, const SloSpec& slo) {
+  APT_CHECK_MSG(!started_, "Start() called twice");
   APT_CHECK(scheduler != nullptr);
-  MetricsCollector metrics;
-  const bool swap_mode = config_.preemption_mode == PreemptionMode::kSwap;
+  scheduler_ = scheduler;
+  slo_ = slo;
+  started_ = true;
 
   // Requests in arrival order (the trace builder guarantees sorted output;
   // re-sort defensively for hand-built traces).
@@ -31,329 +33,529 @@ StatusOr<ServingLoopResult> ServingLoop::Run(const std::vector<Request>& trace,
       return Status::InvalidArgument("request lengths must be positive");
     }
     reqs.push_back(sr);
-    metrics.RegisterRequest(r);
+    metrics_.RegisterRequest(r);
   }
   std::sort(reqs.begin(), reqs.end(),
             [](const SimRequest& a, const SimRequest& b) {
               return a.spec.arrival < b.spec.arrival;
             });
   APT_RETURN_NOT_OK(backend_->Prepare(reqs));
-  std::unordered_map<RequestId, size_t> index;
-  for (size_t i = 0; i < reqs.size(); ++i) index[reqs[i].spec.id] = i;
+  slots_.reserve(reqs.size());
+  for (const SimRequest& sr : reqs) {
+    auto slot = std::make_unique<Slot>();
+    slot->sr = sr;
+    slot->available_at = sr.spec.arrival;
+    slot->seq = next_seq_++;
+    index_[sr.spec.id] = slot.get();
+    pending_.push_back(slot.get());  // sorted input => sorted pending
+    slots_.push_back(std::move(slot));
+  }
+  return Status::OK();
+}
 
-  ServingLoopResult result;
-
-  TimePoint now = 0.0;
-  size_t next_arrival = 0;  // first request not yet arrived
-  size_t finished = 0;
-  int32_t consecutive_idle = 0;
-
-  for (int64_t iter = 0; iter < config_.max_iterations; ++iter) {
-    if (finished == reqs.size()) break;
-    // 1. Admit arrivals.
-    while (next_arrival < reqs.size() &&
-           reqs[next_arrival].spec.arrival <= now) {
-      ++next_arrival;
+void ServingLoopState::InsertPending(Slot* slot) {
+  const auto before = [](const Slot* a, const Slot* b) {
+    if (a->available_at != b->available_at) {
+      return a->available_at < b->available_at;
     }
+    return a->seq < b->seq;
+  };
+  pending_.insert(
+      std::upper_bound(pending_.begin(), pending_.end(), slot, before), slot);
+}
 
-    // 2. Build queues.
-    SchedulerInput input;
-    input.now = now;
-    input.pool = backend_->pool();
-    input.assigner = backend_->assigner();
-    input.cost_model = backend_->cost_model();
-    for (size_t i = 0; i < next_arrival; ++i) {
-      SimRequest& sr = reqs[i];
-      if (sr.phase == RequestPhase::kWaiting) {
-        input.waiting.push_back(&sr);
-      } else if (sr.phase == RequestPhase::kRunning) {
-        input.running.push_back(&sr);
-      }
-    }
-    if (input.waiting.empty() && input.running.empty()) {
-      if (next_arrival < reqs.size()) {
-        now = std::max(now, reqs[next_arrival].spec.arrival);
-        continue;
-      }
-      break;  // all done
-    }
+Status ServingLoopState::Register(const Request& r, double available_at,
+                                  bool admit_backend) {
+  if (r.prompt_len <= 0 || r.output_len <= 0) {
+    return Status::InvalidArgument("request lengths must be positive");
+  }
+  if (index_.count(r.id)) {
+    return Status::AlreadyExists("request " + std::to_string(r.id) +
+                                 " already registered with this instance");
+  }
+  auto slot = std::make_unique<Slot>();
+  slot->sr.spec = r;
+  slot->available_at = available_at;
+  slot->seq = next_seq_++;
+  Slot* raw = slot.get();
+  metrics_.RegisterRequest(r);
+  if (admit_backend) APT_RETURN_NOT_OK(backend_->Admit(raw->sr));
+  index_[r.id] = raw;
+  InsertPending(raw);
+  slots_.push_back(std::move(slot));
+  return Status::OK();
+}
 
-    // 3. Plan.
-    BatchPlan plan = scheduler->PlanIteration(input);
+Status ServingLoopState::Inject(const Request& r, double available_at) {
+  APT_CHECK_MSG(started_ && !finished_run_, "Inject outside a live run");
+  return Register(r, std::max(available_at, r.arrival), /*admit_backend=*/true);
+}
 
-    // Backends start their iteration clock here so that preemption work —
-    // in particular real swap-out payload copies — is charged to the
-    // iteration that caused it.
-    backend_->BeginIteration();
+StatusOr<MigratedRequest> ServingLoopState::Extract(RequestId id) {
+  APT_CHECK_MSG(started_ && !finished_run_, "Extract outside a live run");
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return Status::NotFound("request " + std::to_string(id) +
+                            " is not live on this instance");
+  }
+  Slot* slot = it->second;
+  SimRequest& sr = slot->sr;
+  if (sr.phase != RequestPhase::kWaiting || sr.swapped) {
+    return Status::FailedPrecondition(
+        "only queued or preempted (non-swapped) requests are migratable");
+  }
+  MigratedRequest m;
+  m.spec = sr.spec;
+  m.cache_type = sr.cache_type;
+  m.generated = sr.generated;
+  m.cached_tokens = sr.cached_tokens;
+  m.prefill_progress = sr.prefill_progress;
+  m.has_first_token = sr.has_first_token;
+  m.last_token_time = sr.last_token_time;
+  m.preemptions = sr.preemptions;
+  m.conversions = sr.conversions;
+  m.available_at = slot->available_at;
+  APT_ASSIGN_OR_RETURN(m.image, backend_->ExportRequest(sr));
+  m.record = metrics_.ExtractRecord(id, &m.has_last_token, &m.last_token);
+  slot->migrated_out = true;
+  ++migrated_out_;
+  index_.erase(it);
+  active_.erase(std::remove(active_.begin(), active_.end(), slot),
+                active_.end());
+  pending_.erase(std::remove(pending_.begin(), pending_.end(), slot),
+                 pending_.end());
+  return m;
+}
 
-    // 4a. Preemptions / conversions / swap-outs.
-    for (const PreemptionItem& p : plan.preempt) {
-      auto it = index.find(p.id);
-      if (it == index.end()) {
-        return Status::Internal("scheduler preempted unknown request");
-      }
-      SimRequest& sr = reqs[it->second];
-      // Preemption targets are running requests or waiting requests that
-      // hold a partial (chunked-prefill) cache; both free their blocks and
-      // restart their prefill pass later.
-      const bool preemptible =
-          backend_->assigner()->Has(p.id) &&
-          (sr.phase == RequestPhase::kRunning ||
-           sr.phase == RequestPhase::kWaiting);
-      if (!preemptible) {
-        return Status::Internal(
-            "scheduler preempted a request holding no cache");
-      }
-      const bool is_conversion = p.resume_cache_type != sr.cache_type;
-      if (is_conversion) {
-        // Type-conversion fallback: even in swap mode a conversion discards
-        // the cache — a swapped copy of the old type would be useless.
-        APT_RETURN_NOT_OK(backend_->Convert(sr, p.resume_cache_type));
-        ++sr.conversions;
-        metrics.OnConversion();
-      } else if (swap_mode && sr.phase == RequestPhase::kRunning) {
-        APT_ASSIGN_OR_RETURN(const bool swapped_out,
-                             backend_->TrySwapOut(sr));
-        if (swapped_out) {
-          // Swap-based preemption: the cache moves to host memory; the
-          // request keeps its logical progress and resumes via a swap-in
-          // instead of a recompute prefill.
-          metrics.OnPreemption();
-          ++sr.preemptions;
-          sr.phase = RequestPhase::kWaiting;
-          sr.swapped = true;
-          sr.prefill_progress = sr.cached_tokens;
-          continue;
-        }
-        // Full-swap-space fallback: recompute preemption.
-        APT_RETURN_NOT_OK(backend_->Release(sr));
-        metrics.OnPreemption();
-      } else {
-        APT_RETURN_NOT_OK(backend_->Release(sr));
-        metrics.OnPreemption();
-      }
-      ++sr.preemptions;
-      sr.phase = RequestPhase::kWaiting;
-      sr.cache_type = p.resume_cache_type;
-      sr.cached_tokens = 0;
-      sr.prefill_progress = 0;
-    }
+StatusOr<MigrationImport> ServingLoopState::Receive(
+    MigratedRequest m, double base_available_at,
+    const std::function<double(const MigrationImport&)>& transfer_delay) {
+  APT_CHECK_MSG(started_ && !finished_run_, "Receive outside a live run");
+  if (index_.count(m.spec.id)) {
+    return Status::AlreadyExists("request " + std::to_string(m.spec.id) +
+                                 " already live on this instance");
+  }
+  auto slot = std::make_unique<Slot>();
+  SimRequest& sr = slot->sr;
+  sr.spec = m.spec;
+  sr.phase = RequestPhase::kWaiting;
+  sr.cache_type = m.cache_type;
+  sr.generated = m.generated;
+  sr.has_first_token = m.has_first_token;
+  sr.last_token_time = m.last_token_time;
+  sr.preemptions = m.preemptions;
+  sr.conversions = m.conversions;
+  APT_ASSIGN_OR_RETURN(MigrationImport import,
+                       backend_->ImportRequest(sr, m.image));
+  if (import.cache_restored) {
+    sr.cached_tokens = m.cached_tokens;
+    sr.prefill_progress = m.prefill_progress;
+  } else {
+    // Cold import (destination pool full): the request re-prefills here,
+    // the migration analogue of a recompute preemption.
+    sr.cached_tokens = 0;
+    sr.prefill_progress = 0;
+  }
+  metrics_.AdoptRecord(std::move(m.record), m.has_last_token, m.last_token);
+  slot->available_at =
+      base_available_at + (transfer_delay ? transfer_delay(import) : 0.0);
+  slot->seq = next_seq_++;
+  index_[sr.spec.id] = slot.get();
+  InsertPending(slot.get());
+  slots_.push_back(std::move(slot));
+  return import;
+}
 
-    // 4b. Execute scheduled items with memory allocation.
-    enum class StepKind { kDecode, kPrefill, kSwapIn };
-    struct Applied {
-      SimRequest* req;
-      StepKind kind;
-      int32_t chunk = 0;  // prefill only
-      bool token = false;
-    };
-    std::vector<Applied> applied;
-    bool hit_memory_wall = false;
-    int32_t accepted = 0;
-    for (const ScheduledItem& item : plan.items) {
-      if (accepted >= config_.max_batch_size) break;
-      auto it = index.find(item.id);
-      if (it == index.end()) {
-        return Status::Internal("scheduler scheduled unknown request");
-      }
-      SimRequest& sr = reqs[it->second];
-      if (sr.phase == RequestPhase::kFinished) {
-        return Status::Internal("scheduler scheduled a finished request");
-      }
-      if (item.prefill_chunk == 0) {
-        // Decode step.
-        if (sr.phase != RequestPhase::kRunning || sr.cached_tokens < 1) {
-          return Status::Internal("decode scheduled for non-running request");
-        }
-        if (item.cache_type != sr.cache_type) {
-          return Status::Internal(
-              "decode cache type mismatch; use preemption to convert");
-        }
-        APT_ASSIGN_OR_RETURN(ExecutionBackend::StepOutcome out,
-                             backend_->ExecuteDecode(sr));
-        if (out.out_of_memory) {
-          // vLLM-style recompute preemption: this request yields its memory
-          // and re-enters the waiting queue.
-          APT_RETURN_NOT_OK(backend_->Release(sr));
-          metrics.OnPreemption();
-          ++sr.preemptions;
-          sr.phase = RequestPhase::kWaiting;
-          sr.cached_tokens = 0;
-          sr.prefill_progress = 0;
-          hit_memory_wall = true;
-          continue;
-        }
-        applied.push_back({&sr, StepKind::kDecode, 0, out.token});
-        ++accepted;
-      } else {
-        // Prefill chunk (or swap-in for a swapped request).
-        if (sr.phase != RequestPhase::kWaiting) {
-          return Status::Internal("prefill scheduled for running request");
-        }
-        if (sr.swapped) {
-          // A scheduled swapped request performs a swap-in instead of a
-          // recompute: restore its blocks and resume decoding.
-          APT_ASSIGN_OR_RETURN(const bool swapped_in,
-                               backend_->TrySwapIn(sr));
-          if (!swapped_in) {
-            hit_memory_wall = true;
-            continue;  // stays swapped; retried later
-          }
-          sr.swapped = false;
-          sr.phase = RequestPhase::kRunning;
-          applied.push_back({&sr, StepKind::kSwapIn, 0, false});
-          ++accepted;
-          continue;
-        }
-        const int32_t remaining = sr.PrefillTarget() - sr.prefill_progress;
-        const int32_t chunk = std::min(item.prefill_chunk, remaining);
-        if (chunk <= 0) {
-          return Status::Internal("empty prefill chunk scheduled");
-        }
-        if (!backend_->assigner()->Has(item.id)) {
-          // A request that already produced tokens and resumes with a
-          // different cache type is an effective conversion (paper §5's
-          // discard-and-recompute, with the recompute folded into this
-          // resume prefill).
-          if (sr.has_first_token && sr.cache_type != item.cache_type) {
-            metrics.OnConversion();
-            ++sr.conversions;
-          }
-          sr.cache_type = item.cache_type;
-        } else if (item.cache_type != sr.cache_type) {
-          return Status::Internal(
-              "chunked prefill cannot switch cache type mid-pass");
-        }
-        APT_ASSIGN_OR_RETURN(
-            ExecutionBackend::StepOutcome out,
-            backend_->ExecutePrefillChunk(sr, item.cache_type, chunk));
-        if (out.out_of_memory) {
-          hit_memory_wall = true;
-          continue;  // stays waiting; retried in a later iteration
-        }
-        // A prefix-sharing backend may process fewer positions than the
-        // scheduled chunk (matched positions are adopted, not computed);
-        // the request still advances past both.
-        const int32_t computed = out.computed > 0 ? out.computed : chunk;
-        result.prefill_tokens_computed += computed;
-        result.prefill_tokens_skipped += out.prefix_skipped;
-        applied.push_back({&sr, StepKind::kPrefill,
-                           computed + out.prefix_skipped, out.token});
-        ++accepted;
-      }
-    }
+int32_t ServingLoopState::NumWaiting() const {
+  int32_t n = 0;
+  for (const auto& slot : slots_) {
+    if (!slot->migrated_out && slot->sr.phase == RequestPhase::kWaiting) ++n;
+  }
+  return n;
+}
 
-    if (applied.empty()) {
-      // No work executed. Advance to the next arrival if any; repeated
-      // no-progress iterations with work at hand indicate a scheduler bug.
-      ++consecutive_idle;
-      if (consecutive_idle > 1000) {
-        return Status::Internal("scheduler made no progress for 1000 "
-                                "iterations with requests pending");
-      }
-      const double step = backend_->IdleAdvanceSeconds();
-      if (next_arrival < reqs.size()) {
-        now = std::max(now + step, reqs[next_arrival].spec.arrival);
-      } else {
-        now += step;
-      }
-      continue;
-    }
-    consecutive_idle = 0;
+int32_t ServingLoopState::NumRunning() const {
+  int32_t n = 0;
+  for (const auto& slot : slots_) {
+    if (!slot->migrated_out && slot->sr.phase == RequestPhase::kRunning) ++n;
+  }
+  return n;
+}
 
-    // 5. Cost: the backend prices (or measured) the batch it just ran.
-    APT_ASSIGN_OR_RETURN(const double latency, backend_->EndIteration());
-    int32_t prefill_steps = 0;
-    int32_t decode_steps = 0;
-    for (const Applied& a : applied) {
-      if (a.kind == StepKind::kPrefill) ++prefill_steps;
-      if (a.kind == StepKind::kDecode) ++decode_steps;
+std::vector<RequestId> ServingLoopState::MigratableWaiting() const {
+  std::vector<RequestId> ids;
+  for (const auto& slot : slots_) {
+    const SimRequest& sr = slot->sr;
+    if (!slot->migrated_out && sr.phase == RequestPhase::kWaiting &&
+        !sr.swapped) {
+      ids.push_back(sr.spec.id);
     }
-    const bool is_prefill_iter = prefill_steps > 0 && decode_steps == 0;
-    const bool is_decode_iter = prefill_steps == 0 && decode_steps > 0;
-    if (is_prefill_iter) {
-      ++result.prefill_iterations;
-    } else if (is_decode_iter) {
-      ++result.decode_iterations;
-    } else {
-      ++result.mixed_iterations;
-    }
-    now += latency;
-    result.compute_seconds += latency;
+  }
+  return ids;
+}
 
-    // 6. Emit tokens / finish requests.
-    for (const Applied& a : applied) {
-      SimRequest& sr = *a.req;
-      if (a.kind == StepKind::kSwapIn) continue;  // swap-in emits no token
-      if (a.kind == StepKind::kDecode) {
-        sr.cached_tokens += 1;  // mirror of the backend's cache growth
-        ++sr.generated;
-        metrics.OnToken(sr.spec.id, now);
-        ++result.tokens_generated;
-        sr.last_token_time = now;
-      } else {
-        sr.prefill_progress += a.chunk;
-        sr.cached_tokens += a.chunk;
-        const bool completes = sr.prefill_progress >= sr.PrefillTarget();
-        APT_CHECK_MSG(completes == a.token,
-                      "backend and loop disagree on prefill completion");
-        if (!completes) continue;  // more chunks
-        sr.phase = RequestPhase::kRunning;
-        ++sr.generated;
-        metrics.OnToken(sr.spec.id, now);
-        ++result.tokens_generated;
-        sr.has_first_token = true;
-        sr.last_token_time = now;
-      }
-      if (sr.IsFinished()) {
-        sr.phase = RequestPhase::kFinished;
-        metrics.OnFinish(sr.spec.id, now);
-        APT_RETURN_NOT_OK(backend_->OnFinish(sr));
-        ++finished;
-      }
-    }
+std::pair<int64_t, int64_t> ServingLoopState::TtftFinishesSince(
+    double since) const {
+  int64_t met = 0, total = 0;
+  for (auto it = finish_log_.rbegin(); it != finish_log_.rend(); ++it) {
+    if (it->first < since) break;  // finish times are nondecreasing
+    ++total;
+    if (it->second) ++met;
+  }
+  return {met, total};
+}
 
-    // 7. Batch-limit accounting (Figure 2): the batch could not be grown —
-    // either an allocation failed above, or unscheduled waiting work exists
-    // that would not fit in the remaining pool space.
-    bool at_limit = hit_memory_wall;
-    if (!at_limit) {
-      for (size_t i = 0; i < next_arrival && !at_limit; ++i) {
-        const SimRequest& sr = reqs[i];
-        if (sr.phase != RequestPhase::kWaiting) continue;
-        bool scheduled_now = false;
-        for (const Applied& a : applied) {
-          if (a.req == &sr) {
-            scheduled_now = true;
-            break;
-          }
-        }
-        if (!scheduled_now &&
-            backend_->assigner()->BlocksNeeded(CacheType::kKV,
-                                               sr.PrefillTarget()) >
-                backend_->pool()->num_free()) {
-          at_limit = true;
-        }
-      }
-    }
-    metrics.OnIteration(latency, static_cast<int32_t>(applied.size()),
-                        at_limit);
-    result.peak_blocks =
-        std::max(result.peak_blocks, backend_->pool()->peak_allocated());
+StatusOr<ServingLoopState::Progress> ServingLoopState::Step() {
+  APT_CHECK_MSG(started_ && !finished_run_, "Step outside a live run");
+  const bool swap_mode = config_.preemption_mode == PreemptionMode::kSwap;
+
+  // 1. Admit requests whose availability the clock reached.
+  while (!pending_.empty() && pending_.front()->available_at <= now_) {
+    active_.push_back(pending_.front());
+    pending_.pop_front();
   }
 
-  if (finished != reqs.size()) {
+  // 2. Build queues.
+  SchedulerInput input;
+  input.now = now_;
+  input.pool = backend_->pool();
+  input.assigner = backend_->assigner();
+  input.cost_model = backend_->cost_model();
+  for (Slot* s : active_) {
+    SimRequest& sr = s->sr;
+    if (sr.phase == RequestPhase::kWaiting) {
+      input.waiting.push_back(&sr);
+    } else if (sr.phase == RequestPhase::kRunning) {
+      input.running.push_back(&sr);
+    }
+  }
+  if (input.waiting.empty() && input.running.empty()) {
+    if (!pending_.empty()) {
+      now_ = std::max(now_, pending_.front()->available_at);
+      ++iterations_done_;
+      return Progress::kFastForward;
+    }
+    return Progress::kDrained;  // parked; no iteration consumed
+  }
+
+  // 3. Plan.
+  BatchPlan plan = scheduler_->PlanIteration(input);
+
+  // Backends start their iteration clock here so that preemption work —
+  // in particular real swap-out payload copies — is charged to the
+  // iteration that caused it.
+  backend_->BeginIteration();
+
+  // 4a. Preemptions / conversions / swap-outs.
+  for (const PreemptionItem& p : plan.preempt) {
+    auto it = index_.find(p.id);
+    if (it == index_.end()) {
+      return Status::Internal("scheduler preempted unknown request");
+    }
+    SimRequest& sr = it->second->sr;
+    // Preemption targets are running requests or waiting requests that
+    // hold a partial (chunked-prefill) cache; both free their blocks and
+    // restart their prefill pass later.
+    const bool preemptible =
+        backend_->assigner()->Has(p.id) &&
+        (sr.phase == RequestPhase::kRunning ||
+         sr.phase == RequestPhase::kWaiting);
+    if (!preemptible) {
+      return Status::Internal(
+          "scheduler preempted a request holding no cache");
+    }
+    const bool is_conversion = p.resume_cache_type != sr.cache_type;
+    if (is_conversion) {
+      // Type-conversion fallback: even in swap mode a conversion discards
+      // the cache — a swapped copy of the old type would be useless.
+      APT_RETURN_NOT_OK(backend_->Convert(sr, p.resume_cache_type));
+      ++sr.conversions;
+      metrics_.OnConversion();
+    } else if (swap_mode && sr.phase == RequestPhase::kRunning) {
+      APT_ASSIGN_OR_RETURN(const bool swapped_out, backend_->TrySwapOut(sr));
+      if (swapped_out) {
+        // Swap-based preemption: the cache moves to host memory; the
+        // request keeps its logical progress and resumes via a swap-in
+        // instead of a recompute prefill.
+        metrics_.OnPreemption();
+        ++sr.preemptions;
+        sr.phase = RequestPhase::kWaiting;
+        sr.swapped = true;
+        sr.prefill_progress = sr.cached_tokens;
+        continue;
+      }
+      // Full-swap-space fallback: recompute preemption.
+      APT_RETURN_NOT_OK(backend_->Release(sr));
+      metrics_.OnPreemption();
+    } else {
+      APT_RETURN_NOT_OK(backend_->Release(sr));
+      metrics_.OnPreemption();
+    }
+    ++sr.preemptions;
+    sr.phase = RequestPhase::kWaiting;
+    sr.cache_type = p.resume_cache_type;
+    sr.cached_tokens = 0;
+    sr.prefill_progress = 0;
+  }
+
+  // 4b. Execute scheduled items with memory allocation.
+  enum class StepKind { kDecode, kPrefill, kSwapIn };
+  struct Applied {
+    SimRequest* req;
+    StepKind kind;
+    int32_t chunk = 0;  // prefill only
+    bool token = false;
+  };
+  std::vector<Applied> applied;
+  bool hit_memory_wall = false;
+  int32_t accepted = 0;
+  for (const ScheduledItem& item : plan.items) {
+    if (accepted >= config_.max_batch_size) break;
+    auto it = index_.find(item.id);
+    if (it == index_.end()) {
+      return Status::Internal("scheduler scheduled unknown request");
+    }
+    SimRequest& sr = it->second->sr;
+    if (sr.phase == RequestPhase::kFinished) {
+      return Status::Internal("scheduler scheduled a finished request");
+    }
+    if (item.prefill_chunk == 0) {
+      // Decode step.
+      if (sr.phase != RequestPhase::kRunning || sr.cached_tokens < 1) {
+        return Status::Internal("decode scheduled for non-running request");
+      }
+      if (item.cache_type != sr.cache_type) {
+        return Status::Internal(
+            "decode cache type mismatch; use preemption to convert");
+      }
+      APT_ASSIGN_OR_RETURN(ExecutionBackend::StepOutcome out,
+                           backend_->ExecuteDecode(sr));
+      if (out.out_of_memory) {
+        // vLLM-style recompute preemption: this request yields its memory
+        // and re-enters the waiting queue.
+        APT_RETURN_NOT_OK(backend_->Release(sr));
+        metrics_.OnPreemption();
+        ++sr.preemptions;
+        sr.phase = RequestPhase::kWaiting;
+        sr.cached_tokens = 0;
+        sr.prefill_progress = 0;
+        hit_memory_wall = true;
+        continue;
+      }
+      applied.push_back({&sr, StepKind::kDecode, 0, out.token});
+      ++accepted;
+    } else {
+      // Prefill chunk (or swap-in for a swapped request).
+      if (sr.phase != RequestPhase::kWaiting) {
+        return Status::Internal("prefill scheduled for running request");
+      }
+      if (sr.swapped) {
+        // A scheduled swapped request performs a swap-in instead of a
+        // recompute: restore its blocks and resume decoding.
+        APT_ASSIGN_OR_RETURN(const bool swapped_in, backend_->TrySwapIn(sr));
+        if (!swapped_in) {
+          hit_memory_wall = true;
+          continue;  // stays swapped; retried later
+        }
+        sr.swapped = false;
+        sr.phase = RequestPhase::kRunning;
+        applied.push_back({&sr, StepKind::kSwapIn, 0, false});
+        ++accepted;
+        continue;
+      }
+      const int32_t remaining = sr.PrefillTarget() - sr.prefill_progress;
+      const int32_t chunk = std::min(item.prefill_chunk, remaining);
+      if (chunk <= 0) {
+        return Status::Internal("empty prefill chunk scheduled");
+      }
+      if (!backend_->assigner()->Has(item.id)) {
+        // A request that already produced tokens and resumes with a
+        // different cache type is an effective conversion (paper §5's
+        // discard-and-recompute, with the recompute folded into this
+        // resume prefill).
+        if (sr.has_first_token && sr.cache_type != item.cache_type) {
+          metrics_.OnConversion();
+          ++sr.conversions;
+        }
+        sr.cache_type = item.cache_type;
+      } else if (item.cache_type != sr.cache_type) {
+        return Status::Internal(
+            "chunked prefill cannot switch cache type mid-pass");
+      }
+      APT_ASSIGN_OR_RETURN(
+          ExecutionBackend::StepOutcome out,
+          backend_->ExecutePrefillChunk(sr, item.cache_type, chunk));
+      if (out.out_of_memory) {
+        hit_memory_wall = true;
+        continue;  // stays waiting; retried in a later iteration
+      }
+      // A prefix-sharing backend may process fewer positions than the
+      // scheduled chunk (matched positions are adopted, not computed);
+      // the request still advances past both.
+      const int32_t computed = out.computed > 0 ? out.computed : chunk;
+      result_.prefill_tokens_computed += computed;
+      result_.prefill_tokens_skipped += out.prefix_skipped;
+      applied.push_back({&sr, StepKind::kPrefill,
+                         computed + out.prefix_skipped, out.token});
+      ++accepted;
+    }
+  }
+
+  if (applied.empty()) {
+    // No work executed. Advance to the next availability if any; repeated
+    // no-progress iterations with work at hand indicate a scheduler bug.
+    ++consecutive_idle_;
+    if (consecutive_idle_ > 1000) {
+      return Status::Internal("scheduler made no progress for 1000 "
+                              "iterations with requests pending");
+    }
+    // No-progress memory pressure: evict cold prefix-index blocks so the
+    // schedulers' free-block gates can see them. Index blocks are normally
+    // reclaimed inside allocations — but a gated scheduler never attempts
+    // one, so a pool filled with indexed prefixes would otherwise livelock
+    // the queue. No-op for backends without an index (bit-identical).
+    for (Slot* s : active_) {
+      const SimRequest& sr = s->sr;
+      if (sr.phase != RequestPhase::kWaiting || sr.swapped) continue;
+      const int32_t deficit =
+          backend_->assigner()->BlocksNeeded(CacheType::kKV,
+                                             sr.PrefillTarget()) -
+          backend_->pool()->num_free();
+      if (deficit > 0) backend_->ReclaimCache(deficit);
+      break;  // the head of the queue is what gates progress
+    }
+    const double step = backend_->IdleAdvanceSeconds();
+    if (!pending_.empty()) {
+      now_ = std::max(now_ + step, pending_.front()->available_at);
+    } else {
+      now_ += step;
+    }
+    ++iterations_done_;
+    return Progress::kIdle;
+  }
+  consecutive_idle_ = 0;
+
+  // 5. Cost: the backend prices (or measured) the batch it just ran.
+  APT_ASSIGN_OR_RETURN(const double latency, backend_->EndIteration());
+  int32_t prefill_steps = 0;
+  int32_t decode_steps = 0;
+  for (const Applied& a : applied) {
+    if (a.kind == StepKind::kPrefill) ++prefill_steps;
+    if (a.kind == StepKind::kDecode) ++decode_steps;
+  }
+  const bool is_prefill_iter = prefill_steps > 0 && decode_steps == 0;
+  const bool is_decode_iter = prefill_steps == 0 && decode_steps > 0;
+  if (is_prefill_iter) {
+    ++result_.prefill_iterations;
+  } else if (is_decode_iter) {
+    ++result_.decode_iterations;
+  } else {
+    ++result_.mixed_iterations;
+  }
+  now_ += latency;
+  result_.compute_seconds += latency;
+
+  // 6. Emit tokens / finish requests.
+  for (const Applied& a : applied) {
+    SimRequest& sr = *a.req;
+    if (a.kind == StepKind::kSwapIn) continue;  // swap-in emits no token
+    if (a.kind == StepKind::kDecode) {
+      sr.cached_tokens += 1;  // mirror of the backend's cache growth
+      ++sr.generated;
+      metrics_.OnToken(sr.spec.id, now_);
+      ++result_.tokens_generated;
+      sr.last_token_time = now_;
+    } else {
+      sr.prefill_progress += a.chunk;
+      sr.cached_tokens += a.chunk;
+      const bool completes = sr.prefill_progress >= sr.PrefillTarget();
+      APT_CHECK_MSG(completes == a.token,
+                    "backend and loop disagree on prefill completion");
+      if (!completes) continue;  // more chunks
+      sr.phase = RequestPhase::kRunning;
+      ++sr.generated;
+      metrics_.OnToken(sr.spec.id, now_);
+      ++result_.tokens_generated;
+      sr.has_first_token = true;
+      sr.last_token_time = now_;
+    }
+    if (sr.IsFinished()) {
+      sr.phase = RequestPhase::kFinished;
+      metrics_.OnFinish(sr.spec.id, now_);
+      APT_RETURN_NOT_OK(backend_->OnFinish(sr));
+      ++finished_;
+      const RequestRecord& rec = metrics_.records().at(sr.spec.id);
+      finish_log_.emplace_back(now_, rec.MeetsTtft(slo_));
+    }
+  }
+
+  // 7. Batch-limit accounting (Figure 2): the batch could not be grown —
+  // either an allocation failed above, or unscheduled waiting work exists
+  // that would not fit in the remaining pool space.
+  bool at_limit = hit_memory_wall;
+  if (!at_limit) {
+    for (Slot* s : active_) {
+      const SimRequest& sr = s->sr;
+      if (sr.phase != RequestPhase::kWaiting) continue;
+      bool scheduled_now = false;
+      for (const Applied& a : applied) {
+        if (a.req == &sr) {
+          scheduled_now = true;
+          break;
+        }
+      }
+      if (!scheduled_now &&
+          backend_->assigner()->BlocksNeeded(CacheType::kKV,
+                                             sr.PrefillTarget()) >
+              backend_->pool()->num_free()) {
+        at_limit = true;
+        break;
+      }
+    }
+  }
+  metrics_.OnIteration(latency, static_cast<int32_t>(applied.size()),
+                       at_limit);
+  result_.peak_blocks =
+      std::max(result_.peak_blocks, backend_->pool()->peak_allocated());
+  ++iterations_done_;
+  return Progress::kExecuted;
+}
+
+StatusOr<ServingLoopResult> ServingLoopState::Finish() {
+  APT_CHECK_MSG(started_ && !finished_run_, "Finish outside a live run");
+  finished_run_ = true;
+  if (!AllServed()) {
     return Status::Internal("serving loop hit the iteration cap with " +
-                            std::to_string(reqs.size() - finished) +
+                            std::to_string(NumUnfinished()) +
                             " unfinished requests");
   }
   APT_RETURN_NOT_OK(backend_->Finalize());
-  result.swap_outs = backend_->swap_outs();
-  result.swap_ins = backend_->swap_ins();
-  if (const PrefixStats* ps = backend_->prefix_stats()) result.prefix = *ps;
-  result.report = metrics.Report(slo);
-  result.records = metrics.records();
-  return result;
+  result_.swap_outs = backend_->swap_outs();
+  result_.swap_ins = backend_->swap_ins();
+  if (const PrefixStats* ps = backend_->prefix_stats()) result_.prefix = *ps;
+  result_.report = metrics_.Report(slo_);
+  result_.records = metrics_.records();
+  return std::move(result_);
+}
+
+ServingLoop::ServingLoop(ExecutionBackend* backend,
+                         const ServingLoopConfig& config)
+    : backend_(backend), config_(config) {
+  APT_CHECK(backend != nullptr);
+}
+
+StatusOr<ServingLoopResult> ServingLoop::Run(const std::vector<Request>& trace,
+                                             Scheduler* scheduler,
+                                             const SloSpec& slo) {
+  ServingLoopState state(backend_, config_);
+  APT_RETURN_NOT_OK(state.Start(trace, scheduler, slo));
+  while (state.iterations() < config_.max_iterations) {
+    if (state.AllServed()) break;
+    APT_ASSIGN_OR_RETURN(const ServingLoopState::Progress progress,
+                         state.Step());
+    if (progress == ServingLoopState::Progress::kDrained) break;
+  }
+  return state.Finish();
 }
 
 }  // namespace aptserve

@@ -9,8 +9,20 @@
 // Simulator (analytic), ServingEngine (real transformer) and the
 // multi-instance fleet are all thin wrappers over this loop with different
 // backends; preemption and swap semantics live here, once.
+//
+// The loop body is a resumable state machine (ServingLoopState): Start()
+// registers a trace, Step() runs exactly one classic loop iteration, and
+// Finish() produces the report. ServingLoop::Run composes them and is
+// bit-identical to the historical monolithic loop. The event-driven
+// FleetController (serve/fleet_controller.h) drives states directly,
+// injecting live-routed arrivals mid-run (Inject) and moving queued or
+// preempted requests between instances with their cache state
+// (Extract/Receive — live migration).
 #pragma once
 
+#include <deque>
+#include <functional>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -64,6 +76,138 @@ struct ServingLoopResult {
   int64_t prefill_tokens_skipped = 0;
   /// Prefix-sharing hit accounting (all zeros without an index).
   PrefixStats prefix;
+};
+
+/// Everything that travels when a request migrates between instances: its
+/// immutable spec, the loop's mirrored progress, the backend cache image
+/// (cache/migration_image.h), and its metrics record so TTFT/TBT history
+/// survives the move.
+struct MigratedRequest {
+  Request spec;
+  CacheType cache_type = CacheType::kKV;
+  int32_t generated = 0;
+  int32_t cached_tokens = 0;
+  int32_t prefill_progress = 0;
+  bool has_first_token = false;
+  TimePoint last_token_time = 0.0;
+  int32_t preemptions = 0;
+  int32_t conversions = 0;
+  /// When the request had (or would have) become schedulable at the source.
+  double available_at = 0.0;
+  MigrationImage image;
+  RequestRecord record;
+  bool has_last_token = false;
+  TimePoint last_token = 0.0;
+};
+
+/// The serving loop as a resumable state machine. One instance == one
+/// serving instance's timeline; the fleet controller interleaves many of
+/// these in virtual time.
+class ServingLoopState {
+ public:
+  /// What one Step() did with its iteration.
+  enum class Progress {
+    kExecuted,     ///< at least one scheduled item ran
+    kFastForward,  ///< queues empty; clock jumped to the next availability
+    kIdle,         ///< work exists but nothing executed (memory wall etc.)
+    kDrained,      ///< nothing runnable and nothing pending; no iteration
+                   ///< was consumed — the instance is parked
+  };
+
+  /// The backend and scheduler must outlive the state.
+  ServingLoopState(ExecutionBackend* backend, const ServingLoopConfig& config);
+
+  /// Registers `trace` (re-sorted by arrival defensively) and prepares the
+  /// backend. Must be called exactly once, before Step/Inject.
+  Status Start(const std::vector<Request>& trace, Scheduler* scheduler,
+               const SloSpec& slo);
+
+  /// Runs exactly one iteration of the classic serving loop (admission,
+  /// plan, preempt, execute, price, emit). kDrained consumes no iteration.
+  StatusOr<Progress> Step();
+
+  /// Registers one more request mid-run (live routing): it becomes
+  /// schedulable once the clock reaches `available_at` (>= its arrival).
+  Status Inject(const Request& r, double available_at);
+
+  /// Removes a queued/preempted request for migration: its cache state is
+  /// exported from the backend (shared prefix blocks stay for their other
+  /// owners) and its metrics record extracted. Only kWaiting, non-swapped
+  /// requests are migratable — running decodes drain in place.
+  StatusOr<MigratedRequest> Extract(RequestId id);
+
+  /// Installs a migrated request: imports its cache into the backend
+  /// (dedupe via this instance's prefix index; cold fallback when the pool
+  /// is full) and re-adopts its metrics record. It becomes schedulable at
+  /// `base_available_at` plus `transfer_delay(import)` — the delay runs
+  /// after the import so only bytes that actually crossed the interconnect
+  /// (post-dedupe) are priced. Null delay = instantaneous.
+  StatusOr<MigrationImport> Receive(
+      MigratedRequest m, double base_available_at,
+      const std::function<double(const MigrationImport&)>& transfer_delay =
+          nullptr);
+
+  /// Closes the run: drain checks, backend Finalize, report. The state is
+  /// unusable afterwards.
+  StatusOr<ServingLoopResult> Finish();
+
+  // ---- Introspection (fleet controller policies / planner) -----------------
+  bool started() const { return started_; }
+  double now() const { return now_; }
+  int64_t iterations() const { return iterations_done_; }
+  /// Every registered request finished here or migrated away.
+  bool AllServed() const {
+    return finished_ + migrated_out_ == slots_.size();
+  }
+  size_t NumRegistered() const { return slots_.size(); }
+  /// Requests finished on THIS instance (migrated-in included, -out not).
+  int64_t NumServed() const { return static_cast<int64_t>(finished_); }
+  int32_t NumWaiting() const;
+  int32_t NumRunning() const;
+  int32_t NumUnfinished() const {
+    return static_cast<int32_t>(slots_.size() - finished_ - migrated_out_);
+  }
+  /// Migration candidates in registration order: waiting, not swapped.
+  std::vector<RequestId> MigratableWaiting() const;
+  /// (TTFT-met, total) over requests finished at time >= `since` — the
+  /// SLO-attainment-guard scaling policy's rolling window.
+  std::pair<int64_t, int64_t> TtftFinishesSince(double since) const;
+
+ private:
+  struct Slot {
+    SimRequest sr;
+    double available_at = 0.0;
+    uint64_t seq = 0;
+    bool migrated_out = false;
+  };
+
+  Status Register(const Request& r, double available_at, bool admit_backend);
+  void InsertPending(Slot* slot);
+
+  ExecutionBackend* backend_;
+  ServingLoopConfig config_;
+  Scheduler* scheduler_ = nullptr;
+  SloSpec slo_;
+  MetricsCollector metrics_;
+  ServingLoopResult result_;
+
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::unordered_map<RequestId, Slot*> index_;
+  /// Not-yet-available requests, sorted by (available_at, seq).
+  std::deque<Slot*> pending_;
+  /// Admitted requests in admission order (the scheduler's queue order).
+  std::vector<Slot*> active_;
+  /// (finish time, met TTFT) log feeding TtftFinishesSince.
+  std::vector<std::pair<double, bool>> finish_log_;
+
+  double now_ = 0.0;
+  size_t finished_ = 0;
+  size_t migrated_out_ = 0;
+  int64_t iterations_done_ = 0;
+  int32_t consecutive_idle_ = 0;
+  uint64_t next_seq_ = 0;
+  bool started_ = false;
+  bool finished_run_ = false;
 };
 
 class ServingLoop {

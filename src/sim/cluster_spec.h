@@ -17,6 +17,9 @@ struct GpuSpec {
   /// Effective host<->device bandwidth for KV swap traffic (PCIe 4.0 x16
   /// achieves ~25 GB/s in practice).
   double pcie_bandwidth = 25e9;
+  /// Effective instance-to-instance bandwidth for live-migration cache
+  /// transfers (NIC/NVLink class; a conservative 200 Gb/s datacenter NIC).
+  double interconnect_bandwidth = 25e9;
 
   static GpuSpec A100_40G() { return GpuSpec{}; }
 };

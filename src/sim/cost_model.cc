@@ -41,6 +41,11 @@ double CostModel::IterationSeconds(const BatchWorkload& w) const {
   return std::max(compute_s, memory_s) + swap_s + overhead_;
 }
 
+double CostModel::MigrationSeconds(double bytes) const {
+  if (bytes <= 0.0) return 0.0;
+  return bytes / cluster_.gpu.interconnect_bandwidth + overhead_;
+}
+
 double CostModel::RhoSecondsPerToken() const {
   if (rho_override_ >= 0.0) return rho_override_;
   return model_.HiddenRecomputeFlopsPerToken() / cluster_.EffectiveFlops();

@@ -53,6 +53,11 @@ class CostModel {
   /// Wall-clock seconds for one iteration executing `w`.
   double IterationSeconds(const BatchWorkload& w) const;
 
+  /// Seconds to move `bytes` of cache state between two fleet instances
+  /// over the cluster interconnect (live request migration), including the
+  /// fixed coordination overhead. 0 for an empty (cold/deduped) transfer.
+  double MigrationSeconds(double bytes) const;
+
   /// The scheduler's rho (paper Eq. 6): extra iteration seconds per cached
   /// token of a hidden-cache request, derived from the recompute FLOPs at
   /// the cluster's effective compute rate. The paper measures this with a

@@ -47,6 +47,42 @@ void MetricsCollector::OnIteration(double seconds, int32_t batch_size,
   batch_size_weighted_ += static_cast<double>(batch_size);
 }
 
+const char* FleetScaleEventKindName(FleetScaleEvent::Kind kind) {
+  switch (kind) {
+    case FleetScaleEvent::Kind::kAdd:
+      return "add";
+    case FleetScaleEvent::Kind::kLive:
+      return "live";
+    case FleetScaleEvent::Kind::kDrainStart:
+      return "drain-start";
+    case FleetScaleEvent::Kind::kRetire:
+      return "retire";
+  }
+  return "?";
+}
+
+RequestRecord MetricsCollector::ExtractRecord(RequestId id,
+                                              bool* has_last_token,
+                                              TimePoint* last_token) {
+  auto it = records_.find(id);
+  APT_CHECK_MSG(it != records_.end(), "extracting an unregistered request");
+  RequestRecord record = std::move(it->second);
+  records_.erase(it);
+  auto last = last_token_.find(id);
+  *has_last_token = last != last_token_.end();
+  *last_token = *has_last_token ? last->second : 0.0;
+  last_token_.erase(id);
+  return record;
+}
+
+void MetricsCollector::AdoptRecord(RequestRecord record, bool has_last_token,
+                                   TimePoint last_token) {
+  const RequestId id = record.spec.id;
+  APT_CHECK_MSG(records_.count(id) == 0, "adopting a duplicate request");
+  records_[id] = std::move(record);
+  if (has_last_token) last_token_[id] = last_token;
+}
+
 SloReport MetricsCollector::Report(const SloSpec& slo) const {
   SloReport r;
   if (records_.empty()) return r;

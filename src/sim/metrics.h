@@ -93,6 +93,41 @@ double JainFairnessIndex(const std::vector<double>& values);
 /// serving time and meet no SLO. No-op for rejected <= 0.
 void FoldRejectedIntoReport(int64_t rejected, SloReport* report);
 
+// ---- Fleet elasticity metrics (serve/fleet_controller.h) -------------------
+
+/// One scaling action of the event-driven fleet controller, in virtual time.
+struct FleetScaleEvent {
+  enum class Kind {
+    kAdd,         ///< instance spawned (cold start; serving begins at warmup)
+    kLive,        ///< warmup finished; the router now targets the instance
+    kDrainStart,  ///< scale-down chose the instance; no new routes
+    kRetire,      ///< drain complete; the instance left the fleet
+  };
+  double time = 0.0;
+  int32_t instance = -1;
+  Kind kind = Kind::kAdd;
+};
+
+const char* FleetScaleEventKindName(FleetScaleEvent::Kind kind);
+
+/// Aggregate elasticity accounting of one fleet-controller run.
+struct FleetMetrics {
+  std::vector<FleetScaleEvent> scale_events;
+  /// (tick time, instances alive) — the per-epoch fleet size timeline.
+  std::vector<std::pair<double, int32_t>> size_timeline;
+  int64_t ticks = 0;
+  int64_t migrations = 0;             ///< requests moved between instances
+  int64_t migrations_with_cache = 0;  ///< of which carried cache state
+  int64_t migration_deduped_tokens = 0;  ///< re-resolved via the dest index
+  int64_t migration_copied_tokens = 0;   ///< actually transferred
+  double migration_bytes = 0.0;
+  double migration_seconds = 0.0;  ///< virtual interconnect time charged
+  /// Integral of fleet size over virtual time — what an operator pays for.
+  double instance_seconds = 0.0;
+  int32_t peak_instances = 0;
+  int32_t cold_starts = 0;
+};
+
 class MetricsCollector {
  public:
   void RegisterRequest(const Request& spec);
@@ -110,6 +145,16 @@ class MetricsCollector {
 
   void OnPreemption() { ++preemptions_; }
   void OnConversion() { ++conversions_; }
+
+  /// Removes and returns the request's record for live migration-out; the
+  /// destination collector re-adopts it so TTFT/TBT history survives the
+  /// move. `has_last_token`/`last_token` carry the inter-token clock.
+  RequestRecord ExtractRecord(RequestId id, bool* has_last_token,
+                              TimePoint* last_token);
+
+  /// Adopts a migrated-in record (the counterpart of ExtractRecord).
+  void AdoptRecord(RequestRecord record, bool has_last_token,
+                   TimePoint last_token);
 
   SloReport Report(const SloSpec& slo) const;
   const std::unordered_map<RequestId, RequestRecord>& records() const {

@@ -1,46 +1,39 @@
 #include "sim/multi_instance.h"
 
 #include <memory>
+#include <utility>
 
 #include "common/logging.h"
 #include "serve/cost_model_backend.h"
 
 namespace aptserve {
 
-namespace {
-
-DispatchConfig ToDispatchConfig(const MultiInstanceConfig& config) {
-  DispatchConfig d;
-  d.n_instances = config.n_instances;
-  d.policy = config.policy;
-  d.load_window_s = config.load_window_s;
-  d.dispatch_seed = config.dispatch_seed;
-  return d;
+MultiInstanceSimulator::MultiInstanceSimulator(
+    const CostModel& cost_model, const MultiInstanceSimConfig& config)
+    : cost_model_(cost_model), config_(config) {
+  APT_CHECK(config.fleet.router.n_instances >= 1);
 }
 
-}  // namespace
-
-MultiInstanceSimulator::MultiInstanceSimulator(
-    const CostModel& cost_model, const MultiInstanceConfig& config)
-    : cost_model_(cost_model), config_(config) {
-  APT_CHECK(config.n_instances >= 1);
+FleetConfig MultiInstanceSimulator::EffectiveFleetConfig() const {
+  FleetConfig fleet = config_.fleet;
+  // The simulator facade derives the per-instance loop from its
+  // SimulatorConfig, so batch caps and preemption mode have one knob.
+  fleet.loop = ToServingLoopConfig(config_.sim);
+  return fleet;
 }
 
 std::vector<int32_t> MultiInstanceSimulator::Dispatch(
     const std::vector<Request>& trace) const {
-  return DispatchTrace(trace, ToDispatchConfig(config_));
+  return Router(config_.fleet.router).Route(trace).assignment;
 }
 
-StatusOr<MultiInstanceResult> MultiInstanceSimulator::Run(
+StatusOr<FleetResult> MultiInstanceSimulator::RunFleet(
     const std::vector<Request>& trace, const SchedulerFactory& make_scheduler,
     const SloSpec& slo) {
   const CostModelBackend::Options opts =
       ToCostModelBackendOptions(config_.sim);
-
-  MultiInstanceRunner runner(ToDispatchConfig(config_),
-                             ToServingLoopConfig(config_.sim),
-                             config_.runtime);
-  return runner.Run(
+  FleetController controller(EffectiveFleetConfig(), &cost_model_);
+  return controller.Run(
       trace, make_scheduler,
       [&](int32_t) -> StatusOr<std::unique_ptr<ExecutionBackend>> {
         APT_ASSIGN_OR_RETURN(std::unique_ptr<CostModelBackend> backend,
@@ -48,6 +41,14 @@ StatusOr<MultiInstanceResult> MultiInstanceSimulator::Run(
         return std::unique_ptr<ExecutionBackend>(std::move(backend));
       },
       slo);
+}
+
+StatusOr<MultiInstanceResult> MultiInstanceSimulator::Run(
+    const std::vector<Request>& trace, const SchedulerFactory& make_scheduler,
+    const SloSpec& slo) {
+  APT_ASSIGN_OR_RETURN(FleetResult result,
+                       RunFleet(trace, make_scheduler, slo));
+  return std::move(result.serve);
 }
 
 }  // namespace aptserve

@@ -1,45 +1,65 @@
 // Multi-instance *simulation*: a compatibility facade over the generic
-// MultiInstanceRunner (serve/multi_instance.h) with one CostModelBackend
-// per instance. Dispatch policies, report merging, and the per-instance
-// serving loops all live in the serve layer and are shared with the real
-// inference engine; this header re-exports them for existing users.
+// FleetController (serve/fleet_controller.h) with one CostModelBackend per
+// instance. Routing policies, scaling, migration, report merging, and the
+// per-instance serving loops all live in the serve layer and are shared
+// with the real inference engine; this header re-exports them for existing
+// users.
+//
+// Fleet options live in exactly one place — serve::FleetConfig (`fleet`
+// below). The old duplicated surface (n_instances / policy /
+// load_window_s / dispatch_seed mirrored between MultiInstanceConfig and
+// DispatchConfig) is gone; `MultiInstanceConfig` survives as a deprecation
+// alias for this struct.
 #pragma once
 
 #include <vector>
 
+#include "serve/fleet_controller.h"
 #include "serve/multi_instance.h"
 #include "sim/simulator.h"
 
 namespace aptserve {
 
-struct MultiInstanceConfig {
-  int32_t n_instances = 2;
-  DispatchPolicy policy = DispatchPolicy::kLeastLoaded;
-  /// Sliding window (seconds) over which dispatched prompt tokens count as
-  /// backlog.
-  double load_window_s = 30.0;
-  uint64_t dispatch_seed = 99;
+struct MultiInstanceSimConfig {
+  /// The single home of fleet options: initial size and routing policy
+  /// (fleet.router), elasticity rules, migration, and the fleet runtime.
+  /// The serving-loop knobs (batch cap, preemption mode) are derived from
+  /// `sim` below, which also configures each instance's analytic backend.
+  FleetConfig fleet;
   SimulatorConfig sim;
-  /// Fleet runtime: instances run concurrently on up to this many threads
-  /// (merged reports are bit-identical to the serial run). Default: serial.
-  RuntimeConfig runtime;
+
+  MultiInstanceSimConfig() {
+    // The historical facade default (DispatchPolicy::kLeastLoaded).
+    fleet.router.policy = RoutePolicy::kLeastLoaded;
+  }
 };
+
+/// Deprecated name; use MultiInstanceSimConfig (or serve::FleetConfig
+/// directly with FleetController).
+using MultiInstanceConfig = MultiInstanceSimConfig;
 
 class MultiInstanceSimulator {
  public:
   MultiInstanceSimulator(const CostModel& cost_model,
-                         const MultiInstanceConfig& config);
+                         const MultiInstanceSimConfig& config);
 
   StatusOr<MultiInstanceResult> Run(const std::vector<Request>& trace,
                                     const SchedulerFactory& make_scheduler,
                                     const SloSpec& slo);
 
+  /// Elastic runs want the scaling/migration metrics too.
+  StatusOr<FleetResult> RunFleet(const std::vector<Request>& trace,
+                                 const SchedulerFactory& make_scheduler,
+                                 const SloSpec& slo);
+
   /// Exposed for tests: the dispatch assignment for a trace.
   std::vector<int32_t> Dispatch(const std::vector<Request>& trace) const;
 
  private:
+  FleetConfig EffectiveFleetConfig() const;
+
   CostModel cost_model_;
-  MultiInstanceConfig config_;
+  MultiInstanceSimConfig config_;
 };
 
 }  // namespace aptserve

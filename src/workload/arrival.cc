@@ -1,5 +1,7 @@
 #include "workload/arrival.h"
 
+#include <cmath>
+
 namespace aptserve {
 
 StatusOr<std::vector<TimePoint>> PoissonArrivals(double rate_per_sec,
@@ -21,6 +23,59 @@ StatusOr<std::vector<TimePoint>> GammaArrivals(double rate_per_sec, double cv,
   for (int32_t i = 0; i < n; ++i) {
     t += rng->Gamma(shape, scale);
     out.push_back(t);
+  }
+  return out;
+}
+
+double DiurnalProfile::RateAt(double t) const {
+  const double mid = 0.5 * (base_rate + peak_rate);
+  const double amp = 0.5 * (peak_rate - base_rate);
+  // Trough at phase 0: rate = mid - amp * cos(2*pi*(t/period + phase)).
+  const double two_pi = 6.283185307179586;
+  return mid - amp * std::cos(two_pi * (t / period_s + phase));
+}
+
+StatusOr<std::vector<TimePoint>> DiurnalArrivals(
+    const DiurnalProfile& profile, const std::vector<FlashCrowd>& crowds,
+    double cv, int32_t n, Rng* rng) {
+  if (profile.base_rate <= 0 || profile.peak_rate < profile.base_rate) {
+    return Status::InvalidArgument(
+        "diurnal rates need 0 < base_rate <= peak_rate");
+  }
+  if (profile.period_s <= 0) {
+    return Status::InvalidArgument("diurnal period must be > 0");
+  }
+  if (cv <= 0) return Status::InvalidArgument("cv must be > 0");
+  if (n < 0) return Status::InvalidArgument("negative request count");
+  double crowd_envelope = 1.0;
+  for (const FlashCrowd& c : crowds) {
+    if (c.duration_s <= 0 || c.multiplier <= 0) {
+      return Status::InvalidArgument(
+          "flash crowds need positive duration and multiplier");
+    }
+    crowd_envelope *= std::max(1.0, c.multiplier);
+  }
+  const auto rate_at = [&](double t) {
+    double rate = profile.RateAt(t);
+    for (const FlashCrowd& c : crowds) {
+      if (t >= c.start_s && t < c.start_s + c.duration_s) {
+        rate *= c.multiplier;
+      }
+    }
+    return rate;
+  };
+  // Thinning (Lewis–Shedler): candidates at the envelope rate, accepted
+  // with probability rate(t)/envelope. The candidate stream reuses the
+  // Gamma inter-arrival sampler so the burstiness knob composes.
+  const double envelope = profile.peak_rate * crowd_envelope;
+  const double shape = 1.0 / (cv * cv);
+  const double scale = 1.0 / (envelope * shape);
+  std::vector<TimePoint> out;
+  out.reserve(n);
+  TimePoint t = 0.0;
+  while (static_cast<int32_t>(out.size()) < n) {
+    t += rng->Gamma(shape, scale);
+    if (rng->Uniform() * envelope <= rate_at(t)) out.push_back(t);
   }
   return out;
 }

@@ -22,4 +22,37 @@ StatusOr<std::vector<TimePoint>> PoissonArrivals(double rate_per_sec,
 StatusOr<std::vector<TimePoint>> GammaArrivals(double rate_per_sec, double cv,
                                                int32_t n, Rng* rng);
 
+/// Diurnal (time-varying) traffic: the sinusoidal day/night rate profile of
+/// production serving, oscillating between `base_rate` (trough) and
+/// `peak_rate` over `period_s` virtual seconds. `phase` shifts where in the
+/// cycle the trace starts (0 = trough).
+struct DiurnalProfile {
+  double base_rate = 1.0;
+  double peak_rate = 4.0;
+  double period_s = 600.0;
+  double phase = 0.0;
+
+  /// Instantaneous arrival rate at time `t`.
+  double RateAt(double t) const;
+};
+
+/// A flash crowd: a multiplicative rate spike (breaking news, a viral
+/// prompt) over [start_s, start_s + duration_s). Spikes compose — they
+/// multiply on top of the diurnal profile and each other.
+struct FlashCrowd {
+  double start_s = 0.0;
+  double duration_s = 30.0;
+  double multiplier = 3.0;
+};
+
+/// Generates `n` arrivals from a nonhomogeneous process whose rate follows
+/// `profile` scaled by any active `crowds`, via thinning over the existing
+/// Gamma/Poisson sampler: candidates are drawn at the envelope (maximum)
+/// rate with burstiness `cv` and accepted with probability rate(t)/max —
+/// so the diurnal/flash shape composes with the paper's burstiness knob
+/// (cv = 1 gives an exact nonhomogeneous Poisson process).
+StatusOr<std::vector<TimePoint>> DiurnalArrivals(
+    const DiurnalProfile& profile, const std::vector<FlashCrowd>& crowds,
+    double cv, int32_t n, Rng* rng);
+
 }  // namespace aptserve

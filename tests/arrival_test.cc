@@ -64,5 +64,74 @@ TEST(ArrivalTest, InputValidation) {
   EXPECT_TRUE(empty->empty());
 }
 
+TEST(DiurnalArrivalTest, DeterministicSortedAndRateShaped) {
+  DiurnalProfile profile;
+  profile.base_rate = 1.0;
+  profile.peak_rate = 10.0;
+  profile.period_s = 100.0;
+  Rng a(7), b(7);
+  auto first = DiurnalArrivals(profile, {}, 1.0, 600, &a);
+  auto second = DiurnalArrivals(profile, {}, 1.0, 600, &b);
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(*first, *second);  // seeded determinism
+  EXPECT_TRUE(std::is_sorted(first->begin(), first->end()));
+
+  // Trough at phase 0, peak at half-period: the peak-centred window must
+  // see several times the trough-centred window's arrivals.
+  const auto count_in = [&](double lo, double hi) {
+    int64_t n = 0;
+    for (double t : *first) n += (t >= lo && t < hi) ? 1 : 0;
+    return n;
+  };
+  const int64_t peak = count_in(40.0, 60.0);
+  const int64_t trough = count_in(0.0, 10.0) + count_in(90.0, 100.0);
+  EXPECT_GT(peak, 2 * std::max<int64_t>(trough, 1));
+}
+
+TEST(DiurnalArrivalTest, FlashCrowdSpikesTheWindow) {
+  DiurnalProfile profile;
+  profile.base_rate = 2.0;
+  profile.peak_rate = 2.0001;  // essentially flat: isolate the crowd
+  profile.period_s = 200.0;
+  FlashCrowd crowd;
+  crowd.start_s = 50.0;
+  crowd.duration_s = 20.0;
+  crowd.multiplier = 5.0;
+  Rng rng(11);
+  auto arrivals = DiurnalArrivals(profile, {crowd}, 1.0, 500, &rng);
+  ASSERT_TRUE(arrivals.ok());
+  int64_t in_crowd = 0, before = 0;
+  for (double t : *arrivals) {
+    in_crowd += (t >= 50.0 && t < 70.0) ? 1 : 0;
+    before += (t >= 20.0 && t < 40.0) ? 1 : 0;
+  }
+  // Same window length; the crowd multiplies the rate by 5.
+  EXPECT_GT(in_crowd, 3 * std::max<int64_t>(before, 1));
+}
+
+TEST(DiurnalArrivalTest, ComposesWithBurstinessAndValidates) {
+  DiurnalProfile profile;
+  Rng rng(3);
+  auto bursty = DiurnalArrivals(profile, {}, 4.0, 200, &rng);
+  ASSERT_TRUE(bursty.ok());
+  EXPECT_TRUE(std::is_sorted(bursty->begin(), bursty->end()));
+
+  DiurnalProfile bad = profile;
+  bad.base_rate = 0.0;
+  EXPECT_TRUE(
+      DiurnalArrivals(bad, {}, 1.0, 10, &rng).status().IsInvalidArgument());
+  bad = profile;
+  bad.peak_rate = bad.base_rate / 2;
+  EXPECT_TRUE(
+      DiurnalArrivals(bad, {}, 1.0, 10, &rng).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      DiurnalArrivals(profile, {}, 0.0, 10, &rng).status().IsInvalidArgument());
+  FlashCrowd bad_crowd;
+  bad_crowd.duration_s = -1.0;
+  EXPECT_TRUE(DiurnalArrivals(profile, {bad_crowd}, 1.0, 10, &rng)
+                  .status()
+                  .IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace aptserve

@@ -41,7 +41,7 @@ TEST(MultiBackendFleetTest, RunnerMatchesSimulatorFacade) {
   const auto trace = MakeTrace(4.0, 120, 12);
 
   MultiInstanceConfig cfg;
-  cfg.n_instances = 2;
+  cfg.fleet.router.n_instances = 2;
   MultiInstanceSimulator facade(cm, cfg);
   auto facade_result =
       facade.Run(trace, [] { return std::make_unique<FcfsScheduler>(); }, slo);

@@ -27,8 +27,8 @@ std::vector<Request> MakeTrace(double rate, int n = 200, uint64_t seed = 6) {
 
 TEST(DispatchTest, RoundRobinCycles) {
   MultiInstanceConfig cfg;
-  cfg.n_instances = 3;
-  cfg.policy = DispatchPolicy::kRoundRobin;
+  cfg.fleet.router.n_instances = 3;
+  cfg.fleet.router.policy = RoutePolicy::kRoundRobin;
   MultiInstanceSimulator mi(Opt13(), cfg);
   auto a = mi.Dispatch(MakeTrace(2.0, 9));
   EXPECT_EQ(a, (std::vector<int32_t>{0, 1, 2, 0, 1, 2, 0, 1, 2}));
@@ -36,8 +36,8 @@ TEST(DispatchTest, RoundRobinCycles) {
 
 TEST(DispatchTest, LeastLoadedBalancesTokens) {
   MultiInstanceConfig cfg;
-  cfg.n_instances = 2;
-  cfg.policy = DispatchPolicy::kLeastLoaded;
+  cfg.fleet.router.n_instances = 2;
+  cfg.fleet.router.policy = RoutePolicy::kLeastLoaded;
   MultiInstanceSimulator mi(Opt13(), cfg);
   auto trace = MakeTrace(50.0, 400);  // dense arrivals, window matters
   auto a = mi.Dispatch(trace);
@@ -53,8 +53,8 @@ TEST(DispatchTest, LeastLoadedBalancesTokens) {
 
 TEST(DispatchTest, PowerOfTwoUsesAllInstancesAndIsDeterministic) {
   MultiInstanceConfig cfg;
-  cfg.n_instances = 4;
-  cfg.policy = DispatchPolicy::kPowerOfTwo;
+  cfg.fleet.router.n_instances = 4;
+  cfg.fleet.router.policy = RoutePolicy::kPowerOfTwo;
   MultiInstanceSimulator mi(Opt13(), cfg);
   auto trace = MakeTrace(10.0, 200);
   auto a1 = mi.Dispatch(trace);
@@ -66,7 +66,7 @@ TEST(DispatchTest, PowerOfTwoUsesAllInstancesAndIsDeterministic) {
 
 TEST(DispatchTest, SingleInstanceAllZero) {
   MultiInstanceConfig cfg;
-  cfg.n_instances = 1;
+  cfg.fleet.router.n_instances = 1;
   MultiInstanceSimulator mi(Opt13(), cfg);
   auto a = mi.Dispatch(MakeTrace(2.0, 10));
   for (int32_t v : a) EXPECT_EQ(v, 0);
@@ -83,8 +83,8 @@ TEST(MultiInstanceTest, TwoInstancesSustainRoughlyTwiceTheRate) {
   ASSERT_TRUE(r1.ok());
 
   MultiInstanceConfig cfg;
-  cfg.n_instances = 2;
-  cfg.policy = DispatchPolicy::kLeastLoaded;
+  cfg.fleet.router.n_instances = 2;
+  cfg.fleet.router.policy = RoutePolicy::kLeastLoaded;
   MultiInstanceSimulator mi(Opt13(), cfg);
   auto r2 = mi.Run(trace, [] { return std::make_unique<FcfsScheduler>(); },
                    slo);
@@ -98,7 +98,7 @@ TEST(MultiInstanceTest, AptOnFleetBeatsFcfsOnFleet) {
   const SloSpec slo{1.0, 1.0};
   auto trace = MakeTrace(8.0, 300, 14);
   MultiInstanceConfig cfg;
-  cfg.n_instances = 2;
+  cfg.fleet.router.n_instances = 2;
   MultiInstanceSimulator mi(Opt13(), cfg);
   auto rf = mi.Run(trace, [] { return std::make_unique<FcfsScheduler>(); },
                    slo);

@@ -156,8 +156,8 @@ TEST(ParallelFleetTest, MergedReportBitIdenticalAcrossThreadCounts) {
   const int32_t thread_counts[2] = {1, 4};
   for (int i = 0; i < 2; ++i) {
     MultiInstanceConfig cfg;
-    cfg.n_instances = 4;
-    cfg.runtime.num_threads = thread_counts[i];
+    cfg.fleet.router.n_instances = 4;
+    cfg.fleet.runtime.num_threads = thread_counts[i];
     MultiInstanceSimulator fleet(cm, cfg);
     auto result = fleet.Run(
         *trace, [] { return std::make_unique<FcfsScheduler>(); }, slo);

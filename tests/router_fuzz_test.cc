@@ -22,6 +22,7 @@
 #include "baselines/fcfs_scheduler.h"
 #include "common/rng.h"
 #include "serve/cost_model_backend.h"
+#include "serve/fleet_controller.h"
 #include "serve/multi_instance.h"
 #include "serve/router.h"
 #include "workload/arrival.h"
@@ -237,6 +238,97 @@ TEST(RouterFuzzTest, InvariantsAcrossPoliciesAdmissionAndSeeds) {
                   threaded_result->prefill_tokens_skipped);
         EXPECT_EQ(result->prefix.hits, threaded_result->prefix.hits);
       }
+    }
+  }
+}
+
+// Elastic fleets under the same seeded workloads: scaling policies plus
+// live migration (cache state included) must preserve the structural
+// invariants — conservation, per-instance sums, and 1-vs-4-thread
+// bit-identity of both the serving report and the fleet metrics.
+TEST(RouterFuzzTest, ElasticScalingAndMigrationInvariants) {
+  const ModelSpec m = ModelSpec::Opt13B();
+  const CostModel cm(m, ClusterSpec::ForModel(m));
+  const SloSpec slo{2.0, 2.0};
+
+  for (uint64_t seed : FuzzSeeds()) {
+    const auto trace = MixedTrace(seed);
+    SCOPED_TRACE("elastic seed " + std::to_string(seed));
+
+    auto make_backend =
+        [&](int32_t) -> StatusOr<std::unique_ptr<ExecutionBackend>> {
+      CostModelBackend::Options o;
+      o.block_size = 4;
+      o.pool_blocks_override = 256;  // small: queues and migrations form
+      o.enable_prefix_sharing = true;
+      o.token_vocab = 1000;
+      APT_ASSIGN_OR_RETURN(std::unique_ptr<CostModelBackend> backend,
+                           CostModelBackend::Create(cm, o));
+      return std::unique_ptr<ExecutionBackend>(std::move(backend));
+    };
+    auto make_scheduler = [] { return std::make_unique<FcfsScheduler>(); };
+
+    FleetResult results[2];
+    const int32_t thread_counts[2] = {1, 4};
+    for (int i = 0; i < 2; ++i) {
+      FleetConfig cfg;
+      cfg.router.n_instances = 2;
+      cfg.router.policy = RoutePolicy::kLeastOutstandingWork;
+      cfg.min_instances = 1;
+      cfg.max_instances = 4;
+      cfg.tick_interval_s = 0.4;
+      cfg.instance_warmup_s = 0.2;
+      cfg.scale_up_cooldown_s = 0.4;
+      cfg.scale_down_cooldown_s = 2.0;
+      cfg.scaling = {ScalingRule::QueueDepth(1.0, 0.1),
+                     ScalingRule::TargetUtilization(0.8, 0.2)};
+      cfg.enable_migration = true;
+      cfg.migration_imbalance_threshold = 1.0;
+      cfg.runtime.num_threads = thread_counts[i];
+      FleetController controller(cfg, &cm);
+      auto result = controller.Run(trace, make_scheduler, make_backend, slo);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      results[i] = std::move(*result);
+    }
+
+    // Conservation: every request was served somewhere (admission off).
+    for (const FleetResult& r : results) {
+      int64_t served = 0;
+      for (int32_t c : r.serve.requests_per_instance) served += c;
+      EXPECT_EQ(served + r.serve.rejected_requests,
+                static_cast<int64_t>(trace.size()));
+      EXPECT_EQ(r.serve.combined.eligible_requests +
+                    r.serve.combined.best_effort_requests,
+                static_cast<int64_t>(trace.size()));
+      ExpectStatsSumToFleetTotals(r.serve, trace.size());
+    }
+
+    // Thread-count bit-identity of report and elasticity metrics.
+    const SloReport& a = results[0].serve.combined;
+    const SloReport& b = results[1].serve.combined;
+    EXPECT_EQ(a.ttfts.samples(), b.ttfts.samples());
+    EXPECT_EQ(a.p99_tbts.samples(), b.p99_tbts.samples());
+    EXPECT_EQ(a.slo_attainment, b.slo_attainment);
+    EXPECT_EQ(a.goodput_rps, b.goodput_rps);
+    EXPECT_EQ(results[0].serve.requests_per_instance,
+              results[1].serve.requests_per_instance);
+    EXPECT_EQ(results[0].fleet.migrations, results[1].fleet.migrations);
+    EXPECT_EQ(results[0].fleet.migrations_with_cache,
+              results[1].fleet.migrations_with_cache);
+    EXPECT_EQ(results[0].fleet.migration_bytes,
+              results[1].fleet.migration_bytes);
+    EXPECT_EQ(results[0].fleet.instance_seconds,
+              results[1].fleet.instance_seconds);
+    EXPECT_EQ(results[0].fleet.cold_starts, results[1].fleet.cold_starts);
+    ASSERT_EQ(results[0].fleet.scale_events.size(),
+              results[1].fleet.scale_events.size());
+    for (size_t e = 0; e < results[0].fleet.scale_events.size(); ++e) {
+      EXPECT_EQ(results[0].fleet.scale_events[e].time,
+                results[1].fleet.scale_events[e].time);
+      EXPECT_EQ(results[0].fleet.scale_events[e].instance,
+                results[1].fleet.scale_events[e].instance);
+      EXPECT_EQ(static_cast<int>(results[0].fleet.scale_events[e].kind),
+                static_cast<int>(results[1].fleet.scale_events[e].kind));
     }
   }
 }
