@@ -22,11 +22,16 @@ struct BlockSlot {
 class CacheMap {
  public:
   CacheMap() = default;
-  CacheMap(CacheType type, int32_t block_size)
-      : type_(type), block_size_(block_size) {}
+  /// `block_size` is this map's *slots per block* — the pool's block size
+  /// for fp32 maps, kInt8SlotPack times that for int8 maps (same physical
+  /// block bytes, denser token packing).
+  CacheMap(CacheType type, int32_t block_size,
+           BlockEncoding encoding = BlockEncoding::kFp32)
+      : type_(type), block_size_(block_size), encoding_(encoding) {}
 
   CacheType type() const { return type_; }
   int32_t block_size() const { return block_size_; }
+  BlockEncoding encoding() const { return encoding_; }
 
   /// Number of token positions currently cached.
   int32_t num_tokens() const { return num_tokens_; }
@@ -75,6 +80,7 @@ class CacheMap {
 
   CacheType type_ = CacheType::kKV;
   int32_t block_size_ = 1;
+  BlockEncoding encoding_ = BlockEncoding::kFp32;
   int32_t num_tokens_ = 0;
   std::array<std::vector<BlockId>, 3> blocks_;
 };

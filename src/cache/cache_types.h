@@ -27,4 +27,51 @@ enum class CacheComponent : uint8_t { kKey = 0, kValue = 1, kHidden = 2 };
 using BlockId = int32_t;
 inline constexpr BlockId kInvalidBlock = -1;
 
+/// Physical payload encoding of a cache block. The pool's blocks are
+/// byte-homogeneous (one fp32 block's worth of arena bytes each); the
+/// encoding decides how many token slots those bytes hold:
+///  - kFp32: `block_size` slots of dim fp32 values — exact, the default.
+///  - kInt8: `kInt8SlotPack * block_size` slots of dim uint8 codes with a
+///    per-vector scale/zero-point (asymmetric, x ~ zero + scale*q) — ~4x
+///    density, bounded error of scale/2 per value on write, dequantized on
+///    read so the compute contract is unchanged.
+enum class BlockEncoding : uint8_t { kFp32 = 0, kInt8 = 1 };
+
+inline const char* BlockEncodingName(BlockEncoding e) {
+  return e == BlockEncoding::kFp32 ? "fp32" : "int8";
+}
+
+/// Token slots an int8 block packs into the arena bytes of one fp32 block
+/// (sizeof(float) codes per value byte).
+inline constexpr int32_t kInt8SlotPack = 4;
+
+/// Token slots one physical pool block holds under `encoding`, given the
+/// pool's fp32 block size.
+inline int32_t SlotsPerBlock(BlockEncoding encoding,
+                             int32_t pool_block_size) {
+  return encoding == BlockEncoding::kInt8 ? kInt8SlotPack * pool_block_size
+                                          : pool_block_size;
+}
+
+/// Per-tier encoding selection for the hybrid assigner (the third cache
+/// representation next to the paper's KV-vs-hidden split): each tier's
+/// blocks can be held fp32 or int8 independently. Prefix sharing requires
+/// fp32 KV blocks (shared block content must be exact across adopters), so
+/// match/insert sites gate themselves off when `kv` is kInt8.
+struct CacheEncodingPolicy {
+  BlockEncoding kv = BlockEncoding::kFp32;
+  BlockEncoding hidden = BlockEncoding::kFp32;
+  /// Quantize fp32 migration payloads in transit (lossy transport that
+  /// shrinks interconnect bytes ~4x; int8 blocks always travel as raw
+  /// codes, which is exact).
+  bool quantize_migration_payload = false;
+
+  BlockEncoding For(CacheType t) const {
+    return t == CacheType::kKV ? kv : hidden;
+  }
+  bool any_int8() const {
+    return kv == BlockEncoding::kInt8 || hidden == BlockEncoding::kInt8;
+  }
+};
+
 }  // namespace aptserve

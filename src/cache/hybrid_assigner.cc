@@ -15,7 +15,7 @@ HybridCacheAssigner::HybridCacheAssigner(BlockPool* pool) : pool_(pool) {
 int32_t HybridCacheAssigner::BlocksNeeded(CacheType type,
                                           int32_t num_tokens) const {
   if (num_tokens <= 0) return 0;
-  const int32_t per_component = CeilDiv(num_tokens, pool_->block_size());
+  const int32_t per_component = CeilDiv(num_tokens, SlotsPerBlockFor(type));
   return type == CacheType::kKV ? 2 * per_component : per_component;
 }
 
@@ -26,7 +26,8 @@ int32_t HybridCacheAssigner::BlocksToGrow(RequestId id,
   const CacheMap& map = it->second;
   const int32_t have = map.capacity();
   if (num_tokens <= have) return 0;
-  const int32_t extra = CeilDiv(num_tokens - have, pool_->block_size());
+  // Grow at the map's own density (it may predate a policy change).
+  const int32_t extra = CeilDiv(num_tokens - have, map.block_size());
   return map.type() == CacheType::kKV ? 2 * extra : extra;
 }
 
@@ -75,8 +76,8 @@ Status HybridCacheAssigner::CreateFilled(RequestId id, CacheType type,
     return Status::AlreadyExists("request " + std::to_string(id) +
                                  " already has a cache");
   }
-  CacheMap map(type, pool_->block_size());
-  const int32_t per_component = CeilDiv(num_tokens, pool_->block_size());
+  CacheMap map(type, SlotsPerBlockFor(type), EncodingFor(type));
+  const int32_t per_component = CeilDiv(num_tokens, map.block_size());
   APT_RETURN_NOT_OK(AllocateFor(&map, per_component));
   map.AdvanceTokens(num_tokens);
   maps_.emplace(id, std::move(map));
@@ -87,6 +88,13 @@ StatusOr<CowSeed> HybridCacheAssigner::CreateSeeded(RequestId id,
                                                     const PrefixMatch& match) {
   if (!match.hit()) {
     return Status::InvalidArgument("cannot seed from an empty match");
+  }
+  if (EncodingFor(CacheType::kKV) != BlockEncoding::kFp32) {
+    // Shared prefix blocks must be exact across adopters; the match sites
+    // (engine prepare, analytic backend, migration import) gate themselves
+    // off under an int8 KV tier, so this is a misuse guard.
+    return Status::FailedPrecondition(
+        "prefix seeding requires an fp32 KV tier");
   }
   if (Has(id)) {
     return Status::AlreadyExists("request " + std::to_string(id) +
@@ -125,7 +133,7 @@ StatusOr<CowSeed> HybridCacheAssigner::CreateSeeded(RequestId id,
   }
 
   // 2. Build the map: shared full blocks, then the private COW tail.
-  CacheMap map(CacheType::kKV, pool_->block_size());
+  CacheMap map(CacheType::kKV, pool_->block_size(), BlockEncoding::kFp32);
   std::vector<BlockId> k_list = match.k_blocks;
   std::vector<BlockId> v_list = match.v_blocks;
   if (match.cow_tokens > 0) {
@@ -156,7 +164,7 @@ Status HybridCacheAssigner::Append(RequestId id, int32_t extra_tokens) {
   const int32_t target = map.num_tokens() + extra_tokens;
   if (target > map.capacity()) {
     const int32_t extra_blocks =
-        CeilDiv(target - map.capacity(), pool_->block_size());
+        CeilDiv(target - map.capacity(), map.block_size());
     APT_RETURN_NOT_OK(AllocateFor(&map, extra_blocks));
   }
   map.AdvanceTokens(extra_tokens);

@@ -52,8 +52,26 @@ class HybridCacheAssigner {
     reclaimer_ = std::move(reclaimer);
   }
 
+  /// Selects the per-tier block encoding for caches created from now on
+  /// (existing maps keep the encoding they were built with). Int8 tiers
+  /// pack kInt8SlotPack times the tokens into each pool block, which every
+  /// BlocksNeeded/BlocksToGrow caller (admission, scheduling, growth)
+  /// inherits automatically.
+  void SetEncodingPolicy(const CacheEncodingPolicy& policy) {
+    policy_ = policy;
+  }
+  const CacheEncodingPolicy& encoding_policy() const { return policy_; }
+  BlockEncoding EncodingFor(CacheType type) const { return policy_.For(type); }
+  /// Token slots one pool block holds for caches of `type` under the
+  /// current policy.
+  int32_t SlotsPerBlockFor(CacheType type) const {
+    return SlotsPerBlock(EncodingFor(type), pool_->block_size());
+  }
+
   /// Blocks required to cache `num_tokens` tokens with the given type:
-  /// 2*ceil(t/B) for KV, ceil(t/B) for hidden.
+  /// 2*ceil(t/S) for KV, ceil(t/S) for hidden, where S is the tier's
+  /// slots-per-block (the pool block size, times kInt8SlotPack for an int8
+  /// tier).
   int32_t BlocksNeeded(CacheType type, int32_t num_tokens) const;
 
   /// Additional blocks needed to grow request `id`'s existing cache to
@@ -138,6 +156,7 @@ class HybridCacheAssigner {
   Status AllocateWithReclaim(int32_t n, std::vector<BlockId>* out);
 
   BlockPool* pool_;
+  CacheEncodingPolicy policy_;
   std::unordered_map<RequestId, CacheMap> maps_;
   std::function<int32_t(int32_t)> reclaimer_;
   int64_t num_conversions_ = 0;

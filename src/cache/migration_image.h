@@ -31,7 +31,29 @@ struct MigrationImage {
   /// Empty on the accounting backend.
   std::vector<float> payload;
 
+  /// Transport encoding of the payload. kInt8 payloads travel as raw codes
+  /// plus per-vector scale/zero — exact for int8-encoded source blocks,
+  /// lossy (one extra quantization) when a source opted into
+  /// quantize_migration_payload for fp32 blocks. Either way the
+  /// interconnect moves ~4x fewer bytes, which the CostModel prices.
+  BlockEncoding payload_encoding = BlockEncoding::kFp32;
+  /// Codes, [component][layer][pos][dim]; used when payload_encoding is
+  /// kInt8 (payload is then empty).
+  std::vector<uint8_t> qpayload;
+  /// Per-vector quant params, [component][layer][pos].
+  std::vector<float> qscale;
+  std::vector<float> qzero;
+
   bool carries_cache() const { return cached_tokens > 0; }
+
+  /// Transport bytes per cached vector of dimension `dim` under this
+  /// image's payload encoding (codes + scale/zero for int8, raw floats for
+  /// fp32) — the unit the CostModel's interconnect term prices.
+  double BytesPerVector(int32_t dim) const {
+    return payload_encoding == BlockEncoding::kInt8
+               ? static_cast<double>(dim) + 2.0 * sizeof(float)
+               : static_cast<double>(dim) * sizeof(float);
+  }
 };
 
 /// Outcome of importing a MigrationImage into a destination backend.

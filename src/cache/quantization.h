@@ -1,0 +1,59 @@
+// Asymmetric uint8 quantization for int8-encoded cache blocks: one
+// scale/zero-point pair per cached vector (block-local metadata — it lives
+// in the storage arena's side arrays, never in the pool's accounting).
+//
+//   encode: q = round((x - zero) / scale), clamped to [0, 255]
+//   decode: x' = zero + scale * q
+//
+// with zero = min(x) and scale = (max(x) - min(x)) / 255, so the round-trip
+// error is at most scale/2 per value and constant vectors (scale == 0)
+// reproduce exactly. Re-quantizing a dequantized vector reproduces the same
+// codes (idempotence, pinned by tests/quantized_cache_test.cc), which makes
+// fp32 staging round-trips (swap out/in) stable.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace aptserve {
+
+struct QuantParams {
+  float scale = 0.0f;
+  float zero = 0.0f;
+};
+
+inline QuantParams ComputeQuantParams(const float* x, int32_t n) {
+  QuantParams p;
+  if (n <= 0) return p;
+  float mn = x[0], mx = x[0];
+  for (int32_t i = 1; i < n; ++i) {
+    mn = std::min(mn, x[i]);
+    mx = std::max(mx, x[i]);
+  }
+  p.zero = mn;
+  p.scale = (mx - mn) / 255.0f;
+  return p;
+}
+
+inline void QuantizeVector(const float* x, int32_t n, const QuantParams& p,
+                           uint8_t* out) {
+  if (p.scale <= 0.0f) {
+    for (int32_t i = 0; i < n; ++i) out[i] = 0;
+    return;
+  }
+  const float inv = 1.0f / p.scale;
+  for (int32_t i = 0; i < n; ++i) {
+    const float q = std::nearbyintf((x[i] - p.zero) * inv);
+    out[i] = static_cast<uint8_t>(std::min(255.0f, std::max(0.0f, q)));
+  }
+}
+
+inline void DequantizeVector(const uint8_t* codes, int32_t n,
+                             const QuantParams& p, float* out) {
+  for (int32_t i = 0; i < n; ++i) {
+    out[i] = p.zero + p.scale * static_cast<float>(codes[i]);
+  }
+}
+
+}  // namespace aptserve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "cache/quantization.h"
 #include "engine/ops.h"
 
 namespace aptserve {
@@ -22,6 +23,10 @@ void InferenceEngine::SetSampling(const SamplingParams& params,
                                   uint64_t sample_seed) {
   sampling_ = params;
   sample_rng_ = Rng(sample_seed);
+}
+
+void InferenceEngine::SetEncodingPolicy(const CacheEncodingPolicy& policy) {
+  assigner_.SetEncodingPolicy(policy);
 }
 
 void InferenceEngine::EnablePrefixSharing() {
@@ -86,7 +91,8 @@ StatusOr<PendingStep> InferenceEngine::PreparePrefillChunk(
   int32_t skipped = 0;
   PrefixMatch match;
   if (fresh && prefix_index_ != nullptr &&
-      gs.cache_type == CacheType::kKV && gs.cached_tokens == 0) {
+      gs.cache_type == CacheType::kKV && gs.cached_tokens == 0 &&
+      assigner_.EncodingFor(CacheType::kKV) == BlockEncoding::kFp32) {
     const int32_t limit = std::min(gs.prompt_len, target - 1);
     match = prefix_index_->Match(gs.tokens, limit);
     if (match.hit()) {
@@ -236,7 +242,8 @@ StatusOr<std::optional<int32_t>> InferenceEngine::FinishStep(
     gs.cached_tokens = step->upto;
     if (!step->completes) return std::optional<int32_t>{};  // more chunks
     gs.in_decode = true;
-    if (prefix_index_ != nullptr && gs.cache_type == CacheType::kKV) {
+    if (prefix_index_ != nullptr && gs.cache_type == CacheType::kKV &&
+        assigner_.EncodingFor(CacheType::kKV) == BlockEncoding::kFp32) {
       // Index the completed pass's full prompt blocks so later requests
       // (and this request's own re-prefills) can adopt them. Generated
       // positions stay private: only chunks fully inside the prompt are
@@ -394,14 +401,46 @@ StatusOr<MigrationImage> InferenceEngine::ExportRequest(RequestId id) {
     const int32_t d = model_.config().d_model;
     const int32_t layers = model_.config().n_layers;
     const auto components = map->Components();
-    image.payload.resize(static_cast<int64_t>(components.size()) * layers *
-                         gs.cached_tokens * d);
-    int64_t cursor = 0;
-    for (CacheComponent c : components) {
-      for (int32_t l = 0; l < layers; ++l) {
-        storage_.Gather(*map, c, l, gs.cached_tokens,
-                        image.payload.data() + cursor);
-        cursor += static_cast<int64_t>(gs.cached_tokens) * d;
+    const int64_t vectors = static_cast<int64_t>(components.size()) * layers *
+                            gs.cached_tokens;
+    // Int8 blocks always travel as raw codes (exact, ~4x fewer bytes);
+    // fp32 blocks quantize in transit only when the policy opts in.
+    const bool int8_transport =
+        map->encoding() == BlockEncoding::kInt8 ||
+        assigner_.encoding_policy().quantize_migration_payload;
+    if (int8_transport) {
+      image.payload_encoding = BlockEncoding::kInt8;
+      image.qpayload.resize(vectors * d);
+      image.qscale.resize(vectors);
+      image.qzero.resize(vectors);
+      std::vector<float> row(d);
+      int64_t v = 0;
+      for (CacheComponent c : components) {
+        for (int32_t l = 0; l < layers; ++l) {
+          for (int32_t pos = 0; pos < gs.cached_tokens; ++pos, ++v) {
+            uint8_t* codes = image.qpayload.data() + v * d;
+            QuantParams p;
+            if (map->encoding() == BlockEncoding::kInt8) {
+              storage_.ReadQuantized(*map, c, l, pos, codes, &p);
+            } else {
+              storage_.ReadVector(*map, c, l, pos, row.data());
+              p = ComputeQuantParams(row.data(), d);
+              QuantizeVector(row.data(), d, p, codes);
+            }
+            image.qscale[v] = p.scale;
+            image.qzero[v] = p.zero;
+          }
+        }
+      }
+    } else {
+      image.payload.resize(vectors * d);
+      int64_t cursor = 0;
+      for (CacheComponent c : components) {
+        for (int32_t l = 0; l < layers; ++l) {
+          storage_.Gather(*map, c, l, gs.cached_tokens,
+                          image.payload.data() + cursor);
+          cursor += static_cast<int64_t>(gs.cached_tokens) * d;
+        }
       }
     }
     APT_RETURN_NOT_OK(assigner_.ReleaseExported(id));
@@ -437,7 +476,8 @@ StatusOr<MigrationImport> InferenceEngine::ImportRequest(
   // interconnect. Generated positions (beyond prompt_len) are private and
   // always transfer.
   PrefixMatch match;
-  if (prefix_index_ != nullptr && image.cache_type == CacheType::kKV) {
+  if (prefix_index_ != nullptr && image.cache_type == CacheType::kKV &&
+      assigner_.EncodingFor(CacheType::kKV) == BlockEncoding::kFp32) {
     const int32_t limit = std::min(image.prompt_len, image.cached_tokens);
     match = prefix_index_->Match(image.tokens, limit);
   }
@@ -466,18 +506,38 @@ StatusOr<MigrationImport> InferenceEngine::ImportRequest(
   const int32_t d = model_.config().d_model;
   const int32_t layers = model_.config().n_layers;
   const auto components = map->Components();
-  APT_CHECK(static_cast<int64_t>(image.payload.size()) ==
-            static_cast<int64_t>(components.size()) * layers *
-                image.cached_tokens * d);
-  int64_t cursor = 0;
+  const int64_t vectors = static_cast<int64_t>(components.size()) * layers *
+                          image.cached_tokens;
+  if (image.payload_encoding == BlockEncoding::kInt8) {
+    APT_CHECK(static_cast<int64_t>(image.qpayload.size()) == vectors * d);
+    APT_CHECK(static_cast<int64_t>(image.qscale.size()) == vectors &&
+              static_cast<int64_t>(image.qzero.size()) == vectors);
+  } else {
+    APT_CHECK(static_cast<int64_t>(image.payload.size()) == vectors * d);
+  }
+  std::vector<float> row(d);
+  int64_t base = 0;  // vector index of (component, layer, pos=0)
   for (CacheComponent c : components) {
     for (int32_t l = 0; l < layers; ++l) {
       for (int32_t pos = match.tokens; pos < image.cached_tokens; ++pos) {
-        storage_.WriteVector(*map, c, l, pos,
-                             image.payload.data() + cursor +
-                                 static_cast<int64_t>(pos) * d);
+        const int64_t v = base + pos;
+        if (image.payload_encoding == BlockEncoding::kInt8) {
+          const uint8_t* codes = image.qpayload.data() + v * d;
+          const QuantParams p{image.qscale[v], image.qzero[v]};
+          if (map->encoding() == BlockEncoding::kInt8) {
+            // Raw code transport between int8 tiers: bit-exact handoff.
+            storage_.WriteQuantized(*map, c, l, pos, codes, p);
+          } else {
+            DequantizeVector(codes, d, p, row.data());
+            storage_.WriteVector(*map, c, l, pos, row.data());
+          }
+        } else {
+          // WriteVector quantizes in place when this tier is int8.
+          storage_.WriteVector(*map, c, l, pos,
+                               image.payload.data() + v * d);
+        }
       }
-      cursor += static_cast<int64_t>(image.cached_tokens) * d;
+      base += image.cached_tokens;
     }
   }
   auto& state = requests_.at(id);
@@ -486,8 +546,8 @@ StatusOr<MigrationImport> InferenceEngine::ImportRequest(
   import.deduped_tokens = match.tokens;
   import.copied_tokens = image.cached_tokens - match.tokens;
   import.bytes = static_cast<double>(import.copied_tokens) *
-                 static_cast<double>(components.size()) * layers * d *
-                 sizeof(float);
+                 static_cast<double>(components.size()) * layers *
+                 image.BytesPerVector(d);
   return import;
 }
 

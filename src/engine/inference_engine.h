@@ -88,6 +88,18 @@ class InferenceEngine {
   /// Sets the sampling strategy for generated tokens (default: greedy).
   void SetSampling(const SamplingParams& params, uint64_t sample_seed = 1);
 
+  /// Selects the per-tier block encoding for caches created from now on
+  /// (call before requests hold cache; existing maps keep their encoding).
+  /// An int8 tier holds and migrates its blocks at ~kInt8SlotPack x density
+  /// with bounded quantization error; the default all-fp32 policy leaves
+  /// token streams bit-identical to the pre-quantization engine. Prefix
+  /// sharing disables itself for an int8 KV tier (shared blocks must be
+  /// exact across adopters).
+  void SetEncodingPolicy(const CacheEncodingPolicy& policy);
+  const CacheEncodingPolicy& encoding_policy() const {
+    return assigner_.encoding_policy();
+  }
+
   /// Turns on prefix sharing: a per-engine PrefixIndex over the pool. From
   /// then on a fresh KV prefill pass first matches its prompt against the
   /// index (adopting shared blocks, copy-on-writing a partially matched

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "engine/ops_simd.h"
 #include "runtime/thread_pool.h"
 
 namespace aptserve {
@@ -15,12 +16,24 @@ namespace {
 /// streamed once and reused across every batch row it multiplies.
 constexpr int32_t kRowTile = 32;
 
+/// Resolved once: the ops_simd.cc translation unit either carries a vector
+/// backend or returns false, fixed at build time.
+const bool kUseSimd = simd::Available();
+
 inline float GeluScalar(float v) {
   constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
   return 0.5f * v * (1.0f + std::tanh(kC * (v + 0.044715f * v * v * v)));
 }
 
 }  // namespace
+
+const char* ActiveIsa() { return simd::IsaName(); }
+
+int32_t VectorWidthFloats() { return simd::WidthFloats(); }
+
+// ---- Pinned scalar reference kernels --------------------------------------
+
+namespace scalar {
 
 void MatVec(const float* w, const float* x, float* y, int32_t rows,
             int32_t cols) {
@@ -103,6 +116,78 @@ int32_t ArgMax(const float* x, int32_t n) {
   return best;
 }
 
+}  // namespace scalar
+
+// ---- Dispatched entry points ----------------------------------------------
+//
+// Every MatVec/MatMat output element funnels through ops::Dot and every
+// normalized row through ops::LayerNorm, so the unblocked and blocked tiers
+// stay bit-identical to each other on both ISA legs.
+
+float Dot(const float* a, const float* b, int32_t n) {
+  return kUseSimd ? simd::Dot(a, b, n) : scalar::Dot(a, b, n);
+}
+
+void MatVec(const float* w, const float* x, float* y, int32_t rows,
+            int32_t cols) {
+  for (int32_t r = 0; r < rows; ++r) {
+    y[r] = Dot(w + static_cast<int64_t>(r) * cols, x, cols);
+  }
+}
+
+void MatVecTransposed(const float* w, const float* x, float* y, int32_t rows,
+                      int32_t cols) {
+  if (!kUseSimd) {
+    scalar::MatVecTransposed(w, x, y, rows, cols);
+    return;
+  }
+  // simd::Axpy is bit-identical to the scalar per-row update (one multiply
+  // and one add per element), so this path matches the reference exactly.
+  for (int32_t c = 0; c < cols; ++c) y[c] = 0.0f;
+  for (int32_t r = 0; r < rows; ++r) {
+    simd::Axpy(w + static_cast<int64_t>(r) * cols, x[r], y, cols);
+  }
+}
+
+void AddInPlace(float* x, const float* y, int32_t n) {
+  if (kUseSimd) {
+    simd::AddInPlace(x, y, n);
+  } else {
+    scalar::AddInPlace(x, y, n);
+  }
+}
+
+void ScaleInPlace(float* x, float s, int32_t n) {
+  if (kUseSimd) {
+    simd::ScaleInPlace(x, s, n);
+  } else {
+    scalar::ScaleInPlace(x, s, n);
+  }
+}
+
+void Softmax(float* x, int32_t n) { scalar::Softmax(x, n); }
+
+void LayerNorm(const float* x, const float* gain, const float* bias,
+               float* out, int32_t n) {
+  if (kUseSimd) {
+    simd::LayerNorm(x, gain, bias, out, n);
+  } else {
+    scalar::LayerNorm(x, gain, bias, out, n);
+  }
+}
+
+void Gelu(float* x, int32_t n) { scalar::Gelu(x, n); }
+
+void Relu(float* x, int32_t n) {
+  if (kUseSimd) {
+    simd::Relu(x, n);
+  } else {
+    scalar::Relu(x, n);
+  }
+}
+
+int32_t ArgMax(const float* x, int32_t n) { return scalar::ArgMax(x, n); }
+
 // ---- Blocked / batched kernels (parallel runtime tier) --------------------
 
 namespace {
@@ -110,9 +195,10 @@ namespace {
 enum class PostAct { kNone, kRelu, kGelu };
 
 /// The blocked core: y_b[r] = act(dot(w_r, x_b)) over the sub-rectangle
-/// [b_lo, b_hi) x [r_lo, r_hi). The inner dot runs in the scalar MatVec
-/// accumulation order, so every output element is bit-identical to the
-/// reference kernel no matter how the rectangle is split across threads.
+/// [b_lo, b_hi) x [r_lo, r_hi). The inner dot is the dispatched ops::Dot —
+/// the same accumulation order as the unblocked MatVec — so every output
+/// element is bit-identical to it no matter how the rectangle is split
+/// across threads.
 inline void MatMatTile(const float* w, const float* x, float* y, int32_t rows,
                        int32_t cols, int32_t b_lo, int32_t b_hi, int32_t r_lo,
                        int32_t r_hi, PostAct act) {
@@ -210,4 +296,3 @@ void FusedMatMatAct(const float* w, const float* x, float* y, int32_t batch,
 
 }  // namespace ops
 }  // namespace aptserve
-

@@ -2,15 +2,27 @@
 // spans; shapes are passed explicitly and validated by callers. Matrices are
 // row-major.
 //
-// Two kernel tiers live here:
-//   * scalar reference kernels (MatVec, LayerNorm, ...) — the pinned
-//     ground truth, single-threaded, naive loops;
+// Three kernel tiers live here:
+//   * pinned scalar reference kernels (ops::scalar::*) — the ground truth,
+//     single-threaded, naive loops, never vectorized (this translation unit
+//     is built without vector flags, so compiler FP contraction cannot
+//     change them);
+//   * dispatched entry points (ops::MatVec, ops::LayerNorm, ...) — route to
+//     the SIMD backend (engine/ops_simd.h: AVX2+FMA on x86, NEON on
+//     aarch64) when the build carries one, else to the scalar reference.
+//     Elementwise kernels are bit-identical to the reference either way;
+//     reduction kernels (Dot, LayerNorm) agree to bounded ulp when the
+//     vector path is active (reduction order differs) and are still a pure
+//     function of their inputs — bit-identical across thread counts and
+//     run-to-run. ops::ActiveIsa() reports which path runs so benches can
+//     stamp it;
 //   * blocked/batched kernels (MatMat, MatVecBlocked, LayerNormBatch and
 //     the fused passes) — cache-tiled over weight rows and optionally
 //     parallel over an aptserve::runtime::ThreadPool. Every blocked kernel
-//     accumulates each output element in exactly the scalar order, so its
-//     results are bit-identical to the reference at any thread count
-//     (pinned by tests/parallel_ops_test.cc).
+//     accumulates each output element through the same dispatched Dot /
+//     LayerNorm primitives as the unblocked entry points, so its results
+//     are bit-identical to them at any thread count (pinned by
+//     tests/parallel_ops_test.cc) on both ISA legs.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +34,13 @@ class ThreadPool;
 }  // namespace runtime
 
 namespace ops {
+
+/// Vector backend the dispatched kernels actually use at runtime:
+/// "avx2+fma", "neon", or "scalar". Benches stamp this into snapshots.
+const char* ActiveIsa();
+
+/// SIMD lanes (in floats) of the active backend: 8 (AVX2), 4 (NEON), or 1.
+int32_t VectorWidthFloats();
 
 /// y = W x, where W is [rows, cols] row-major and x has `cols` elements.
 void MatVec(const float* w, const float* x, float* y, int32_t rows,
@@ -56,6 +75,31 @@ void Relu(float* x, int32_t n);
 
 /// Index of the maximum element (first on ties).
 int32_t ArgMax(const float* x, int32_t n);
+
+// ---- Pinned scalar reference kernels --------------------------------------
+//
+// The golden tier: naive single-threaded loops, identical to the pre-SIMD
+// kernels. SIMD agreement tests (tests/simd_ops_test.cc) compare the
+// dispatched entry points against these — exact where the dispatched kernel
+// preserves the scalar accumulation order, bounded-ulp where a vector
+// reduction reorders it.
+namespace scalar {
+
+void MatVec(const float* w, const float* x, float* y, int32_t rows,
+            int32_t cols);
+void MatVecTransposed(const float* w, const float* x, float* y, int32_t rows,
+                      int32_t cols);
+void AddInPlace(float* x, const float* y, int32_t n);
+void ScaleInPlace(float* x, float s, int32_t n);
+float Dot(const float* a, const float* b, int32_t n);
+void Softmax(float* x, int32_t n);
+void LayerNorm(const float* x, const float* gain, const float* bias,
+               float* out, int32_t n);
+void Gelu(float* x, int32_t n);
+void Relu(float* x, int32_t n);
+int32_t ArgMax(const float* x, int32_t n);
+
+}  // namespace scalar
 
 // ---- Blocked / batched kernels (parallel runtime tier) --------------------
 

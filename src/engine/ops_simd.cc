@@ -1,0 +1,282 @@
+// SIMD primitives (see ops_simd.h for the dispatch and determinism
+// contract). This file is the only translation unit built with the vector
+// ISA flags; the #if ladder picks exactly one backend:
+//   * AVX2+FMA (x86): 8-lane vectors, fused multiply-add in reductions;
+//   * NEON (aarch64): 4-lane vectors, vfmaq in reductions;
+//   * scalar stubs otherwise (Available() == false; ops.cc then routes
+//     every call to the pinned scalar reference kernels).
+#include "engine/ops_simd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#if !defined(APT_FORCE_SCALAR) && defined(__AVX2__) && defined(__FMA__)
+#define APTSERVE_SIMD_AVX2 1
+#include <immintrin.h>
+#elif !defined(APT_FORCE_SCALAR) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
+#define APTSERVE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace aptserve {
+namespace ops {
+namespace simd {
+
+#if defined(APTSERVE_SIMD_AVX2)
+
+bool Available() { return true; }
+const char* IsaName() { return "avx2+fma"; }
+int32_t WidthFloats() { return 8; }
+
+namespace {
+
+/// Fixed horizontal-sum sequence: (lo+hi) 4-lane, then pairwise. The order
+/// is part of the determinism contract — never data-dependent.
+inline float HSum(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+}  // namespace
+
+float Dot(const float* a, const float* b, int32_t n) {
+  // 4 independent accumulators (32 floats/iteration) for FMA-latency ILP,
+  // combined in a fixed tree, then an 8-wide tail, then a scalar tail.
+  __m256 acc0 = _mm256_setzero_ps(), acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps(), acc3 = _mm256_setzero_ps();
+  int32_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8),
+                           _mm256_loadu_ps(b + i + 8), acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+  }
+  __m256 acc = _mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                             _mm256_add_ps(acc2, acc3));
+  for (; i + 8 <= n; i += 8) {
+    acc = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i),
+                          acc);
+  }
+  float sum = HSum(acc);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void LayerNorm(const float* x, const float* gain, const float* bias,
+               float* out, int32_t n) {
+  constexpr float kEps = 1e-5f;
+  // Mean.
+  __m256 s0 = _mm256_setzero_ps(), s1 = _mm256_setzero_ps();
+  int32_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    s0 = _mm256_add_ps(s0, _mm256_loadu_ps(x + i));
+    s1 = _mm256_add_ps(s1, _mm256_loadu_ps(x + i + 8));
+  }
+  __m256 s = _mm256_add_ps(s0, s1);
+  for (; i + 8 <= n; i += 8) s = _mm256_add_ps(s, _mm256_loadu_ps(x + i));
+  float sum = HSum(s);
+  for (; i < n; ++i) sum += x[i];
+  const float mean = sum / static_cast<float>(n);
+
+  // Variance.
+  const __m256 vmean = _mm256_set1_ps(mean);
+  __m256 v0 = _mm256_setzero_ps(), v1 = _mm256_setzero_ps();
+  i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 d0 = _mm256_sub_ps(_mm256_loadu_ps(x + i), vmean);
+    const __m256 d1 = _mm256_sub_ps(_mm256_loadu_ps(x + i + 8), vmean);
+    v0 = _mm256_fmadd_ps(d0, d0, v0);
+    v1 = _mm256_fmadd_ps(d1, d1, v1);
+  }
+  __m256 v = _mm256_add_ps(v0, v1);
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(x + i), vmean);
+    v = _mm256_fmadd_ps(d, d, v);
+  }
+  float var = HSum(v);
+  for (; i < n; ++i) {
+    const float d = x[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<float>(n);
+  const float inv = 1.0f / std::sqrt(var + kEps);
+
+  // Normalize: out = (x - mean) * inv * gain + bias.
+  const __m256 vinv = _mm256_set1_ps(inv);
+  i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 t = _mm256_mul_ps(
+        _mm256_sub_ps(_mm256_loadu_ps(x + i), vmean), vinv);
+    _mm256_storeu_ps(
+        out + i,
+        _mm256_add_ps(_mm256_mul_ps(t, _mm256_loadu_ps(gain + i)),
+                      _mm256_loadu_ps(bias + i)));
+  }
+  for (; i < n; ++i) out[i] = (x[i] - mean) * inv * gain[i] + bias[i];
+}
+
+void Axpy(const float* row, float xr, float* y, int32_t n) {
+  // mul + add (not fmadd): each y[i] sees the same two roundings as the
+  // scalar reference, so the kernel is bit-identical.
+  const __m256 vx = _mm256_set1_ps(xr);
+  int32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i,
+                     _mm256_add_ps(_mm256_mul_ps(_mm256_loadu_ps(row + i), vx),
+                                   _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += row[i] * xr;
+}
+
+void AddInPlace(float* x, const float* y, int32_t n) {
+  int32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        x + i, _mm256_add_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) x[i] += y[i];
+}
+
+void ScaleInPlace(float* x, float s, int32_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  int32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), vs));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+void Relu(float* x, int32_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  int32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+  }
+  for (; i < n; ++i) x[i] = std::max(0.0f, x[i]);
+}
+
+#elif defined(APTSERVE_SIMD_NEON)
+
+bool Available() { return true; }
+const char* IsaName() { return "neon"; }
+int32_t WidthFloats() { return 4; }
+
+float Dot(const float* a, const float* b, int32_t n) {
+  float32x4_t acc0 = vdupq_n_f32(0.0f), acc1 = vdupq_n_f32(0.0f);
+  float32x4_t acc2 = vdupq_n_f32(0.0f), acc3 = vdupq_n_f32(0.0f);
+  int32_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = vfmaq_f32(acc0, vld1q_f32(a + i), vld1q_f32(b + i));
+    acc1 = vfmaq_f32(acc1, vld1q_f32(a + i + 4), vld1q_f32(b + i + 4));
+    acc2 = vfmaq_f32(acc2, vld1q_f32(a + i + 8), vld1q_f32(b + i + 8));
+    acc3 = vfmaq_f32(acc3, vld1q_f32(a + i + 12), vld1q_f32(b + i + 12));
+  }
+  float32x4_t acc = vaddq_f32(vaddq_f32(acc0, acc1), vaddq_f32(acc2, acc3));
+  for (; i + 4 <= n; i += 4) {
+    acc = vfmaq_f32(acc, vld1q_f32(a + i), vld1q_f32(b + i));
+  }
+  float sum = vaddvq_f32(acc);
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void LayerNorm(const float* x, const float* gain, const float* bias,
+               float* out, int32_t n) {
+  constexpr float kEps = 1e-5f;
+  float32x4_t s = vdupq_n_f32(0.0f);
+  int32_t i = 0;
+  for (; i + 4 <= n; i += 4) s = vaddq_f32(s, vld1q_f32(x + i));
+  float sum = vaddvq_f32(s);
+  for (; i < n; ++i) sum += x[i];
+  const float mean = sum / static_cast<float>(n);
+
+  const float32x4_t vmean = vdupq_n_f32(mean);
+  float32x4_t v = vdupq_n_f32(0.0f);
+  i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t d = vsubq_f32(vld1q_f32(x + i), vmean);
+    v = vfmaq_f32(v, d, d);
+  }
+  float var = vaddvq_f32(v);
+  for (; i < n; ++i) {
+    const float d = x[i] - mean;
+    var += d * d;
+  }
+  var /= static_cast<float>(n);
+  const float inv = 1.0f / std::sqrt(var + kEps);
+
+  const float32x4_t vinv = vdupq_n_f32(inv);
+  i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t t =
+        vmulq_f32(vsubq_f32(vld1q_f32(x + i), vmean), vinv);
+    vst1q_f32(out + i,
+              vaddq_f32(vmulq_f32(t, vld1q_f32(gain + i)),
+                        vld1q_f32(bias + i)));
+  }
+  for (; i < n; ++i) out[i] = (x[i] - mean) * inv * gain[i] + bias[i];
+}
+
+void Axpy(const float* row, float xr, float* y, int32_t n) {
+  const float32x4_t vx = vdupq_n_f32(xr);
+  int32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i,
+              vaddq_f32(vmulq_f32(vld1q_f32(row + i), vx), vld1q_f32(y + i)));
+  }
+  for (; i < n; ++i) y[i] += row[i] * xr;
+}
+
+void AddInPlace(float* x, const float* y, int32_t n) {
+  int32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(x + i, vaddq_f32(vld1q_f32(x + i), vld1q_f32(y + i)));
+  }
+  for (; i < n; ++i) x[i] += y[i];
+}
+
+void ScaleInPlace(float* x, float s, int32_t n) {
+  const float32x4_t vs = vdupq_n_f32(s);
+  int32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(x + i, vmulq_f32(vld1q_f32(x + i), vs));
+  }
+  for (; i < n; ++i) x[i] *= s;
+}
+
+void Relu(float* x, int32_t n) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  int32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(x + i, vmaxq_f32(vld1q_f32(x + i), zero));
+  }
+  for (; i < n; ++i) x[i] = std::max(0.0f, x[i]);
+}
+
+#else  // scalar stubs: ops.cc routes everything to the reference kernels.
+
+bool Available() { return false; }
+const char* IsaName() { return "scalar"; }
+int32_t WidthFloats() { return 1; }
+
+float Dot(const float*, const float*, int32_t) { return 0.0f; }
+void LayerNorm(const float*, const float*, const float*, float*, int32_t) {}
+void Axpy(const float*, float, float*, int32_t) {}
+void AddInPlace(float*, const float*, int32_t) {}
+void ScaleInPlace(float*, float, int32_t) {}
+void Relu(float*, int32_t) {}
+
+#endif
+
+}  // namespace simd
+}  // namespace ops
+}  // namespace aptserve

@@ -1,0 +1,55 @@
+// Internal SIMD primitive tier behind the ops.h dispatch (engine/ops.cc is
+// the only intended includer besides tests/benches that want to introspect
+// the active path). One translation unit (ops_simd.cc) is compiled with the
+// vector ISA flags the build detected (-mavx2 -mfma on x86, NEON is
+// baseline on aarch64); everything else in the library keeps the default
+// flags, so compiler auto-contraction can never change the pinned scalar
+// reference kernels.
+//
+// Determinism contract: every primitive's result is a pure function of its
+// inputs and lengths — the lane structure (accumulator count, tail order)
+// is fixed, never data- or thread-dependent — so dispatched kernels stay
+// bit-identical across thread counts and run-to-run, exactly like the
+// scalar tier. Reduction primitives (Dot, LayerNorm) use a different
+// summation order than the scalar reference and therefore agree only to
+// bounded ulp; elementwise primitives (AddInPlace, ScaleInPlace, Relu,
+// Axpy) use one multiply/add per element in scalar order and are
+// bit-identical to the reference.
+#pragma once
+
+#include <cstdint>
+
+namespace aptserve {
+namespace ops {
+namespace simd {
+
+/// True when this build carries a vector ISA (and APT_FORCE_SCALAR is off).
+bool Available();
+
+/// "avx2+fma", "neon", or "scalar".
+const char* IsaName();
+
+/// SIMD lanes in floats: 8 (AVX2), 4 (NEON), 1 (scalar stub).
+int32_t WidthFloats();
+
+/// Vectorized dot product, 4-accumulator main loop + vector + scalar tails.
+/// Bounded-ulp vs the scalar reference (reduction order differs).
+float Dot(const float* a, const float* b, int32_t n);
+
+/// Vectorized LayerNorm (eps = 1e-5, same formula as the scalar kernel).
+/// Bounded-ulp vs the reference: mean/variance reductions are vectorized.
+void LayerNorm(const float* x, const float* gain, const float* bias,
+               float* out, int32_t n);
+
+/// y[i] += row[i] * xr — the MatVecTransposed inner step. One multiply and
+/// one add per element (no FMA), so bit-identical to the scalar reference.
+void Axpy(const float* row, float xr, float* y, int32_t n);
+
+/// Elementwise kernels, bit-identical to the scalar reference.
+void AddInPlace(float* x, const float* y, int32_t n);
+void ScaleInPlace(float* x, float s, int32_t n);
+void Relu(float* x, int32_t n);
+
+}  // namespace simd
+}  // namespace ops
+}  // namespace aptserve

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "engine/ops.h"
+
 namespace aptserve {
 namespace runtime {
 
@@ -19,6 +21,12 @@ int32_t RuntimeConfig::ResolvedNumThreads() const {
     n = hw > 0 ? static_cast<int32_t>(hw) : 1;
   }
   return n < 1 ? 1 : n;
+}
+
+std::string RuntimeConfig::Describe() const {
+  return "threads=" + std::to_string(ResolvedNumThreads()) +
+         " isa=" + ops::ActiveIsa() +
+         " width=" + std::to_string(ops::VectorWidthFloats());
 }
 
 }  // namespace runtime

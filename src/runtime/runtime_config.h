@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace aptserve {
 namespace runtime {
@@ -34,6 +35,11 @@ struct RuntimeConfig {
 
   /// The thread count after applying the resolution rules above; >= 1.
   int32_t ResolvedNumThreads() const;
+
+  /// One-line description of the resolved runtime, including the kernel
+  /// backend the ops dispatch layer selected at build time, e.g.
+  /// "threads=4 isa=avx2+fma width=8". Benches stamp this into snapshots.
+  std::string Describe() const;
 };
 
 }  // namespace runtime

@@ -36,6 +36,7 @@ CostModelBackend::CostModelBackend(const CostModel& cost_model,
       swap_(options.swap_blocks > 0 ? options.swap_blocks : 4 * pool_blocks),
       block_bytes_(options.block_size *
                    cost_model.model().HiddenBytesPerToken()) {
+  assigner_.SetEncodingPolicy(options.cache_encoding);
   if (options.enable_prefix_sharing) {
     prefix_index_ = std::make_unique<PrefixIndex>(&pool_, options.block_size);
     assigner_.SetReclaimer(
@@ -129,7 +130,8 @@ StatusOr<MigrationImport> CostModelBackend::ImportRequest(
   if (!image.carries_cache()) return import;
 
   PrefixMatch match;
-  if (prefix_index_ && image.cache_type == CacheType::kKV) {
+  if (prefix_index_ && image.cache_type == CacheType::kKV &&
+      assigner_.EncodingFor(CacheType::kKV) == BlockEncoding::kFp32) {
     const int32_t limit = std::min(image.prompt_len, image.cached_tokens);
     match = prefix_index_->Match(token_ids_.at(id), limit);
   }
@@ -147,9 +149,16 @@ StatusOr<MigrationImport> CostModelBackend::ImportRequest(
   import.cache_restored = true;
   import.deduped_tokens = match.tokens;
   import.copied_tokens = image.cached_tokens - match.tokens;
+  // Int8 tiers (and the quantize-in-transit knob) move codes plus
+  // per-vector scale/zero instead of full-width values, so the
+  // interconnect term prices ~4x fewer bytes per copied token.
+  const double comps = image.cache_type == CacheType::kKV ? 2.0 : 1.0;
+  const bool int8_transport =
+      assigner_.EncodingFor(image.cache_type) == BlockEncoding::kInt8 ||
+      options_.cache_encoding.quantize_migration_payload;
   const double per_token_bytes =
-      (image.cache_type == CacheType::kKV ? 2.0 : 1.0) * block_bytes_ /
-      options_.block_size;
+      int8_transport ? comps * cost_model_.model().Int8HiddenBytesPerToken()
+                     : comps * block_bytes_ / options_.block_size;
   import.bytes = import.copied_tokens * per_token_bytes;
   return import;
 }
@@ -167,7 +176,10 @@ StatusOr<double> CostModelBackend::EndIteration() {
   if (prefix_index_) {
     for (RequestId id : pending_inserts_) {
       const CacheMap* map = assigner_.Find(id);
-      if (map == nullptr || map->type() != CacheType::kKV) continue;
+      if (map == nullptr || map->type() != CacheType::kKV ||
+          map->encoding() != BlockEncoding::kFp32) {
+        continue;
+      }
       const auto& tokens = token_ids_.at(id);
       prefix_index_->Insert(tokens, static_cast<int32_t>(tokens.size()),
                             map->blocks(CacheComponent::kKey),
@@ -226,7 +238,8 @@ StatusOr<ExecutionBackend::StepOutcome> CostModelBackend::ExecutePrefillChunk(
   PrefixMatch match;
   if (!assigner_.Has(id)) {
     if (prefix_index_ && cache_type == CacheType::kKV &&
-        sr.prefill_progress == 0) {
+        sr.prefill_progress == 0 &&
+        assigner_.EncodingFor(CacheType::kKV) == BlockEncoding::kFp32) {
       const int32_t limit =
           std::min(sr.spec.prompt_len, sr.PrefillTarget() - 1);
       match = prefix_index_->Match(token_ids_.at(id), limit);

@@ -44,6 +44,13 @@ class CostModelBackend : public ExecutionBackend {
     /// vocab_size (the defaults match prompt_seed's default).
     uint64_t token_seed = 7;
     int32_t token_vocab = 50272;
+    /// Per-tier block encoding (cache/cache_types.h): an int8 tier packs
+    /// kInt8SlotPack tokens per pool block (admission and growth inherit
+    /// the density through the assigner) and its migration payloads are
+    /// priced at int8 transport bytes. Prefix sharing gates itself off
+    /// for an int8 KV tier. Default all-fp32 keeps the operation sequence
+    /// bit-identical to the pre-quantization backend.
+    CacheEncodingPolicy cache_encoding;
   };
 
   /// Pool blocks the configuration yields (shared with Simulator's

@@ -62,6 +62,7 @@ InferenceBackend::InferenceBackend(const ModelConfig& model,
       swap_(SwapCapacity(options, num_blocks)),
       prompt_rng_(options.prompt_seed) {
   engine_->SetSampling(sampling, weight_seed ^ 0x5851f42dULL);
+  engine_->SetEncodingPolicy(options.cache_encoding);
   if (options.enable_prefix_sharing) engine_->EnablePrefixSharing();
 }
 

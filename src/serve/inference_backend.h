@@ -55,6 +55,13 @@ struct InferenceBackendOptions {
   /// streams are unaffected (causal K/V of equal prefixes are
   /// bit-identical); only latency and memory change.
   bool enable_prefix_sharing = false;
+  /// Per-tier block encoding (cache/cache_types.h), applied to the owned
+  /// engine at construction: int8 tiers hold and migrate their blocks at
+  /// ~kInt8SlotPack x density with bounded quantization error. The default
+  /// all-fp32 policy leaves token streams bit-identical to the
+  /// pre-quantization backend. Ignored when borrowing an engine (the
+  /// engine owner configures it).
+  CacheEncodingPolicy cache_encoding;
   /// Optional sink receiving every finished request's full token sequence
   /// (prompt + generated): fleet owners read tokens after the controller
   /// destroys per-instance backends. Borrowed, must outlive the backend,

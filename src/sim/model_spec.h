@@ -37,6 +37,15 @@ struct ModelSpec {
   /// KV-cache bytes per token: K and V vectors per layer (2x hidden).
   double KvBytesPerToken() const { return 2.0 * HiddenBytesPerToken(); }
 
+  /// Hidden-cache bytes per token under int8 block encoding: one code byte
+  /// per value plus a scale/zero pair (8 bytes) per layer vector. This is
+  /// the transport/interconnect unit for quantized migration payloads; the
+  /// pool's block-count accounting instead uses the engine's fixed
+  /// kInt8SlotPack packing (int8 tiers hold 4x the tokens per block).
+  double Int8HiddenBytesPerToken() const {
+    return static_cast<double>(n_layers) * (d_model + 8.0);
+  }
+
   /// FLOPs to process one token through the full model (2 * params rule of
   /// thumb for matmul-dominated transformers), excluding attention context
   /// terms which the cost model adds separately.
