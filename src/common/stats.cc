@@ -23,6 +23,25 @@ void RunningStat::Add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStat::Merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel Welford: combine (n, mean, m2) pairs exactly.
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n_total = na + nb;
+  mean_ += delta * nb / n_total;
+  m2_ += other.m2_ + delta * delta * na * nb / n_total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double RunningStat::variance() const {
   if (n_ < 2) return 0.0;
   return m2_ / static_cast<double>(n_ - 1);
@@ -82,6 +101,74 @@ std::vector<std::pair<double, double>> SampleSet::Cdf(size_t max_points) const {
     out.back().second = 1.0;
   }
   return out;
+}
+
+LatencyHistogram::LatencyHistogram(double min_s, double max_s,
+                                   int32_t buckets_per_decade)
+    : min_s_(min_s), max_s_(max_s),
+      per_decade_(static_cast<double>(buckets_per_decade)) {
+  APT_CHECK_MSG(min_s > 0 && max_s > min_s && buckets_per_decade > 0,
+                "latency histogram range/resolution invalid");
+  const double decades = std::log10(max_s_ / min_s_);
+  const size_t buckets =
+      static_cast<size_t>(std::ceil(decades * per_decade_));
+  counts_.assign(buckets + 2, 0);  // + underflow and overflow
+}
+
+size_t LatencyHistogram::BucketIndex(double seconds) const {
+  if (!(seconds >= min_s_)) return 0;  // underflow (covers NaN and <=0 too)
+  if (seconds >= max_s_) return counts_.size() - 1;
+  const double pos = std::log10(seconds / min_s_) * per_decade_;
+  const size_t idx = static_cast<size_t>(pos) + 1;
+  return std::min(idx, counts_.size() - 2);
+}
+
+double LatencyHistogram::BucketLow(size_t i) const {
+  if (i == 0) return 0.0;
+  if (i == counts_.size() - 1) return max_s_;
+  return min_s_ * std::pow(10.0, static_cast<double>(i - 1) / per_decade_);
+}
+
+double LatencyHistogram::BucketHigh(size_t i) const {
+  if (i == 0) return min_s_;
+  if (i == counts_.size() - 1) return max_s_;
+  return min_s_ * std::pow(10.0, static_cast<double>(i) / per_decade_);
+}
+
+void LatencyHistogram::Add(double seconds) {
+  ++counts_[BucketIndex(seconds)];
+  stat_.Add(seconds);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  APT_CHECK_MSG(counts_.size() == other.counts_.size() &&
+                    min_s_ == other.min_s_ && per_decade_ == other.per_decade_,
+                "merging latency histograms with different geometry");
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  stat_.Merge(other.stat_);
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  const size_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= rank) {
+      // Geometric interpolation inside the bucket; clamp to exact extremes.
+      const double frac =
+          (rank - cum) / static_cast<double>(counts_[i]);
+      const double lo = std::max(BucketLow(i), stat_.min());
+      const double hi = std::min(BucketHigh(i), stat_.max());
+      if (lo <= 0.0 || hi <= lo) return std::clamp(hi, stat_.min(), stat_.max());
+      return lo * std::pow(hi / lo, frac);
+    }
+    cum = next;
+  }
+  return stat_.max();
 }
 
 Histogram::Histogram(double lo, double hi, size_t buckets)

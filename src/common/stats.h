@@ -14,6 +14,8 @@ namespace aptserve {
 class RunningStat {
  public:
   void Add(double x);
+  /// Folds another accumulator in (Chan et al. parallel combine; exact).
+  void Merge(const RunningStat& other);
   size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.
@@ -63,6 +65,49 @@ class SampleSet {
 
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
+};
+
+/// Log-spaced latency histogram: fixed memory regardless of sample count,
+/// with quantile estimates (p50/p95/p99) geometrically interpolated inside
+/// the matched bucket. Built for wall-clock serving metrics, where samples
+/// stream in from long-running workers and span microseconds to minutes —
+/// a SampleSet would grow unboundedly and a fixed-width Histogram cannot
+/// resolve both ends. Exact mean/min/max ride along via RunningStat.
+/// Buckets cover [min_s, max_s) at `buckets_per_decade` resolution (±~4%
+/// quantile error at the default 16); out-of-range samples clamp to
+/// underflow/overflow buckets whose quantiles report the range edge.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(double min_s = 1e-6, double max_s = 1e4,
+                            int32_t buckets_per_decade = 16);
+
+  void Add(double seconds);
+  /// Folds `other`'s samples into this histogram. The two must share
+  /// bucket geometry (they do unless constructed with different bounds).
+  void Merge(const LatencyHistogram& other);
+
+  size_t count() const { return static_cast<size_t>(stat_.count()); }
+  double mean() const { return stat_.mean(); }
+  double min() const { return stat_.min(); }
+  double max() const { return stat_.max(); }
+
+  /// q in [0,1]; 0 when empty. Estimated from bucket counts.
+  double Quantile(double q) const;
+  double P50() const { return Quantile(0.50); }
+  double P95() const { return Quantile(0.95); }
+  double P99() const { return Quantile(0.99); }
+
+ private:
+  size_t BucketIndex(double seconds) const;
+  /// Geometric bounds of bucket i (underflow/overflow clamp to the range).
+  double BucketLow(size_t i) const;
+  double BucketHigh(size_t i) const;
+
+  double min_s_;
+  double max_s_;
+  double per_decade_;
+  std::vector<uint64_t> counts_;  ///< [underflow, buckets..., overflow]
+  RunningStat stat_;
 };
 
 /// Fixed-width bucket histogram over [lo, hi); out-of-range values clamp to

@@ -22,7 +22,7 @@ InferenceEngine::InferenceEngine(const ModelConfig& config, uint64_t seed,
 void InferenceEngine::SetSampling(const SamplingParams& params,
                                   uint64_t sample_seed) {
   sampling_ = params;
-  sample_rng_ = Rng(sample_seed);
+  sample_seed_ = sample_seed;
 }
 
 void InferenceEngine::SetEncodingPolicy(const CacheEncodingPolicy& policy) {
@@ -36,9 +36,34 @@ void InferenceEngine::EnablePrefixSharing() {
       [this](int32_t need) { return prefix_index_->EvictLru(need); });
 }
 
+namespace {
+
+/// splitmix64 finalizer over (seed, request, position): the counter-based
+/// per-draw seed that makes every sampled token a pure function of the
+/// request — no shared stream exists to couple requests through batch
+/// composition, chunking, preemption, migration, or serving mode.
+uint64_t DrawSeed(uint64_t seed, RequestId id, size_t position) {
+  uint64_t x = seed;
+  x ^= 0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(id) + 1);
+  x ^= 0xBF58476D1CE4E5B9ULL * (static_cast<uint64_t>(position) + 1);
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 StatusOr<int32_t> InferenceEngine::SampleNext(
-    const std::vector<float>& logits) {
-  return SampleToken(logits, sampling_, &sample_rng_);
+    RequestId id, const GenerationState& gs, const std::vector<float>& logits) {
+  if (sampling_.kind == SamplingParams::Kind::kGreedy) {
+    return SampleToken(logits, sampling_, nullptr);
+  }
+  // The draw position is the absolute token index being produced, so a
+  // resumed or migrated request continues exactly the stream it would have
+  // produced uninterrupted.
+  Rng draw_rng(DrawSeed(sample_seed_, id, gs.tokens.size()));
+  return SampleToken(logits, sampling_, &draw_rng);
 }
 
 Status InferenceEngine::AddRequest(RequestId id, std::vector<int32_t> prompt,
@@ -255,7 +280,8 @@ StatusOr<std::optional<int32_t>> InferenceEngine::FinishStep(
                             map->blocks(CacheComponent::kValue));
     }
   }
-  APT_ASSIGN_OR_RETURN(const int32_t next, SampleNext(step->logits));
+  APT_ASSIGN_OR_RETURN(const int32_t next,
+                       SampleNext(step->id, gs, step->logits));
   gs.tokens.push_back(next);
   return std::optional<int32_t>{next};
 }
@@ -277,8 +303,9 @@ Status InferenceEngine::ExecuteSteps(std::vector<PendingStep>* steps) {
   } else {
     for (PendingStep& step : *steps) ComputeStep(&step);
   }
-  // Serial sampling barrier, in preparation order: reproduces the exact
-  // RNG draw sequence of serial execution.
+  // Serial finish barrier, in preparation order: state mutations (cache
+  // advance, prefix-index inserts) replay exactly as in serial execution.
+  // Sampling itself is counter-based per request, so it is order-free.
   for (PendingStep& step : *steps) {
     auto finished = FinishStep(&step);
     if (!finished.ok()) return finished.status();

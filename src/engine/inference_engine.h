@@ -51,9 +51,9 @@ struct GenerationState {
 /// determines out-of-memory behaviour — while the deferred transformer
 /// forward is free to run on any thread: distinct steps touch disjoint
 /// cache blocks and only share the (immutable) weights. FinishStep then
-/// samples serially, in schedule order, from the shared RNG stream — the
-/// sampling barrier that keeps token streams bit-identical to serial
-/// execution at any thread count.
+/// samples each request from its own counter-based RNG (seeded on
+/// (sample_seed, request, position)), so token streams are bit-identical
+/// to serial execution at any thread count and any batch composition.
 struct PendingStep {
   RequestId id = -1;
   bool is_decode = false;
@@ -154,7 +154,9 @@ class InferenceEngine {
 
   /// Applies a computed step to the request state: advances the cached
   /// token count and — for decodes and completing prefills — samples the
-  /// next token from the shared RNG stream. Must be called in the same
+  /// next token from the request's counter-based RNG (a pure function of
+  /// (sample_seed, request id, position): independent of batch composition,
+  /// chunking, migration, and serving mode). Must be called in the same
   /// order steps were prepared to reproduce serial token streams.
   StatusOr<std::optional<int32_t>> FinishStep(PendingStep* step);
 
@@ -225,7 +227,8 @@ class InferenceEngine {
   runtime::ThreadPool* thread_pool() { return thread_pool_.get(); }
 
  private:
-  StatusOr<int32_t> SampleNext(const std::vector<float>& logits);
+  StatusOr<int32_t> SampleNext(RequestId id, const GenerationState& gs,
+                               const std::vector<float>& logits);
 
   /// Host-side copy of a swapped-out request's cache.
   struct SwappedCache {
@@ -247,7 +250,7 @@ class InferenceEngine {
   std::unordered_map<RequestId, GenerationState> requests_;
   std::unordered_map<RequestId, SwappedCache> swapped_;
   SamplingParams sampling_;
-  Rng sample_rng_{1};
+  uint64_t sample_seed_ = 1;
 };
 
 }  // namespace aptserve

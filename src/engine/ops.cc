@@ -165,7 +165,13 @@ void ScaleInPlace(float* x, float s, int32_t n) {
   }
 }
 
-void Softmax(float* x, int32_t n) { scalar::Softmax(x, n); }
+void Softmax(float* x, int32_t n) {
+  if (kUseSimd) {
+    simd::Softmax(x, n);
+  } else {
+    scalar::Softmax(x, n);
+  }
+}
 
 void LayerNorm(const float* x, const float* gain, const float* bias,
                float* out, int32_t n) {
@@ -176,7 +182,13 @@ void LayerNorm(const float* x, const float* gain, const float* bias,
   }
 }
 
-void Gelu(float* x, int32_t n) { scalar::Gelu(x, n); }
+void Gelu(float* x, int32_t n) {
+  if (kUseSimd) {
+    simd::Gelu(x, n);
+  } else {
+    scalar::Gelu(x, n);
+  }
+}
 
 void Relu(float* x, int32_t n) {
   if (kUseSimd) {
@@ -213,7 +225,11 @@ inline void MatMatTile(const float* w, const float* x, float* y, int32_t rows,
       if (act == PostAct::kRelu) {
         for (int32_t r = r0; r < r1; ++r) yb[r] = std::max(0.0f, yb[r]);
       } else if (act == PostAct::kGelu) {
-        for (int32_t r = r0; r < r1; ++r) yb[r] = GeluScalar(yb[r]);
+        // The dispatched Gelu is elementwise offset-invariant (its scalar
+        // tail replays the vector lanes exactly), so applying it per tile
+        // sub-range is bit-identical to one unfused full-range call no
+        // matter where the tile boundaries fall.
+        Gelu(yb + r0, r1 - r0);
       }
     }
   }

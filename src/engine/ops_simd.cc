@@ -9,6 +9,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #if !defined(APT_FORCE_SCALAR) && defined(__AVX2__) && defined(__FMA__)
 #define APTSERVE_SIMD_AVX2 1
@@ -22,6 +24,72 @@
 namespace aptserve {
 namespace ops {
 namespace simd {
+
+#if defined(APTSERVE_SIMD_AVX2) || defined(APTSERVE_SIMD_NEON)
+
+namespace {
+
+// Cephes-style single-precision exp: clamp, split x = n*ln2 + r with the
+// hi/lo ln2 pair, degree-6 polynomial on r, scale by 2^n through the
+// exponent bits. ~2 ulp over the clamped range. The clamp keeps
+// n + 127 inside [1, 254] so the bit-built 2^n is always a normal float
+// (no inf, no denormal-exponent underflow).
+constexpr float kExpLo = -87.33654f;
+constexpr float kExpHi = 88.0f;
+constexpr float kLog2e = 1.44269504088896341f;
+constexpr float kLn2Hi = 0.693359375f;
+constexpr float kLn2Lo = -2.12194440e-4f;
+constexpr float kExpC0 = 1.9875691500e-4f;
+constexpr float kExpC1 = 1.3981999507e-3f;
+constexpr float kExpC2 = 8.3334519073e-3f;
+constexpr float kExpC3 = 4.1665795894e-2f;
+constexpr float kExpC4 = 1.6666665459e-1f;
+constexpr float kExpC5 = 5.0000001201e-1f;
+
+/// One exp lane in scalar code, operation-for-operation the vector kernel
+/// (fmaf is the single-rounding FMA the vector uses), so tail elements get
+/// bit-identical results to vector-lane elements. That offset invariance
+/// is what lets tiled callers apply Gelu per sub-range and still match the
+/// full-range dispatch exactly.
+inline float ExpLane(float x) {
+  x = std::min(std::max(x, kExpLo), kExpHi);
+  const float n = std::nearbyintf(x * kLog2e);
+  float r = std::fmaf(n, -kLn2Hi, x);
+  r = std::fmaf(n, -kLn2Lo, r);
+  float p = kExpC0;
+  p = std::fmaf(p, r, kExpC1);
+  p = std::fmaf(p, r, kExpC2);
+  p = std::fmaf(p, r, kExpC3);
+  p = std::fmaf(p, r, kExpC4);
+  p = std::fmaf(p, r, kExpC5);
+  p = std::fmaf(p, r * r, r + 1.0f);
+  const uint32_t bits = static_cast<uint32_t>(static_cast<int32_t>(n) + 127)
+                        << 23;
+  float scale;
+  std::memcpy(&scale, &bits, sizeof(scale));
+  return p * scale;
+}
+
+/// tanh(z) = (e - 1) / (e + 1) with e = exp(2z); the exp clamp saturates
+/// the ratio to ±1 for large |z|. Scalar replica of the vector kernel.
+inline float TanhLane(float z) {
+  const float e = ExpLane(z + z);
+  return (e - 1.0f) / (e + 1.0f);
+}
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715f;
+
+/// One GELU lane, mirroring the vector arithmetic exactly (same rounding
+/// sequence: v*v, kA*v2, fma, scale by kC; then 0.5*v times 1+tanh).
+inline float GeluLane(float v) {
+  const float inner = kGeluC * std::fmaf(kGeluA * (v * v), v, v);
+  return (0.5f * v) * (1.0f + TanhLane(inner));
+}
+
+}  // namespace
+
+#endif  // vector leg shared helpers
 
 #if defined(APTSERVE_SIMD_AVX2)
 
@@ -164,6 +232,92 @@ void Relu(float* x, int32_t n) {
   for (; i < n; ++i) x[i] = std::max(0.0f, x[i]);
 }
 
+namespace {
+
+/// 8-lane exp; per-lane identical to ExpLane (same FMA/rounding sequence).
+inline __m256 Exp8(__m256 x) {
+  x = _mm256_min_ps(_mm256_max_ps(x, _mm256_set1_ps(kExpLo)),
+                    _mm256_set1_ps(kExpHi));
+  const __m256 n = _mm256_round_ps(
+      _mm256_mul_ps(x, _mm256_set1_ps(kLog2e)),
+      _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  __m256 r = _mm256_fnmadd_ps(n, _mm256_set1_ps(kLn2Hi), x);
+  r = _mm256_fnmadd_ps(n, _mm256_set1_ps(kLn2Lo), r);
+  __m256 p = _mm256_set1_ps(kExpC0);
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC1));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC2));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC3));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC4));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(kExpC5));
+  p = _mm256_fmadd_ps(p, _mm256_mul_ps(r, r),
+                      _mm256_add_ps(r, _mm256_set1_ps(1.0f)));
+  __m256i ni = _mm256_cvtps_epi32(n);
+  ni = _mm256_slli_epi32(_mm256_add_epi32(ni, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(p, _mm256_castsi256_ps(ni));
+}
+
+inline __m256 Tanh8(__m256 z) {
+  const __m256 one = _mm256_set1_ps(1.0f);
+  const __m256 e = Exp8(_mm256_add_ps(z, z));
+  return _mm256_div_ps(_mm256_sub_ps(e, one), _mm256_add_ps(e, one));
+}
+
+/// Fixed horizontal-max sequence (max is exact in any order; the fixed
+/// shuffle order just keeps the codepath deterministic).
+inline float HMax(__m256 v) {
+  __m128 lo = _mm256_castps256_ps128(v);
+  __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 m = _mm_max_ps(lo, hi);
+  m = _mm_max_ps(m, _mm_movehl_ps(m, m));
+  m = _mm_max_ss(m, _mm_shuffle_ps(m, m, 1));
+  return _mm_cvtss_f32(m);
+}
+
+}  // namespace
+
+void Softmax(float* x, int32_t n) {
+  if (n <= 0) return;
+  __m256 vmax = _mm256_set1_ps(x[0]);
+  int32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(x + i));
+  }
+  float mx = HMax(vmax);
+  for (; i < n; ++i) mx = std::max(mx, x[i]);
+
+  const __m256 vmx = _mm256_set1_ps(mx);
+  __m256 vsum = _mm256_setzero_ps();
+  i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 e = Exp8(_mm256_sub_ps(_mm256_loadu_ps(x + i), vmx));
+    _mm256_storeu_ps(x + i, e);
+    vsum = _mm256_add_ps(vsum, e);
+  }
+  float sum = HSum(vsum);
+  for (; i < n; ++i) {
+    x[i] = ExpLane(x[i] - mx);
+    sum += x[i];
+  }
+  ScaleInPlace(x, 1.0f / sum, n);
+}
+
+void Gelu(float* x, int32_t n) {
+  const __m256 vc = _mm256_set1_ps(kGeluC);
+  const __m256 va = _mm256_set1_ps(kGeluA);
+  const __m256 half = _mm256_set1_ps(0.5f);
+  const __m256 one = _mm256_set1_ps(1.0f);
+  int32_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 v = _mm256_loadu_ps(x + i);
+    const __m256 inner = _mm256_mul_ps(
+        vc, _mm256_fmadd_ps(_mm256_mul_ps(va, _mm256_mul_ps(v, v)), v, v));
+    const __m256 t = Tanh8(inner);
+    _mm256_storeu_ps(
+        x + i, _mm256_mul_ps(_mm256_mul_ps(half, v), _mm256_add_ps(one, t)));
+  }
+  for (; i < n; ++i) x[i] = GeluLane(x[i]);
+}
+
 #elif defined(APTSERVE_SIMD_NEON)
 
 bool Available() { return true; }
@@ -262,6 +416,75 @@ void Relu(float* x, int32_t n) {
   for (; i < n; ++i) x[i] = std::max(0.0f, x[i]);
 }
 
+namespace {
+
+/// 4-lane exp; per-lane identical to ExpLane (vfmaq/vfmsq are the same
+/// single-rounding FMA as fmaf, vrndnq is round-to-nearest-even).
+inline float32x4_t Exp4(float32x4_t x) {
+  x = vminq_f32(vmaxq_f32(x, vdupq_n_f32(kExpLo)), vdupq_n_f32(kExpHi));
+  const float32x4_t n = vrndnq_f32(vmulq_f32(x, vdupq_n_f32(kLog2e)));
+  float32x4_t r = vfmsq_f32(x, n, vdupq_n_f32(kLn2Hi));
+  r = vfmsq_f32(r, n, vdupq_n_f32(kLn2Lo));
+  float32x4_t p = vdupq_n_f32(kExpC0);
+  p = vfmaq_f32(vdupq_n_f32(kExpC1), p, r);
+  p = vfmaq_f32(vdupq_n_f32(kExpC2), p, r);
+  p = vfmaq_f32(vdupq_n_f32(kExpC3), p, r);
+  p = vfmaq_f32(vdupq_n_f32(kExpC4), p, r);
+  p = vfmaq_f32(vdupq_n_f32(kExpC5), p, r);
+  p = vfmaq_f32(vaddq_f32(r, vdupq_n_f32(1.0f)), p, vmulq_f32(r, r));
+  int32x4_t ni = vcvtq_s32_f32(n);  // n is integral after vrndnq
+  ni = vshlq_n_s32(vaddq_s32(ni, vdupq_n_s32(127)), 23);
+  return vmulq_f32(p, vreinterpretq_f32_s32(ni));
+}
+
+inline float32x4_t Tanh4(float32x4_t z) {
+  const float32x4_t one = vdupq_n_f32(1.0f);
+  const float32x4_t e = Exp4(vaddq_f32(z, z));
+  return vdivq_f32(vsubq_f32(e, one), vaddq_f32(e, one));
+}
+
+}  // namespace
+
+void Softmax(float* x, int32_t n) {
+  if (n <= 0) return;
+  float32x4_t vmax = vdupq_n_f32(x[0]);
+  int32_t i = 0;
+  for (; i + 4 <= n; i += 4) vmax = vmaxq_f32(vmax, vld1q_f32(x + i));
+  float mx = vmaxvq_f32(vmax);
+  for (; i < n; ++i) mx = std::max(mx, x[i]);
+
+  const float32x4_t vmx = vdupq_n_f32(mx);
+  float32x4_t vsum = vdupq_n_f32(0.0f);
+  i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t e = Exp4(vsubq_f32(vld1q_f32(x + i), vmx));
+    vst1q_f32(x + i, e);
+    vsum = vaddq_f32(vsum, e);
+  }
+  float sum = vaddvq_f32(vsum);
+  for (; i < n; ++i) {
+    x[i] = ExpLane(x[i] - mx);
+    sum += x[i];
+  }
+  ScaleInPlace(x, 1.0f / sum, n);
+}
+
+void Gelu(float* x, int32_t n) {
+  const float32x4_t vc = vdupq_n_f32(kGeluC);
+  const float32x4_t va = vdupq_n_f32(kGeluA);
+  const float32x4_t half = vdupq_n_f32(0.5f);
+  const float32x4_t one = vdupq_n_f32(1.0f);
+  int32_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t v = vld1q_f32(x + i);
+    const float32x4_t inner =
+        vmulq_f32(vc, vfmaq_f32(v, vmulq_f32(va, vmulq_f32(v, v)), v));
+    const float32x4_t t = Tanh4(inner);
+    vst1q_f32(x + i, vmulq_f32(vmulq_f32(half, v), vaddq_f32(one, t)));
+  }
+  for (; i < n; ++i) x[i] = GeluLane(x[i]);
+}
+
 #else  // scalar stubs: ops.cc routes everything to the reference kernels.
 
 bool Available() { return false; }
@@ -274,6 +497,8 @@ void Axpy(const float*, float, float*, int32_t) {}
 void AddInPlace(float*, const float*, int32_t) {}
 void ScaleInPlace(float*, float, int32_t) {}
 void Relu(float*, int32_t) {}
+void Softmax(float*, int32_t) {}
+void Gelu(float*, int32_t) {}
 
 #endif
 

@@ -14,7 +14,13 @@
 // summation order than the scalar reference and therefore agree only to
 // bounded ulp; elementwise primitives (AddInPlace, ScaleInPlace, Relu,
 // Axpy) use one multiply/add per element in scalar order and are
-// bit-identical to the reference.
+// bit-identical to the reference. Transcendental kernels (Softmax, Gelu)
+// replace libm exp/tanh with a vector polynomial (Cephes-style range
+// reduction) and agree with the scalar reference only to a documented
+// bound (~1e-5 relative); their scalar tails replay the vector lanes'
+// exact arithmetic (fmaf + the same polynomial), so every element's
+// result is independent of where the lane boundary falls — tiled callers
+// (FusedMatMatAct) stay bit-identical to the untiled dispatch.
 #pragma once
 
 #include <cstdint>
@@ -49,6 +55,19 @@ void Axpy(const float* row, float xr, float* y, int32_t n);
 void AddInPlace(float* x, const float* y, int32_t n);
 void ScaleInPlace(float* x, float s, int32_t n);
 void Relu(float* x, int32_t n);
+
+/// Vectorized numerically-stable softmax (max-subtract, polynomial exp,
+/// normalize). Bounded agreement vs the scalar reference (the vector exp
+/// is a degree-6 polynomial, ~2 ulp, and the sum reduction is lane-major);
+/// deterministic: the lane structure is a fixed function of n.
+void Softmax(float* x, int32_t n);
+
+/// Vectorized tanh-form GELU (same constants as the scalar kernel; tanh
+/// evaluated as (e-1)/(e+1) with e = polynomial exp(2z)). Bounded
+/// agreement vs the scalar reference, and elementwise offset-invariant:
+/// the scalar tail replays the vector arithmetic exactly, so Gelu(x+k, m)
+/// over subranges is bit-identical to one full-range call.
+void Gelu(float* x, int32_t n);
 
 }  // namespace simd
 }  // namespace ops

@@ -1,7 +1,10 @@
-// ThreadPool: the one parallel-execution primitive of the runtime layer, a
-// fork-join ParallelFor over an index range. Kernels (engine/ops), the
-// engine's batch executor and the multi-instance fleet all run on it; no
-// other threading primitive exists in the library.
+// ThreadPool: the fork-join parallel-execution primitive of the runtime
+// layer, a ParallelFor over an index range. Kernels (engine/ops), the
+// engine's batch executor and the multi-instance fleet all run on it. The
+// async serving mode (serve/async_serving.h) additionally runs long-lived
+// per-instance worker threads that communicate over BoundedQueue
+// (runtime/bounded_queue.h); each such worker drives its own engine, whose
+// intra-op parallelism still comes from this pool.
 //
 // Design points:
 //   * The calling thread participates, so a pool of N threads spawns N-1

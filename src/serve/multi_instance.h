@@ -99,6 +99,16 @@ class MultiInstanceRunner {
                                     const BackendFactory& make_backend,
                                     const SloSpec& slo);
 
+  /// The same fleet as a real-time continuously-batching server
+  /// (serve/async_serving.h): per-instance worker threads, bounded
+  /// arrival queues, wall-clock TTFT/TBT. Token streams are bit-identical
+  /// to Run(); only timing differs. Defined in async_serving.cc.
+  StatusOr<AsyncServingResult> RunAsync(const std::vector<Request>& trace,
+                                        const SchedulerFactory& make_scheduler,
+                                        const BackendFactory& make_backend,
+                                        const SloSpec& slo,
+                                        const AsyncServingConfig& async);
+
   /// Exposed for tests: the full routing decision for a trace.
   RouteDecision Route(const std::vector<Request>& trace) const {
     return router_.Route(trace);

@@ -86,9 +86,27 @@ Status ServingLoopState::Register(const Request& r, double available_at,
   return Status::OK();
 }
 
-Status ServingLoopState::Inject(const Request& r, double available_at) {
+Status ServingLoopState::Inject(const Request& r, double available_at,
+                                double wall_arrival) {
   APT_CHECK_MSG(started_ && !finished_run_, "Inject outside a live run");
-  return Register(r, std::max(available_at, r.arrival), /*admit_backend=*/true);
+  APT_RETURN_NOT_OK(
+      Register(r, std::max(available_at, r.arrival), /*admit_backend=*/true));
+  if (wall_clock_ != nullptr) {
+    wall_metrics_.OnArrival(
+        r.id, wall_arrival >= 0 ? wall_arrival : wall_clock_->Now());
+  }
+  return Status::OK();
+}
+
+void ServingLoopState::AttachWallClock(const runtime::Clock* clock) {
+  APT_CHECK(clock != nullptr);
+  wall_clock_ = clock;
+}
+
+std::vector<std::pair<RequestId, double>> ServingLoopState::TakeRecentFinishes() {
+  std::vector<std::pair<RequestId, double>> out;
+  out.swap(recent_finishes_);
+  return out;
 }
 
 StatusOr<MigratedRequest> ServingLoopState::Extract(RequestId id) {
@@ -117,6 +135,10 @@ StatusOr<MigratedRequest> ServingLoopState::Extract(RequestId id) {
   m.available_at = slot->available_at;
   APT_ASSIGN_OR_RETURN(m.image, backend_->ExportRequest(sr));
   m.record = metrics_.ExtractRecord(id, &m.has_last_token, &m.last_token);
+  if (wall_clock_ != nullptr) {
+    m.has_wall_record = true;
+    m.wall_record = wall_metrics_.ExtractRecord(id);
+  }
   slot->migrated_out = true;
   ++migrated_out_;
   index_.erase(it);
@@ -157,6 +179,9 @@ StatusOr<MigrationImport> ServingLoopState::Receive(
     sr.prefill_progress = 0;
   }
   metrics_.AdoptRecord(std::move(m.record), m.has_last_token, m.last_token);
+  if (wall_clock_ != nullptr && m.has_wall_record) {
+    wall_metrics_.AdoptRecord(sr.spec.id, m.wall_record);
+  }
   slot->available_at =
       base_available_at + (transfer_delay ? transfer_delay(import) : 0.0);
   slot->seq = next_seq_++;
@@ -455,7 +480,10 @@ StatusOr<ServingLoopState::Progress> ServingLoopState::Step() {
   now_ += latency;
   result_.compute_seconds += latency;
 
-  // 6. Emit tokens / finish requests.
+  // 6. Emit tokens / finish requests. With an attached wall clock every
+  // emission is additionally stamped in real time — one reading per
+  // iteration, shared by the batch, exactly like the virtual timeline.
+  const double wall_now = wall_clock_ != nullptr ? wall_clock_->Now() : 0.0;
   for (const Applied& a : applied) {
     SimRequest& sr = *a.req;
     if (a.kind == StepKind::kSwapIn) continue;  // swap-in emits no token
@@ -479,6 +507,7 @@ StatusOr<ServingLoopState::Progress> ServingLoopState::Step() {
       sr.has_first_token = true;
       sr.last_token_time = now_;
     }
+    if (wall_clock_ != nullptr) wall_metrics_.OnToken(sr.spec.id, wall_now);
     if (sr.IsFinished()) {
       sr.phase = RequestPhase::kFinished;
       metrics_.OnFinish(sr.spec.id, now_);
@@ -486,6 +515,10 @@ StatusOr<ServingLoopState::Progress> ServingLoopState::Step() {
       ++finished_;
       const RequestRecord& rec = metrics_.records().at(sr.spec.id);
       finish_log_.emplace_back(now_, rec.MeetsTtft(slo_));
+      if (wall_clock_ != nullptr) {
+        wall_metrics_.OnFinish(sr.spec.id, wall_now);
+        recent_finishes_.emplace_back(sr.spec.id, now_);
+      }
     }
   }
 
@@ -535,6 +568,7 @@ StatusOr<ServingLoopResult> ServingLoopState::Finish() {
   if (const PrefixStats* ps = backend_->prefix_stats()) result_.prefix = *ps;
   result_.report = metrics_.Report(slo_);
   result_.records = metrics_.records();
+  result_.wall_metrics = std::move(wall_metrics_);
   return std::move(result_);
 }
 

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "runtime/clock.h"
 #include "serve/execution_backend.h"
 #include "sim/metrics.h"
 #include "sim/scheduler.h"
@@ -76,6 +77,10 @@ struct ServingLoopResult {
   int64_t prefill_tokens_skipped = 0;
   /// Prefix-sharing hit accounting (all zeros without an index).
   PrefixStats prefix;
+  /// Wall-clock timestamps (async serving mode; empty without an attached
+  /// wall clock). The fleet layer Merge()s per-instance collectors and
+  /// reports once.
+  WallClockMetrics wall_metrics;
 };
 
 /// Everything that travels when a request migrates between instances: its
@@ -98,6 +103,9 @@ struct MigratedRequest {
   RequestRecord record;
   bool has_last_token = false;
   TimePoint last_token = 0.0;
+  /// Wall-clock stamps (async mode only), so real TTFT/TBT survive the hop.
+  bool has_wall_record = false;
+  WallRequestRecord wall_record;
 };
 
 /// The serving loop as a resumable state machine. One instance == one
@@ -128,7 +136,10 @@ class ServingLoopState {
 
   /// Registers one more request mid-run (live routing): it becomes
   /// schedulable once the clock reaches `available_at` (>= its arrival).
-  Status Inject(const Request& r, double available_at);
+  /// `wall_arrival` (with an attached wall clock) stamps the request's
+  /// real arrival time for wall metrics; < 0 reads the clock now.
+  Status Inject(const Request& r, double available_at,
+                double wall_arrival = -1.0);
 
   /// Removes a queued/preempted request for migration: its cache state is
   /// exported from the backend (shared prefix blocks stay for their other
@@ -150,6 +161,28 @@ class ServingLoopState {
   /// Closes the run: drain checks, backend Finalize, report. The state is
   /// unusable afterwards.
   StatusOr<ServingLoopResult> Finish();
+
+  // ---- Wall-clock seam (async serving mode) --------------------------------
+
+  /// Attaches a real-time clock: from now on every emitted token and finish
+  /// is additionally wall-stamped into the result's WallClockMetrics, and
+  /// finishes are logged for TakeRecentFinishes. Purely observational — the
+  /// virtual timeline, scheduling, and token streams are unaffected, which
+  /// is exactly the async mode's determinism contract. Call before Step.
+  void AttachWallClock(const runtime::Clock* clock);
+
+  /// Advances the virtual clock to (at least) `wall_now`, so injected
+  /// requests whose availability was stamped in wall time become admissible
+  /// as real time passes. Monotone; no-op when behind now(). The async
+  /// worker calls this before each Step, fusing the two timelines.
+  void SyncClock(double wall_now) {
+    if (wall_now > now_) now_ = wall_now;
+  }
+
+  /// Drains the (id, virtual finish time) log of requests finished since
+  /// the last call. Empty unless a wall clock is attached — the async
+  /// worker's completion feed back to the controller.
+  std::vector<std::pair<RequestId, double>> TakeRecentFinishes();
 
   // ---- Introspection (fleet controller policies / planner) -----------------
   bool started() const { return started_; }
@@ -190,6 +223,10 @@ class ServingLoopState {
   SloSpec slo_;
   MetricsCollector metrics_;
   ServingLoopResult result_;
+  /// Real-time observer (async mode); null in the deterministic modes.
+  const runtime::Clock* wall_clock_ = nullptr;
+  WallClockMetrics wall_metrics_;
+  std::vector<std::pair<RequestId, double>> recent_finishes_;
 
   std::vector<std::unique_ptr<Slot>> slots_;
   std::unordered_map<RequestId, Slot*> index_;

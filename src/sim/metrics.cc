@@ -47,6 +47,80 @@ void MetricsCollector::OnIteration(double seconds, int32_t batch_size,
   batch_size_weighted_ += static_cast<double>(batch_size);
 }
 
+void WallClockMetrics::OnArrival(RequestId id, double now) {
+  WallRequestRecord& rec = inflight_[id];
+  rec.arrival = now;
+  if (first_arrival_ < 0 || now < first_arrival_) first_arrival_ = now;
+}
+
+void WallClockMetrics::OnToken(RequestId id, double now) {
+  auto it = inflight_.find(id);
+  APT_CHECK_MSG(it != inflight_.end(), "wall token for unknown request");
+  WallRequestRecord& rec = it->second;
+  if (rec.first_token < 0) {
+    rec.first_token = now;
+    if (rec.arrival >= 0) ttft_.Add(now - rec.arrival);
+  } else {
+    tbt_.Add(now - rec.last_token);
+  }
+  rec.last_token = now;
+  ++rec.tokens;
+  ++tokens_;
+}
+
+void WallClockMetrics::OnFinish(RequestId id, double now) {
+  auto it = inflight_.find(id);
+  APT_CHECK_MSG(it != inflight_.end(), "wall finish for unknown request");
+  WallRequestRecord& rec = it->second;
+  rec.finish = now;
+  if (rec.arrival >= 0) e2e_.Add(now - rec.arrival);
+  ++finished_requests_;
+  if (now > last_finish_) last_finish_ = now;
+  inflight_.erase(it);
+}
+
+WallRequestRecord WallClockMetrics::ExtractRecord(RequestId id) {
+  auto it = inflight_.find(id);
+  APT_CHECK_MSG(it != inflight_.end(), "extracting unknown wall record");
+  WallRequestRecord rec = it->second;
+  inflight_.erase(it);
+  return rec;
+}
+
+void WallClockMetrics::AdoptRecord(RequestId id,
+                                   const WallRequestRecord& record) {
+  APT_CHECK_MSG(inflight_.count(id) == 0, "adopting a duplicate wall record");
+  inflight_[id] = record;
+}
+
+void WallClockMetrics::Merge(const WallClockMetrics& other) {
+  ttft_.Merge(other.ttft_);
+  tbt_.Merge(other.tbt_);
+  e2e_.Merge(other.e2e_);
+  finished_requests_ += other.finished_requests_;
+  tokens_ += other.tokens_;
+  if (other.first_arrival_ >= 0 &&
+      (first_arrival_ < 0 || other.first_arrival_ < first_arrival_)) {
+    first_arrival_ = other.first_arrival_;
+  }
+  if (other.last_finish_ > last_finish_) last_finish_ = other.last_finish_;
+}
+
+WallLatencyReport WallClockMetrics::Report() const {
+  WallLatencyReport r;
+  r.requests = finished_requests_;
+  r.tokens = tokens_;
+  r.ttft = ttft_;
+  r.tbt = tbt_;
+  r.e2e = e2e_;
+  if (first_arrival_ >= 0 && last_finish_ > first_arrival_) {
+    r.duration_s = last_finish_ - first_arrival_;
+    r.throughput_tok_s = static_cast<double>(tokens_) / r.duration_s;
+    r.throughput_req_s = static_cast<double>(finished_requests_) / r.duration_s;
+  }
+  return r;
+}
+
 const char* FleetScaleEventKindName(FleetScaleEvent::Kind kind) {
   switch (kind) {
     case FleetScaleEvent::Kind::kAdd:

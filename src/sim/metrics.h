@@ -128,6 +128,68 @@ struct FleetMetrics {
   int32_t cold_starts = 0;
 };
 
+// ---- Wall-clock metrics (async serving mode) -------------------------------
+
+/// Real-time stamps of one in-flight request, carried across live
+/// migrations so a moved request's TTFT/TBT history survives the hop.
+struct WallRequestRecord {
+  double arrival = -1.0;      ///< wall time the feeder released the request
+  double first_token = -1.0;  ///< wall time of the first emitted token
+  double last_token = -1.0;   ///< wall time of the latest emitted token
+  double finish = -1.0;
+  int64_t tokens = 0;
+};
+
+/// Aggregate wall-clock latency/throughput readout of an async serving run.
+/// Percentiles come from log-bucketed LatencyHistograms (bounded memory at
+/// any request volume); mean/min/max are exact.
+struct WallLatencyReport {
+  int64_t requests = 0;  ///< requests that finished
+  int64_t tokens = 0;    ///< tokens emitted
+  double duration_s = 0.0;  ///< first arrival to last finish, wall seconds
+  double throughput_tok_s = 0.0;
+  double throughput_req_s = 0.0;
+  LatencyHistogram ttft;  ///< arrival -> first token, per request
+  LatencyHistogram tbt;   ///< consecutive-token gaps, per token
+  LatencyHistogram e2e;   ///< arrival -> finish, per request
+};
+
+/// Collects wall-clock timestamps for the async serving mode. One collector
+/// per worker thread (single-threaded access, like MetricsCollector);
+/// records migrate with their requests via Extract/Adopt and per-worker
+/// collectors fold together with Merge at shutdown. Purely observational:
+/// nothing here feeds back into scheduling, so wall jitter cannot perturb
+/// the deterministic token streams.
+class WallClockMetrics {
+ public:
+  void OnArrival(RequestId id, double now);
+  /// Stamps a token; the first for `id` records TTFT, later ones add a TBT
+  /// gap sample measured from the previous token (possibly on another
+  /// instance, via the migrated record).
+  void OnToken(RequestId id, double now);
+  void OnFinish(RequestId id, double now);
+
+  WallRequestRecord ExtractRecord(RequestId id);
+  void AdoptRecord(RequestId id, const WallRequestRecord& record);
+
+  /// Folds `other`'s finished-request aggregates into this collector.
+  /// In-flight records stay with their owner.
+  void Merge(const WallClockMetrics& other);
+
+  WallLatencyReport Report() const;
+  int64_t finished_requests() const { return finished_requests_; }
+
+ private:
+  std::unordered_map<RequestId, WallRequestRecord> inflight_;
+  LatencyHistogram ttft_;
+  LatencyHistogram tbt_;
+  LatencyHistogram e2e_;
+  int64_t finished_requests_ = 0;
+  int64_t tokens_ = 0;
+  double first_arrival_ = -1.0;
+  double last_finish_ = -1.0;
+};
+
 class MetricsCollector {
  public:
   void RegisterRequest(const Request& spec);

@@ -55,6 +55,23 @@ void WriteFleetCsv(const std::vector<SloReport>& per_instance,
   }
 }
 
+void WriteWallLatencyCsv(
+    const std::vector<std::pair<std::string, WallLatencyReport>>& rows,
+    std::ostream* out) {
+  *out << "mode,requests,tokens,duration_s,throughput_tok_s,"
+          "throughput_req_s,ttft_p50,ttft_p95,ttft_p99,ttft_mean,"
+          "tbt_p50,tbt_p95,tbt_p99,tbt_mean,e2e_p50,e2e_p95,e2e_p99\n";
+  for (const auto& [mode, r] : rows) {
+    *out << mode << ',' << r.requests << ',' << r.tokens << ','
+         << r.duration_s << ',' << r.throughput_tok_s << ','
+         << r.throughput_req_s << ',' << r.ttft.P50() << ',' << r.ttft.P95()
+         << ',' << r.ttft.P99() << ',' << r.ttft.mean() << ',' << r.tbt.P50()
+         << ',' << r.tbt.P95() << ',' << r.tbt.P99() << ',' << r.tbt.mean()
+         << ',' << r.e2e.P50() << ',' << r.e2e.P95() << ',' << r.e2e.P99()
+         << '\n';
+  }
+}
+
 void WriteCdfCsv(const SampleSet& samples, std::ostream* out,
                  size_t max_points) {
   *out << "value,cum_fraction\n";

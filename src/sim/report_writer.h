@@ -46,6 +46,15 @@ void WriteFleetCsv(const std::vector<SloReport>& per_instance,
                    const std::vector<int32_t>& requests_per_instance,
                    std::ostream* out);
 
+/// Writes wall-clock latency reports as CSV, one labelled row per run
+/// (e.g. "epoch-barrier" vs "async" for the same trace):
+/// mode,requests,tokens,duration_s,throughput_tok_s,throughput_req_s,
+/// ttft_p50,ttft_p95,ttft_p99,ttft_mean,tbt_p50,tbt_p95,tbt_p99,tbt_mean,
+/// e2e_p50,e2e_p95,e2e_p99. Latencies in seconds.
+void WriteWallLatencyCsv(
+    const std::vector<std::pair<std::string, WallLatencyReport>>& rows,
+    std::ostream* out);
+
 /// Writes a (value, cum_fraction) CDF as CSV.
 void WriteCdfCsv(const SampleSet& samples, std::ostream* out,
                  size_t max_points = 200);

@@ -137,6 +137,36 @@ TEST(ReportWriterTest, WriteFileBadPath) {
   EXPECT_TRUE(st.IsInvalidArgument());
 }
 
+TEST(ReportWriterTest, WallLatencyCsvShape) {
+  // The async bench writes one row per serving mode; pin the header
+  // columns and the row count.
+  WallClockMetrics m;
+  m.OnArrival(1, 0.0);
+  m.OnToken(1, 0.2);  // TTFT 0.2
+  m.OnToken(1, 0.3);  // TBT 0.1
+  m.OnFinish(1, 0.3);
+  m.OnArrival(2, 0.1);
+  m.OnToken(2, 0.5);
+  m.OnFinish(2, 0.5);
+  const WallLatencyReport report = m.Report();
+  ASSERT_EQ(report.requests, 2);
+  ASSERT_EQ(report.tokens, 3);
+
+  std::ostringstream out;
+  WriteWallLatencyCsv({{"async", report}, {"virtual", report}}, &out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("mode,requests,tokens,duration_s"), std::string::npos);
+  EXPECT_NE(csv.find("ttft_p50"), std::string::npos);
+  EXPECT_NE(csv.find("e2e_p99"), std::string::npos);
+  EXPECT_NE(csv.find("\nasync,2,3,"), std::string::npos);
+  EXPECT_NE(csv.find("\nvirtual,2,3,"), std::string::npos);
+  int lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 3);  // header + 2 rows
+}
+
 TEST(ReportWriterTest, SimulatorRecordsExportEndToEnd) {
   TraceConfig tc;
   tc.profile = DatasetProfile::HumanEval();

@@ -90,6 +90,89 @@ TEST(HistogramTest, BucketsAndClamping) {
   EXPECT_DOUBLE_EQ(h.BucketHigh(3), 4.0);
 }
 
+TEST(RunningStatTest, MergeMatchesSequential) {
+  // Chan et al. parallel combine: splitting a sample set arbitrarily and
+  // merging must reproduce the sequential accumulator (to fp tolerance).
+  RunningStat all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(0.37 * i) * 5.0 + 2.0;
+    all.Add(v);
+    (i < 37 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmptyIsIdentity) {
+  RunningStat s, empty;
+  s.Add(1.0);
+  s.Add(3.0);
+  s.Merge(empty);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  empty.Merge(s);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(LatencyHistogramTest, QuantilesBracketSamples) {
+  // 1..1000 ms uniformly: log-bucket interpolation puts quantiles within
+  // one bucket width (16/decade => ~15% geometric step) of the truth.
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(i * 1e-3);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.Quantile(0.5), 0.5, 0.1);
+  EXPECT_NEAR(h.P99(), 0.99, 0.2);
+  EXPECT_LE(h.P50(), h.P95());
+  EXPECT_LE(h.P95(), h.P99());
+  // Clamped to the exact observed extremes, not bucket edges.
+  EXPECT_EQ(h.min(), 1e-3);
+  EXPECT_EQ(h.max(), 1.0);
+  EXPECT_GE(h.Quantile(0.0), h.min());
+  EXPECT_LE(h.Quantile(1.0), h.max());
+}
+
+TEST(LatencyHistogramTest, OutOfRangeSamplesLandInEdgeBuckets) {
+  LatencyHistogram h(1e-3, 1.0, 8);
+  h.Add(1e-9);   // underflow bucket
+  h.Add(100.0);  // overflow bucket
+  h.Add(0.0);    // non-positive underflows too
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_LE(h.Quantile(0.01), 1e-3);
+  EXPECT_GE(h.Quantile(0.99), 1.0);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesUnion) {
+  LatencyHistogram a, b, all;
+  for (int i = 0; i < 200; ++i) {
+    const double v = 1e-3 * (1 + (i * 37) % 500);
+    all.Add(v);
+    (i % 2 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  // Merged mean differs from sequential only by combine-order rounding;
+  // bucket counts and min/max merge exactly, so quantiles are bit-equal.
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  for (double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.Quantile(q), all.Quantile(q)) << q;
+  }
+}
+
+TEST(LatencyHistogramTest, EmptyQuantileIsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
 TEST(HistogramTest, AsciiRendering) {
   Histogram h(0.0, 4.0, 4);
   h.Add(0.5);
