@@ -6,7 +6,9 @@
 // Token streams are asserted bit-identical between the modes — the
 // determinism contract enforced exactly where the speed is measured — and
 // the snapshot records wall TTFT/TBT/e2e percentiles, sustained
-// throughput, and an epoch-barrier comparison row.
+// throughput, per-instance arrival-queue high-water marks and shed
+// counts, a live-shedding row (shed_queue_depth=1 under a tight batch
+// cap), and an epoch-barrier comparison row.
 //
 // Results land in BENCH_bench_async_serving.json. Like
 // bench_parallel_scaling, the snapshot stamps hardware_concurrency and
@@ -17,6 +19,7 @@
 #include <cstdio>
 #include <memory>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -59,13 +62,19 @@ std::vector<Request> BenchTrace() {
   return trace;
 }
 
-BackendFactory EngineFactory(std::vector<TokenMap>* sinks) {
-  return [sinks](int32_t i) -> StatusOr<std::unique_ptr<ExecutionBackend>> {
+/// `uniform_weights` gives every instance the same weight seed — required
+/// for the shedding row, where a request may finish on a different
+/// instance than the one the virtual reference ran it on.
+BackendFactory EngineFactory(std::vector<TokenMap>* sinks,
+                             bool uniform_weights = false) {
+  return [sinks, uniform_weights](
+             int32_t i) -> StatusOr<std::unique_ptr<ExecutionBackend>> {
     InferenceBackendOptions options;
     options.virtual_timing = true;
     options.finished_sink = &(*sinks)[static_cast<size_t>(i)];
     return std::unique_ptr<ExecutionBackend>(std::make_unique<InferenceBackend>(
-        ModelConfig::Tiny(), /*weight_seed=*/9 + i, /*num_blocks=*/192,
+        ModelConfig::Tiny(), /*weight_seed=*/uniform_weights ? 9 : 9 + i,
+        /*num_blocks=*/192,
         /*block_size=*/8, SamplingParams::TopK(8, 0.9), options));
   };
 }
@@ -74,12 +83,12 @@ SchedulerFactory Fcfs() {
   return [] { return std::make_unique<FcfsScheduler>(); };
 }
 
-MultiInstanceRunner MakeRunner() {
+MultiInstanceRunner MakeRunner(int32_t max_batch_size = INT32_MAX) {
   DispatchConfig dispatch;
   dispatch.n_instances = kInstances;
   dispatch.policy = DispatchPolicy::kRoundRobin;
   ServingLoopConfig loop;
-  loop.max_batch_size = INT32_MAX;
+  loop.max_batch_size = max_batch_size;
   return MultiInstanceRunner(dispatch, loop);
 }
 
@@ -89,6 +98,42 @@ TokenMap Flatten(std::vector<TokenMap> sinks) {
     for (auto& [id, toks] : m) all[id] = std::move(toks);
   }
   return all;
+}
+
+/// The determinism contract, enforced where the speed is measured: every
+/// finished token stream must match the virtual reference bit-for-bit.
+bool TokensMatch(const TokenMap& want, const TokenMap& got,
+                 const char* label) {
+  if (want.size() != got.size()) {
+    std::fprintf(stderr, "FATAL: %s: %zu vs %zu finished requests\n", label,
+                 want.size(), got.size());
+    return false;
+  }
+  for (const auto& [id, toks] : want) {
+    auto it = got.find(id);
+    if (it == got.end() || it->second != toks) {
+      std::fprintf(stderr,
+                   "FATAL: %s: token stream diverged from the virtual "
+                   "reference at request %d\n",
+                   label, static_cast<int32_t>(id));
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Per-instance backpressure/shed witnesses into a JSON row
+/// (arrival_queue_high_water_i0, sheds_i0, ...).
+void AddPerInstanceWitnesses(const AsyncServingResult& live,
+                             bench::JsonObject* e) {
+  for (size_t i = 0; i < live.arrival_queue_high_water_per_instance.size();
+       ++i) {
+    e->Int("arrival_queue_high_water_i" + std::to_string(i),
+           static_cast<int64_t>(live.arrival_queue_high_water_per_instance[i]));
+  }
+  for (size_t i = 0; i < live.sheds_per_instance.size(); ++i) {
+    e->Int("sheds_i" + std::to_string(i), live.sheds_per_instance[i]);
+  }
 }
 
 }  // namespace
@@ -144,23 +189,9 @@ int main() {
       return 1;
     }
 
-    // Determinism contract, enforced where the speed is measured.
-    const TokenMap want = Flatten(virt_sinks);
-    const TokenMap got = Flatten(std::move(async_sinks));
-    if (want.size() != got.size()) {
-      std::fprintf(stderr, "FATAL: %zu vs %zu finished requests\n",
-                   want.size(), got.size());
+    if (!TokensMatch(Flatten(virt_sinks), Flatten(std::move(async_sinks)),
+                     "async")) {
       return 1;
-    }
-    for (const auto& [id, toks] : want) {
-      auto it = got.find(id);
-      if (it == got.end() || it->second != toks) {
-        std::fprintf(stderr,
-                     "FATAL: token stream diverged from the virtual "
-                     "reference at request %d (speedup=%.0f)\n",
-                     static_cast<int32_t>(id), speedup);
-        return 1;
-      }
     }
 
     const WallLatencyReport& wall = live->wall;
@@ -207,6 +238,80 @@ int main() {
         .Int("arrival_queue_high_water",
              static_cast<int64_t>(live->arrival_queue_high_water))
         .Str("tokens_bit_identical_to_virtual", "true");
+    AddPerInstanceWitnesses(*live, &e);
+    bench::BenchJson::Instance().AddEntry(std::move(e));
+  }
+
+  // ---- Live shedding row ----------------------------------------------------
+  // shed_queue_depth > 0 makes overloaded workers export waiting requests
+  // (cache state included) to the coolest instance over the queue fabric.
+  // A small batch cap plus fast replay keeps the waiting queues deep so
+  // the shed path actually fires. Instances share one weight seed here:
+  // a shed request finishes on a different instance than the virtual run
+  // routed it to, and the token-identity assertion must still hold.
+  {
+    constexpr int32_t kShedBatchCap = 4;
+    constexpr double kShedSpeedup = 400.0;
+
+    std::vector<TokenMap> ref_sinks(kInstances);
+    MultiInstanceRunner ref_runner = MakeRunner(kShedBatchCap);
+    auto ref = ref_runner.Run(trace, Fcfs(),
+                              EngineFactory(&ref_sinks, /*uniform=*/true), slo);
+    if (!ref.ok()) {
+      std::fprintf(stderr, "shed reference: %s\n",
+                   ref.status().ToString().c_str());
+      return 1;
+    }
+
+    AsyncServingConfig async;
+    async.replay_speedup = kShedSpeedup;
+    async.max_wall_seconds = 120.0;
+    async.shed_queue_depth = 1;  // shed on any queue depth over one
+    std::vector<TokenMap> shed_sinks(kInstances);
+    MultiInstanceRunner srunner = MakeRunner(kShedBatchCap);
+    t0 = NowSeconds();
+    auto live = srunner.RunAsync(
+        trace, Fcfs(), EngineFactory(&shed_sinks, /*uniform=*/true), slo,
+        async);
+    const double shed_wall = NowSeconds() - t0;
+    if (!live.ok()) {
+      std::fprintf(stderr, "shed run: %s\n", live.status().ToString().c_str());
+      return 1;
+    }
+    if (!TokensMatch(Flatten(std::move(ref_sinks)),
+                     Flatten(std::move(shed_sinks)), "async_shed")) {
+      return 1;
+    }
+
+    std::printf(
+        "=== Async shedding @ replay_speedup=%.0f, batch cap %d, "
+        "shed_queue_depth=1 ===\n"
+        "  shed_migrations=%lld queue_high_water=%zu wall=%.3fs\n",
+        kShedSpeedup, kShedBatchCap,
+        static_cast<long long>(live->shed_migrations),
+        live->arrival_queue_high_water, shed_wall);
+    for (size_t i = 0; i < live->sheds_per_instance.size(); ++i) {
+      std::printf("  instance %zu: sheds=%lld arrival_queue_high_water=%zu\n",
+                  i, static_cast<long long>(live->sheds_per_instance[i]),
+                  live->arrival_queue_high_water_per_instance[i]);
+    }
+    std::printf("  token streams: bit-identical to the (shed-free) virtual "
+                "reference\n\n");
+
+    bench::JsonObject e;
+    e.Str("mode", "async_shed")
+        .Num("replay_speedup", kShedSpeedup)
+        .Int("max_batch_size", kShedBatchCap)
+        .Int("shed_queue_depth", 1)
+        .Int("requests", live->wall.requests)
+        .Int("tokens", live->wall.tokens)
+        .Num("wall_seconds", shed_wall)
+        .Num("sustained_tok_per_s", live->wall.throughput_tok_s)
+        .Int("shed_migrations", live->shed_migrations)
+        .Int("arrival_queue_high_water",
+             static_cast<int64_t>(live->arrival_queue_high_water))
+        .Str("tokens_bit_identical_to_virtual", "true");
+    AddPerInstanceWitnesses(*live, &e);
     bench::BenchJson::Instance().AddEntry(std::move(e));
   }
 

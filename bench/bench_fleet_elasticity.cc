@@ -10,12 +10,24 @@
 //
 // Results land in BENCH_bench_fleet_elasticity.json (committed snapshot
 // under bench/results/).
+// Set APTSERVE_TRACE_JSON=<path> to run the elastic fleet with the
+// request-lifecycle tracer attached: the run writes a Chrome trace_event
+// JSON there (chrome://tracing / Perfetto loadable), a Prometheus text
+// snapshot next to it (<path>.prom), and gates (exit 1) on the validator:
+// well-formed JSON, monotonic per-track timestamps, every migration flow
+// arrow matched, and at least one scale event present.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "baselines/sarathi_scheduler.h"
 #include "bench/bench_util.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "serve/cost_model_backend.h"
 #include "serve/fleet_controller.h"
 #include "workload/arrival.h"
@@ -101,6 +113,10 @@ int main() {
       .Num("instance_warmup_s", kWarmupS)
       .Num("slo_ttft_s", slo.ttft_s);
 
+  const char* trace_path = std::getenv("APTSERVE_TRACE_JSON");
+  obs::TraceRecorder trace_recorder(/*shard_capacity=*/size_t{1} << 18);
+  obs::MetricsRegistry metrics;
+
   std::vector<RunRow> rows;
   {
     // Static fleet sized for peak: the capacity an operator must hold all
@@ -135,6 +151,10 @@ int main() {
     cfg.enable_migration = true;
     cfg.migration_imbalance_threshold = 4.0;
     cfg.max_migrations_per_tick = 16;
+    if (trace_path != nullptr) {
+      cfg.trace = &trace_recorder;
+      cfg.metrics = &metrics;
+    }
     FleetController controller(cfg, &cm);
     auto r = controller.Run(trace, make_scheduler, make_backend, slo);
     if (!r.ok()) {
@@ -203,6 +223,46 @@ int main() {
                  "GATE FAILED: elastic attainment %.4f below static %.4f\n",
                  e.slo_attainment, s.slo_attainment);
     ok = false;
+  }
+
+  if (trace_path != nullptr) {
+    Status wrote = obs::WriteChromeTrace(trace_recorder.Flush(), trace_path);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "trace write: %s\n", wrote.ToString().c_str());
+      return 1;
+    }
+    std::ifstream in(trace_path);
+    const std::string json((std::istreambuf_iterator<char>(in)),
+                           std::istreambuf_iterator<char>());
+    auto stats = obs::ValidateChromeTrace(json);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "GATE FAILED: trace validation: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nTrace: %lld events on %lld tracks, %lld migration flow "
+                "arrows (%lld matched), %lld scale events -> %s\n",
+                static_cast<long long>(stats->events),
+                static_cast<long long>(stats->tracks),
+                static_cast<long long>(stats->flow_begins),
+                static_cast<long long>(stats->matched_flows),
+                static_cast<long long>(stats->scale_events), trace_path);
+    if (stats->matched_flows < 1) {
+      std::fprintf(stderr,
+                   "GATE FAILED: expected >=1 matched migration flow arrow\n");
+      ok = false;
+    }
+    if (stats->scale_events < 1) {
+      std::fprintf(stderr, "GATE FAILED: expected >=1 scale event\n");
+      ok = false;
+    }
+    const std::string prom_path = std::string(trace_path) + ".prom";
+    std::ofstream prom(prom_path);
+    prom << metrics.ExportPrometheus();
+    if (!prom) {
+      std::fprintf(stderr, "prom write failed: %s\n", prom_path.c_str());
+      return 1;
+    }
   }
   return ok ? 0 : 1;
 }

@@ -27,6 +27,7 @@ StatusOr<BlockId> BlockPool::Allocate() {
   ref_count_[id] = 1;
   ++total_allocations_;
   peak_allocated_ = std::max(peak_allocated_, num_allocated());
+  PublishOccupancy();
   return id;
 }
 
@@ -72,6 +73,7 @@ Status BlockPool::Free(BlockId id) {
   }
   if (--ref_count_[id] == 0) {
     free_list_.push_back(id);
+    PublishOccupancy();
   }
   return Status::OK();
 }

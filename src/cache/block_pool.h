@@ -17,6 +17,7 @@
 
 #include "cache/cache_types.h"
 #include "common/status.h"
+#include "obs/metrics_registry.h"
 
 namespace aptserve {
 
@@ -98,7 +99,21 @@ class BlockPool {
   /// allocated/shared counts, the refcount histogram, and lifetime totals.
   std::string DebugString() const;
 
+  /// Attaches live occupancy gauges (optional, borrowed; null detaches).
+  /// `occupancy` tracks the allocated-block count after every mutation and
+  /// `peak` its high-water mark. Purely observational.
+  void AttachMetrics(obs::Gauge* occupancy, obs::Gauge* peak) {
+    obs_occupancy_ = occupancy;
+    obs_peak_ = peak;
+    PublishOccupancy();
+  }
+
  private:
+  void PublishOccupancy() {
+    if (obs_occupancy_ != nullptr) obs_occupancy_->Set(num_allocated());
+    if (obs_peak_ != nullptr) obs_peak_->SetMax(num_allocated());
+  }
+
   int32_t num_blocks_;
   int32_t block_size_;
   std::vector<BlockId> free_list_;
@@ -108,6 +123,8 @@ class BlockPool {
   int64_t total_allocations_ = 0;
   int64_t total_exported_blocks_ = 0;
   int64_t total_imported_blocks_ = 0;
+  obs::Gauge* obs_occupancy_ = nullptr;
+  obs::Gauge* obs_peak_ = nullptr;
 };
 
 }  // namespace aptserve

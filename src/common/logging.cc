@@ -1,11 +1,17 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstring>
+#include <mutex>
 
 namespace aptserve {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+/// Consumed by whichever of GetLogLevel (applies APTSERVE_LOG_LEVEL) or
+/// SetLogLevel (discards it: an explicit setting wins) runs first.
+std::once_flag g_env_once;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -24,8 +30,43 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+bool ParseLogLevel(const char* text, LogLevel* out) {
+  if (text == nullptr || out == nullptr) return false;
+  std::string lower;
+  for (const char* p = text; *p; ++p) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "debug" || lower == "0") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "2") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *out = LogLevel::kError;
+  } else if (lower == "off" || lower == "4") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+LogLevel GetLogLevel() {
+  std::call_once(g_env_once, [] {
+    LogLevel level;
+    if (ParseLogLevel(std::getenv("APTSERVE_LOG_LEVEL"), &level)) {
+      g_level.store(level, std::memory_order_relaxed);
+    }
+  });
+  return g_level.load(std::memory_order_relaxed);
+}
+
 void SetLogLevel(LogLevel level) {
+  // Burn the env application so a later first GetLogLevel cannot override
+  // this explicit setting.
+  std::call_once(g_env_once, [] {});
   g_level.store(level, std::memory_order_relaxed);
 }
 

@@ -12,9 +12,17 @@ namespace aptserve {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
 
 /// Global log threshold; messages below it are dropped. Defaults to kWarning
-/// so tests and benches stay quiet unless something is wrong.
+/// so tests and benches stay quiet unless something is wrong. The first
+/// GetLogLevel() call consults APTSERVE_LOG_LEVEL (a name like "debug",
+/// "info", "warning", "error", "off", or a digit 0-4) unless SetLogLevel()
+/// already ran — an explicit setting always wins over the environment,
+/// mirroring APTSERVE_NUM_THREADS (runtime/runtime_config.h).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Parses a log-level name or digit (case-insensitive; "warn" accepted for
+/// "warning"). Returns false on anything else, leaving `*out` untouched.
+bool ParseLogLevel(const char* text, LogLevel* out);
 
 namespace internal {
 

@@ -148,6 +148,19 @@ void LatencyHistogram::Merge(const LatencyHistogram& other) {
   stat_.Merge(other.stat_);
 }
 
+std::vector<std::pair<double, uint64_t>> LatencyHistogram::CumulativeBuckets()
+    const {
+  std::vector<std::pair<double, uint64_t>> out;
+  uint64_t cum = 0;
+  // Everything but the overflow bucket has a finite upper edge (the
+  // underflow bucket's edge is min_s_); overflow lands in le="+Inf".
+  for (size_t i = 0; i + 1 < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (counts_[i] != 0) out.emplace_back(BucketHigh(i), cum);
+  }
+  return out;
+}
+
 double LatencyHistogram::Quantile(double q) const {
   const size_t total = count();
   if (total == 0) return 0.0;

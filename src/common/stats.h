@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace aptserve {
@@ -90,6 +91,13 @@ class LatencyHistogram {
   double mean() const { return stat_.mean(); }
   double min() const { return stat_.min(); }
   double max() const { return stat_.max(); }
+  double sum() const { return stat_.sum(); }
+
+  /// (upper_bound_seconds, cumulative_count) pairs over the non-empty
+  /// buckets with a finite upper edge, in increasing bound order —
+  /// Prometheus `le` bucket form. The overflow bucket has no finite edge;
+  /// exporters account for it with the implicit `le="+Inf"` = count().
+  std::vector<std::pair<double, uint64_t>> CumulativeBuckets() const;
 
   /// q in [0,1]; 0 when empty. Estimated from bucket counts.
   double Quantile(double q) const;

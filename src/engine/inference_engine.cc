@@ -34,6 +34,62 @@ void InferenceEngine::EnablePrefixSharing() {
   prefix_index_ = std::make_unique<PrefixIndex>(&pool_, pool_.block_size());
   assigner_.SetReclaimer(
       [this](int32_t need) { return prefix_index_->EvictLru(need); });
+  WirePrefixIndexMetrics();
+}
+
+void InferenceEngine::AttachMetrics(obs::MetricsRegistry* registry,
+                                    const std::string& labels) {
+  obs_registry_ = registry;
+  obs_labels_ = labels;
+  if (registry == nullptr) {
+    obs_decode_prepared_ = nullptr;
+    obs_prefill_prepared_ = nullptr;
+    obs_steps_computed_ = nullptr;
+    obs_steps_finished_ = nullptr;
+    pool_.AttachMetrics(nullptr, nullptr);
+    if (prefix_index_ != nullptr) {
+      prefix_index_->AttachMetrics(PrefixIndex::MetricHooks{});
+    }
+    return;
+  }
+  const auto with = [&](const std::string& extra) {
+    return labels.empty() ? extra : labels + "," + extra;
+  };
+  obs_decode_prepared_ = registry->GetCounter(
+      "aptserve_engine_steps_prepared_total", with("kind=\"decode\""));
+  obs_prefill_prepared_ = registry->GetCounter(
+      "aptserve_engine_steps_prepared_total", with("kind=\"prefill\""));
+  obs_steps_computed_ =
+      registry->GetCounter("aptserve_engine_steps_computed_total", labels);
+  obs_steps_finished_ =
+      registry->GetCounter("aptserve_engine_steps_finished_total", labels);
+  // The pool gauges carry the encoding policy as labels: the unified pool
+  // has no per-block tier, so "occupancy by tier" means "this engine's
+  // pool, whose caches encode kv/hidden at these tiers".
+  const CacheEncodingPolicy& policy = assigner_.encoding_policy();
+  const std::string tiers =
+      with(std::string("kv=\"") + BlockEncodingName(policy.kv) +
+           "\",hidden=\"" + BlockEncodingName(policy.hidden) + "\"");
+  pool_.AttachMetrics(
+      registry->GetGauge("aptserve_engine_pool_blocks", tiers),
+      registry->GetGauge("aptserve_engine_pool_blocks_peak", tiers));
+  WirePrefixIndexMetrics();
+}
+
+void InferenceEngine::WirePrefixIndexMetrics() {
+  if (obs_registry_ == nullptr || prefix_index_ == nullptr) return;
+  PrefixIndex::MetricHooks hooks;
+  hooks.lookups = obs_registry_->GetCounter(
+      "aptserve_prefix_index_lookups_total", obs_labels_);
+  hooks.hits = obs_registry_->GetCounter("aptserve_prefix_index_hits_total",
+                                         obs_labels_);
+  hooks.hit_tokens = obs_registry_->GetCounter(
+      "aptserve_prefix_index_hit_tokens_total", obs_labels_);
+  hooks.inserted_blocks = obs_registry_->GetCounter(
+      "aptserve_prefix_index_inserted_blocks_total", obs_labels_);
+  hooks.evicted_blocks = obs_registry_->GetCounter(
+      "aptserve_prefix_index_evicted_blocks_total", obs_labels_);
+  prefix_index_->AttachMetrics(hooks);
 }
 
 namespace {
@@ -167,6 +223,7 @@ StatusOr<PendingStep> InferenceEngine::PreparePrefillChunk(
   // rolled-back seeding must not inflate hits relative to the prefill
   // positions genuinely skipped.
   if (skipped > 0) prefix_index_->RecordAdoption(match);
+  if (obs_prefill_prepared_ != nullptr) obs_prefill_prepared_->Inc();
   PendingStep step;
   step.id = id;
   step.is_decode = false;
@@ -213,6 +270,7 @@ StatusOr<PendingStep> InferenceEngine::PrepareDecode(RequestId id) {
     return Status::InvalidArgument("sequence reached max_seq_len");
   }
   APT_RETURN_NOT_OK(assigner_.Append(id, 1));
+  if (obs_decode_prepared_ != nullptr) obs_decode_prepared_->Inc();
   PendingStep step;
   step.id = id;
   step.is_decode = true;
@@ -245,11 +303,13 @@ void InferenceEngine::ComputeStep(PendingStep* step) {
                              &storage_, &step->logits, thread_pool_.get());
   }
   step->computed = true;
+  if (obs_steps_computed_ != nullptr) obs_steps_computed_->Inc();
 }
 
 StatusOr<std::optional<int32_t>> InferenceEngine::FinishStep(
     PendingStep* step) {
   APT_CHECK(step != nullptr && step->computed);
+  if (obs_steps_finished_ != nullptr) obs_steps_finished_->Inc();
   auto it = requests_.find(step->id);
   APT_CHECK_MSG(it != requests_.end(),
                 "pending step finished for a removed request");

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "engine/block_storage.h"
 #include "engine/sampling.h"
 #include "engine/transformer.h"
+#include "obs/metrics_registry.h"
 #include "prefix/prefix_index.h"
 #include "runtime/runtime_config.h"
 #include "runtime/thread_pool.h"
@@ -112,6 +114,18 @@ class InferenceEngine {
   /// The engine's prefix index; null until EnablePrefixSharing().
   PrefixIndex* prefix_index() { return prefix_index_.get(); }
   const PrefixIndex* prefix_index() const { return prefix_index_.get(); }
+
+  /// Attaches live engine-level metrics to `registry` (borrowed; must
+  /// outlive the engine). `labels` is the Prometheus label set stamped on
+  /// every handle (e.g. `instance="0"`). Wires step counters on the
+  /// Prepare/Compute/Finish phases, pool occupancy gauges labeled with the
+  /// current encoding policy's tiers, and — once prefix sharing is on —
+  /// the index's hit/insert/evict counters. Distinct metric names from the
+  /// serving-loop pulls (`aptserve_engine_*` / `aptserve_prefix_index_*`)
+  /// so engine-level and loop-level accounting never double-count. Purely
+  /// observational: token streams are unaffected.
+  void AttachMetrics(obs::MetricsRegistry* registry,
+                     const std::string& labels);
 
   /// Registers a request with its prompt; no compute or memory yet.
   Status AddRequest(RequestId id, std::vector<int32_t> prompt,
@@ -230,6 +244,10 @@ class InferenceEngine {
   StatusOr<int32_t> SampleNext(RequestId id, const GenerationState& gs,
                                const std::vector<float>& logits);
 
+  /// Resolves the prefix index's counter handles against obs_registry_
+  /// (no-op when either side is absent).
+  void WirePrefixIndexMetrics();
+
   /// Host-side copy of a swapped-out request's cache.
   struct SwappedCache {
     CacheType type = CacheType::kKV;
@@ -251,6 +269,15 @@ class InferenceEngine {
   std::unordered_map<RequestId, SwappedCache> swapped_;
   SamplingParams sampling_;
   uint64_t sample_seed_ = 1;
+
+  /// AttachMetrics handles (null = detached). Kept with the registry and
+  /// label set so EnablePrefixSharing can wire the index it creates later.
+  obs::MetricsRegistry* obs_registry_ = nullptr;
+  std::string obs_labels_;
+  obs::Counter* obs_decode_prepared_ = nullptr;
+  obs::Counter* obs_prefill_prepared_ = nullptr;
+  obs::Counter* obs_steps_computed_ = nullptr;
+  obs::Counter* obs_steps_finished_ = nullptr;
 };
 
 }  // namespace aptserve

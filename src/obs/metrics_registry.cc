@@ -1,0 +1,166 @@
+#include "obs/metrics_registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace aptserve::obs {
+
+namespace {
+
+// %.17g round-trips any double through strtod exactly, so export -> parse
+// -> compare is lossless in the tests.
+std::string FormatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string SeriesLine(const std::string& name, const std::string& labels,
+                       const std::string& value) {
+  std::string line = name;
+  if (!labels.empty()) {
+    line += '{';
+    line += labels;
+    line += '}';
+  }
+  line += ' ';
+  line += value;
+  line += '\n';
+  return line;
+}
+
+std::string WithLabel(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return extra;
+  return labels + "," + extra;
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[{name, labels}];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[{name, labels}];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name,
+                                               const std::string& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[{name, labels}];
+  if (!slot) slot = std::make_unique<HistogramMetric>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::ExportPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  const std::string* family = nullptr;
+
+  for (const auto& [key, counter] : counters_) {
+    if (family == nullptr || *family != key.first) {
+      out += "# TYPE " + key.first + " counter\n";
+      family = &key.first;
+    }
+    out += SeriesLine(key.first, key.second,
+                      FormatValue(static_cast<double>(counter->value())));
+  }
+  family = nullptr;
+  for (const auto& [key, gauge] : gauges_) {
+    if (family == nullptr || *family != key.first) {
+      out += "# TYPE " + key.first + " gauge\n";
+      family = &key.first;
+    }
+    out += SeriesLine(key.first, key.second, FormatValue(gauge->value()));
+  }
+  family = nullptr;
+  for (const auto& [key, histo] : histograms_) {
+    if (family == nullptr || *family != key.first) {
+      out += "# TYPE " + key.first + " histogram\n";
+      family = &key.first;
+    }
+    const LatencyHistogram snap = histo->Snapshot();
+    for (const auto& [upper, cum] : snap.CumulativeBuckets()) {
+      out += SeriesLine(
+          key.first + "_bucket",
+          WithLabel(key.second, "le=\"" + FormatValue(upper) + "\""),
+          FormatValue(static_cast<double>(cum)));
+    }
+    out += SeriesLine(key.first + "_bucket",
+                      WithLabel(key.second, "le=\"+Inf\""),
+                      FormatValue(static_cast<double>(snap.count())));
+    out += SeriesLine(key.first + "_sum", key.second, FormatValue(snap.sum()));
+    out += SeriesLine(key.first + "_count", key.second,
+                      FormatValue(static_cast<double>(snap.count())));
+  }
+  return out;
+}
+
+StatusOr<std::vector<PromSample>> ParsePrometheusText(
+    const std::string& text) {
+  std::vector<PromSample> samples;
+  std::istringstream in(text);
+  std::string line;
+  int32_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Trim trailing CR and surrounding whitespace.
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    size_t end = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, end - begin + 1);
+    if (line.empty() || line[0] == '#') continue;
+
+    const size_t space = line.find_last_of(" \t");
+    if (space == std::string::npos) {
+      return Status::InvalidArgument("prometheus line " +
+                                     std::to_string(lineno) +
+                                     ": no value separator: " + line);
+    }
+    const std::string value_str = line.substr(space + 1);
+    char* parse_end = nullptr;
+    const double value = std::strtod(value_str.c_str(), &parse_end);
+    if (parse_end == value_str.c_str() || *parse_end != '\0') {
+      return Status::InvalidArgument("prometheus line " +
+                                     std::to_string(lineno) +
+                                     ": bad value: " + value_str);
+    }
+
+    std::string metric = line.substr(0, space);
+    const size_t ws = metric.find_last_not_of(" \t");
+    metric = metric.substr(0, ws + 1);
+
+    PromSample s;
+    s.value = value;
+    const size_t brace = metric.find('{');
+    if (brace == std::string::npos) {
+      s.name = metric;
+    } else {
+      if (metric.back() != '}') {
+        return Status::InvalidArgument("prometheus line " +
+                                       std::to_string(lineno) +
+                                       ": unterminated labels: " + metric);
+      }
+      s.name = metric.substr(0, brace);
+      s.labels = metric.substr(brace + 1, metric.size() - brace - 2);
+    }
+    if (s.name.empty()) {
+      return Status::InvalidArgument("prometheus line " +
+                                     std::to_string(lineno) +
+                                     ": empty metric name");
+    }
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+}  // namespace aptserve::obs

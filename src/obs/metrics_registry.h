@@ -1,0 +1,125 @@
+// MetricsRegistry: named counters, gauges and latency histograms with a
+// Prometheus-text-exposition exporter.
+//
+// Layers resolve metric handles ONCE on a setup path (GetCounter takes a
+// registry mutex and may allocate) and then update through the returned
+// stable pointer — counters/gauges are single relaxed atomics, so the hot
+// path stays allocation-free and TSan-clean at any thread count. Histograms
+// wrap the log-bucketed stats.h LatencyHistogram behind a mutex; they sit
+// on per-iteration paths, not per-token ones.
+//
+// Export order is deterministic (std::map over name, then label set), so
+// two identical runs produce byte-identical text — snapshots diff cleanly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace aptserve::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Last-write-wins scalar with max/add combiners (CAS loops — safe to call
+/// from worker threads).
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void SetMax(double v) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void Add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Mutex-guarded LatencyHistogram (the underlying rings are fixed-size, so
+/// Observe never allocates).
+class HistogramMetric {
+ public:
+  explicit HistogramMetric(double min_s = 1e-6, double max_s = 1e4,
+                           int32_t buckets_per_decade = 16)
+      : h_(min_s, max_s, buckets_per_decade) {}
+
+  void Observe(double v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    h_.Add(v);
+  }
+  /// Consistent copy for quantile/bucket reads.
+  LatencyHistogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return h_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  LatencyHistogram h_;
+};
+
+/// One parsed exposition sample: `name{labels} value` (labels may be "",
+/// and includes the synthetic `le` label on histogram bucket lines).
+struct PromSample {
+  std::string name;
+  std::string labels;
+  double value = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  /// `labels` is the raw label body without braces, e.g.
+  /// `instance="0",reason="swap_out"` — empty for an unlabelled series.
+  /// Returns a pointer stable for the registry's lifetime; repeated calls
+  /// with the same (name, labels) return the same object.
+  Counter* GetCounter(const std::string& name,
+                      const std::string& labels = "");
+  Gauge* GetGauge(const std::string& name, const std::string& labels = "");
+  HistogramMetric* GetHistogram(const std::string& name,
+                                const std::string& labels = "");
+
+  /// Prometheus text exposition: `# TYPE` comment per metric family, then
+  /// one `name{labels} value` line per series (histograms expand to
+  /// cumulative `_bucket{le=...}` lines plus `_sum` and `_count`).
+  std::string ExportPrometheus() const;
+
+ private:
+  using Key = std::pair<std::string, std::string>;  // (name, labels)
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<HistogramMetric>> histograms_;
+};
+
+/// Parses text in the exposition format back into samples (comment and
+/// blank lines skipped). Strict enough for round-trip tests and CI
+/// validation: malformed lines fail with InvalidArgument.
+StatusOr<std::vector<PromSample>> ParsePrometheusText(
+    const std::string& text);
+
+}  // namespace aptserve::obs

@@ -19,6 +19,7 @@ PrefixIndex::~PrefixIndex() { Clear(); }
 PrefixMatch PrefixIndex::Match(const std::vector<int32_t>& tokens,
                                int32_t max_usable) {
   ++stats_.lookups;
+  if (hooks_.lookups != nullptr) hooks_.lookups->Inc();
   PrefixMatch match;
   if (max_usable <= 0) return match;
 
@@ -67,6 +68,8 @@ void PrefixIndex::RecordAdoption(const PrefixMatch& match) {
   stats_.matched_tokens += match.tokens;
   stats_.shared_blocks += static_cast<int64_t>(match.k_blocks.size());
   if (match.cow_tokens > 0) ++stats_.cow_matches;
+  if (hooks_.hits != nullptr) hooks_.hits->Inc();
+  if (hooks_.hit_tokens != nullptr) hooks_.hit_tokens->Inc(match.tokens);
 }
 
 int32_t PrefixIndex::Insert(const std::vector<int32_t>& tokens,
@@ -109,6 +112,7 @@ int32_t PrefixIndex::Insert(const std::vector<int32_t>& tokens,
     ++created;
     ++num_nodes_;
     stats_.inserted_blocks += 2;
+    if (hooks_.inserted_blocks != nullptr) hooks_.inserted_blocks->Inc(2);
   }
   return created;
 }
@@ -151,6 +155,7 @@ int32_t PrefixIndex::EvictLru(int32_t min_blocks) {
       APT_CHECK(pool_->Free(victim->v_block).ok());
       freed += 2;
       stats_.evicted_blocks += 2;
+      if (hooks_.evicted_blocks != nullptr) hooks_.evicted_blocks->Inc(2);
       --num_nodes_;
       Node* parent = victim->parent;
       for (auto it = parent->children.begin(); it != parent->children.end();

@@ -122,6 +122,18 @@ class PrefixIndex {
   int32_t block_size() const { return block_size_; }
   const PrefixStats& stats() const { return stats_; }
 
+  /// Live counter handles mirroring PrefixStats increments (optional,
+  /// borrowed; any member may stay null). Purely observational — stats()
+  /// remains the accounting source of truth.
+  struct MetricHooks {
+    obs::Counter* lookups = nullptr;
+    obs::Counter* hits = nullptr;
+    obs::Counter* hit_tokens = nullptr;
+    obs::Counter* inserted_blocks = nullptr;
+    obs::Counter* evicted_blocks = nullptr;
+  };
+  void AttachMetrics(const MetricHooks& hooks) { hooks_ = hooks; }
+
   /// Multi-line dump: node count, stats, and the pool's refcount summary.
   std::string DebugString() const;
 
@@ -147,6 +159,7 @@ class PrefixIndex {
   int32_t num_nodes_ = 0;
   uint64_t clock_ = 0;
   PrefixStats stats_;
+  MetricHooks hooks_;
 };
 
 }  // namespace aptserve

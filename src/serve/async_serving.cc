@@ -90,6 +90,12 @@ StatusOr<AsyncServingResult> RunAsyncFleet(
     APT_ASSIGN_OR_RETURN(inst->backend, make_backend(i));
     inst->loop =
         std::make_unique<ServingLoopState>(inst->backend.get(), loop_config);
+    if (async.trace != nullptr || async.metrics != nullptr) {
+      inst->loop->AttachObservability(
+          async.trace != nullptr ? async.trace->MakeSink(i)
+                                 : obs::TraceSink(),
+          async.metrics, i);
+    }
     APT_RETURN_NOT_OK(inst->loop->Start({}, inst->scheduler.get(), slo));
     inst->loop->AttachWallClock(&clock);
     inst->arrivals = std::make_unique<runtime::BoundedQueue<AsyncCommand>>(
@@ -177,6 +183,14 @@ StatusOr<AsyncServingResult> RunAsyncFleet(
           loop.NumWaiting() > async.shed_queue_depth) {
         const auto candidates = loop.MigratableWaiting();
         if (!candidates.empty()) {
+          // The shed instant precedes Extract so readers see the queue
+          // depth that triggered it; Extract itself opens the migration
+          // flow arrow that the destination's Receive closes.
+          if (loop.trace_sink()) {
+            loop.trace_sink().Instant(obs::TraceOp::kShed, clock.Now(),
+                                      candidates.front(),
+                                      static_cast<double>(loop.NumWaiting()));
+          }
           auto m = loop.Extract(candidates.front());
           if (!m.ok()) {
             fail(m.status());
@@ -217,6 +231,10 @@ StatusOr<AsyncServingResult> RunAsyncFleet(
   // determinism contract.
   const auto feeder_main = [&] {
     RouterState rstate = router.MakeState(n);
+    if (async.trace != nullptr) {
+      router.AttachTrace(&rstate, async.trace->MakeSink(obs::kRouterTrack),
+                         &clock);
+    }
     const std::vector<uint8_t> live(static_cast<size_t>(n), 1);
     for (size_t idx = 0; idx < trace.size(); ++idx) {
       if (abort.load(std::memory_order_acquire)) break;
@@ -260,6 +278,7 @@ StatusOr<AsyncServingResult> RunAsyncFleet(
   Status first_error = Status::OK();
   int64_t finished = 0;
   int64_t shed_migrations = 0;
+  std::vector<int64_t> sheds_per_instance(static_cast<size_t>(n), 0);
   while (true) {
     if (feeder_done.load(std::memory_order_acquire) &&
         finished == routed.load(std::memory_order_acquire)) {
@@ -298,6 +317,7 @@ StatusOr<AsyncServingResult> RunAsyncFleet(
       cmd.kind = AsyncCommand::Kind::kReceive;
       cmd.migrated = std::move(ev->migrated);
       ++shed_migrations;
+      ++sheds_per_instance[ev->instance];
       // Blocking push is deadlock-free: the destination worker drains its
       // arrival queue every iteration and its event pushes cannot fill the
       // (finish-count-sized) event queue.
@@ -324,11 +344,22 @@ StatusOr<AsyncServingResult> RunAsyncFleet(
   result.prefix_per_instance.resize(n);
   result.rejected_requests = rejected.load();
   result.deprioritized_requests = deprioritized.load();
+  out.arrival_queue_high_water_per_instance.assign(n, 0);
+  out.sheds_per_instance = sheds_per_instance;
   WallClockMetrics wall;
   for (int32_t i = 0; i < n; ++i) {
     AsyncInstance& inst = *fleet[i];
+    out.arrival_queue_high_water_per_instance[i] = inst.arrivals->high_water();
     out.arrival_queue_high_water =
         std::max(out.arrival_queue_high_water, inst.arrivals->high_water());
+    if (async.metrics != nullptr) {
+      const std::string label = "instance=\"" + std::to_string(i) + "\"";
+      async.metrics
+          ->GetGauge("aptserve_async_arrival_queue_high_water", label)
+          ->SetMax(static_cast<double>(inst.arrivals->high_water()));
+      async.metrics->GetCounter("aptserve_async_sheds_total", label)
+          ->Inc(sheds_per_instance[i]);
+    }
     if (inst.loop->NumRegistered() == 0) continue;
     APT_ASSIGN_OR_RETURN(ServingLoopResult r, inst.loop->Finish());
     result.per_instance[i] = r.report;

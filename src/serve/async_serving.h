@@ -62,6 +62,17 @@ struct AsyncServingConfig {
   double idle_poll_s = 0.0005;
   /// Safety valve: abort when the run exceeds this much wall time.
   double max_wall_seconds = 300.0;
+
+  // ---- Observability -------------------------------------------------------
+  /// Optional, borrowed. Workers emit lifecycle events on per-instance
+  /// tracks (wall-clock frame), the feeder routes through a traced router
+  /// state stamped by the replay clock, and sheds carry flow arrows to
+  /// their re-route. Purely observational: token streams are bit-identical
+  /// with or without a recorder attached.
+  obs::TraceRecorder* trace = nullptr;
+  /// Optional, borrowed. Gains per-instance arrival-queue high-water
+  /// gauges and shed counters on top of the serving-loop metrics.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct AsyncServingResult {
@@ -78,6 +89,10 @@ struct AsyncServingResult {
   int64_t shed_migrations = 0;
   /// Deepest any instance's arrival queue ever got (backpressure witness).
   size_t arrival_queue_high_water = 0;
+  /// Per-instance backpressure witnesses (index = instance id).
+  std::vector<size_t> arrival_queue_high_water_per_instance;
+  /// Shed migrations originating from each instance.
+  std::vector<int64_t> sheds_per_instance;
 };
 
 /// Serves `trace` on a static fleet of router.config().n_instances

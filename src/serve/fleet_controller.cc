@@ -74,9 +74,22 @@ StatusOr<FleetResult> FleetController::Run(
   std::vector<std::unique_ptr<Instance>> fleet;
   fleet.reserve(max_n);
 
+  // Observability is opt-in and purely observational: with config_.trace /
+  // config_.metrics null every hook below is a no-op and the run is
+  // bit-identical to an uninstrumented build.
+  obs::TraceSink ctl_trace;
+  if (config_.trace != nullptr) {
+    ctl_trace = config_.trace->MakeSink(obs::kControllerTrack);
+    router_.AttachTrace(&rstate, config_.trace->MakeSink(obs::kRouterTrack));
+  }
+
   const auto record_event = [&](double t, int32_t id,
                                 FleetScaleEvent::Kind kind) {
     fm.scale_events.push_back(FleetScaleEvent{t, id, kind});
+    if (ctl_trace) {
+      ctl_trace.Instant(obs::TraceOp::kScale, t, id,
+                        static_cast<double>(static_cast<int>(kind)));
+    }
   };
 
   // Spawns instance fleet.size() at virtual time `t`. A cold spawn only
@@ -92,6 +105,12 @@ StatusOr<FleetResult> FleetController::Run(
     APT_ASSIGN_OR_RETURN(inst->backend, make_backend(id));
     inst->loop =
         std::make_unique<ServingLoopState>(inst->backend.get(), config_.loop);
+    if (config_.trace != nullptr || config_.metrics != nullptr) {
+      inst->loop->AttachObservability(
+          config_.trace != nullptr ? config_.trace->MakeSink(id)
+                                   : obs::TraceSink(),
+          config_.metrics, id);
+    }
     APT_RETURN_NOT_OK(inst->loop->Start({}, inst->scheduler.get(), slo));
     inst->add_time = t;
     inst->live_at = cold ? t + config_.instance_warmup_s : t;
@@ -455,6 +474,29 @@ StatusOr<FleetResult> FleetController::Run(
   result.combined =
       MergeReports(result.per_instance, result.requests_per_instance);
   FoldRejectedIntoReport(result.rejected_requests, &result.combined);
+
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& reg = *config_.metrics;
+    reg.GetCounter("aptserve_fleet_migrations_total")->Inc(fm.migrations);
+    reg.GetCounter("aptserve_fleet_migration_bytes_total")
+        ->Inc(static_cast<int64_t>(fm.migration_bytes));
+    reg.GetCounter("aptserve_fleet_cold_starts_total")->Inc(fm.cold_starts);
+    int64_t by_kind[4] = {0, 0, 0, 0};
+    for (const FleetScaleEvent& ev : fm.scale_events) {
+      ++by_kind[static_cast<int>(ev.kind)];
+    }
+    reg.GetCounter("aptserve_fleet_scale_events_total", "kind=\"add\"")
+        ->Inc(by_kind[0]);
+    reg.GetCounter("aptserve_fleet_scale_events_total", "kind=\"live\"")
+        ->Inc(by_kind[1]);
+    reg.GetCounter("aptserve_fleet_scale_events_total", "kind=\"drain\"")
+        ->Inc(by_kind[2]);
+    reg.GetCounter("aptserve_fleet_scale_events_total", "kind=\"retire\"")
+        ->Inc(by_kind[3]);
+    reg.GetGauge("aptserve_fleet_instance_seconds")->Set(fm.instance_seconds);
+    reg.GetGauge("aptserve_fleet_peak_instances")
+        ->Set(static_cast<double>(fm.peak_instances));
+  }
   return out;
 }
 

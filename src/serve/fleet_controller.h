@@ -159,6 +159,18 @@ struct FleetConfig {
   /// Per-tick cap on planner moves (drain evacuation + rebalance).
   int32_t max_migrations_per_tick = 8;
 
+  // ---- Observability -------------------------------------------------------
+  /// Optional, borrowed. When set, the controller emits scale events on
+  /// the controller track, routes through a traced router state, and hands
+  /// each instance's serving loop a per-instance sink. Purely
+  /// observational: null (the default) runs bit-identically to a build
+  /// without tracing.
+  obs::TraceRecorder* trace = nullptr;
+  /// Optional, borrowed. Collects fleet counters (migrations, bytes, cold
+  /// starts, scale events by kind) plus the per-instance serving-loop
+  /// metrics. Same purely-observational contract as `trace`.
+  obs::MetricsRegistry* metrics = nullptr;
+
   bool IsElastic() const { return !scaling.empty() || enable_migration; }
   int32_t MaxInstances() const {
     return std::max(max_instances, router.n_instances);

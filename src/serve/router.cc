@@ -101,6 +101,10 @@ struct RouterState::Impl {
   /// Scratch for RouteOne's live-instance list (avoids a per-request
   /// allocation on the batch path).
   std::vector<int32_t> live_scratch;
+  /// Observability (Router::AttachTrace): events land on the router track,
+  /// stamped by `obs_clock` when set (async mode) else by request arrival.
+  obs::TraceSink sink;
+  const runtime::Clock* obs_clock = nullptr;
 };
 
 RouterState::RouterState() = default;
@@ -166,6 +170,13 @@ RouterState Router::MakeState(int32_t max_instances) const {
   return state;
 }
 
+void Router::AttachTrace(RouterState* state, obs::TraceSink sink,
+                         const runtime::Clock* clock) const {
+  APT_CHECK(state != nullptr && state->impl_ != nullptr);
+  state->impl_->sink = sink;
+  state->impl_->obs_clock = clock;
+}
+
 void Router::GrowState(RouterState* state, int32_t n_instances) const {
   APT_CHECK(state != nullptr && state->impl_ != nullptr);
   RouterState::Impl& s = *state->impl_;
@@ -199,6 +210,35 @@ int32_t Router::RouteOne(const Request& req, size_t trace_index,
   const int32_t n_live = static_cast<int32_t>(live_ids.size());
   APT_CHECK_MSG(n_live >= 1, "routing with no live instances");
   *best_effort = false;
+
+  // Observational only: reads the pre-commit routing state, mutates none
+  // of it, so traced and untraced routing are decision-identical.
+  const bool tracing = static_cast<bool>(s.sink);
+  const double obs_ts =
+      s.obs_clock != nullptr ? s.obs_clock->Now() : req.arrival;
+  const auto emit_route_decision = [&](int32_t chosen) {
+    double score = 0.0;
+    switch (config_.policy) {
+      case RoutePolicy::kRoundRobin:
+        break;
+      case RoutePolicy::kLeastLoaded:
+      case RoutePolicy::kPowerOfTwo:
+        score = static_cast<double>(s.backlog[chosen]);
+        break;
+      case RoutePolicy::kLeastOutstandingWork:
+        score = std::max(0.0, s.busy_until[chosen] - req.arrival);
+        break;
+      case RoutePolicy::kPrefixAffinity:
+        score = req.has_token_ids() && !s.mirror.empty()
+                    ? static_cast<double>(
+                          s.mirror[chosen].MatchTokens(req.token_ids))
+                    : 0.0;
+        break;
+    }
+    s.sink.Instant(obs::TraceOp::kRouteDecision, obs_ts, req.id,
+                   static_cast<double>(chosen), score,
+                   static_cast<double>(static_cast<int32_t>(config_.policy)));
+  };
 
   // Only maintain the state some consumer actually reads: the token
   // backlog windows feed kLeastLoaded/kPowerOfTwo, the busy-until clocks
@@ -305,11 +345,25 @@ int32_t Router::RouteOne(const Request& req, size_t trace_index,
       if (outstanding(spill) + prefill_s <= deadline) {
         inst = spill;
       } else if (config_.admission == AdmissionMode::kReject) {
+        if (tracing) {
+          emit_route_decision(inst);
+          s.sink.Instant(obs::TraceOp::kAdmission, obs_ts, req.id,
+                         /*verdict=*/1.0, outstanding(inst) + prefill_s,
+                         deadline);
+        }
         return RouteDecision::kRejected;  // never enters any routing state
       } else {
         *best_effort = true;
       }
     }
+    if (tracing) {
+      emit_route_decision(inst);
+      s.sink.Instant(obs::TraceOp::kAdmission, obs_ts, req.id,
+                     *best_effort ? 2.0 : 0.0, outstanding(inst) + prefill_s,
+                     deadline);
+    }
+  } else if (tracing) {
+    emit_route_decision(inst);
   }
 
   // 3. Commit: every live routing model observes the admitted request.

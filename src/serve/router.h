@@ -38,6 +38,8 @@
 #include <vector>
 
 #include "core/length_predictor.h"
+#include "obs/trace_recorder.h"
+#include "runtime/clock.h"
 #include "sim/cost_model.h"
 #include "sim/metrics.h"
 #include "workload/request.h"
@@ -169,6 +171,15 @@ class Router {
   int32_t RouteOne(const Request& req, size_t trace_index,
                    const std::vector<uint8_t>& live, RouterState* state,
                    bool* best_effort) const;
+
+  /// Attaches a trace sink to `state`: subsequent RouteOne calls emit
+  /// route-decision and admission-verdict events on the router track.
+  /// Purely observational (no routing state is touched). `clock`
+  /// (optional, borrowed) stamps events in wall time — the async feeder
+  /// passes its replay clock; null stamps them with each request's arrival
+  /// time, the virtual frame the router already routes in.
+  void AttachTrace(RouterState* state, obs::TraceSink sink,
+                   const runtime::Clock* clock = nullptr) const;
 
   /// Estimated seconds to serve `r` alone: prefill plus predicted decode.
   /// Exposed for tests of the admission math.

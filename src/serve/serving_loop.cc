@@ -45,10 +45,17 @@ Status ServingLoopState::Start(const std::vector<Request>& trace,
     auto slot = std::make_unique<Slot>();
     slot->sr = sr;
     slot->available_at = sr.spec.arrival;
+    slot->obs_enqueued_at = sr.spec.arrival;
     slot->seq = next_seq_++;
     index_[sr.spec.id] = slot.get();
     pending_.push_back(slot.get());  // sorted input => sorted pending
     slots_.push_back(std::move(slot));
+  }
+  if (trace_) {
+    for (const auto& slot : slots_) {
+      trace_.Instant(obs::TraceOp::kArrival, slot->available_at,
+                     slot->sr.spec.id);
+    }
   }
   return Status::OK();
 }
@@ -95,7 +102,46 @@ Status ServingLoopState::Inject(const Request& r, double available_at,
     wall_metrics_.OnArrival(
         r.id, wall_arrival >= 0 ? wall_arrival : wall_clock_->Now());
   }
+  Slot* slot = index_.at(r.id);
+  slot->obs_enqueued_at =
+      wall_clock_ != nullptr
+          ? (wall_arrival >= 0 ? wall_arrival : wall_clock_->Now())
+          : slot->available_at;
+  trace_.Instant(obs::TraceOp::kArrival, slot->obs_enqueued_at, r.id);
   return Status::OK();
+}
+
+void ServingLoopState::AttachObservability(obs::TraceSink sink,
+                                           obs::MetricsRegistry* metrics,
+                                           int32_t instance_id) {
+  trace_ = sink;
+  obs_metrics_ = metrics;
+  if (metrics == nullptr) return;
+  // Handles resolve once here; every update below is a null check plus a
+  // relaxed atomic.
+  const std::string inst =
+      "instance=\"" + std::to_string(instance_id) + "\"";
+  const auto by_reason = [&inst](const char* reason) {
+    return inst + ",reason=\"" + reason + "\"";
+  };
+  obs_.preempt_scheduler =
+      metrics->GetCounter("aptserve_preemptions_total", by_reason("scheduler"));
+  obs_.preempt_memory_wall = metrics->GetCounter("aptserve_preemptions_total",
+                                                 by_reason("memory_wall"));
+  obs_.preempt_swap_out =
+      metrics->GetCounter("aptserve_preemptions_total", by_reason("swap_out"));
+  obs_.preempt_conversion = metrics->GetCounter("aptserve_preemptions_total",
+                                                by_reason("conversion"));
+  obs_.tokens = metrics->GetCounter("aptserve_tokens_generated_total", inst);
+  obs_.swap_outs = metrics->GetCounter("aptserve_swap_outs_total", inst);
+  obs_.swap_ins = metrics->GetCounter("aptserve_swap_ins_total", inst);
+  obs_.prefix_hit_tokens =
+      metrics->GetCounter("aptserve_prefix_hit_tokens_total", inst);
+  obs_.queue_high_water =
+      metrics->GetGauge("aptserve_queue_depth_high_water", inst);
+  obs_.pool_peak = metrics->GetGauge("aptserve_pool_blocks_peak", inst);
+  obs_.iteration_seconds =
+      metrics->GetHistogram("aptserve_iteration_seconds", inst);
 }
 
 void ServingLoopState::AttachWallClock(const runtime::Clock* clock) {
@@ -138,6 +184,14 @@ StatusOr<MigratedRequest> ServingLoopState::Extract(RequestId id) {
   if (wall_clock_ != nullptr) {
     m.has_wall_record = true;
     m.wall_record = wall_metrics_.ExtractRecord(id);
+  }
+  if (trace_) {
+    // Flow-begin half of the cross-track migration arrow; the id and stamp
+    // travel with the request so the destination can terminate it.
+    m.obs_export_ts = ObsNow();
+    m.obs_flow =
+        trace_.FlowBegin(obs::TraceOp::kMigrationExport, m.obs_export_ts, id,
+                         static_cast<double>(m.cached_tokens));
   }
   slot->migrated_out = true;
   ++migrated_out_;
@@ -184,6 +238,17 @@ StatusOr<MigrationImport> ServingLoopState::Receive(
   }
   slot->available_at =
       base_available_at + (transfer_delay ? transfer_delay(import) : 0.0);
+  slot->obs_enqueued_at =
+      wall_clock_ != nullptr ? ObsNow() : slot->available_at;
+  if (trace_) {
+    // Terminate the arrow no earlier than its export stamp — the
+    // destination's virtual clock may lag the source's by a fraction of an
+    // iteration, and flow ends must not precede their begins.
+    trace_.FlowEnd(obs::TraceOp::kMigrationImport,
+                   std::max(ObsNow(), m.obs_export_ts), sr.spec.id,
+                   m.obs_flow, import.cache_restored ? 1.0 : 0.0,
+                   static_cast<double>(import.copied_tokens));
+  }
   slot->seq = next_seq_++;
   index_[sr.spec.id] = slot.get();
   InsertPending(slot.get());
@@ -254,6 +319,9 @@ StatusOr<ServingLoopState::Progress> ServingLoopState::Step() {
       input.running.push_back(&sr);
     }
   }
+  if (obs_.queue_high_water != nullptr) {
+    obs_.queue_high_water->SetMax(static_cast<double>(input.waiting.size()));
+  }
   if (input.waiting.empty() && input.running.empty()) {
     if (!pending_.empty()) {
       now_ = std::max(now_, pending_.front()->available_at);
@@ -269,6 +337,7 @@ StatusOr<ServingLoopState::Progress> ServingLoopState::Step() {
   // Backends start their iteration clock here so that preemption work —
   // in particular real swap-out payload copies — is charged to the
   // iteration that caused it.
+  const double obs_iter_start = trace_ ? ObsNow() : 0.0;
   backend_->BeginIteration();
 
   // 4a. Preemptions / conversions / swap-outs.
@@ -296,6 +365,8 @@ StatusOr<ServingLoopState::Progress> ServingLoopState::Step() {
       APT_RETURN_NOT_OK(backend_->Convert(sr, p.resume_cache_type));
       ++sr.conversions;
       metrics_.OnConversion();
+      if (obs_.preempt_conversion != nullptr) obs_.preempt_conversion->Inc();
+      trace_.Instant(obs::TraceOp::kPreempt, obs_iter_start, p.id, 3.0);
     } else if (swap_mode && sr.phase == RequestPhase::kRunning) {
       APT_ASSIGN_OR_RETURN(const bool swapped_out, backend_->TrySwapOut(sr));
       if (swapped_out) {
@@ -303,6 +374,8 @@ StatusOr<ServingLoopState::Progress> ServingLoopState::Step() {
         // request keeps its logical progress and resumes via a swap-in
         // instead of a recompute prefill.
         metrics_.OnPreemption();
+        if (obs_.preempt_swap_out != nullptr) obs_.preempt_swap_out->Inc();
+        trace_.Instant(obs::TraceOp::kPreempt, obs_iter_start, p.id, 2.0);
         ++sr.preemptions;
         sr.phase = RequestPhase::kWaiting;
         sr.swapped = true;
@@ -312,9 +385,13 @@ StatusOr<ServingLoopState::Progress> ServingLoopState::Step() {
       // Full-swap-space fallback: recompute preemption.
       APT_RETURN_NOT_OK(backend_->Release(sr));
       metrics_.OnPreemption();
+      if (obs_.preempt_scheduler != nullptr) obs_.preempt_scheduler->Inc();
+      trace_.Instant(obs::TraceOp::kPreempt, obs_iter_start, p.id, 0.0);
     } else {
       APT_RETURN_NOT_OK(backend_->Release(sr));
       metrics_.OnPreemption();
+      if (obs_.preempt_scheduler != nullptr) obs_.preempt_scheduler->Inc();
+      trace_.Instant(obs::TraceOp::kPreempt, obs_iter_start, p.id, 0.0);
     }
     ++sr.preemptions;
     sr.phase = RequestPhase::kWaiting;
@@ -360,6 +437,10 @@ StatusOr<ServingLoopState::Progress> ServingLoopState::Step() {
         // and re-enters the waiting queue.
         APT_RETURN_NOT_OK(backend_->Release(sr));
         metrics_.OnPreemption();
+        if (obs_.preempt_memory_wall != nullptr) {
+          obs_.preempt_memory_wall->Inc();
+        }
+        trace_.Instant(obs::TraceOp::kPreempt, obs_iter_start, item.id, 1.0);
         ++sr.preemptions;
         sr.phase = RequestPhase::kWaiting;
         sr.cached_tokens = 0;
@@ -384,6 +465,7 @@ StatusOr<ServingLoopState::Progress> ServingLoopState::Step() {
         }
         sr.swapped = false;
         sr.phase = RequestPhase::kRunning;
+        trace_.Instant(obs::TraceOp::kSwapIn, obs_iter_start, item.id);
         applied.push_back({&sr, StepKind::kSwapIn, 0, false});
         ++accepted;
         continue;
@@ -484,6 +566,14 @@ StatusOr<ServingLoopState::Progress> ServingLoopState::Step() {
   // emission is additionally stamped in real time — one reading per
   // iteration, shared by the batch, exactly like the virtual timeline.
   const double wall_now = wall_clock_ != nullptr ? wall_clock_->Now() : 0.0;
+  const double obs_iter_end = wall_clock_ != nullptr ? wall_now : now_;
+  if (obs_.iteration_seconds != nullptr) {
+    obs_.iteration_seconds->Observe(latency);
+  }
+  trace_.Span(obs::TraceOp::kIteration, obs_iter_start,
+              obs_iter_end - obs_iter_start, /*id=*/-1,
+              static_cast<double>(applied.size()),
+              static_cast<double>(decode_steps));
   for (const Applied& a : applied) {
     SimRequest& sr = *a.req;
     if (a.kind == StepKind::kSwapIn) continue;  // swap-in emits no token
@@ -493,9 +583,25 @@ StatusOr<ServingLoopState::Progress> ServingLoopState::Step() {
       metrics_.OnToken(sr.spec.id, now_);
       ++result_.tokens_generated;
       sr.last_token_time = now_;
+      if (obs_.tokens != nullptr) obs_.tokens->Inc();
+      trace_.Instant(obs::TraceOp::kDecodeStep, obs_iter_end, sr.spec.id,
+                     static_cast<double>(sr.generated));
     } else {
       sr.prefill_progress += a.chunk;
       sr.cached_tokens += a.chunk;
+      if (trace_) {
+        Slot* slot = index_.at(sr.spec.id);
+        if (!slot->obs_first_run) {
+          // First scheduled work closes the queue-wait span, which started
+          // back when the request joined this instance's queue.
+          slot->obs_first_run = true;
+          trace_.Span(obs::TraceOp::kQueueWait, slot->obs_enqueued_at,
+                      obs_iter_start - slot->obs_enqueued_at, sr.spec.id);
+        }
+        trace_.Span(obs::TraceOp::kPrefill, obs_iter_start,
+                    obs_iter_end - obs_iter_start, sr.spec.id,
+                    static_cast<double>(a.chunk));
+      }
       const bool completes = sr.prefill_progress >= sr.PrefillTarget();
       APT_CHECK_MSG(completes == a.token,
                     "backend and loop disagree on prefill completion");
@@ -506,6 +612,7 @@ StatusOr<ServingLoopState::Progress> ServingLoopState::Step() {
       ++result_.tokens_generated;
       sr.has_first_token = true;
       sr.last_token_time = now_;
+      if (obs_.tokens != nullptr) obs_.tokens->Inc();
     }
     if (wall_clock_ != nullptr) wall_metrics_.OnToken(sr.spec.id, wall_now);
     if (sr.IsFinished()) {
@@ -515,6 +622,8 @@ StatusOr<ServingLoopState::Progress> ServingLoopState::Step() {
       ++finished_;
       const RequestRecord& rec = metrics_.records().at(sr.spec.id);
       finish_log_.emplace_back(now_, rec.MeetsTtft(slo_));
+      trace_.Instant(obs::TraceOp::kCompletion, obs_iter_end, sr.spec.id,
+                     rec.ttft, now_ - sr.spec.arrival);
       if (wall_clock_ != nullptr) {
         wall_metrics_.OnFinish(sr.spec.id, wall_now);
         recent_finishes_.emplace_back(sr.spec.id, now_);
@@ -566,6 +675,14 @@ StatusOr<ServingLoopResult> ServingLoopState::Finish() {
   result_.swap_outs = backend_->swap_outs();
   result_.swap_ins = backend_->swap_ins();
   if (const PrefixStats* ps = backend_->prefix_stats()) result_.prefix = *ps;
+  if (obs_metrics_ != nullptr) {
+    // Pull-style publication of the run totals the loop only knows at the
+    // end (live counters above cover the per-event series).
+    obs_.pool_peak->SetMax(static_cast<double>(result_.peak_blocks));
+    obs_.swap_outs->Inc(result_.swap_outs);
+    obs_.swap_ins->Inc(result_.swap_ins);
+    obs_.prefix_hit_tokens->Inc(result_.prefix.matched_tokens);
+  }
   result_.report = metrics_.Report(slo_);
   result_.records = metrics_.records();
   result_.wall_metrics = std::move(wall_metrics_);

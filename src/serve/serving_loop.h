@@ -27,6 +27,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "runtime/clock.h"
 #include "serve/execution_backend.h"
 #include "sim/metrics.h"
@@ -106,6 +108,12 @@ struct MigratedRequest {
   /// Wall-clock stamps (async mode only), so real TTFT/TBT survive the hop.
   bool has_wall_record = false;
   WallRequestRecord wall_record;
+  /// Trace linkage (zero when the source had no trace sink): the flow id of
+  /// the export event and its timestamp, so the import event can terminate
+  /// the cross-track arrow at a stamp >= the export's even when the
+  /// destination's virtual clock lags the source's.
+  uint64_t obs_flow = 0;
+  double obs_export_ts = 0.0;
 };
 
 /// The serving loop as a resumable state machine. One instance == one
@@ -184,6 +192,22 @@ class ServingLoopState {
   /// worker's completion feed back to the controller.
   std::vector<std::pair<RequestId, double>> TakeRecentFinishes();
 
+  // ---- Observability seam (src/obs/) ---------------------------------------
+
+  /// Attaches a trace sink (on this instance's track) and/or a metrics
+  /// registry; either may be empty/null. Purely observational, same
+  /// contract as AttachWallClock: scheduling, the virtual timeline, and
+  /// token streams are bit-identical with or without it. Events are
+  /// stamped in wall time when a wall clock is attached (attach it first
+  /// in async mode) and in virtual seconds otherwise. Call before Step.
+  void AttachObservability(obs::TraceSink sink,
+                           obs::MetricsRegistry* metrics = nullptr,
+                           int32_t instance_id = 0);
+
+  /// The attached sink (empty when tracing is off). The async worker
+  /// borrows it to emit shed events on this instance's track.
+  const obs::TraceSink& trace_sink() const { return trace_; }
+
   // ---- Introspection (fleet controller policies / planner) -----------------
   bool started() const { return started_; }
   double now() const { return now_; }
@@ -212,6 +236,10 @@ class ServingLoopState {
     double available_at = 0.0;
     uint64_t seq = 0;
     bool migrated_out = false;
+    /// Trace bookkeeping: when the request joined this instance's queue
+    /// (in the trace clock frame) and whether its queue-wait span closed.
+    double obs_enqueued_at = 0.0;
+    bool obs_first_run = false;
   };
 
   Status Register(const Request& r, double available_at, bool admit_backend);
@@ -227,6 +255,27 @@ class ServingLoopState {
   const runtime::Clock* wall_clock_ = nullptr;
   WallClockMetrics wall_metrics_;
   std::vector<std::pair<RequestId, double>> recent_finishes_;
+
+  /// Observability (all optional; see AttachObservability). Metric handles
+  /// are resolved once at attach so the hot path is pointer-null checks
+  /// plus relaxed atomics.
+  obs::TraceSink trace_;
+  obs::MetricsRegistry* obs_metrics_ = nullptr;
+  struct ObsHandles {
+    obs::Counter* preempt_scheduler = nullptr;
+    obs::Counter* preempt_memory_wall = nullptr;
+    obs::Counter* preempt_swap_out = nullptr;
+    obs::Counter* preempt_conversion = nullptr;
+    obs::Counter* tokens = nullptr;
+    obs::Counter* swap_outs = nullptr;
+    obs::Counter* swap_ins = nullptr;
+    obs::Counter* prefix_hit_tokens = nullptr;
+    obs::Gauge* queue_high_water = nullptr;
+    obs::Gauge* pool_peak = nullptr;
+    obs::HistogramMetric* iteration_seconds = nullptr;
+  } obs_;
+  /// Timestamp in the trace clock frame (wall when attached, else virtual).
+  double ObsNow() const { return wall_clock_ ? wall_clock_->Now() : now_; }
 
   std::vector<std::unique_ptr<Slot>> slots_;
   std::unordered_map<RequestId, Slot*> index_;

@@ -1,0 +1,78 @@
+// APTSERVE_LOG_LEVEL wiring: the environment applies exactly once, on the
+// first GetLogLevel() call, and an explicit SetLogLevel() always wins over
+// it — the same first-use contract as APTSERVE_NUM_THREADS
+// (runtime/runtime_config.h).
+//
+// NOTE: the env-application once-flag is process-global, so the tests
+// below are order-dependent by design: EnvAppliesOnFirstUse must run
+// before anything else in this binary touches GetLogLevel/SetLogLevel.
+// gtest runs same-file TESTs in declaration order, and this file is its
+// own test binary.
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace aptserve {
+namespace {
+
+TEST(LoggingTest, EnvAppliesOnFirstUse) {
+  ASSERT_EQ(setenv("APTSERVE_LOG_LEVEL", "debug", /*overwrite=*/1), 0);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, ExplicitSetWinsOverEnvironment) {
+  ASSERT_EQ(setenv("APTSERVE_LOG_LEVEL", "info", /*overwrite=*/1), 0);
+  SetLogLevel(LogLevel::kError);
+  // The env was consumed on first use above; changing it later must not
+  // leak into an explicitly configured process.
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kWarning);  // restore the default for later tests
+}
+
+TEST(LoggingTest, ParseNames) {
+  LogLevel level = LogLevel::kOff;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+}
+
+TEST(LoggingTest, ParseIsCaseInsensitive) {
+  LogLevel level = LogLevel::kOff;
+  EXPECT_TRUE(ParseLogLevel("DEBUG", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+}
+
+TEST(LoggingTest, ParseDigits) {
+  for (int i = 0; i <= 4; ++i) {
+    LogLevel level = LogLevel::kWarning;
+    const char digit[2] = {static_cast<char>('0' + i), '\0'};
+    EXPECT_TRUE(ParseLogLevel(digit, &level)) << digit;
+    EXPECT_EQ(static_cast<int>(level), i);
+  }
+}
+
+TEST(LoggingTest, ParseRejectsGarbage) {
+  LogLevel level = LogLevel::kError;
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("5", &level));
+  EXPECT_FALSE(ParseLogLevel("-1", &level));
+  EXPECT_FALSE(ParseLogLevel(nullptr, &level));
+  EXPECT_EQ(level, LogLevel::kError) << "failed parse must not touch *out";
+}
+
+}  // namespace
+}  // namespace aptserve

@@ -1,0 +1,170 @@
+// MetricsRegistry: handle semantics, concurrent updates, and the
+// Prometheus text round-trip (export → parse → every sample matches the
+// live registry value) that CI and the trace exporters lean on.
+#include "obs/metrics_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace aptserve::obs {
+namespace {
+
+TEST(MetricsRegistryTest, CounterBasics) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("requests_total");
+  EXPECT_EQ(c->value(), 0);
+  c->Inc();
+  c->Inc(41);
+  EXPECT_EQ(c->value(), 42);
+  // Same (name, labels) resolves to the same object; a labelled series is
+  // distinct.
+  EXPECT_EQ(reg.GetCounter("requests_total"), c);
+  EXPECT_NE(reg.GetCounter("requests_total", "instance=\"1\""), c);
+}
+
+TEST(MetricsRegistryTest, GaugeSetMaxAndAdd) {
+  MetricsRegistry reg;
+  Gauge* g = reg.GetGauge("queue_depth_high_water");
+  g->SetMax(3.0);
+  g->SetMax(7.0);
+  g->SetMax(5.0);  // lower value must not regress the high-water mark
+  EXPECT_DOUBLE_EQ(g->value(), 7.0);
+  g->Set(1.5);
+  g->Add(2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 4.0);
+}
+
+TEST(MetricsRegistryTest, ConcurrentCounterIncrements) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("churn_total");
+  Gauge* g = reg.GetGauge("churn_high_water");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Inc();
+        g->SetMax(static_cast<double>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->value(), kThreads * kPerThread);
+  EXPECT_DOUBLE_EQ(g->value(), kThreads * kPerThread - 1);
+}
+
+TEST(MetricsRegistryTest, HistogramSnapshot) {
+  MetricsRegistry reg;
+  HistogramMetric* h = reg.GetHistogram("iteration_seconds");
+  h->Observe(0.001);
+  h->Observe(0.010);
+  h->Observe(0.100);
+  const LatencyHistogram snap = h->Snapshot();
+  EXPECT_EQ(snap.count(), 3u);
+  EXPECT_NEAR(snap.sum(), 0.111, 1e-12);
+  const auto buckets = snap.CumulativeBuckets();
+  ASSERT_FALSE(buckets.empty());
+  // Cumulative counts are monotone and end at the total.
+  uint64_t prev = 0;
+  for (const auto& [bound, cum] : buckets) {
+    EXPECT_GE(cum, prev);
+    prev = cum;
+  }
+  EXPECT_EQ(prev, 3u);
+}
+
+TEST(MetricsRegistryTest, PrometheusRoundTrip) {
+  MetricsRegistry reg;
+  reg.GetCounter("aptserve_preemptions_total",
+                 "instance=\"0\",reason=\"swap_out\"")
+      ->Inc(5);
+  reg.GetCounter("aptserve_preemptions_total",
+                 "instance=\"1\",reason=\"memory_wall\"")
+      ->Inc(2);
+  reg.GetCounter("aptserve_tokens_generated_total")->Inc(12345);
+  // A value that only survives %.17g formatting intact.
+  reg.GetGauge("aptserve_fleet_instance_seconds")->Set(1.0 / 3.0);
+  reg.GetGauge("aptserve_queue_depth_high_water", "instance=\"0\"")
+      ->SetMax(17.0);
+  HistogramMetric* h = reg.GetHistogram("aptserve_iteration_seconds");
+  h->Observe(0.002);
+  h->Observe(0.002);
+  h->Observe(1.5);
+
+  const std::string text = reg.ExportPrometheus();
+  auto parsed = ParsePrometheusText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  std::map<std::pair<std::string, std::string>, double> samples;
+  for (const PromSample& s : *parsed) {
+    samples[{s.name, s.labels}] = s.value;
+  }
+  EXPECT_DOUBLE_EQ(
+      (samples.at({"aptserve_preemptions_total",
+                   "instance=\"0\",reason=\"swap_out\""})),
+      5.0);
+  EXPECT_DOUBLE_EQ(
+      (samples.at({"aptserve_preemptions_total",
+                   "instance=\"1\",reason=\"memory_wall\""})),
+      2.0);
+  EXPECT_DOUBLE_EQ((samples.at({"aptserve_tokens_generated_total", ""})),
+                   12345.0);
+  // %.17g → strtod is lossless for doubles: bit-exact, not just close.
+  EXPECT_EQ((samples.at({"aptserve_fleet_instance_seconds", ""})), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(
+      (samples.at({"aptserve_queue_depth_high_water", "instance=\"0\""})),
+      17.0);
+  EXPECT_DOUBLE_EQ((samples.at({"aptserve_iteration_seconds_count", ""})),
+                   3.0);
+  EXPECT_NEAR((samples.at({"aptserve_iteration_seconds_sum", ""})), 1.504,
+              1e-12);
+
+  // Histogram bucket lines: cumulative, monotone, +Inf equals _count.
+  std::vector<double> bucket_counts;
+  double inf_count = -1.0;
+  for (const PromSample& s : *parsed) {
+    if (s.name != "aptserve_iteration_seconds_bucket") continue;
+    if (s.labels.find("le=\"+Inf\"") != std::string::npos) {
+      inf_count = s.value;
+    } else {
+      bucket_counts.push_back(s.value);
+    }
+  }
+  ASSERT_FALSE(bucket_counts.empty());
+  for (size_t i = 1; i < bucket_counts.size(); ++i) {
+    EXPECT_GE(bucket_counts[i], bucket_counts[i - 1]);
+  }
+  EXPECT_DOUBLE_EQ(inf_count, 3.0);
+}
+
+TEST(MetricsRegistryTest, ExportIsDeterministic) {
+  const auto build = [] {
+    MetricsRegistry reg;
+    reg.GetCounter("b_total", "x=\"2\"")->Inc(2);
+    reg.GetCounter("b_total", "x=\"1\"")->Inc(1);
+    reg.GetGauge("a_gauge")->Set(3.5);
+    return reg.ExportPrometheus();
+  };
+  EXPECT_EQ(build(), build());
+}
+
+TEST(MetricsRegistryTest, ParserRejectsMalformedLines) {
+  EXPECT_FALSE(ParsePrometheusText("metric_without_value\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("metric nan_is_text_here x\n").ok());
+  EXPECT_FALSE(ParsePrometheusText("bad{unclosed=\"1\" 4\n").ok());
+  // Comments and blank lines are fine.
+  auto ok = ParsePrometheusText("# TYPE a counter\n\na 1\n");
+  ASSERT_TRUE(ok.ok());
+  ASSERT_EQ(ok->size(), 1u);
+  EXPECT_EQ((*ok)[0].name, "a");
+}
+
+}  // namespace
+}  // namespace aptserve::obs
