@@ -4,9 +4,11 @@
 // so the perf trajectory is tracked across PRs.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -16,6 +18,7 @@
 #include "baselines/fcfs_scheduler.h"
 #include "baselines/random_scheduler.h"
 #include "baselines/sarathi_scheduler.h"
+#include "common/json.h"
 #include "core/apt_sarathi_scheduler.h"
 #include "core/apt_scheduler.h"
 #include "sim/simulator.h"
@@ -57,28 +60,18 @@ class JsonObject {
     return *this;
   }
   JsonObject& Str(const std::string& key, const std::string& value) {
-    std::string quoted = "\"";
-    for (char c : value) {
-      if (c == '"' || c == '\\') {
-        quoted += '\\';
-        quoted += c;
-      } else if (static_cast<unsigned char>(c) < 0x20) {
-        char esc[8];
-        std::snprintf(esc, sizeof(esc), "\\u%04x", c);
-        quoted += esc;
-      } else {
-        quoted += c;
-      }
-    }
-    quoted += '"';
-    fields_.emplace_back(key, std::move(quoted));
+    fields_.emplace_back(key, "\"" + json::EscapeJsonString(value) + "\"");
     return *this;
   }
   std::string Render() const {
     std::string out = "{";
     for (size_t i = 0; i < fields_.size(); ++i) {
       if (i > 0) out += ", ";
-      out += "\"" + fields_[i].first + "\": " + fields_[i].second;
+      // Keys pass through the same escaper as string values: sweep-driven
+      // benches stamp arbitrary ablation names into config keys, and one
+      // quote in a key must not make the whole snapshot unparseable.
+      out += "\"" + json::EscapeJsonString(fields_[i].first) + "\": " +
+             fields_[i].second;
     }
     out += "}";
     return out;
@@ -302,19 +295,30 @@ inline void PrintRateSweep(const char* title, const RunSpec& base,
   }
 }
 
+/// Highest rate in `rates` for which `passes(rate)` holds; 0 when none
+/// does. `rates` need not be sorted — the max is over the passing set, not
+/// the last passing element in iteration order (a previous version got
+/// this wrong and returned whichever passing rate it visited last).
+inline double HighestPassingRate(const std::vector<double>& rates,
+                                 const std::function<bool(double)>& passes) {
+  double best = 0.0;
+  for (double rate : rates) {
+    if (passes(rate)) best = std::max(best, rate);
+  }
+  return best;
+}
+
 /// Highest rate in `rates` whose attainment is >= threshold (the paper's
 /// "effective throughput" readout).
 inline double EffectiveThroughput(const RunSpec& base,
                                   const std::string& system,
                                   const std::vector<double>& rates,
                                   double threshold) {
-  double best = 0.0;
-  for (double rate : rates) {
+  return HighestPassingRate(rates, [&](double rate) {
     RunSpec spec = base;
     spec.rate = rate;
-    if (RunOnce(spec, system).slo_attainment >= threshold) best = rate;
-  }
-  return best;
+    return RunOnce(spec, system).slo_attainment >= threshold;
+  });
 }
 
 }  // namespace bench

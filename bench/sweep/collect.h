@@ -1,0 +1,40 @@
+// Collect stage: walks <exp_dir>/runs/<run_id>/{meta,result}.json and
+// flattens every finished cell into one runs.csv row (the same
+// header-then-rows CSV shape as sim/report_writer). Directories without a
+// parseable meta+result pair are skipped with a warning — a crashed cell
+// must not poison the aggregate.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace aptserve {
+namespace sweep {
+
+struct CollectedRun {
+  std::string run_id;
+  json::JsonValue cell;    ///< meta.json "cell" subtree
+  json::JsonValue result;  ///< result.json document
+};
+
+/// All finished runs under `exp_dir`, sorted by run id. NotFound when the
+/// runs/ directory doesn't exist.
+StatusOr<std::vector<CollectedRun>> CollectRuns(const std::string& exp_dir);
+
+/// The runs.csv column header (shared with sweep_test's conservation
+/// check).
+const char* RunsCsvHeader();
+
+void WriteRunsCsv(const std::vector<CollectedRun>& runs, std::ostream* out);
+
+/// Collects and writes <exp_dir>/aggregate/runs.csv; returns the rows for
+/// the report stage.
+StatusOr<std::vector<CollectedRun>> CollectAndWriteCsv(
+    const std::string& exp_dir);
+
+}  // namespace sweep
+}  // namespace aptserve

@@ -1,0 +1,70 @@
+// Minimal POSIX filesystem helpers shared by the sweep stages (the repo
+// builds without <filesystem> elsewhere; keep that property).
+#pragma once
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aptserve {
+namespace sweep {
+
+inline bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+inline bool IsDirectory(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+/// mkdir -p: creates every missing component of `path`.
+inline Status MakeDirs(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("MakeDirs: empty path");
+  std::string prefix;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    const size_t next = path.find('/', pos);
+    prefix = next == std::string::npos ? path : path.substr(0, next);
+    pos = next == std::string::npos ? path.size() + 1 : next + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal("mkdir " + prefix + ": " +
+                              std::strerror(errno));
+    }
+  }
+  if (!IsDirectory(path)) {
+    return Status::Internal("MakeDirs: " + path + " is not a directory");
+  }
+  return Status::OK();
+}
+
+/// Sorted names of the subdirectories of `dir` (deterministic iteration
+/// order regardless of the filesystem's).
+inline StatusOr<std::vector<std::string>> ListSubdirs(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::NotFound("opendir " + dir + ": " + std::strerror(errno));
+  }
+  std::vector<std::string> names;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    if (IsDirectory(dir + "/" + name)) names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace sweep
+}  // namespace aptserve

@@ -1,0 +1,359 @@
+#include "bench/sweep/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "bench/sweep/fs_util.h"
+#include "sim/report_writer.h"
+
+namespace aptserve {
+namespace sweep {
+
+namespace {
+
+// ---- small rendering helpers -----------------------------------------------
+
+std::string Fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4g", v);
+  return buf;
+}
+
+std::string HtmlEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Qualitative palette (Okabe-Ito, distinguishable in print and for common
+// color-vision deficiencies), cycled when there are more series.
+const char* SeriesColor(size_t i) {
+  static const char* kPalette[] = {"#0072B2", "#D55E00", "#009E73",
+                                   "#CC79A7", "#E69F00", "#56B4E9",
+                                   "#F0E442", "#000000"};
+  return kPalette[i % (sizeof(kPalette) / sizeof(kPalette[0]))];
+}
+
+// ---- series grouping -------------------------------------------------------
+
+// A series is one line of the rate plots: all non-seed, non-rate axes.
+// Axes with a single distinct value across the experiment are dropped
+// from the label so smoke sweeps read "Apt" rather than
+// "baseline/Apt/round-robin/none/px-off".
+struct SeriesKey {
+  std::string ablation, scheduler, policy, admission;
+  bool prefix_sharing = false;
+  bool operator<(const SeriesKey& o) const {
+    return std::tie(ablation, scheduler, policy, admission, prefix_sharing) <
+           std::tie(o.ablation, o.scheduler, o.policy, o.admission,
+                    o.prefix_sharing);
+  }
+};
+
+SeriesKey KeyOf(const CollectedRun& run) {
+  SeriesKey key;
+  key.ablation = run.cell.GetString("ablation", "");
+  key.scheduler = run.cell.GetString("scheduler", "");
+  key.policy = run.cell.GetString("router_policy", "");
+  key.admission = run.cell.GetString("admission", "");
+  key.prefix_sharing = run.cell.GetBool("prefix_sharing", false);
+  return key;
+}
+
+struct SeriesData {
+  std::string label;
+  /// rate -> mean slo_attainment over seeds.
+  std::map<double, double> attainment_by_rate;
+  /// TTFT CDF of the first (lowest-seed) run at the highest rate.
+  std::vector<std::pair<double, double>> ttft_cdf;
+};
+
+std::string SeriesLabel(const SeriesKey& key,
+                        const std::set<std::string>& ablations,
+                        const std::set<std::string>& schedulers,
+                        const std::set<std::string>& policies,
+                        const std::set<std::string>& admissions,
+                        bool sharing_varies) {
+  std::vector<std::string> parts;
+  if (ablations.size() > 1) parts.push_back(key.ablation);
+  if (schedulers.size() > 1 || parts.empty()) parts.push_back(key.scheduler);
+  if (policies.size() > 1) parts.push_back(key.policy);
+  if (admissions.size() > 1) parts.push_back("adm:" + key.admission);
+  if (sharing_varies)
+    parts.push_back(key.prefix_sharing ? "px-on" : "px-off");
+  std::string label;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) label += " / ";
+    label += parts[i];
+  }
+  return label;
+}
+
+// ---- SVG line plot ---------------------------------------------------------
+
+struct PlotSeries {
+  std::string label;
+  std::vector<std::pair<double, double>> points;  ///< sorted by x
+};
+
+/// Hand-rolled line chart: fixed viewport, 5 ticks per axis, legend on the
+/// right. Self-contained SVG (inline styling only).
+std::string SvgLinePlot(const std::string& title, const std::string& x_label,
+                        const std::string& y_label,
+                        const std::vector<PlotSeries>& series) {
+  const double kW = 640, kH = 360;
+  const double kL = 64, kR = 200, kT = 36, kB = 48;  // margins
+  double x_min = 0, x_max = 1, y_min = 0, y_max = 1;
+  bool first = true;
+  for (const PlotSeries& s : series) {
+    for (const auto& [x, y] : s.points) {
+      if (first) {
+        x_min = x_max = x;
+        y_min = y_max = y;
+        first = false;
+      }
+      x_min = std::min(x_min, x);
+      x_max = std::max(x_max, x);
+      y_min = std::min(y_min, y);
+      y_max = std::max(y_max, y);
+    }
+  }
+  if (x_max <= x_min) x_max = x_min + 1;
+  if (y_max <= y_min) y_max = y_min + 1;
+  const auto px = [&](double x) {
+    return kL + (x - x_min) / (x_max - x_min) * (kW - kL - kR);
+  };
+  const auto py = [&](double y) {
+    return kH - kB - (y - y_min) / (y_max - y_min) * (kH - kT - kB);
+  };
+
+  std::ostringstream svg;
+  svg << "<svg viewBox=\"0 0 " << kW << ' ' << kH
+      << "\" xmlns=\"http://www.w3.org/2000/svg\" role=\"img\" "
+         "style=\"max-width:56rem;font-family:sans-serif\">\n";
+  svg << "<text x=\"" << kL << "\" y=\"20\" font-size=\"14\" "
+         "font-weight=\"bold\">"
+      << HtmlEscape(title) << "</text>\n";
+  // Axes frame and ticks.
+  svg << "<rect x=\"" << kL << "\" y=\"" << kT << "\" width=\""
+      << (kW - kL - kR) << "\" height=\"" << (kH - kT - kB)
+      << "\" fill=\"none\" stroke=\"#999\"/>\n";
+  for (int i = 0; i <= 4; ++i) {
+    const double fx = x_min + (x_max - x_min) * i / 4.0;
+    const double fy = y_min + (y_max - y_min) * i / 4.0;
+    svg << "<line x1=\"" << px(fx) << "\" y1=\"" << (kH - kB) << "\" x2=\""
+        << px(fx) << "\" y2=\"" << (kH - kB + 4) << "\" stroke=\"#999\"/>"
+        << "<text x=\"" << px(fx) << "\" y=\"" << (kH - kB + 18)
+        << "\" font-size=\"11\" text-anchor=\"middle\">" << Fmt(fx)
+        << "</text>\n";
+    svg << "<line x1=\"" << (kL - 4) << "\" y1=\"" << py(fy) << "\" x2=\""
+        << kL << "\" y2=\"" << py(fy) << "\" stroke=\"#999\"/>"
+        << "<text x=\"" << (kL - 8) << "\" y=\"" << (py(fy) + 4)
+        << "\" font-size=\"11\" text-anchor=\"end\">" << Fmt(fy)
+        << "</text>\n";
+  }
+  svg << "<text x=\"" << (kL + (kW - kL - kR) / 2) << "\" y=\"" << (kH - 10)
+      << "\" font-size=\"12\" text-anchor=\"middle\">" << HtmlEscape(x_label)
+      << "</text>\n";
+  svg << "<text x=\"16\" y=\"" << (kT + (kH - kT - kB) / 2)
+      << "\" font-size=\"12\" text-anchor=\"middle\" transform=\"rotate(-90 "
+         "16 "
+      << (kT + (kH - kT - kB) / 2) << ")\">" << HtmlEscape(y_label)
+      << "</text>\n";
+  // Series polylines + legend.
+  for (size_t i = 0; i < series.size(); ++i) {
+    const PlotSeries& s = series[i];
+    if (!s.points.empty()) {
+      svg << "<polyline fill=\"none\" stroke=\"" << SeriesColor(i)
+          << "\" stroke-width=\"2\" points=\"";
+      for (const auto& [x, y] : s.points) {
+        svg << px(x) << ',' << py(y) << ' ';
+      }
+      svg << "\"/>\n";
+      for (const auto& [x, y] : s.points) {
+        svg << "<circle cx=\"" << px(x) << "\" cy=\"" << py(y)
+            << "\" r=\"2.5\" fill=\"" << SeriesColor(i) << "\"/>\n";
+      }
+    }
+    const double ly = kT + 16 + 18 * static_cast<double>(i);
+    svg << "<line x1=\"" << (kW - kR + 12) << "\" y1=\"" << ly << "\" x2=\""
+        << (kW - kR + 36) << "\" y2=\"" << ly << "\" stroke=\""
+        << SeriesColor(i) << "\" stroke-width=\"2\"/>"
+        << "<text x=\"" << (kW - kR + 42) << "\" y=\"" << (ly + 4)
+        << "\" font-size=\"11\">" << HtmlEscape(s.label) << "</text>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+// ---- tables ----------------------------------------------------------------
+
+void AttainmentTable(std::ostringstream* html,
+                     const std::map<SeriesKey, SeriesData>& series,
+                     const std::set<double>& rates) {
+  *html << "<h2>SLO attainment by series and rate</h2>\n<table>\n<tr>"
+           "<th>series</th>";
+  for (const double rate : rates) {
+    *html << "<th>rate " << Fmt(rate) << "</th>";
+  }
+  *html << "</tr>\n";
+  for (const auto& [key, data] : series) {
+    *html << "<tr><td>" << HtmlEscape(data.label) << "</td>";
+    for (const double rate : rates) {
+      const auto it = data.attainment_by_rate.find(rate);
+      *html << "<td>"
+            << (it == data.attainment_by_rate.end() ? std::string("&mdash;")
+                                                    : Fmt(it->second))
+            << "</td>";
+    }
+    *html << "</tr>\n";
+  }
+  *html << "</table>\n";
+}
+
+void RunsTable(std::ostringstream* html,
+               const std::vector<CollectedRun>& runs) {
+  *html << "<h2>All runs</h2>\n<table>\n"
+           "<tr><th>run</th><th>rate</th><th>seed</th><th>attain</th>"
+           "<th>ttft attain</th><th>tbt attain</th><th>goodput r/s</th>"
+           "<th>mean ttft s</th><th>p99 ttft s</th><th>rejected</th>"
+           "<th>prefix hits</th></tr>\n";
+  for (const CollectedRun& run : runs) {
+    *html << "<tr><td>" << HtmlEscape(run.run_id) << "</td><td>"
+          << Fmt(run.cell.GetNumber("rate", 0)) << "</td><td>"
+          << run.cell.GetInt("seed", 0) << "</td><td>"
+          << Fmt(run.result.GetNumber("slo_attainment", 0)) << "</td><td>"
+          << Fmt(run.result.GetNumber("ttft_attainment", 0)) << "</td><td>"
+          << Fmt(run.result.GetNumber("tbt_attainment", 0)) << "</td><td>"
+          << Fmt(run.result.GetNumber("goodput_rps", 0)) << "</td><td>"
+          << Fmt(run.result.GetNumber("mean_ttft_s", 0)) << "</td><td>"
+          << Fmt(run.result.GetNumber("p99_ttft_s", 0)) << "</td><td>"
+          << run.result.GetInt("rejected", 0) << "</td><td>"
+          << run.result.GetInt("prefix_hits", 0) << "</td></tr>\n";
+  }
+  *html << "</table>\n";
+}
+
+}  // namespace
+
+std::string RenderReportHtml(const std::string& experiment_name,
+                             const std::vector<CollectedRun>& runs) {
+  // Distinct axis values (for label minimization) and rates.
+  std::set<std::string> ablations, schedulers, policies, admissions;
+  std::set<double> rates;
+  std::set<bool> sharing;
+  for (const CollectedRun& run : runs) {
+    const SeriesKey key = KeyOf(run);
+    ablations.insert(key.ablation);
+    schedulers.insert(key.scheduler);
+    policies.insert(key.policy);
+    admissions.insert(key.admission);
+    sharing.insert(key.prefix_sharing);
+    rates.insert(run.cell.GetNumber("rate", 0.0));
+  }
+  const double top_rate = rates.empty() ? 0.0 : *rates.rbegin();
+
+  // Group into series; average attainment over seeds per (series, rate).
+  std::map<SeriesKey, SeriesData> series;
+  std::map<std::pair<SeriesKey, double>, std::pair<double, int>> sums;
+  std::map<SeriesKey, int64_t> cdf_seed;
+  for (const CollectedRun& run : runs) {
+    const SeriesKey key = KeyOf(run);
+    SeriesData& data = series[key];
+    if (data.label.empty()) {
+      data.label = SeriesLabel(key, ablations, schedulers, policies,
+                               admissions, sharing.size() > 1);
+    }
+    const double rate = run.cell.GetNumber("rate", 0.0);
+    auto& [sum, count] = sums[{key, rate}];
+    sum += run.result.GetNumber("slo_attainment", 0.0);
+    ++count;
+    // One representative CDF per series at the stress (highest) rate: the
+    // lowest seed wins, so reruns pick the same replica every time.
+    if (rate == top_rate) {
+      const int64_t seed = run.cell.GetInt("seed", 0);
+      const auto it = cdf_seed.find(key);
+      if (it == cdf_seed.end() || seed < it->second) {
+        cdf_seed[key] = seed;
+        data.ttft_cdf.clear();
+        if (const json::JsonValue* cdf = run.result.Find("ttft_cdf")) {
+          for (const json::JsonValue& point : cdf->items()) {
+            if (point.is_array() && point.items().size() == 2) {
+              data.ttft_cdf.emplace_back(point.items()[0].number_value(),
+                                         point.items()[1].number_value());
+            }
+          }
+        }
+      }
+    }
+  }
+  for (auto& [series_rate, sum_count] : sums) {
+    series[series_rate.first].attainment_by_rate[series_rate.second] =
+        sum_count.first / sum_count.second;
+  }
+
+  std::vector<PlotSeries> attainment_plot, cdf_plot;
+  for (const auto& [key, data] : series) {
+    PlotSeries a;
+    a.label = data.label;
+    for (const auto& [rate, attainment] : data.attainment_by_rate) {
+      a.points.emplace_back(rate, attainment);
+    }
+    attainment_plot.push_back(std::move(a));
+    PlotSeries c;
+    c.label = data.label;
+    c.points = data.ttft_cdf;
+    cdf_plot.push_back(std::move(c));
+  }
+
+  std::ostringstream html;
+  html << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+          "<meta charset=\"utf-8\">\n<title>sweep: "
+       << HtmlEscape(experiment_name)
+       << "</title>\n<style>\n"
+          "body{font-family:sans-serif;margin:2rem;max-width:64rem}\n"
+          "table{border-collapse:collapse;margin:1rem 0}\n"
+          "td,th{border:1px solid #ccc;padding:0.3rem 0.6rem;"
+          "font-size:0.85rem;text-align:right}\n"
+          "th{background:#f2f2f2}\ntd:first-child,th:first-child"
+          "{text-align:left}\n"
+          "</style>\n</head>\n<body>\n";
+  html << "<h1>Experiment: " << HtmlEscape(experiment_name) << "</h1>\n";
+  html << "<p>" << runs.size() << " runs, " << series.size() << " series, "
+       << rates.size() << " rates.</p>\n";
+  html << SvgLinePlot("SLO attainment vs. request rate", "rate (req/s)",
+                      "SLO attainment", attainment_plot);
+  html << SvgLinePlot("TTFT CDF at rate " + Fmt(top_rate), "TTFT (s)",
+                      "fraction of requests", cdf_plot);
+  AttainmentTable(&html, series, rates);
+  RunsTable(&html, runs);
+  html << "</body>\n</html>\n";
+  return html.str();
+}
+
+Status WriteReport(const std::string& experiment_name,
+                   const std::vector<CollectedRun>& runs,
+                   const std::string& exp_dir) {
+  APT_RETURN_NOT_OK(MakeDirs(exp_dir + "/report"));
+  const std::string html = RenderReportHtml(experiment_name, runs);
+  return WriteFile(exp_dir + "/report/index.html",
+                   [&html](std::ostream* out) { *out << html; });
+}
+
+}  // namespace sweep
+}  // namespace aptserve

@@ -1,0 +1,28 @@
+// Report stage: renders the collected runs as one static, self-contained
+// HTML page (no external assets, viewable from file://): an
+// attainment-vs-rate line plot and a TTFT-CDF plot as inline SVG, plus
+// paper-style tables (attainment by series x rate, and the full per-run
+// table). Series are the distinct non-seed axis combinations; seed
+// replicas average into one point.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench/sweep/collect.h"
+#include "common/status.h"
+
+namespace aptserve {
+namespace sweep {
+
+/// The full page as a string (pure; tested without touching disk).
+std::string RenderReportHtml(const std::string& experiment_name,
+                             const std::vector<CollectedRun>& runs);
+
+/// Renders and writes <exp_dir>/report/index.html.
+Status WriteReport(const std::string& experiment_name,
+                   const std::vector<CollectedRun>& runs,
+                   const std::string& exp_dir);
+
+}  // namespace sweep
+}  // namespace aptserve

@@ -1,0 +1,344 @@
+#include "bench/sweep/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+#include "baselines/fastgen_scheduler.h"
+#include "baselines/fcfs_scheduler.h"
+#include "baselines/random_scheduler.h"
+#include "baselines/sarathi_scheduler.h"
+#include "bench/sweep/fs_util.h"
+#include "core/apt_sarathi_scheduler.h"
+#include "core/apt_scheduler.h"
+#include "runtime/runtime_config.h"
+#include "runtime/thread_pool.h"
+#include "serve/cost_model_backend.h"
+#include "serve/multi_instance.h"
+#include "serve/router.h"
+#include "sim/cluster_spec.h"
+#include "sim/cost_model.h"
+#include "sim/model_spec.h"
+#include "sim/report_writer.h"
+#include "workload/length_sampler.h"
+#include "workload/shared_prefix.h"
+#include "workload/trace.h"
+
+namespace aptserve {
+namespace sweep {
+
+namespace {
+
+StatusOr<RoutePolicy> ParseRoutePolicy(const std::string& name) {
+  if (name == "round-robin") return RoutePolicy::kRoundRobin;
+  if (name == "least-loaded") return RoutePolicy::kLeastLoaded;
+  if (name == "power-of-two") return RoutePolicy::kPowerOfTwo;
+  if (name == "least-outstanding-work")
+    return RoutePolicy::kLeastOutstandingWork;
+  if (name == "prefix-affinity") return RoutePolicy::kPrefixAffinity;
+  return Status::InvalidArgument("unknown router policy: " + name);
+}
+
+StatusOr<AdmissionMode> ParseAdmissionMode(const std::string& name) {
+  if (name == "none") return AdmissionMode::kNone;
+  if (name == "reject") return AdmissionMode::kReject;
+  if (name == "deprioritize") return AdmissionMode::kDeprioritize;
+  return Status::InvalidArgument("unknown admission mode: " + name);
+}
+
+StatusOr<std::vector<Request>> BuildCellTrace(const RunCell& cell) {
+  if (cell.params.workload == "poisson") {
+    APT_ASSIGN_OR_RETURN(DatasetProfile profile,
+                         DatasetProfile::ByName(cell.params.profile));
+    TraceConfig tc;
+    tc.profile = profile;
+    tc.num_requests = cell.params.num_requests;
+    tc.rate_per_sec = cell.rate;
+    tc.cv = cell.params.cv;
+    tc.seed = cell.seed;
+    tc.max_total_len = cell.params.max_total_len;
+    return BuildTrace(tc);
+  }
+  // shared-prefix: the rate axis is conversation starts per second.
+  SharedPrefixConfig sp;
+  sp.system_prompt_len = cell.params.system_prompt_len;
+  sp.num_conversations = cell.params.fan_out;
+  sp.turns_per_conversation = cell.params.turns_per_conversation;
+  sp.tokens_per_turn = cell.params.tokens_per_turn;
+  sp.output_len_mean = cell.params.output_len_mean;
+  sp.think_time_s = cell.params.think_time_s;
+  sp.conversation_stagger_s = 1.0 / cell.rate;
+  sp.seed = cell.seed;
+  return BuildSharedPrefixTrace(sp);
+}
+
+json::JsonValue CdfJson(const SampleSet& samples, size_t max_points) {
+  json::JsonValue arr = json::JsonValue::Array();
+  for (const auto& [value, fraction] : samples.Cdf(max_points)) {
+    json::JsonValue point = json::JsonValue::Array();
+    point.Append(json::JsonValue::Number(value));
+    point.Append(json::JsonValue::Number(fraction));
+    arr.Append(std::move(point));
+  }
+  return arr;
+}
+
+json::JsonValue ResultJson(const RunCell& cell, size_t trace_size,
+                           const MultiInstanceResult& r) {
+  const SloReport& c = r.combined;
+  json::JsonValue o = json::JsonValue::Object();
+  o.Set("requests", json::JsonValue::Int(static_cast<int64_t>(trace_size)));
+  o.Set("slo_attainment", json::JsonValue::Number(c.slo_attainment));
+  o.Set("ttft_attainment", json::JsonValue::Number(c.ttft_attainment));
+  o.Set("tbt_attainment", json::JsonValue::Number(c.tbt_attainment));
+  o.Set("goodput_rps", json::JsonValue::Number(c.goodput_rps));
+  o.Set("mean_ttft_s", json::JsonValue::Number(c.mean_ttft));
+  o.Set("p99_ttft_s", json::JsonValue::Number(c.p99_ttft));
+  o.Set("jain_fairness_ttft", json::JsonValue::Number(c.jain_fairness_ttft));
+  o.Set("total_serving_time_s",
+        json::JsonValue::Number(c.total_serving_time));
+  o.Set("iterations", json::JsonValue::Int(c.iterations));
+  o.Set("mean_batch_size", json::JsonValue::Number(c.mean_batch_size));
+  o.Set("batch_limit_time_ratio",
+        json::JsonValue::Number(c.batch_limit_time_ratio));
+  o.Set("preemptions", json::JsonValue::Int(c.preemptions));
+  o.Set("conversions", json::JsonValue::Int(c.conversions));
+  o.Set("rejected", json::JsonValue::Int(r.rejected_requests));
+  o.Set("deprioritized", json::JsonValue::Int(r.deprioritized_requests));
+  o.Set("prefill_tokens_computed",
+        json::JsonValue::Int(r.prefill_tokens_computed));
+  o.Set("prefill_tokens_skipped",
+        json::JsonValue::Int(r.prefill_tokens_skipped));
+  o.Set("prefix_hits", json::JsonValue::Int(r.prefix.hits));
+  o.Set("prefix_matched_tokens",
+        json::JsonValue::Int(r.prefix.matched_tokens));
+  o.Set("tokens_generated", json::JsonValue::Int(r.tokens_generated));
+  json::JsonValue per_instance = json::JsonValue::Array();
+  for (const int32_t n : r.requests_per_instance) {
+    per_instance.Append(json::JsonValue::Int(n));
+  }
+  o.Set("requests_per_instance", std::move(per_instance));
+  // Bounded-size CDF for the report's TTFT plot (seconds, cum. fraction).
+  o.Set("ttft_cdf", CdfJson(c.ttfts, 64));
+  (void)cell;
+  return o;
+}
+
+json::JsonValue MetaJson(const RunCell& cell) {
+  json::JsonValue env = json::JsonValue::Object();
+  env.Set("runtime", json::JsonValue::String(RuntimeConfig{}.Describe()));
+  env.Set("harness_version", json::JsonValue::Int(1));
+  json::JsonValue meta = json::JsonValue::Object();
+  meta.Set("cell", cell.Key());
+  meta.Set("environment", std::move(env));
+  return meta;
+}
+
+/// True iff the cell already ran to completion with exactly this resolved
+/// config: meta.json's "cell" subtree equals Key() (order-insensitive
+/// object equality) and result.json parses. The environment stamp is
+/// deliberately excluded — rerunning on another host must not invalidate
+/// finished cells.
+bool CellIsCurrent(const RunCell& cell, const std::string& run_dir) {
+  auto meta = json::ParseJsonFile(run_dir + "/meta.json");
+  if (!meta.ok()) return false;
+  const json::JsonValue* recorded = meta->Find("cell");
+  if (recorded == nullptr || !(*recorded == cell.Key())) return false;
+  return json::ParseJsonFile(run_dir + "/result.json").ok();
+}
+
+Status WriteJsonFile(const std::string& path, const json::JsonValue& value) {
+  return WriteFile(path, [&value](std::ostream* out) {
+    *out << value.Dump(2) << "\n";
+  });
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Scheduler>> MakeSchedulerByName(
+    const std::string& kind, const SloSpec& slo) {
+  if (kind == "vLLM") return std::unique_ptr<Scheduler>(
+      std::make_unique<FcfsScheduler>());
+  if (kind == "Random")
+    return std::unique_ptr<Scheduler>(std::make_unique<RandomScheduler>());
+  if (kind == "Sarathi")
+    return std::unique_ptr<Scheduler>(std::make_unique<SarathiScheduler>());
+  if (kind == "FastGen")
+    return std::unique_ptr<Scheduler>(std::make_unique<FastGenScheduler>());
+  if (kind == "FCFS-hybrid") {
+    FcfsConfig c;
+    c.allow_hidden_fallback = true;
+    return std::unique_ptr<Scheduler>(std::make_unique<FcfsScheduler>(c));
+  }
+  if (kind == "Apt" || kind == "Apt*" || kind == "Apt-KVonly") {
+    AptConfig c;
+    c.slo = slo;
+    if (kind == "Apt*") c.violation_decay = 0.4;
+    if (kind == "Apt-KVonly") c.enable_hidden = false;
+    return std::unique_ptr<Scheduler>(std::make_unique<AptScheduler>(c));
+  }
+  if (kind == "Apt-S") {
+    AptSarathiConfig c;
+    c.slo = slo;
+    return std::unique_ptr<Scheduler>(
+        std::make_unique<AptSarathiScheduler>(c));
+  }
+  return Status::InvalidArgument("unknown scheduler kind: " + kind);
+}
+
+StatusOr<json::JsonValue> ExecuteCell(const RunCell& cell) {
+  APT_ASSIGN_OR_RETURN(std::vector<Request> trace, BuildCellTrace(cell));
+  APT_ASSIGN_OR_RETURN(ModelSpec model, ModelSpec::ByName(cell.params.model));
+  const CostModel cost_model(model, ClusterSpec::ForModel(model));
+  const SloSpec slo{cell.params.slo_ttft_s, cell.params.slo_tbt_p99_s};
+
+  RouterConfig rc;
+  rc.n_instances = cell.params.n_instances;
+  APT_ASSIGN_OR_RETURN(rc.policy, ParseRoutePolicy(cell.router_policy));
+  APT_ASSIGN_OR_RETURN(rc.admission, ParseAdmissionMode(cell.admission));
+  rc.admission_slack = cell.params.admission_slack;
+  rc.block_size = cell.params.block_size;
+  rc.default_slo = slo;
+  const Router router(rc, &cost_model);
+
+  // Validate the scheduler name once up front; the per-instance factory
+  // then can't fail (SchedulerFactory has no error channel).
+  APT_RETURN_NOT_OK(MakeSchedulerByName(cell.scheduler, slo).status());
+  const std::string scheduler_kind = cell.scheduler;
+  SchedulerFactory make_scheduler = [scheduler_kind, slo]() {
+    auto sched = MakeSchedulerByName(scheduler_kind, slo);
+    return std::move(sched).value();
+  };
+
+  CostModelBackend::Options backend_options;
+  backend_options.block_size = cell.params.block_size;
+  backend_options.pool_blocks_override = cell.params.pool_blocks;
+  backend_options.enable_prefix_sharing = cell.prefix_sharing;
+  BackendFactory make_backend =
+      [&cost_model, backend_options](
+          int32_t) -> StatusOr<std::unique_ptr<ExecutionBackend>> {
+    APT_ASSIGN_OR_RETURN(std::unique_ptr<CostModelBackend> backend,
+                         CostModelBackend::Create(cost_model, backend_options));
+    return std::unique_ptr<ExecutionBackend>(std::move(backend));
+  };
+
+  // Each cell runs its fleet serially: sweep-level parallelism comes from
+  // running many cells at once, and nested pools would oversubscribe.
+  RuntimeConfig serial;
+  serial.num_threads = 1;
+  MultiInstanceRunner runner(router, ServingLoopConfig{}, serial);
+  APT_ASSIGN_OR_RETURN(MultiInstanceResult result,
+                       runner.Run(trace, make_scheduler, make_backend, slo));
+  return ResultJson(cell, trace.size(), result);
+}
+
+StatusOr<SweepRunResult> RunSweep(const SweepConfig& config,
+                                  const SweepOptions& options) {
+  SweepConfig effective = config;
+  if (!options.out_root_override.empty()) {
+    effective.out_root = options.out_root_override;
+  }
+  if (options.jobs_override > 0) effective.jobs = options.jobs_override;
+
+  APT_ASSIGN_OR_RETURN(std::vector<RunCell> cells, ExpandMatrix(effective));
+
+  SweepRunResult summary;
+  summary.exp_dir = effective.ExperimentDir();
+  summary.planned = static_cast<int64_t>(cells.size());
+  summary.outcomes.resize(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    summary.outcomes[i].run_id = cells[i].run_id;
+  }
+
+  if (options.dry_run) {
+    std::printf("sweep %s: %zu cells -> %s\n", effective.name.c_str(),
+                cells.size(), summary.exp_dir.c_str());
+    for (const RunCell& cell : cells) {
+      std::printf("  %s\n", cell.run_id.c_str());
+    }
+    std::printf("sweep: executed 0 skipped 0 failed 0 of %zu cells (dry run)\n",
+                cells.size());
+    return summary;
+  }
+
+  const std::string runs_dir = summary.exp_dir + "/runs";
+  APT_RETURN_NOT_OK(MakeDirs(runs_dir));
+
+  std::mutex io_mutex;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> executed{0}, skipped{0}, failed{0};
+
+  const auto run_cell = [&](int64_t index) {
+    CellOutcome& outcome = summary.outcomes[static_cast<size_t>(index)];
+    if (stop.load(std::memory_order_relaxed)) return;  // fail-fast: kNotRun
+    const RunCell& cell = cells[static_cast<size_t>(index)];
+    const std::string run_dir = runs_dir + "/" + cell.run_id;
+
+    if (options.resume && CellIsCurrent(cell, run_dir)) {
+      outcome.state = CellOutcome::State::kSkipped;
+      skipped.fetch_add(1, std::memory_order_relaxed);
+      if (options.verbose) {
+        std::lock_guard<std::mutex> lock(io_mutex);
+        std::fprintf(stderr, "[sweep] skip %s (up to date)\n",
+                     cell.run_id.c_str());
+      }
+      return;
+    }
+
+    const auto started = std::chrono::steady_clock::now();
+    Status status = MakeDirs(run_dir);
+    if (status.ok()) {
+      // meta.json first: a cell that dies mid-run leaves meta without
+      // result, which CellIsCurrent treats as stale.
+      status = WriteJsonFile(run_dir + "/meta.json", MetaJson(cell));
+    }
+    if (status.ok()) {
+      auto result = ExecuteCell(cell);
+      status = result.ok() ? WriteJsonFile(run_dir + "/result.json", *result)
+                           : result.status();
+    }
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      started)
+            .count();
+
+    if (status.ok()) {
+      outcome.state = CellOutcome::State::kRan;
+      executed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      outcome.state = CellOutcome::State::kFailed;
+      outcome.error = status.ToString();
+      failed.fetch_add(1, std::memory_order_relaxed);
+      if (options.fail_fast) stop.store(true, std::memory_order_relaxed);
+    }
+    if (options.verbose || !status.ok()) {
+      std::lock_guard<std::mutex> lock(io_mutex);
+      std::fprintf(stderr, "[sweep] %s %s (%.2fs)%s%s\n",
+                   status.ok() ? "ran " : "FAIL", cell.run_id.c_str(), elapsed,
+                   status.ok() ? "" : ": ",
+                   status.ok() ? "" : status.ToString().c_str());
+    }
+  };
+
+  RuntimeConfig pool_config;
+  pool_config.num_threads = effective.jobs;
+  // Cells have wildly different durations; dynamic chunk claiming keeps
+  // every job slot busy (run order is not part of any result).
+  pool_config.deterministic = false;
+  runtime::ThreadPool pool(pool_config);
+  pool.ParallelForEach(0, static_cast<int64_t>(cells.size()), /*grain=*/1,
+                       [&](int64_t i) { run_cell(i); });
+
+  summary.executed = executed.load();
+  summary.skipped = skipped.load();
+  summary.failed = failed.load();
+  std::printf("sweep: executed %lld skipped %lld failed %lld of %zu cells\n",
+              static_cast<long long>(summary.executed),
+              static_cast<long long>(summary.skipped),
+              static_cast<long long>(summary.failed), cells.size());
+  return summary;
+}
+
+}  // namespace sweep
+}  // namespace aptserve

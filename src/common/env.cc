@@ -1,0 +1,79 @@
+#include "common/env.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace aptserve {
+namespace env {
+
+namespace {
+
+const char* SkipSpace(const char* p) {
+  while (*p != '\0' && std::isspace(static_cast<unsigned char>(*p))) ++p;
+  return p;
+}
+
+}  // namespace
+
+std::optional<int64_t> ParseInt64(const char* text) {
+  if (text == nullptr) return std::nullopt;
+  const char* start = SkipSpace(text);
+  if (*start == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(start, &end, 10);
+  if (end == start || errno == ERANGE) return std::nullopt;
+  if (*SkipSpace(end) != '\0') return std::nullopt;  // partial parse ("4x")
+  return static_cast<int64_t>(v);
+}
+
+std::vector<uint64_t> ParseUint64List(const char* text, bool* had_invalid) {
+  if (had_invalid != nullptr) *had_invalid = false;
+  std::vector<uint64_t> out;
+  if (text == nullptr) return out;
+  const std::string s(text);
+  size_t at = 0;
+  while (at <= s.size()) {
+    const size_t comma = s.find(',', at);
+    const size_t end = comma == std::string::npos ? s.size() : comma;
+    const std::string tok = s.substr(at, end - at);
+    const char* start = SkipSpace(tok.c_str());
+    if (*start != '\0') {
+      errno = 0;
+      char* tok_end = nullptr;
+      const unsigned long long v = std::strtoull(start, &tok_end, 10);
+      if (tok_end == start || errno == ERANGE || *start == '-' ||
+          *SkipSpace(tok_end) != '\0') {
+        if (had_invalid != nullptr) *had_invalid = true;
+      } else {
+        out.push_back(static_cast<uint64_t>(v));
+      }
+    }
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return out;
+}
+
+std::vector<uint64_t> FuzzSeedsFromEnv(std::vector<uint64_t> fallback) {
+  const char* text = std::getenv("APTSERVE_FUZZ_SEEDS");
+  if (text == nullptr) return fallback;
+  bool had_invalid = false;
+  std::vector<uint64_t> seeds = ParseUint64List(text, &had_invalid);
+  if (had_invalid) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      APT_LOG(Warning) << "APTSERVE_FUZZ_SEEDS=\"" << text
+                       << "\" contains malformed seed tokens; using the "
+                       << seeds.size() << " valid one(s)";
+    }
+  }
+  return seeds.empty() ? fallback : seeds;
+}
+
+}  // namespace env
+}  // namespace aptserve

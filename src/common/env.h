@@ -1,0 +1,35 @@
+// Strict environment-variable parsing. std::strtol with a null end pointer
+// silently accepts partial parses ("4x" -> 4) and cannot distinguish "0"
+// from garbage ("four" -> 0), so knobs read through it could be typo'd
+// without any signal. These helpers validate the entire token and let
+// callers warn on — rather than silently absorb — malformed input.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aptserve {
+namespace env {
+
+/// Parses `text` as a whole-string base-10 integer (optional leading '-',
+/// surrounding whitespace allowed). nullopt on empty/partial/overflowing
+/// input — callers decide whether that warrants a warning.
+std::optional<int64_t> ParseInt64(const char* text);
+
+/// Parses a comma-separated list of unsigned base-10 integers ("1,2,3").
+/// Valid tokens are returned in order; empty tokens are skipped; any
+/// malformed or overflowing token is dropped and reported through
+/// `*had_invalid` (never null-checked away silently).
+std::vector<uint64_t> ParseUint64List(const char* text, bool* had_invalid);
+
+/// Reads the APTSERVE_FUZZ_SEEDS seed matrix: a comma-separated list of
+/// seeds, falling back to `fallback` when the variable is unset or yields
+/// no valid seed. Malformed tokens warn once per process through the
+/// logging layer (the fuzz suites previously crashed via std::stoull on
+/// garbage and silently truncated partial parses like "4x").
+std::vector<uint64_t> FuzzSeedsFromEnv(std::vector<uint64_t> fallback);
+
+}  // namespace env
+}  // namespace aptserve

@@ -1,0 +1,498 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace aptserve {
+namespace json {
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue v) {
+  type_ = Type::kObject;
+  for (auto& [k, existing] : members_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+}
+
+double JsonValue::GetNumber(const std::string& key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number_value() : fallback;
+}
+
+int64_t JsonValue::GetInt(const std::string& key, int64_t fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number()
+             ? static_cast<int64_t>(v->number_value())
+             : fallback;
+}
+
+bool JsonValue::GetBool(const std::string& key, bool fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_bool() ? v->bool_value() : fallback;
+}
+
+std::string JsonValue::GetString(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->string_value() : fallback;
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return number_ == other.number_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return items_ == other.items_;
+    case Type::kObject: {
+      if (members_.size() != other.members_.size()) return false;
+      for (const auto& [k, v] : members_) {
+        const JsonValue* o = other.Find(k);
+        if (o == nullptr || !(v == *o)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string EscapeJsonString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char esc[8];
+      std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+      out += esc;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shortest decimal rendering that round-trips a double exactly: try
+/// increasing precision until strtod gives the value back. Integral values
+/// inside the exact range render without an exponent or decimal point.
+std::string RenderNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  if (v == static_cast<int64_t>(v) && std::fabs(v) < 9.007199254740992e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? "\n" + std::string(static_cast<size_t>(indent) * (depth + 1), ' ')
+             : "";
+  const std::string close_pad =
+      pretty ? "\n" + std::string(static_cast<size_t>(indent) * depth, ' ') : "";
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kNumber:
+      *out += RenderNumber(number_);
+      return;
+    case Type::kString:
+      *out += '"';
+      *out += EscapeJsonString(string_);
+      *out += '"';
+      return;
+    case Type::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += '[';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) *out += pretty ? "," : ", ";
+        *out += pad;
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      *out += close_pad;
+      *out += ']';
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += '{';
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) *out += pretty ? "," : ", ";
+        *out += pad;
+        *out += '"';
+        *out += EscapeJsonString(members_[i].first);
+        *out += "\": ";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      *out += close_pad;
+      *out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue root;
+    APT_RETURN_NOT_OK(ParseValue(&root));
+    SkipWhitespace();
+    if (at_ != text_.size()) {
+      return Error("trailing content after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    size_t line = 1, col = 1;
+    for (size_t i = 0; i < at_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return Status::InvalidArgument("JSON parse error at " +
+                                   std::to_string(line) + ":" +
+                                   std::to_string(col) + ": " + what);
+  }
+
+  void SkipWhitespace() {
+    while (at_ < text_.size() &&
+           (text_[at_] == ' ' || text_[at_] == '\t' || text_[at_] == '\n' ||
+            text_[at_] == '\r')) {
+      ++at_;
+    }
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    size_t len = 0;
+    while (literal[len] != '\0') ++len;
+    if (text_.compare(at_, len, literal) == 0) {
+      at_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    if (++depth_ > kMaxDepth) return Error("nesting too deep");
+    Status s = ParseValueInner(out);
+    --depth_;
+    return s;
+  }
+
+  Status ParseValueInner(JsonValue* out) {
+    if (at_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[at_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"': {
+        std::string s;
+        APT_RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue::String(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (ConsumeLiteral("true")) {
+          *out = JsonValue::Bool(true);
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeLiteral("false")) {
+          *out = JsonValue::Bool(false);
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeLiteral("null")) {
+          *out = JsonValue::Null();
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  Status ParseObject(JsonValue* out) {
+    ++at_;  // '{'
+    *out = JsonValue::Object();
+    SkipWhitespace();
+    if (at_ < text_.size() && text_[at_] == '}') {
+      ++at_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (at_ >= text_.size() || text_[at_] != '"') {
+        return Error("expected object key string");
+      }
+      std::string key;
+      APT_RETURN_NOT_OK(ParseString(&key));
+      if (out->Find(key) != nullptr) {
+        return Error("duplicate object key \"" + key + "\"");
+      }
+      SkipWhitespace();
+      if (at_ >= text_.size() || text_[at_] != ':') {
+        return Error("expected ':' after object key");
+      }
+      ++at_;
+      SkipWhitespace();
+      JsonValue value;
+      APT_RETURN_NOT_OK(ParseValue(&value));
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (at_ >= text_.size()) return Error("unterminated object");
+      if (text_[at_] == ',') {
+        ++at_;
+        continue;
+      }
+      if (text_[at_] == '}') {
+        ++at_;
+        return Status::OK();
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    ++at_;  // '['
+    *out = JsonValue::Array();
+    SkipWhitespace();
+    if (at_ < text_.size() && text_[at_] == ']') {
+      ++at_;
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      JsonValue value;
+      APT_RETURN_NOT_OK(ParseValue(&value));
+      out->Append(std::move(value));
+      SkipWhitespace();
+      if (at_ >= text_.size()) return Error("unterminated array");
+      if (text_[at_] == ',') {
+        ++at_;
+        continue;
+      }
+      if (text_[at_] == ']') {
+        ++at_;
+        return Status::OK();
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++at_;  // opening quote
+    out->clear();
+    while (at_ < text_.size()) {
+      const char c = text_[at_];
+      if (c == '"') {
+        ++at_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++at_;
+        if (at_ >= text_.size()) return Error("unterminated escape");
+        const char esc = text_[at_];
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'u': {
+            if (at_ + 4 >= text_.size()) return Error("truncated \\u escape");
+            uint32_t code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[at_ + 1 + i];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<uint32_t>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<uint32_t>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<uint32_t>(h - 'A' + 10);
+              } else {
+                return Error("invalid \\u escape digit");
+              }
+            }
+            at_ += 4;
+            // UTF-8 encode (surrogate pairs are passed through as two
+            // 3-byte sequences — the writer only emits \u for controls).
+            if (code < 0x80) {
+              *out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              *out += static_cast<char>(0xC0 | (code >> 6));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              *out += static_cast<char>(0xE0 | (code >> 12));
+              *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              *out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error("invalid escape character");
+        }
+        ++at_;
+        continue;
+      }
+      *out += c;
+      ++at_;
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = at_;
+    if (at_ < text_.size() && text_[at_] == '-') ++at_;
+    // Integer part: a single 0, or a nonzero digit run (JSON forbids 012).
+    if (at_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+      return Error("invalid number");
+    }
+    if (text_[at_] == '0') {
+      ++at_;
+    } else {
+      while (at_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+        ++at_;
+      }
+    }
+    if (at_ < text_.size() && text_[at_] == '.') {
+      ++at_;
+      if (at_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+        return Error("digit expected after decimal point");
+      }
+      while (at_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+        ++at_;
+      }
+    }
+    if (at_ < text_.size() && (text_[at_] == 'e' || text_[at_] == 'E')) {
+      ++at_;
+      if (at_ < text_.size() && (text_[at_] == '+' || text_[at_] == '-')) ++at_;
+      if (at_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+        return Error("digit expected in exponent");
+      }
+      while (at_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[at_]))) {
+        ++at_;
+      }
+    }
+    const std::string token = text_.substr(start, at_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("invalid number");
+    *out = JsonValue::Number(v);
+    return Status::OK();
+  }
+
+  static constexpr int kMaxDepth = 128;
+
+  const std::string& text_;
+  size_t at_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+StatusOr<JsonValue> ParseJsonFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseJson(buf.str());
+}
+
+}  // namespace json
+}  // namespace aptserve

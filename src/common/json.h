@@ -1,0 +1,133 @@
+// Strict JSON parsing and deterministic serialization, in the style of the
+// Prometheus-text parser (obs/metrics_registry.h): no dependencies, Status
+// errors with line/column context, strict enough that malformed input never
+// round-trips silently. The sweep harness (bench/sweep/) builds its
+// experiment configs, per-run meta.json resume keys and result files on
+// this — resume correctness depends on Dump() being byte-deterministic, so
+// objects preserve insertion order and numbers render with the same %.17g
+// shortest-round-trip rule everywhere.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace aptserve {
+namespace json {
+
+/// One JSON document node. Objects keep key insertion order (serialization
+/// is deterministic and diffs stay readable); duplicate keys are a parse
+/// error. Numbers are doubles — the harness' ints (seeds, counts) are well
+/// inside the 2^53 exact range.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool v) {
+    JsonValue j;
+    j.type_ = Type::kBool;
+    j.bool_ = v;
+    return j;
+  }
+  static JsonValue Number(double v) {
+    JsonValue j;
+    j.type_ = Type::kNumber;
+    j.number_ = v;
+    return j;
+  }
+  static JsonValue Int(int64_t v) {
+    return Number(static_cast<double>(v));
+  }
+  static JsonValue String(std::string v) {
+    JsonValue j;
+    j.type_ = Type::kString;
+    j.string_ = std::move(v);
+    return j;
+  }
+  static JsonValue Array() {
+    JsonValue j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static JsonValue Object() {
+    JsonValue j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  std::vector<JsonValue>& items() { return items_; }
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+  /// Pointer to the member value, or null when absent (or not an object).
+  const JsonValue* Find(const std::string& key) const;
+  /// Inserts or overwrites `key` (insertion order preserved on overwrite).
+  void Set(const std::string& key, JsonValue v);
+
+  // -- Typed convenience getters with defaults (config-reading sugar) ------
+  double GetNumber(const std::string& key, double fallback) const;
+  int64_t GetInt(const std::string& key, int64_t fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+
+  /// Structural equality (object member *order* is ignored; duplicate keys
+  /// cannot occur by construction through Set/parse).
+  bool operator==(const JsonValue& other) const;
+  bool operator!=(const JsonValue& other) const { return !(*this == other); }
+
+  /// Serializes deterministically. indent < 0: compact one-line form;
+  /// indent >= 0: pretty-printed with that many spaces per level. Non-finite
+  /// numbers render as null (JSON has no NaN/Inf literal).
+  std::string Dump(int indent = -1) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members_;  // kObject
+};
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included): `"` and `\` are backslash-escaped, control characters become
+/// \uXXXX. Shared with the bench JsonObject writer so keys and values pass
+/// through one escaper.
+std::string EscapeJsonString(const std::string& s);
+
+/// Parses one complete JSON document. Strict: trailing non-whitespace
+/// content, duplicate object keys, unterminated strings/containers, bad
+/// escapes, leading '+'/bare '.' numbers and non-JSON literals all fail
+/// with InvalidArgument naming the offending line:column.
+StatusOr<JsonValue> ParseJson(const std::string& text);
+
+/// Reads and parses `path`; NotFound when the file cannot be opened.
+StatusOr<JsonValue> ParseJsonFile(const std::string& path);
+
+}  // namespace json
+}  // namespace aptserve

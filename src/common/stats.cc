@@ -141,8 +141,13 @@ void LatencyHistogram::Add(double seconds) {
 }
 
 void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  // max_s_ must be part of the check: ceil() can give two histograms the
+  // same bucket count for different upper bounds, which would silently
+  // misalign their overflow edges (and every quantile above the smaller
+  // max) if only the count were compared.
   APT_CHECK_MSG(counts_.size() == other.counts_.size() &&
-                    min_s_ == other.min_s_ && per_decade_ == other.per_decade_,
+                    min_s_ == other.min_s_ && max_s_ == other.max_s_ &&
+                    per_decade_ == other.per_decade_,
                 "merging latency histograms with different geometry");
   for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   stat_.Merge(other.stat_);

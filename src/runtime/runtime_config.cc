@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "common/env.h"
+#include "common/logging.h"
 #include "engine/ops.h"
 
 namespace aptserve {
@@ -11,8 +13,19 @@ namespace runtime {
 int32_t RuntimeConfig::ResolvedNumThreads() const {
   int32_t n = num_threads;
   if (n == 0) {
-    if (const char* env = std::getenv("APTSERVE_NUM_THREADS")) {
-      n = static_cast<int32_t>(std::strtol(env, nullptr, 10));
+    if (const char* text = std::getenv("APTSERVE_NUM_THREADS")) {
+      // Strict whole-token parse: strtol with a null end pointer used to
+      // absorb "four" as 0 (→ unset) and "4x" as 4 without any signal.
+      if (auto parsed = env::ParseInt64(text)) {
+        n = static_cast<int32_t>(*parsed);
+      } else {
+        static bool warned = false;
+        if (!warned) {
+          warned = true;
+          APT_LOG(Warning) << "ignoring unparseable APTSERVE_NUM_THREADS=\""
+                           << text << "\" (want an integer); running serial";
+        }
+      }
     }
     if (n == 0) n = 1;
   }

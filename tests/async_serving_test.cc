@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "baselines/fcfs_scheduler.h"
+#include "common/env.h"
 #include "common/rng.h"
 #include "engine/model_config.h"
 #include "engine/sampling.h"
@@ -36,21 +37,9 @@ namespace {
 using TokenMap = std::unordered_map<RequestId, std::vector<int32_t>>;
 
 std::vector<uint64_t> FuzzSeeds() {
-  std::vector<uint64_t> seeds;
-  if (const char* env = std::getenv("APTSERVE_FUZZ_SEEDS")) {
-    std::string s(env);
-    size_t at = 0;
-    while (at < s.size()) {
-      const size_t comma = s.find(',', at);
-      const std::string tok =
-          s.substr(at, comma == std::string::npos ? comma : comma - at);
-      if (!tok.empty()) seeds.push_back(std::stoull(tok));
-      if (comma == std::string::npos) break;
-      at = comma + 1;
-    }
-  }
-  if (seeds.empty()) seeds = {41, 137};
-  return seeds;
+  // Strict parse with a warning on malformed tokens (std::stoull threw on
+  // garbage and silently truncated partial parses like "4x").
+  return env::FuzzSeedsFromEnv({41, 137});
 }
 
 std::vector<Request> TinyTrace(int32_t n, uint64_t seed) {

@@ -1,0 +1,135 @@
+// Strict env parsing (common/env.h) and its RuntimeConfig wiring: an
+// unparseable APTSERVE_NUM_THREADS must fall back to serial with a warning
+// instead of being silently absorbed by a partial strtol parse.
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "runtime/runtime_config.h"
+
+namespace aptserve {
+namespace {
+
+TEST(ParseInt64Test, WholeTokenOnly) {
+  EXPECT_EQ(env::ParseInt64("4"), 4);
+  EXPECT_EQ(env::ParseInt64("-1"), -1);
+  EXPECT_EQ(env::ParseInt64("  8  "), 8);
+  EXPECT_EQ(env::ParseInt64("0"), 0);
+  EXPECT_FALSE(env::ParseInt64(nullptr).has_value());
+  EXPECT_FALSE(env::ParseInt64("").has_value());
+  EXPECT_FALSE(env::ParseInt64("   ").has_value());
+  EXPECT_FALSE(env::ParseInt64("four").has_value());
+  EXPECT_FALSE(env::ParseInt64("4x").has_value());       // partial parse
+  EXPECT_FALSE(env::ParseInt64("4 2").has_value());      // embedded token
+  EXPECT_FALSE(env::ParseInt64("99999999999999999999").has_value());  // range
+}
+
+TEST(ParseUint64ListTest, ValidAndMalformedTokens) {
+  bool bad = true;
+  EXPECT_EQ(env::ParseUint64List("1,2,3", &bad),
+            (std::vector<uint64_t>{1, 2, 3}));
+  EXPECT_FALSE(bad);
+  EXPECT_EQ(env::ParseUint64List(" 7 , 8 ", &bad),
+            (std::vector<uint64_t>{7, 8}));
+  EXPECT_FALSE(bad);
+  // Empty tokens skip without complaint (trailing comma is harmless).
+  EXPECT_EQ(env::ParseUint64List("1,,2,", &bad),
+            (std::vector<uint64_t>{1, 2}));
+  EXPECT_FALSE(bad);
+  // Malformed tokens are dropped AND reported.
+  EXPECT_EQ(env::ParseUint64List("1,two,3", &bad),
+            (std::vector<uint64_t>{1, 3}));
+  EXPECT_TRUE(bad);
+  EXPECT_EQ(env::ParseUint64List("4x", &bad), std::vector<uint64_t>{});
+  EXPECT_TRUE(bad);
+  EXPECT_EQ(env::ParseUint64List("-3", &bad), std::vector<uint64_t>{});
+  EXPECT_TRUE(bad);
+  EXPECT_EQ(env::ParseUint64List(nullptr, &bad), std::vector<uint64_t>{});
+  EXPECT_FALSE(bad);
+}
+
+class NumThreadsEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* old = std::getenv("APTSERVE_NUM_THREADS");
+    if (old != nullptr) saved_ = old;
+  }
+  void TearDown() override {
+    if (saved_.empty()) {
+      unsetenv("APTSERVE_NUM_THREADS");
+    } else {
+      setenv("APTSERVE_NUM_THREADS", saved_.c_str(), 1);
+    }
+  }
+  std::string saved_;
+};
+
+TEST_F(NumThreadsEnvTest, ValidValueResolves) {
+  setenv("APTSERVE_NUM_THREADS", "3", 1);
+  EXPECT_EQ(RuntimeConfig{}.ResolvedNumThreads(), 3);
+}
+
+TEST_F(NumThreadsEnvTest, UnparseableFallsBackToSerial) {
+  // Regression: strtol(env, nullptr, 10) treated "four" as 0 (→ unset)
+  // and would have absorbed "4x" as 4. Both must now resolve serial.
+  setenv("APTSERVE_NUM_THREADS", "four", 1);
+  EXPECT_EQ(RuntimeConfig{}.ResolvedNumThreads(), 1);
+  setenv("APTSERVE_NUM_THREADS", "4x", 1);
+  EXPECT_EQ(RuntimeConfig{}.ResolvedNumThreads(), 1);
+}
+
+TEST_F(NumThreadsEnvTest, ExplicitConfigBeatsEnvironment) {
+  setenv("APTSERVE_NUM_THREADS", "four", 1);
+  RuntimeConfig config;
+  config.num_threads = 2;
+  EXPECT_EQ(config.ResolvedNumThreads(), 2);
+}
+
+TEST_F(NumThreadsEnvTest, NegativeMeansHardwareConcurrency) {
+  setenv("APTSERVE_NUM_THREADS", "-1", 1);
+  EXPECT_GE(RuntimeConfig{}.ResolvedNumThreads(), 1);
+}
+
+class FuzzSeedsEnvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* old = std::getenv("APTSERVE_FUZZ_SEEDS");
+    if (old != nullptr) {
+      saved_ = old;
+      had_ = true;
+    }
+  }
+  void TearDown() override {
+    if (had_) {
+      setenv("APTSERVE_FUZZ_SEEDS", saved_.c_str(), 1);
+    } else {
+      unsetenv("APTSERVE_FUZZ_SEEDS");
+    }
+  }
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST_F(FuzzSeedsEnvTest, UnsetUsesFallback) {
+  unsetenv("APTSERVE_FUZZ_SEEDS");
+  EXPECT_EQ(env::FuzzSeedsFromEnv({1, 2}), (std::vector<uint64_t>{1, 2}));
+}
+
+TEST_F(FuzzSeedsEnvTest, ValidListOverrides) {
+  setenv("APTSERVE_FUZZ_SEEDS", "101,202", 1);
+  EXPECT_EQ(env::FuzzSeedsFromEnv({1, 2}),
+            (std::vector<uint64_t>{101, 202}));
+}
+
+TEST_F(FuzzSeedsEnvTest, MalformedTokensDropNotCrash) {
+  // Regression: std::stoull threw (uncaught → abort) on "ten".
+  setenv("APTSERVE_FUZZ_SEEDS", "ten,20", 1);
+  EXPECT_EQ(env::FuzzSeedsFromEnv({1}), std::vector<uint64_t>{20});
+  setenv("APTSERVE_FUZZ_SEEDS", "junk", 1);
+  EXPECT_EQ(env::FuzzSeedsFromEnv({1, 2}), (std::vector<uint64_t>{1, 2}));
+}
+
+}  // namespace
+}  // namespace aptserve

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "baselines/fcfs_scheduler.h"
+#include "common/env.h"
 #include "common/rng.h"
 #include "serve/cost_model_backend.h"
 #include "serve/fleet_controller.h"
@@ -32,21 +33,9 @@ namespace aptserve {
 namespace {
 
 std::vector<uint64_t> FuzzSeeds() {
-  std::vector<uint64_t> seeds;
-  if (const char* env = std::getenv("APTSERVE_FUZZ_SEEDS")) {
-    std::string s(env);
-    size_t at = 0;
-    while (at < s.size()) {
-      const size_t comma = s.find(',', at);
-      const std::string tok =
-          s.substr(at, comma == std::string::npos ? comma : comma - at);
-      if (!tok.empty()) seeds.push_back(std::stoull(tok));
-      if (comma == std::string::npos) break;
-      at = comma + 1;
-    }
-  }
-  if (seeds.empty()) seeds = {1, 2, 3};
-  return seeds;
+  // Strict parse with a warning on malformed tokens (std::stoull threw on
+  // garbage and silently truncated partial parses like "4x").
+  return env::FuzzSeedsFromEnv({1, 2, 3});
 }
 
 /// Mixed workload: a shared-prefix conversation block plus Poisson

@@ -167,6 +167,34 @@ TEST(LatencyHistogramTest, MergeMatchesUnion) {
   }
 }
 
+// Regression: equal bucket counts do NOT imply equal geometry. With
+// min=1e-6 and 16 buckets/decade, max=9000 spans 9.954 decades and
+// ceil(159.3) = 160 buckets — the same count as max=10000's exact 160 —
+// so a merge gated only on (count, min, per_decade) would silently
+// combine histograms whose overflow edges (and every bucket bound in
+// between) disagree. The geometry check must include max_s_.
+TEST(LatencyHistogramTest, MergeRejectsMismatchedUpperBoundSameBucketCount) {
+  LatencyHistogram a(1e-6, 1e4, 16);
+  LatencyHistogram b(1e-6, 9e3, 16);
+  // Pin the premise: ceil produces identical bucket counts (the
+  // constructor's formula), so the old count-only check could not tell
+  // these histograms apart.
+  ASSERT_EQ(std::ceil(std::log10(1e4 / 1e-6) * 16.0),
+            std::ceil(std::log10(9e3 / 1e-6) * 16.0));
+  a.Add(0.5);
+  b.Add(0.5);
+  EXPECT_DEATH(a.Merge(b), "different geometry");
+}
+
+TEST(LatencyHistogramTest, MergeAcceptsIdenticalGeometry) {
+  LatencyHistogram a(1e-6, 9e3, 16);
+  LatencyHistogram b(1e-6, 9e3, 16);
+  a.Add(0.5);
+  b.Add(2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+}
+
 TEST(LatencyHistogramTest, EmptyQuantileIsZero) {
   LatencyHistogram h;
   EXPECT_EQ(h.count(), 0u);
