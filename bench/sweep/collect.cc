@@ -46,12 +46,12 @@ StatusOr<std::vector<CollectedRun>> CollectRuns(const std::string& exp_dir) {
 
 const char* RunsCsvHeader() {
   return "run_id,ablation,scheduler,router_policy,admission,prefix_sharing,"
-         "workload,profile,model,n_instances,rate,seed,requests,"
+         "workload,profile,model,n_instances,num_cells,rate,seed,requests,"
          "slo_attainment,ttft_attainment,tbt_attainment,goodput_rps,"
          "mean_ttft_s,p99_ttft_s,total_serving_time_s,iterations,"
          "mean_batch_size,preemptions,conversions,rejected,deprioritized,"
          "prefill_tokens_computed,prefill_tokens_skipped,prefix_hits,"
-         "prefix_matched_tokens,tokens_generated";
+         "prefix_matched_tokens,tokens_generated,route_probe_count";
 }
 
 void WriteRunsCsv(const std::vector<CollectedRun>& runs, std::ostream* out) {
@@ -70,7 +70,8 @@ void WriteRunsCsv(const std::vector<CollectedRun>& runs, std::ostream* out) {
          << params.GetString("workload", "") << ','
          << params.GetString("profile", "") << ','
          << params.GetString("model", "") << ','
-         << params.GetInt("n_instances", 0) << ',';
+         << params.GetInt("n_instances", 0) << ','
+         << params.GetInt("num_cells", 1) << ',';
     Number(out, cell.GetNumber("rate", 0.0));
     *out << ',' << cell.GetInt("seed", 0) << ','
          << result.GetInt("requests", 0) << ',';
@@ -97,7 +98,8 @@ void WriteRunsCsv(const std::vector<CollectedRun>& runs, std::ostream* out) {
          << result.GetInt("prefill_tokens_skipped", 0) << ','
          << result.GetInt("prefix_hits", 0) << ','
          << result.GetInt("prefix_matched_tokens", 0) << ','
-         << result.GetInt("tokens_generated", 0) << "\n";
+         << result.GetInt("tokens_generated", 0) << ','
+         << result.GetInt("route_probe_count", 0) << "\n";
   }
 }
 

@@ -83,6 +83,7 @@ Status ApplyParamKey(const char* where, const std::string& key,
   if (key == "slo_ttft_s") return num(&params->slo_ttft_s);
   if (key == "slo_tbt_p99_s") return num(&params->slo_tbt_p99_s);
   if (key == "n_instances") return i32(&params->n_instances);
+  if (key == "num_cells") return i32(&params->num_cells);
   if (key == "block_size") return i32(&params->block_size);
   if (key == "pool_blocks") return i32(&params->pool_blocks);
   if (key == "admission_slack") return num(&params->admission_slack);
@@ -216,6 +217,7 @@ json::JsonValue CellParams::ToJson() const {
   o.Set("slo_ttft_s", json::JsonValue::Number(slo_ttft_s));
   o.Set("slo_tbt_p99_s", json::JsonValue::Number(slo_tbt_p99_s));
   o.Set("n_instances", json::JsonValue::Int(n_instances));
+  o.Set("num_cells", json::JsonValue::Int(num_cells));
   o.Set("block_size", json::JsonValue::Int(block_size));
   o.Set("pool_blocks", json::JsonValue::Int(pool_blocks));
   o.Set("admission_slack", json::JsonValue::Number(admission_slack));

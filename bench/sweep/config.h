@@ -37,6 +37,9 @@ struct CellParams {
   double slo_tbt_p99_s = 1.0;
   // Fleet shape.
   int32_t n_instances = 2;
+  /// Hierarchical fleet-of-fleets: cells in the two-level topology
+  /// (1 = flat fleet; >1 consistent-hashes prefixes onto cells).
+  int32_t num_cells = 1;
   int32_t block_size = 16;
   /// Block-pool size per instance; <= 0 derives from the cost model.
   int32_t pool_blocks = -1;

@@ -114,6 +114,17 @@ json::JsonValue ResultJson(const RunCell& cell, size_t trace_size,
   o.Set("prefix_matched_tokens",
         json::JsonValue::Int(r.prefix.matched_tokens));
   o.Set("tokens_generated", json::JsonValue::Int(r.tokens_generated));
+  // Routing decision-cost accounting (deterministic counters; the
+  // route_probe_count column in runs.csv is the regression watchdog).
+  o.Set("route_probe_count",
+        json::JsonValue::Int(r.route_cost.instance_probes +
+                             r.route_cost.mirror_nodes_walked +
+                             r.route_cost.cell_probes));
+  o.Set("route_decisions", json::JsonValue::Int(r.route_cost.decisions));
+  o.Set("route_mirror_nodes_peak",
+        json::JsonValue::Int(r.route_cost.mirror_node_peak));
+  o.Set("route_mirror_evictions",
+        json::JsonValue::Int(r.route_cost.mirror_evictions));
   json::JsonValue per_instance = json::JsonValue::Array();
   for (const int32_t n : r.requests_per_instance) {
     per_instance.Append(json::JsonValue::Int(n));
@@ -227,7 +238,9 @@ StatusOr<json::JsonValue> ExecuteCell(const RunCell& cell) {
   // running many cells at once, and nested pools would oversubscribe.
   RuntimeConfig serial;
   serial.num_threads = 1;
-  MultiInstanceRunner runner(router, ServingLoopConfig{}, serial);
+  CellRouterConfig cells;
+  cells.num_cells = cell.params.num_cells;
+  MultiInstanceRunner runner(router, ServingLoopConfig{}, serial, cells);
   APT_ASSIGN_OR_RETURN(MultiInstanceResult result,
                        runner.Run(trace, make_scheduler, make_backend, slo));
   return ResultJson(cell, trace.size(), result);

@@ -27,6 +27,9 @@ int64_t TrackTid(int32_t track) {
 std::string TrackName(int32_t track) {
   if (track == kRouterTrack) return "router";
   if (track == kControllerTrack) return "controller";
+  if (track <= kCellTrackBase) {
+    return "cell " + std::to_string(kCellTrackBase - track);
+  }
   if (track < 0) return "track" + std::to_string(track);
   return "instance " + std::to_string(track);
 }
@@ -426,6 +429,7 @@ StatusOr<ChromeTraceStats> ValidateChromeTrace(const std::string& json) {
           dur->num < 0) {
         return Status::InvalidArgument(at + ": complete event without dur");
       }
+      if (name->str == "queue_wait") ++stats.queue_wait_spans;
     } else if (ph->str == "s" || ph->str == "f") {
       const JsonValue* id = e.Find("id");
       if (id == nullptr || !id->Is(JsonValue::Type::kNumber)) {
@@ -443,6 +447,11 @@ StatusOr<ChromeTraceStats> ValidateChromeTrace(const std::string& json) {
       }
     } else if (ph->str == "i") {
       if (name->str == "scale") ++stats.scale_events;
+      if (name->str == "queue_wait") {
+        return Status::InvalidArgument(
+            at + ": queue_wait must be a span (X), not an instant — the "
+                 "paired-instant encoding was retired");
+      }
     }
   }
 

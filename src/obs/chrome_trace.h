@@ -32,6 +32,10 @@ struct ChromeTraceStats {
   int64_t flow_ends = 0;    ///< "f" phase events
   int64_t matched_flows = 0;  ///< flow ids with both halves present
   int64_t scale_events = 0;   ///< events named "scale"
+  /// "queue_wait" complete ("X") events. Queue wait is a *duration*: the
+  /// validator rejects a "queue_wait" instant (the paired-instant encoding
+  /// this span replaced), so a regression to instants fails validation.
+  int64_t queue_wait_spans = 0;
 };
 
 /// Renders events as a `{"traceEvents": [...]}` JSON document. Events are

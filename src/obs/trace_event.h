@@ -17,6 +17,10 @@ namespace aptserve::obs {
 // non-negative instance ids; fleet-level layers get reserved negative ids.
 constexpr int32_t kRouterTrack = -1;      ///< Router::RouteOne decisions
 constexpr int32_t kControllerTrack = -2;  ///< FleetController scaling ticks
+/// Hierarchical front-tier tracks: cell c renders on kCellTrackBase - c
+/// (-16, -17, ...). The gap below kControllerTrack leaves room for more
+/// reserved fleet-level tracks without renumbering cells.
+constexpr int32_t kCellTrackBase = -16;
 
 /// What kind of timeline mark an event is.
 enum class EventKind : uint8_t {

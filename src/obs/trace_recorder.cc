@@ -192,7 +192,9 @@ const char* TraceOpArgName(TraceOp op, int32_t slot) {
       }
       return nullptr;
     case TraceOp::kQueueWait:
-      return nullptr;
+      // a0: on router/cell tracks, the chosen instance of the predicted
+      // wait; instance-track (measured) spans leave it 0.
+      return slot == 0 ? "instance" : nullptr;
     case TraceOp::kPrefill:
       return slot == 0 ? "positions" : nullptr;
     case TraceOp::kDecodeStep:

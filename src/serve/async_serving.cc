@@ -392,6 +392,12 @@ StatusOr<AsyncServingResult> FleetController::RunAsync(
         "migration are virtual-time features (queue shedding is the async "
         "mode's live motion)");
   }
+  if (config_.cells.num_cells > 1) {
+    return Status::InvalidArgument(
+        "async serving does not support hierarchical (num_cells > 1) "
+        "fleets yet: the cell front tier runs on the virtual-time routing "
+        "path");
+  }
   return RunAsyncFleet(trace, router_, config_.loop, async, make_scheduler,
                        make_backend, slo, migration_cost_model_);
 }
@@ -400,6 +406,12 @@ StatusOr<AsyncServingResult> MultiInstanceRunner::RunAsync(
     const std::vector<Request>& trace, const SchedulerFactory& make_scheduler,
     const BackendFactory& make_backend, const SloSpec& slo,
     const AsyncServingConfig& async) {
+  if (cells_.num_cells > 1) {
+    return Status::InvalidArgument(
+        "async serving does not support hierarchical (num_cells > 1) "
+        "fleets yet: the cell front tier runs on the virtual-time routing "
+        "path");
+  }
   return RunAsyncFleet(trace, router_, loop_, async, make_scheduler,
                        make_backend, slo, router_.cost_model());
 }

@@ -25,6 +25,7 @@ void AddPrefixStats(const PrefixStats& from, PrefixStats* into) {
 struct Instance {
   enum class State { kWarming, kLive, kDraining, kRetired };
   State state = State::kLive;
+  int32_t id = 0;
   double add_time = 0.0;
   double live_at = 0.0;
   double retire_time = -1.0;
@@ -49,6 +50,10 @@ FleetController::FleetController(const FleetConfig& config,
                                 : router.cost_model()) {
   APT_CHECK(router_.config().n_instances >= 1);
   APT_CHECK(config_.min_instances >= 1);
+  APT_CHECK(config_.cells.num_cells >= 1);
+  APT_CHECK_MSG(config_.cells.num_cells == 1 ||
+                    router_.config().n_instances >= config_.cells.num_cells,
+                "a hierarchical fleet needs at least one instance per cell");
   APT_CHECK(config_.tick_interval_s > 0.0);
   APT_CHECK(config_.instance_warmup_s >= 0.0);
   APT_CHECK(config_.scale_up_cooldown_s >= 0.0);
@@ -74,13 +79,30 @@ StatusOr<FleetResult> FleetController::Run(
   std::vector<std::unique_ptr<Instance>> fleet;
   fleet.reserve(max_n);
 
+  // Hierarchical (fleet-of-fleets) topology: the consistent-hash front
+  // tier picks a cell, the configured policy routes within it. num_cells
+  // == 1 takes the flat path untouched (bit-identical to pre-cell runs).
+  const int32_t num_cells = config_.cells.num_cells;
+  const bool hierarchical = num_cells > 1;
+  CellRouter cell_router(config_.cells, router_.config().block_size);
+  fm.num_cells = num_cells;
+  std::vector<int32_t> alive_per_cell(num_cells, 0);
+  std::vector<std::vector<int32_t>> cell_live_ids(num_cells);
+
   // Observability is opt-in and purely observational: with config_.trace /
   // config_.metrics null every hook below is a no-op and the run is
   // bit-identical to an uninstrumented build.
   obs::TraceSink ctl_trace;
+  std::vector<obs::TraceSink> cell_trace;
   if (config_.trace != nullptr) {
     ctl_trace = config_.trace->MakeSink(obs::kControllerTrack);
     router_.AttachTrace(&rstate, config_.trace->MakeSink(obs::kRouterTrack));
+    if (hierarchical) {
+      cell_trace.reserve(num_cells);
+      for (int32_t c = 0; c < num_cells; ++c) {
+        cell_trace.push_back(config_.trace->MakeSink(obs::kCellTrackBase - c));
+      }
+    }
   }
 
   const auto record_event = [&](double t, int32_t id,
@@ -101,6 +123,16 @@ StatusOr<FleetResult> FleetController::Run(
     // state grows with it.
     const int32_t id = static_cast<int32_t>(fleet.size());
     auto inst = std::make_unique<Instance>();
+    inst->id = id;
+    // Cell assignment: the least-populated (alive) cell, tie to the lowest
+    // cell id — the initial fleet round-robins across cells and later
+    // spawns refill whichever cell lost an instance.
+    int32_t cell = 0;
+    for (int32_t c = 1; c < num_cells; ++c) {
+      if (alive_per_cell[c] < alive_per_cell[cell]) cell = c;
+    }
+    fm.instance_cell.push_back(cell);
+    ++alive_per_cell[cell];
     inst->scheduler = make_scheduler();
     APT_ASSIGN_OR_RETURN(inst->backend, make_backend(id));
     inst->loop =
@@ -138,15 +170,24 @@ StatusOr<FleetResult> FleetController::Run(
     APT_ASSIGN_OR_RETURN(MigratedRequest m, src.loop->Extract(id));
     const bool carried_cache = m.image.carries_cache();
     const double base = std::max(t, m.available_at);
+    // A transfer that leaves the source's cell rides the slower cross-cell
+    // interconnect tier (racks/pods), not the intra-cell fabric.
+    const bool cross_cell =
+        fm.instance_cell[src.id] != fm.instance_cell[dst.id];
     const auto delay = [&](const MigrationImport& import) {
       return migration_cost_model_ != nullptr
-                 ? migration_cost_model_->MigrationSeconds(import.bytes)
+                 ? migration_cost_model_->MigrationSeconds(import.bytes,
+                                                           cross_cell)
                  : 0.0;
     };
     APT_ASSIGN_OR_RETURN(const MigrationImport import,
                          dst.loop->Receive(std::move(m), base, delay));
     ++fm.migrations;
     if (carried_cache) ++fm.migrations_with_cache;
+    if (cross_cell) {
+      ++fm.cross_cell_migrations;
+      fm.cross_cell_migration_bytes += import.bytes;
+    }
     fm.migration_deduped_tokens += import.deduped_tokens;
     fm.migration_copied_tokens += import.copied_tokens;
     fm.migration_bytes += import.bytes;
@@ -154,16 +195,27 @@ StatusOr<FleetResult> FleetController::Run(
     return Status::OK();
   };
 
-  const auto pick_coolest = [&](const Instance* exclude) -> Instance* {
-    Instance* best = nullptr;
+  // Coolest routable destination, preferring `preferred_cell` so drain
+  // evacuations stay on the intra-cell interconnect when any same-cell
+  // destination exists (a flat fleet has one cell, so the preference is
+  // vacuous and the pick matches the pre-cell controller exactly).
+  const auto pick_coolest = [&](const Instance* exclude,
+                                int32_t preferred_cell) -> Instance* {
+    Instance* best_same = nullptr;
+    Instance* best_any = nullptr;
     for (const auto& inst : fleet) {
       if (!inst->Routable() || inst.get() == exclude) continue;
-      if (best == nullptr ||
-          inst->loop->NumWaiting() < best->loop->NumWaiting()) {
-        best = inst.get();
+      if (best_any == nullptr ||
+          inst->loop->NumWaiting() < best_any->loop->NumWaiting()) {
+        best_any = inst.get();
+      }
+      if (fm.instance_cell[inst->id] == preferred_cell &&
+          (best_same == nullptr ||
+           inst->loop->NumWaiting() < best_same->loop->NumWaiting())) {
+        best_same = inst.get();
       }
     }
-    return best;
+    return best_same != nullptr ? best_same : best_any;
   };
 
   double last_scale_change = -std::numeric_limits<double>::infinity();
@@ -273,7 +325,8 @@ StatusOr<FleetResult> FleetController::Run(
         if (src->state != Instance::State::kDraining) continue;
         for (RequestId id : src->loop->MigratableWaiting()) {
           if (moved >= config_.max_migrations_per_tick) break;
-          Instance* dst = pick_coolest(src.get());
+          Instance* dst =
+              pick_coolest(src.get(), fm.instance_cell[src->id]);
           if (dst == nullptr) break;
           APT_RETURN_NOT_OK(migrate(*src, *dst, id, t));
           ++moved;
@@ -319,6 +372,7 @@ StatusOr<FleetResult> FleetController::Run(
         record_event(t, static_cast<int32_t>(i),
                      FleetScaleEvent::Kind::kRetire);
         --alive;
+        --alive_per_cell[fm.instance_cell[i]];
       }
     }
 
@@ -376,16 +430,55 @@ StatusOr<FleetResult> FleetController::Run(
       for (size_t i = 0; i < fleet.size(); ++i) {
         live_mask[i] = fleet[i]->Routable() ? 1 : 0;
       }
+      if (hierarchical) {
+        // Per-cell live member lists (constant within the window, like the
+        // mask): RouteOneLive scans only the chosen cell's members, which
+        // is what keeps the per-decision cost independent of fleet width.
+        for (auto& ids : cell_live_ids) ids.clear();
+        for (size_t i = 0; i < fleet.size(); ++i) {
+          if (live_mask[i]) {
+            cell_live_ids[fm.instance_cell[i]].push_back(
+                static_cast<int32_t>(i));
+          }
+        }
+        for (int32_t c = 0; c < num_cells; ++c) {
+          cell_router.SetLive(c, !cell_live_ids[c].empty());
+        }
+      }
     }
     while (next_route < trace.size() &&
            trace[next_route].arrival < window_end) {
       const Request& req = trace[next_route];
       bool best_effort = false;
-      const int32_t inst =
-          router_.RouteOne(req, next_route, live_mask, &rstate, &best_effort);
+      int32_t cell = 0;
+      int32_t inst;
+      if (hierarchical) {
+        cell = cell_router.RouteOne(req, req.arrival);
+        inst = router_.RouteOneLive(req, next_route, cell_live_ids[cell],
+                                    &rstate, &best_effort);
+      } else {
+        inst = router_.RouteOne(req, next_route, live_mask, &rstate,
+                                &best_effort);
+      }
       if (inst == RouteDecision::kRejected) {
         ++total_rejected;
       } else {
+        if (hierarchical) {
+          if (!cell_trace.empty()) {
+            // Pre-commit, so the span/score read the wait this request
+            // actually saw, not one inflated by its own service time.
+            const double wait = cell_router.Outstanding(cell, req.arrival);
+            cell_trace[cell].Span(obs::TraceOp::kQueueWait, req.arrival,
+                                  wait, req.id, static_cast<double>(inst));
+            cell_trace[cell].Instant(obs::TraceOp::kRouteDecision,
+                                     req.arrival, req.id,
+                                     static_cast<double>(inst), wait,
+                                     static_cast<double>(cell));
+          }
+          cell_router.Commit(
+              cell, req.arrival, router_.EstimatedServiceSeconds(req),
+              static_cast<int32_t>(cell_live_ids[cell].size()));
+        }
         Request routed = req;
         if (best_effort) {
           routed.best_effort = true;
@@ -475,8 +568,35 @@ StatusOr<FleetResult> FleetController::Run(
       MergeReports(result.per_instance, result.requests_per_instance);
   FoldRejectedIntoReport(result.rejected_requests, &result.combined);
 
+  result.route_cost = rstate.cost_stats();
+  if (hierarchical) {
+    const CellRouteStats& cs = cell_router.stats();
+    result.route_cost.cell_probes += cs.cell_probes;
+    result.route_cost.cell_hash_routed += cs.hash_routed;
+    result.route_cost.cell_fallback_routed += cs.fallback_routed;
+  }
+
   if (config_.metrics != nullptr) {
     obs::MetricsRegistry& reg = *config_.metrics;
+    const RouteCostStats& rc = result.route_cost;
+    reg.GetCounter("aptserve_router_decisions_total")->Inc(rc.decisions);
+    reg.GetCounter("aptserve_router_instance_probes_total")
+        ->Inc(rc.instance_probes);
+    reg.GetCounter("aptserve_router_mirror_nodes_walked_total")
+        ->Inc(rc.mirror_nodes_walked);
+    reg.GetCounter("aptserve_router_mirror_evictions_total")
+        ->Inc(rc.mirror_evictions);
+    reg.GetGauge("aptserve_router_mirror_nodes")
+        ->Set(static_cast<double>(rc.mirror_nodes));
+    reg.GetGauge("aptserve_router_mirror_node_peak")
+        ->Set(static_cast<double>(rc.mirror_node_peak));
+    reg.GetCounter("aptserve_cell_probes_total")->Inc(rc.cell_probes);
+    reg.GetCounter("aptserve_cell_hash_routed_total")
+        ->Inc(rc.cell_hash_routed);
+    reg.GetCounter("aptserve_cell_fallback_routed_total")
+        ->Inc(rc.cell_fallback_routed);
+    reg.GetCounter("aptserve_fleet_cross_cell_migrations_total")
+        ->Inc(fm.cross_cell_migrations);
     reg.GetCounter("aptserve_fleet_migrations_total")->Inc(fm.migrations);
     reg.GetCounter("aptserve_fleet_migration_bytes_total")
         ->Inc(static_cast<int64_t>(fm.migration_bytes));

@@ -33,6 +33,7 @@
 
 #include "core/length_predictor.h"
 #include "runtime/runtime_config.h"
+#include "serve/cell_router.h"
 #include "serve/router.h"
 #include "serve/serving_loop.h"
 #include "sim/metrics.h"
@@ -70,6 +71,10 @@ struct MultiInstanceResult {
   PrefixStats prefix;
   std::vector<PrefixStats> prefix_per_instance;
   int64_t tokens_generated = 0;
+  /// Deterministic routing decision-cost counters for the whole run
+  /// (intra-cell router probes plus, for a hierarchical fleet, the front
+  /// tier's cell counters folded into the cell_* fields).
+  RouteCostStats route_cost;
 };
 
 /// One pluggable scaling policy evaluated every controller tick. Rules
@@ -147,6 +152,18 @@ struct FleetConfig {
   /// rising load costs SLO misses, so fleets react up fast and down slowly.
   double scale_up_cooldown_s = 2.0;
   double scale_down_cooldown_s = 15.0;
+
+  // ---- Hierarchy (fleet of fleets) -----------------------------------------
+  /// Two-level topology: cells.num_cells > 1 partitions the fleet into
+  /// cells; a consistent-hash front tier (CellRouter) picks the cell from
+  /// the request's leading prefix chunks, then the configured router
+  /// policy runs unchanged over that cell's live members. num_cells = 1
+  /// (the default) is the flat fleet, bit-identical to a config that
+  /// predates cells. Instances are assigned to the least-populated cell
+  /// at spawn (initial fleet: round-robin). Planner migrations prefer
+  /// same-cell destinations; a forced cross-cell move is priced on the
+  /// slower cross-cell interconnect tier.
+  CellRouterConfig cells;
 
   // ---- Migration -----------------------------------------------------------
   /// Enables the migration planner: draining instances evacuate their

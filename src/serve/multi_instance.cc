@@ -46,8 +46,9 @@ std::vector<int32_t> DispatchTrace(const std::vector<Request>& trace,
 
 MultiInstanceRunner::MultiInstanceRunner(const Router& router,
                                          const ServingLoopConfig& loop,
-                                         const RuntimeConfig& runtime)
-    : router_(router), loop_(loop), runtime_(runtime) {}
+                                         const RuntimeConfig& runtime,
+                                         const CellRouterConfig& cells)
+    : router_(router), loop_(loop), runtime_(runtime), cells_(cells) {}
 
 MultiInstanceRunner::MultiInstanceRunner(const DispatchConfig& dispatch,
                                          const ServingLoopConfig& loop,
@@ -69,6 +70,7 @@ StatusOr<MultiInstanceResult> MultiInstanceRunner::Run(
   config.router = router_.config();
   config.loop = loop_;
   config.runtime = runtime_;
+  config.cells = cells_;
   FleetController controller(config, router_);
   APT_ASSIGN_OR_RETURN(FleetResult result,
                        controller.Run(trace, make_scheduler, make_backend,

@@ -79,9 +79,13 @@ std::vector<int32_t> DispatchTrace(const std::vector<Request>& trace,
 
 class MultiInstanceRunner {
  public:
-  /// Fleet behind an SLO-aware router (the primary entry point).
+  /// Fleet behind an SLO-aware router (the primary entry point). `cells`
+  /// configures the hierarchical fleet-of-fleets front tier; the default
+  /// (num_cells = 1) is the flat fleet, bit-identical to runners built
+  /// before cells existed.
   MultiInstanceRunner(const Router& router, const ServingLoopConfig& loop,
-                      const RuntimeConfig& runtime = RuntimeConfig{});
+                      const RuntimeConfig& runtime = RuntimeConfig{},
+                      const CellRouterConfig& cells = CellRouterConfig{});
 
   /// Legacy dispatch-policy fleet; equivalent to a Router over
   /// ToRouterConfig(dispatch) with admission off.
@@ -124,6 +128,7 @@ class MultiInstanceRunner {
   Router router_;
   ServingLoopConfig loop_;
   RuntimeConfig runtime_;
+  CellRouterConfig cells_;
 };
 
 }  // namespace aptserve

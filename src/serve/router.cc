@@ -34,21 +34,31 @@ namespace {
 /// report once those prompts have prefilled (approximates, not equals:
 /// the real index also COW-matches partial tail blocks, LRU-evicts under
 /// pool pressure, and indexes only completed prefills).
+///
+/// The node count is capped (RouterConfig::affinity_mirror_max_nodes):
+/// past the cap Insert evicts the least-recently-touched *leaf* chunks,
+/// like PrefixIndex::EvictLru, so a long run's mirror stays bounded while
+/// hot shared prefixes (re-touched on every insert through them) survive.
 class AffinityMirror {
  public:
-  explicit AffinityMirror(int32_t block_size) : block_size_(block_size) {}
+  AffinityMirror(int32_t block_size, int64_t max_nodes)
+      : block_size_(block_size), max_nodes_(max_nodes) {}
 
   /// Matched positions: block_size per matched chunk, capped (like index
   /// callers) at prompt_len - 1 so the score never exceeds what a real
-  /// adoption could use.
-  int32_t MatchTokens(const std::vector<int32_t>& tokens) const {
-    const Node* node = &root_;
+  /// adoption could use. `nodes_walked` (optional) accumulates the radix
+  /// lookups performed — the decision-cost term; pass null for
+  /// observational re-scores so tracing never changes the counters.
+  int32_t MatchTokens(const std::vector<int32_t>& tokens,
+                      int64_t* nodes_walked = nullptr) const {
+    const Node* node = root_.get();
     int32_t matched = 0;
     const int32_t usable = static_cast<int32_t>(tokens.size()) - 1;
     std::vector<int32_t> chunk(block_size_);
     while (matched + block_size_ <= usable) {
       chunk.assign(tokens.begin() + matched,
                    tokens.begin() + matched + block_size_);
+      if (nodes_walked != nullptr) ++*nodes_walked;
       auto it = node->children.find(chunk);
       if (it == node->children.end()) break;
       node = it->second.get();
@@ -57,28 +67,81 @@ class AffinityMirror {
     return matched;
   }
 
-  void Insert(const std::vector<int32_t>& tokens) {
-    Node* node = &root_;
+  struct InsertDelta {
+    int64_t created = 0;
+    int64_t evicted = 0;
+  };
+
+  InsertDelta Insert(const std::vector<int32_t>& tokens) {
+    InsertDelta delta;
+    Node* node = root_.get();
     const int32_t n = static_cast<int32_t>(tokens.size());
     for (int32_t at = 0; at + block_size_ <= n; at += block_size_) {
       std::vector<int32_t> chunk(tokens.begin() + at,
                                  tokens.begin() + at + block_size_);
       auto it = node->children.find(chunk);
       if (it == node->children.end()) {
-        it = node->children
-                 .emplace(std::move(chunk), std::make_unique<Node>())
-                 .first;
+        auto child = std::make_unique<Node>();
+        child->parent = node;
+        it = node->children.emplace(std::move(chunk), std::move(child)).first;
+        it->second->self = it;
+        ++num_nodes_;
+        ++delta.created;
       }
       node = it->second.get();
+      Touch(node);
     }
+    // Cap after the walk completes so eviction can never invalidate the
+    // path the insert is standing on (at tiny caps the freshly inserted
+    // tail is itself evictable — correct, just wasteful).
+    while (num_nodes_ > max_nodes_ && EvictOldestLeaf()) ++delta.evicted;
+    return delta;
   }
+
+  int64_t num_nodes() const { return num_nodes_; }
 
  private:
   struct Node {
     std::map<std::vector<int32_t>, std::unique_ptr<Node>> children;
+    Node* parent = nullptr;
+    /// This node's slot in parent->children (std::map iterators are
+    /// stable), so eviction erases without re-hashing the chunk key.
+    std::map<std::vector<int32_t>, std::unique_ptr<Node>>::iterator self;
+    /// Last-touch tick; unique per touch, so LRU order is total and
+    /// eviction is deterministic.
+    uint64_t touch = 0;
   };
+
+  void Touch(Node* node) {
+    if (node->touch != 0) lru_.erase(node->touch);
+    node->touch = ++tick_;
+    lru_.emplace(node->touch, node);
+  }
+
+  /// Evicts the least-recently-touched leaf. Internal nodes become
+  /// evictable once their subtrees go (same leaves-first shape as
+  /// PrefixIndex::EvictLru).
+  bool EvictOldestLeaf() {
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      Node* node = it->second;
+      if (!node->children.empty()) continue;
+      lru_.erase(it);
+      node->parent->children.erase(node->self);  // destroys `node`
+      --num_nodes_;
+      return true;
+    }
+    return false;
+  }
+
   int32_t block_size_;
-  Node root_;
+  int64_t max_nodes_;
+  int64_t num_nodes_ = 0;
+  uint64_t tick_ = 0;
+  /// Heap-held so parent pointers into the root survive a mirror move
+  /// (RouterState's mirror vector reallocates as an elastic fleet grows).
+  std::unique_ptr<Node> root_ = std::make_unique<Node>();
+  /// touch tick -> node, ascending = LRU order (the root never enters).
+  std::map<uint64_t, Node*> lru_;
 };
 
 }  // namespace
@@ -101,6 +164,8 @@ struct RouterState::Impl {
   /// Scratch for RouteOne's live-instance list (avoids a per-request
   /// allocation on the batch path).
   std::vector<int32_t> live_scratch;
+  /// Deterministic decision-cost counters (state examinations, not time).
+  RouteCostStats cost;
   /// Observability (Router::AttachTrace): events land on the router track,
   /// stamped by `obs_clock` when set (async mode) else by request arrival.
   obs::TraceSink sink;
@@ -113,6 +178,11 @@ RouterState::RouterState(RouterState&&) noexcept = default;
 RouterState& RouterState::operator=(RouterState&&) noexcept = default;
 
 int32_t RouterState::capacity() const { return impl_ ? impl_->n : 0; }
+
+const RouteCostStats& RouterState::cost_stats() const {
+  static const RouteCostStats kEmpty;
+  return impl_ ? impl_->cost : kEmpty;
+}
 
 Router::Router(const RouterConfig& config, const CostModel* cost_model,
                const OutputLengthPredictor* predictor)
@@ -165,7 +235,10 @@ RouterState Router::MakeState(int32_t max_instances) const {
   s.busy_until.assign(s.n, 0.0);
   if (config_.policy == RoutePolicy::kPrefixAffinity) {
     s.mirror.reserve(s.n);
-    for (int32_t i = 0; i < s.n; ++i) s.mirror.emplace_back(config_.block_size);
+    for (int32_t i = 0; i < s.n; ++i) {
+      s.mirror.emplace_back(config_.block_size,
+                            config_.affinity_mirror_max_nodes);
+    }
   }
   return state;
 }
@@ -187,7 +260,8 @@ void Router::GrowState(RouterState* state, int32_t n_instances) const {
   s.busy_until.resize(n_instances, 0.0);
   if (config_.policy == RoutePolicy::kPrefixAffinity) {
     while (static_cast<int32_t>(s.mirror.size()) < n_instances) {
-      s.mirror.emplace_back(config_.block_size);
+      s.mirror.emplace_back(config_.block_size,
+                            config_.affinity_mirror_max_nodes);
     }
   }
   return;
@@ -196,8 +270,7 @@ void Router::GrowState(RouterState* state, int32_t n_instances) const {
 int32_t Router::RouteOne(const Request& req, size_t trace_index,
                          const std::vector<uint8_t>& live, RouterState* state,
                          bool* best_effort) const {
-  APT_CHECK(state != nullptr && state->impl_ != nullptr &&
-            best_effort != nullptr);
+  APT_CHECK(state != nullptr && state->impl_ != nullptr);
   RouterState::Impl& s = *state->impl_;
   const int32_t n = s.n;
   APT_CHECK(static_cast<int32_t>(live.size()) == n);
@@ -207,9 +280,21 @@ int32_t Router::RouteOne(const Request& req, size_t trace_index,
   for (int32_t i = 0; i < n; ++i) {
     if (live[i]) live_ids.push_back(i);
   }
+  return RouteOneLive(req, trace_index, live_ids, state, best_effort);
+}
+
+int32_t Router::RouteOneLive(const Request& req, size_t trace_index,
+                             const std::vector<int32_t>& live_ids,
+                             RouterState* state, bool* best_effort) const {
+  APT_CHECK(state != nullptr && state->impl_ != nullptr &&
+            best_effort != nullptr);
+  RouterState::Impl& s = *state->impl_;
+  const int32_t n = s.n;
   const int32_t n_live = static_cast<int32_t>(live_ids.size());
   APT_CHECK_MSG(n_live >= 1, "routing with no live instances");
+  APT_CHECK(live_ids.front() >= 0 && live_ids.back() < n);
   *best_effort = false;
+  ++s.cost.decisions;
 
   // Observational only: reads the pre-commit routing state, mutates none
   // of it, so traced and untraced routing are decision-identical.
@@ -255,6 +340,7 @@ int32_t Router::RouteOne(const Request& req, size_t trace_index,
     return std::max(0.0, s.busy_until[i] - now);
   };
   auto least_outstanding = [&] {
+    s.cost.instance_probes += n_live;
     int32_t best = live_ids[0];
     for (int32_t k = 1; k < n_live; ++k) {
       const int32_t i = live_ids[k];
@@ -283,8 +369,10 @@ int32_t Router::RouteOne(const Request& req, size_t trace_index,
     switch (config_.policy) {
       case RoutePolicy::kRoundRobin:
         inst = live_ids[trace_index % n_live];
+        ++s.cost.instance_probes;
         break;
       case RoutePolicy::kLeastLoaded: {
+        s.cost.instance_probes += n_live;
         int32_t best = live_ids[0];
         for (int32_t k = 1; k < n_live; ++k) {
           const int32_t i = live_ids[k];
@@ -294,6 +382,7 @@ int32_t Router::RouteOne(const Request& req, size_t trace_index,
         break;
       }
       case RoutePolicy::kPowerOfTwo: {
+        s.cost.instance_probes += 2;
         const int32_t a =
             static_cast<int32_t>(s.rng.UniformInt(0, n_live - 1));
         int32_t b = static_cast<int32_t>(s.rng.UniformInt(0, n_live - 2));
@@ -314,11 +403,13 @@ int32_t Router::RouteOne(const Request& req, size_t trace_index,
         if (req.has_token_ids()) {
           for (int32_t k = 0; k < n_live; ++k) {
             const int32_t i = live_ids[k];
+            ++s.cost.instance_probes;
             if (outstanding(i) - min_work >
                 config_.affinity_max_imbalance_s) {
               continue;  // over the load-imbalance cap
             }
-            const int32_t m = s.mirror[i].MatchTokens(req.token_ids);
+            const int32_t m = s.mirror[i].MatchTokens(
+                req.token_ids, &s.cost.mirror_nodes_walked);
             if (m > best_match) {
               best_match = m;
               best = i;
@@ -329,6 +420,8 @@ int32_t Router::RouteOne(const Request& req, size_t trace_index,
         break;
       }
     }
+  } else {
+    ++s.cost.instance_probes;
   }
 
   // 2. Admission against the effective TTFT deadline: queue wait plus
@@ -366,6 +459,15 @@ int32_t Router::RouteOne(const Request& req, size_t trace_index,
     emit_route_decision(inst);
   }
 
+  // Predicted queue wait as a span on the router track: [decision, start
+  // of service on the chosen instance] under the router's work model
+  // (zero-length when no work model is maintained). The serving loop
+  // emits the *measured* wait as the matching span on the instance track.
+  if (tracing) {
+    s.sink.Span(obs::TraceOp::kQueueWait, obs_ts, outstanding(inst), req.id,
+                static_cast<double>(inst));
+  }
+
   // 3. Commit: every live routing model observes the admitted request.
   if (need_backlog) {
     s.window[inst].emplace_back(now, req.prompt_len);
@@ -376,7 +478,12 @@ int32_t Router::RouteOne(const Request& req, size_t trace_index,
     s.busy_until[inst] = start + EstimatedServiceSeconds(req);
   }
   if (!s.mirror.empty() && req.has_token_ids()) {
-    s.mirror[inst].Insert(req.token_ids);
+    const AffinityMirror::InsertDelta delta =
+        s.mirror[inst].Insert(req.token_ids);
+    s.cost.mirror_nodes += delta.created - delta.evicted;
+    s.cost.mirror_node_peak =
+        std::max(s.cost.mirror_node_peak, s.cost.mirror_nodes);
+    s.cost.mirror_evictions += delta.evicted;
   }
   return inst;
 }

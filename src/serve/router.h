@@ -92,6 +92,11 @@ struct RouterConfig {
   /// seconds. Keeps a hot shared prefix from funneling the whole trace
   /// onto one instance.
   double affinity_max_imbalance_s = 10.0;
+  /// Per-instance cap on affinity-mirror radix nodes. When an Insert would
+  /// exceed it the mirror LRU-evicts leaf chunks (oldest last-touch first),
+  /// so long runs degrade gracefully instead of growing without bound.
+  /// Generous by default: ~256k nodes per instance, each one block chunk.
+  int64_t affinity_mirror_max_nodes = int64_t{1} << 18;
 
   AdmissionMode admission = AdmissionMode::kNone;
   /// Reject/deprioritize when predicted TTFT > slack * effective deadline.
@@ -113,6 +118,41 @@ struct RouteDecision {
   std::vector<int32_t> admitted_per_instance;
 };
 
+/// Deterministic routing-cost accounting, accumulated across every
+/// RouteOne against one RouterState. Counts state *examinations* — not
+/// wall time — so the numbers are bit-identical across thread counts and
+/// build modes, and regressions show up as counter diffs:
+///   - instance_probes: per-instance load/backlog/score reads (each
+///     instance examined by a policy scan, p2c sample, or admission spill
+///     counts once).
+///   - mirror_nodes_walked: affinity-mirror radix nodes visited while
+///     scoring candidates (the term that grows with both fleet size and
+///     prefix depth under flat kPrefixAffinity).
+///   - mirror_nodes / mirror_node_peak / mirror_evictions: resident mirror
+///     footprint across all instances and the LRU-cap witness.
+/// The hierarchical front tier folds its cell-level counters into the
+/// cell_* fields so one struct describes the whole routing path.
+struct RouteCostStats {
+  int64_t decisions = 0;
+  int64_t instance_probes = 0;
+  int64_t mirror_nodes_walked = 0;
+  int64_t mirror_nodes = 0;
+  int64_t mirror_node_peak = 0;
+  int64_t mirror_evictions = 0;
+  int64_t cell_probes = 0;
+  int64_t cell_hash_routed = 0;
+  int64_t cell_fallback_routed = 0;
+
+  /// Total examinations per routing decision — the bench's scaling gate.
+  double ProbesPerDecision() const {
+    return decisions > 0 ? static_cast<double>(instance_probes +
+                                               mirror_nodes_walked +
+                                               cell_probes) /
+                               static_cast<double>(decisions)
+                         : 0.0;
+  }
+};
+
 /// The mutable routing model (backlog windows, busy-until clocks, affinity
 /// mirrors, the p2c RNG) held across incremental RouteOne calls. Opaque;
 /// created by Router::MakeState. The event-driven FleetController keeps one
@@ -127,6 +167,11 @@ class RouterState {
 
   /// Instances this state can route to (fixed at MakeState).
   int32_t capacity() const;
+
+  /// Routing-cost counters accumulated by RouteOne calls against this
+  /// state (cell_* fields stay zero; the fleet controller merges the
+  /// hierarchical tier's counters in when reporting).
+  const RouteCostStats& cost_stats() const;
 
  private:
   friend class Router;
@@ -171,6 +216,15 @@ class Router {
   int32_t RouteOne(const Request& req, size_t trace_index,
                    const std::vector<uint8_t>& live, RouterState* state,
                    bool* best_effort) const;
+
+  /// RouteOne against an explicit live-instance id list (ascending,
+  /// non-empty, ids < state capacity). Bit-identical to the mask form fed
+  /// the equivalent mask; the mask form is a thin wrapper over this. The
+  /// hierarchical front tier calls this with a cell's member list so the
+  /// per-decision cost scales with the cell width, not the fleet width.
+  int32_t RouteOneLive(const Request& req, size_t trace_index,
+                       const std::vector<int32_t>& live_ids,
+                       RouterState* state, bool* best_effort) const;
 
   /// Attaches a trace sink to `state`: subsequent RouteOne calls emit
   /// route-decision and admission-verdict events on the router track.

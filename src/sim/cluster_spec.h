@@ -20,6 +20,11 @@ struct GpuSpec {
   /// Effective instance-to-instance bandwidth for live-migration cache
   /// transfers (NIC/NVLink class; a conservative 200 Gb/s datacenter NIC).
   double interconnect_bandwidth = 25e9;
+  /// Effective bandwidth for migrations that cross a *cell* boundary in a
+  /// hierarchical fleet: cells map to racks/pods, so the transfer leaves
+  /// the rack fabric and rides the (oversubscribed) aggregation tier —
+  /// a conservative 40 Gb/s effective.
+  double cross_cell_bandwidth = 5e9;
 
   static GpuSpec A100_40G() { return GpuSpec{}; }
 };

@@ -41,9 +41,11 @@ double CostModel::IterationSeconds(const BatchWorkload& w) const {
   return std::max(compute_s, memory_s) + swap_s + overhead_;
 }
 
-double CostModel::MigrationSeconds(double bytes) const {
+double CostModel::MigrationSeconds(double bytes, bool cross_cell) const {
   if (bytes <= 0.0) return 0.0;
-  return bytes / cluster_.gpu.interconnect_bandwidth + overhead_;
+  const double bandwidth = cross_cell ? cluster_.gpu.cross_cell_bandwidth
+                                      : cluster_.gpu.interconnect_bandwidth;
+  return bytes / bandwidth + overhead_;
 }
 
 double CostModel::RhoSecondsPerToken() const {

@@ -54,9 +54,11 @@ class CostModel {
   double IterationSeconds(const BatchWorkload& w) const;
 
   /// Seconds to move `bytes` of cache state between two fleet instances
-  /// over the cluster interconnect (live request migration), including the
-  /// fixed coordination overhead. 0 for an empty (cold/deduped) transfer.
-  double MigrationSeconds(double bytes) const;
+  /// (live request migration), including the fixed coordination overhead.
+  /// 0 for an empty (cold/deduped) transfer. `cross_cell` prices the
+  /// transfer over the slower aggregation tier a hierarchical fleet
+  /// crosses between cells instead of the intra-cell interconnect.
+  double MigrationSeconds(double bytes, bool cross_cell = false) const;
 
   /// The scheduler's rho (paper Eq. 6): extra iteration seconds per cached
   /// token of a hidden-cache request, derived from the recompute FLOPs at

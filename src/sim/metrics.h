@@ -126,6 +126,15 @@ struct FleetMetrics {
   double instance_seconds = 0.0;
   int32_t peak_instances = 0;
   int32_t cold_starts = 0;
+  // ---- Hierarchical (fleet-of-fleets) topology ----
+  /// Cells in the two-level topology (1 = flat fleet).
+  int32_t num_cells = 1;
+  /// Cell of each spawned instance, indexed by lifetime-unique id.
+  std::vector<int32_t> instance_cell;
+  /// Migrations whose source and destination live in different cells
+  /// (priced on the slower cross-cell interconnect tier).
+  int64_t cross_cell_migrations = 0;
+  double cross_cell_migration_bytes = 0.0;
 };
 
 // ---- Wall-clock metrics (async serving mode) -------------------------------

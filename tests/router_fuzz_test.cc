@@ -322,5 +322,137 @@ TEST(RouterFuzzTest, ElasticScalingAndMigrationInvariants) {
   }
 }
 
+// Hierarchical (fleet-of-fleets) routing under the same seeded workloads:
+// a two-level fleet must keep every structural invariant of the flat one —
+// conservation, per-cell sums folding into fleet totals, 1-vs-4-thread
+// bit-identity — and the num_cells=1 configuration must be bit-for-bit the
+// flat fleet (same shards, same reports, same prefix accounting).
+TEST(RouterFuzzTest, HierarchicalFleetInvariants) {
+  const ModelSpec m = ModelSpec::Opt13B();
+  const CostModel cm(m, ClusterSpec::ForModel(m));
+  const SloSpec slo{2.0, 2.0};
+
+  auto make_backend =
+      [&](int32_t) -> StatusOr<std::unique_ptr<ExecutionBackend>> {
+    CostModelBackend::Options o;
+    o.block_size = 4;
+    o.pool_blocks_override = 512;
+    o.enable_prefix_sharing = true;
+    o.token_vocab = 1000;
+    APT_ASSIGN_OR_RETURN(std::unique_ptr<CostModelBackend> backend,
+                         CostModelBackend::Create(cm, o));
+    return std::unique_ptr<ExecutionBackend>(std::move(backend));
+  };
+  auto make_scheduler = [] { return std::make_unique<FcfsScheduler>(); };
+
+  for (uint64_t seed : FuzzSeeds()) {
+    const auto trace = MixedTrace(seed);
+    for (int32_t num_cells : {1, 4}) {
+      SCOPED_TRACE("hier seed " + std::to_string(seed) + " cells " +
+                   std::to_string(num_cells));
+      auto run = [&](int32_t threads) {
+        FleetConfig cfg;
+        cfg.router.n_instances = 8;
+        cfg.router.policy = RoutePolicy::kPrefixAffinity;
+        cfg.router.block_size = 4;
+        cfg.cells.num_cells = num_cells;
+        cfg.runtime.num_threads = threads;
+        FleetController controller(cfg, &cm);
+        auto result =
+            controller.Run(trace, make_scheduler, make_backend, slo);
+        EXPECT_TRUE(result.ok()) << result.status().ToString();
+        return std::move(*result);
+      };
+      const FleetResult serial = run(1);
+      const FleetResult threaded = run(4);
+
+      // Conservation across cells: every request served exactly once, and
+      // per-cell partial sums (grouped by the instance->cell map) fold
+      // back into the fleet totals.
+      ExpectStatsSumToFleetTotals(serial.serve, trace.size());
+      EXPECT_EQ(serial.fleet.num_cells, num_cells);
+      ASSERT_EQ(serial.fleet.instance_cell.size(),
+                serial.serve.per_instance.size());
+      std::vector<int64_t> cell_requests(num_cells, 0);
+      std::vector<int64_t> cell_prefill(num_cells, 0);
+      std::vector<int64_t> cell_hits(num_cells, 0);
+      for (size_t i = 0; i < serial.fleet.instance_cell.size(); ++i) {
+        const int32_t cell = serial.fleet.instance_cell[i];
+        ASSERT_GE(cell, 0);
+        ASSERT_LT(cell, num_cells);
+        cell_requests[cell] += serial.serve.requests_per_instance[i];
+        cell_prefill[cell] += serial.serve.prefill_computed_per_instance[i];
+        cell_hits[cell] += serial.serve.prefix_per_instance[i].hits;
+      }
+      int64_t requests = 0, prefill = 0, hits = 0;
+      for (int32_t c = 0; c < num_cells; ++c) {
+        requests += cell_requests[c];
+        prefill += cell_prefill[c];
+        hits += cell_hits[c];
+      }
+      EXPECT_EQ(requests, static_cast<int64_t>(trace.size()));
+      EXPECT_EQ(prefill, serial.serve.prefill_tokens_computed);
+      EXPECT_EQ(hits, serial.serve.prefix.hits);
+      if (num_cells > 1) {
+        EXPECT_EQ(serial.serve.route_cost.cell_hash_routed +
+                      serial.serve.route_cost.cell_fallback_routed,
+                  serial.serve.route_cost.decisions);
+      }
+
+      // 1-vs-4-thread bit-identity (token streams, shards, counters).
+      EXPECT_EQ(serial.serve.requests_per_instance,
+                threaded.serve.requests_per_instance);
+      EXPECT_EQ(serial.serve.combined.total_serving_time,
+                threaded.serve.combined.total_serving_time);
+      EXPECT_EQ(serial.serve.combined.ttfts.samples(),
+                threaded.serve.combined.ttfts.samples());
+      EXPECT_EQ(serial.serve.prefill_tokens_computed,
+                threaded.serve.prefill_tokens_computed);
+      EXPECT_EQ(serial.serve.prefill_tokens_skipped,
+                threaded.serve.prefill_tokens_skipped);
+      EXPECT_EQ(serial.serve.prefix.hits, threaded.serve.prefix.hits);
+      EXPECT_EQ(serial.serve.tokens_generated,
+                threaded.serve.tokens_generated);
+      EXPECT_EQ(serial.serve.route_cost.instance_probes,
+                threaded.serve.route_cost.instance_probes);
+      EXPECT_EQ(serial.serve.route_cost.cell_probes,
+                threaded.serve.route_cost.cell_probes);
+      EXPECT_EQ(serial.fleet.instance_cell, threaded.fleet.instance_cell);
+
+      // num_cells=1 is bit-for-bit the flat fleet.
+      if (num_cells == 1) {
+        RouterConfig rc;
+        rc.n_instances = 8;
+        rc.policy = RoutePolicy::kPrefixAffinity;
+        rc.block_size = 4;
+        RuntimeConfig serial_rt;
+        serial_rt.num_threads = 1;
+        MultiInstanceRunner flat(Router(rc, &cm), ServingLoopConfig{},
+                                 serial_rt);
+        auto flat_result =
+            flat.Run(trace, make_scheduler, make_backend, slo);
+        ASSERT_TRUE(flat_result.ok()) << flat_result.status().ToString();
+        EXPECT_EQ(flat_result->requests_per_instance,
+                  serial.serve.requests_per_instance);
+        EXPECT_EQ(flat_result->combined.total_serving_time,
+                  serial.serve.combined.total_serving_time);
+        EXPECT_EQ(flat_result->combined.goodput_rps,
+                  serial.serve.combined.goodput_rps);
+        EXPECT_EQ(flat_result->prefill_tokens_computed,
+                  serial.serve.prefill_tokens_computed);
+        EXPECT_EQ(flat_result->prefill_tokens_skipped,
+                  serial.serve.prefill_tokens_skipped);
+        EXPECT_EQ(flat_result->prefix.hits, serial.serve.prefix.hits);
+        EXPECT_EQ(flat_result->tokens_generated,
+                  serial.serve.tokens_generated);
+        EXPECT_EQ(flat_result->route_cost.instance_probes,
+                  serial.serve.route_cost.instance_probes);
+        EXPECT_EQ(flat_result->route_cost.mirror_nodes_walked,
+                  serial.serve.route_cost.mirror_nodes_walked);
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace aptserve
